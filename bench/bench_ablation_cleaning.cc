@@ -1,0 +1,88 @@
+// Ablation for the Section 4 cleaning step: "We normalize every string
+// expressing a numerical value (say, 1k) into a number (1000). The
+// enforcing of type and domain constraints is a simple but crucial step to
+// limit the incorrect output due to model hallucinations."
+//
+// Runs the numeric-heavy queries with cleaning on, cleaning without domain
+// constraints, and cleaning fully off, reporting the cell-match deltas.
+
+#include <cstdio>
+
+#include "core/galois_executor.h"
+#include "engine/executor.h"
+#include "eval/metrics.h"
+#include "knowledge/workload.h"
+#include "llm/simulated_llm.h"
+
+int main() {
+  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Config {
+    const char* label;
+    bool cleaning;
+    bool domains;
+  };
+  const Config configs[] = {
+      {"cleaning + domain constraints", true, true},
+      {"cleaning only", true, false},
+      {"no cleaning (raw strings)", false, false},
+  };
+
+  // Queries whose outputs contain numeric cells (selections projecting
+  // numbers, all aggregates).
+  std::printf("Cleaning ablation (ChatGPT profile, numeric queries)\n");
+  std::printf("  %-32s %12s %12s\n", "configuration", "cell match",
+              "cardinality");
+  for (const Config& config : configs) {
+    galois::llm::SimulatedLlm model(&workload->kb(),
+                                    galois::llm::ModelProfile::ChatGpt(),
+                                    &workload->catalog());
+    galois::core::ExecutionOptions options;
+    options.enable_cleaning = config.cleaning;
+    options.enforce_domains = config.domains;
+    galois::core::GaloisExecutor galois(&model, &workload->catalog(),
+                                        options);
+    double total_match = 0.0;
+    double total_card = 0.0;
+    int count = 0;
+    for (const galois::knowledge::QuerySpec& q : workload->queries()) {
+      bool numeric = q.query_class ==
+                         galois::knowledge::QueryClass::kAggregate ||
+                     q.query_class ==
+                         galois::knowledge::QueryClass::kJoinAggregate ||
+                     q.id == 13;  // population projection
+      if (!numeric) continue;
+      auto rd = galois::engine::ExecuteSql(q.sql, workload->catalog());
+      if (!rd.ok()) {
+        std::fprintf(stderr, "q%d ground truth failed\n", q.id);
+        return 1;
+      }
+      auto rm = galois.ExecuteSql(q.sql);
+      if (!rm.ok()) {
+        // Without cleaning, aggregates over raw strings abort with a type
+        // error — the query returns nothing, scored as a total miss.
+        total_match += 0.0;
+        total_card +=
+            galois::eval::CardinalityDiffPercent(rd->NumRows(), 0);
+        ++count;
+        continue;
+      }
+      total_match += galois::eval::MatchCells(*rd, *rm).Percent();
+      total_card += galois::eval::CardinalityDiffPercent(rd->NumRows(),
+                                                         rm->NumRows());
+      ++count;
+    }
+    std::printf("  %-32s %11.0f%% %+11.1f%%\n", config.label,
+                total_match / count, total_card / count);
+  }
+  std::printf(
+      "\nExpected shape: dropping the cleaning step hurts most (numeric "
+      "comparisons\nagainst raw strings fail); dropping only the domain "
+      "constraints hurts less.\n");
+  return 0;
+}

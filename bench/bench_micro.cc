@@ -1,0 +1,138 @@
+// Google-benchmark microbenchmarks for the substrate components: SQL
+// parsing, expression evaluation, classic operators, cleaning, the
+// simulated LLM, and the full Galois pipeline. These guard the
+// performance of the pieces the experiment harness leans on.
+
+#include <benchmark/benchmark.h>
+
+#include "clean/normalize.h"
+#include "core/galois_executor.h"
+#include "engine/executor.h"
+#include "knowledge/workload.h"
+#include "llm/prompt_templates.h"
+#include "llm/simulated_llm.h"
+#include "sql/parser.h"
+
+namespace {
+
+const galois::knowledge::SpiderLikeWorkload& Workload() {
+  static const auto* w = []() {
+    auto r = galois::knowledge::SpiderLikeWorkload::Create();
+    return new galois::knowledge::SpiderLikeWorkload(
+        std::move(r).value());
+  }();
+  return *w;
+}
+
+void BM_ParseSimpleQuery(benchmark::State& state) {
+  const std::string sql =
+      "SELECT name FROM country WHERE continent = 'Europe'";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois::sql::ParseSelect(sql));
+  }
+}
+BENCHMARK(BM_ParseSimpleQuery);
+
+void BM_ParseComplexQuery(benchmark::State& state) {
+  const std::string sql =
+      "SELECT co.continent, COUNT(*), AVG(ci.population) "
+      "FROM city ci, country co WHERE ci.country = co.name AND "
+      "ci.population BETWEEN 100000 AND 10000000 GROUP BY co.continent "
+      "HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois::sql::ParseSelect(sql));
+  }
+}
+BENCHMARK(BM_ParseComplexQuery);
+
+void BM_GroundTruthSelection(benchmark::State& state) {
+  const std::string sql =
+      "SELECT name FROM country WHERE continent = 'Europe'";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        galois::engine::ExecuteSql(sql, Workload().catalog()));
+  }
+}
+BENCHMARK(BM_GroundTruthSelection);
+
+void BM_GroundTruthJoinAggregate(benchmark::State& state) {
+  const std::string sql =
+      "SELECT co.continent, COUNT(*) FROM city ci, country co "
+      "WHERE ci.country = co.name GROUP BY co.continent";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        galois::engine::ExecuteSql(sql, Workload().catalog()));
+  }
+}
+BENCHMARK(BM_GroundTruthJoinAggregate);
+
+void BM_CleanNumber(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois::clean::ParseNumber("1.2 million"));
+    benchmark::DoNotOptimize(galois::clean::ParseNumber("3,450,000"));
+    benchmark::DoNotOptimize(galois::clean::ParseNumber("about 42k"));
+  }
+}
+BENCHMARK(BM_CleanNumber);
+
+void BM_CleanDate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois::clean::ParseDate("August 4, 1962"));
+    benchmark::DoNotOptimize(galois::clean::ParseDate("04/08/1962"));
+  }
+}
+BENCHMARK(BM_CleanDate);
+
+void BM_SimulatedAttributePrompt(benchmark::State& state) {
+  galois::llm::SimulatedLlm model(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  galois::llm::AttributeGetIntent intent;
+  intent.concept_name = "country";
+  intent.key = "Italy";
+  intent.attribute = "population";
+  galois::llm::Prompt prompt = galois::llm::BuildAttributePrompt(intent);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Complete(prompt));
+  }
+}
+BENCHMARK(BM_SimulatedAttributePrompt);
+
+void BM_GaloisSelectionQuery(benchmark::State& state) {
+  galois::llm::SimulatedLlm model(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  galois::core::GaloisExecutor galois(&model, &Workload().catalog());
+  const std::string sql =
+      "SELECT name FROM country WHERE continent = 'Europe'";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+  }
+}
+BENCHMARK(BM_GaloisSelectionQuery);
+
+void BM_GaloisJoinQuery(benchmark::State& state) {
+  galois::llm::SimulatedLlm model(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  galois::core::GaloisExecutor galois(&model, &Workload().catalog());
+  const std::string sql =
+      "SELECT ci.name, co.continent FROM city ci, country co "
+      "WHERE ci.country = co.name";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+  }
+}
+BENCHMARK(BM_GaloisJoinQuery);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        galois::knowledge::SpiderLikeWorkload::Create());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Section 6 "Portability": the same SQL script executes on all four
+// models, but the returned relations differ. For a subset of queries this
+// bench reports, per pair of models, how much their outputs agree —
+// quantifying "the same prompt does not give equivalent results across
+// LLMs".
+
+#include <cstdio>
+#include <vector>
+
+#include "core/galois_executor.h"
+#include "eval/metrics.h"
+#include "knowledge/workload.h"
+#include "llm/model_profile.h"
+#include "llm/simulated_llm.h"
+
+int main() {
+  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  const int query_ids[] = {1, 2, 6, 9, 12, 14};  // selection subset
+  auto models = galois::llm::ModelProfile::AllPaperModels();
+
+  // results[model][query] relation.
+  std::vector<std::vector<galois::Relation>> results(models.size());
+  for (size_t m = 0; m < models.size(); ++m) {
+    galois::llm::SimulatedLlm model(&workload->kb(), models[m],
+                                    &workload->catalog());
+    galois::core::GaloisExecutor galois(&model, &workload->catalog());
+    for (int id : query_ids) {
+      auto spec = workload->GetQuery(id);
+      auto rm = galois.ExecuteSql(spec.value()->sql);
+      if (!rm.ok()) {
+        std::fprintf(stderr, "%s q%d: %s\n", models[m].name.c_str(), id,
+                     rm.status().ToString().c_str());
+        return 1;
+      }
+      results[m].push_back(std::move(rm).value());
+    }
+  }
+
+  std::printf(
+      "Cross-model agreement: average cell match of row model vs column "
+      "model\n(100%% would mean SQL portability carried over to LLMs)\n\n");
+  std::printf("  %-20s", "");
+  for (const auto& m : models) std::printf("%12.10s", m.name.c_str());
+  std::printf("\n");
+  for (size_t a = 0; a < models.size(); ++a) {
+    std::printf("  %-20s", models[a].name.c_str());
+    for (size_t b = 0; b < models.size(); ++b) {
+      double total = 0.0;
+      for (size_t q = 0; q < std::size(query_ids); ++q) {
+        total +=
+            galois::eval::MatchCells(results[a][q], results[b][q])
+                .Percent();
+      }
+      std::printf("%11.0f%%", total / std::size(query_ids));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nDiagonal = 100 (self agreement). Off-diagonal values well below "
+      "100 show the\npaper's portability gap across models.\n");
+  return 0;
+}

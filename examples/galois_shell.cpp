@@ -1,0 +1,190 @@
+// Interactive Galois shell: type SQL, get relations materialised from the
+// language model. Dot-commands switch models and toggle executor options.
+//
+//   $ build/examples/galois_shell
+//   galois> SELECT name FROM country WHERE continent = 'Oceania';
+//   galois> .model gpt-3
+//   galois> .explain on
+//   galois> .tables
+//   galois> .quit
+//
+// Also works non-interactively: echo "SELECT ..." | galois_shell
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "core/galois_executor.h"
+#include "engine/executor.h"
+#include "knowledge/workload.h"
+#include "llm/model_profile.h"
+#include "llm/simulated_llm.h"
+#include "planner/planner.h"
+#include "sql/parser.h"
+
+namespace {
+
+struct ShellState {
+  const galois::knowledge::SpiderLikeWorkload* workload = nullptr;
+  std::unique_ptr<galois::llm::SimulatedLlm> model;
+  galois::core::ExecutionOptions options;
+  bool explain = false;
+  bool ground_truth = false;  // run on the DB instead of the LLM
+
+  void LoadModel(const galois::llm::ModelProfile& profile) {
+    model = std::make_unique<galois::llm::SimulatedLlm>(
+        &workload->kb(), profile, &workload->catalog());
+  }
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  <SQL statement>;         execute on the current model\n"
+      "  .model <flan|tk|gpt-3|chatgpt>   switch model profile\n"
+      "  .explain <on|off>        print the logical plan before running\n"
+      "  .truth <on|off>          run on the ground-truth DB instead\n"
+      "  .pushdown <never|always|auto>    selection pushdown policy\n"
+      "  .verify <on|off>         critic verification of every cell\n"
+      "  .batch <on|off>          batched prompt round trips\n"
+      "  .tables                  list catalog tables\n"
+      "  .options                 show executor options\n"
+      "  .help | .quit\n");
+}
+
+bool HandleCommand(ShellState* state, const std::string& line) {
+  std::vector<std::string> words =
+      galois::Split(line, ' ', /*trim=*/true, /*skip_empty=*/true);
+  const std::string& cmd = words[0];
+  auto arg = [&words]() -> std::string {
+    return words.size() > 1 ? galois::ToLower(words[1]) : "";
+  };
+  if (cmd == ".quit" || cmd == ".exit") return false;
+  if (cmd == ".help") {
+    PrintHelp();
+  } else if (cmd == ".model") {
+    auto profile = galois::llm::ModelProfile::ByName(arg());
+    if (!profile.ok()) {
+      std::printf("unknown model '%s' (try flan, tk, gpt-3, chatgpt)\n",
+                  arg().c_str());
+    } else {
+      state->LoadModel(profile.value());
+      std::printf("model: %s\n", state->model->name().c_str());
+    }
+  } else if (cmd == ".explain") {
+    state->explain = arg() != "off";
+  } else if (cmd == ".truth") {
+    state->ground_truth = arg() != "off";
+  } else if (cmd == ".verify") {
+    state->options.verify_cells = arg() != "off";
+  } else if (cmd == ".batch") {
+    state->options.batch_prompts = arg() != "off";
+  } else if (cmd == ".pushdown") {
+    if (arg() == "always") {
+      state->options.pushdown_policy =
+          galois::core::PushdownPolicy::kAlways;
+    } else if (arg() == "auto") {
+      state->options.pushdown_policy = galois::core::PushdownPolicy::kAuto;
+    } else {
+      state->options.pushdown_policy =
+          galois::core::PushdownPolicy::kNever;
+    }
+  } else if (cmd == ".tables") {
+    for (const std::string& name :
+         state->workload->catalog().TableNames()) {
+      auto def = state->workload->catalog().GetTable(name);
+      std::printf("  %-12s [%s] key=%s, %zu columns\n", name.c_str(),
+                  galois::catalog::SourceKindName(
+                      def.value()->default_source),
+                  def.value()->key_column.c_str(),
+                  def.value()->columns.size());
+    }
+  } else if (cmd == ".options") {
+    std::printf("%s\n", state->options.ToString().c_str());
+  } else {
+    std::printf("unknown command %s (try .help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+void RunSql(ShellState* state, const std::string& sql) {
+  auto stmt = galois::sql::ParseSelect(sql);
+  if (!stmt.ok()) {
+    std::printf("%s\n", stmt.status().ToString().c_str());
+    return;
+  }
+  if (state->explain) {
+    auto plan = galois::planner::BuildLogicalPlan(
+        stmt.value(), state->workload->catalog());
+    if (plan.ok()) {
+      galois::planner::OptimizeLlmFilters(
+          plan.value().get(),
+          state->options.EffectivePushdown() !=
+              galois::core::PushdownPolicy::kNever);
+      std::printf("%s", galois::planner::Explain(*plan.value()).c_str());
+    }
+  }
+  if (state->ground_truth) {
+    auto rd = galois::engine::ExecuteSelect(stmt.value(),
+                                            state->workload->catalog());
+    if (!rd.ok()) {
+      std::printf("%s\n", rd.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", rd->ToPrettyString(30).c_str());
+    return;
+  }
+  galois::core::GaloisExecutor galois(state->model.get(),
+                                      &state->workload->catalog(),
+                                      state->options);
+  auto rm = galois.Execute(stmt.value());
+  if (!rm.ok()) {
+    std::printf("%s\n", rm.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", rm->ToPrettyString(30).c_str());
+  std::printf("(%lld prompts, %.1f s simulated)\n",
+              static_cast<long long>(galois.last_cost().num_prompts),
+              galois.last_cost().simulated_latency_ms / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  ShellState state;
+  state.workload = &workload.value();
+  state.LoadModel(galois::llm::ModelProfile::ChatGpt());
+
+  bool tty = isatty(0);
+  if (tty) {
+    std::printf("Galois shell — SQL over a (simulated) LLM. .help for "
+                "commands.\nmodel: %s\n",
+                state.model->name().c_str());
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (tty) std::printf(buffer.empty() ? "galois> " : "   ...> ");
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed = galois::Trim(line);
+    if (trimmed.empty()) continue;
+    if (buffer.empty() && trimmed[0] == '.') {
+      if (!HandleCommand(&state, trimmed)) break;
+      continue;
+    }
+    buffer += (buffer.empty() ? "" : " ") + trimmed;
+    if (buffer.back() != ';') continue;  // statements end with ';'
+    std::string sql = buffer.substr(0, buffer.size() - 1);
+    buffer.clear();
+    RunSql(&state, sql);
+  }
+  return 0;
+}

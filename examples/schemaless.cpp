@@ -1,0 +1,112 @@
+// Schema-less querying (Section 6): two different-but-equivalent SQL
+// formulations of the same information need should return the same answer
+// when executed over an LLM, because the model itself has no schema.
+//
+//   Q1: SELECT c.name, cm.birthDate FROM city c, cityMayor cm
+//       WHERE c.mayor = cm.name
+//   Q2: SELECT name, mayorBirthDate FROM cityWithMayor
+//
+// We register a denormalised virtual table (cityWithMayor) whose
+// attributes map onto the same KB facts, run both queries, and measure how
+// far the outputs diverge — quantifying the paper's open challenge.
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "core/galois_executor.h"
+#include "eval/metrics.h"
+#include "knowledge/workload.h"
+#include "llm/simulated_llm.h"
+
+namespace {
+
+/// A denormalised city+mayor view over the same world: `mayorBirthDate` is
+/// served by the KB's mayor concept through the city's mayor, which we
+/// expose here as a first-class concept attribute for the demo.
+galois::catalog::TableDef CityWithMayorTable() {
+  galois::catalog::TableDef t;
+  t.name = "cityWithMayor";
+  t.entity_type = "city";
+  t.key_column = "name";
+  t.columns = {
+      galois::catalog::ColumnDef("name", galois::DataType::kString, true,
+                                 "city name"),
+      galois::catalog::ColumnDef("mayor", galois::DataType::kString,
+                                 false, "current mayor"),
+      galois::catalog::ColumnDef("mayorBirthDate",
+                                 galois::DataType::kDate, false,
+                                 "birth date of the current mayor"),
+  };
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  // The KB does not have a "mayorbirthdate" attribute on cities, so this
+  // demo focuses on the *shared* attributes: both queries project the city
+  // name and the mayor, which Q1 reaches via a join and Q2 directly.
+  const char* q1 =
+      "SELECT c.name, c.mayor FROM city c, cityMayor cm "
+      "WHERE c.mayor = cm.name";
+  const char* q2 = "SELECT name, mayor FROM cityWithMayor";
+
+  galois::catalog::Catalog catalog;  // local copy plus the virtual table
+  for (const std::string& name : workload->catalog().TableNames()) {
+    auto def = workload->catalog().GetTable(name);
+    (void)catalog.AddTable(*def.value());
+    auto instance = workload->catalog().GetInstance(name);
+    if (instance.ok()) {
+      (void)catalog.AddInstance(name, *instance.value());
+    }
+  }
+  if (!catalog.AddTable(CityWithMayorTable()).ok()) {
+    std::fprintf(stderr, "failed to register cityWithMayor\n");
+    return 1;
+  }
+
+  galois::llm::SimulatedLlm model(&workload->kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &workload->catalog());
+  galois::core::GaloisExecutor galois(&model, &catalog);
+
+  auto r1 = galois.ExecuteSql(q1);
+  auto r2 = galois.ExecuteSql(q2);
+  if (!r1.ok() || !r2.ok()) {
+    std::fprintf(stderr, "execute failed: %s / %s\n",
+                 r1.status().ToString().c_str(),
+                 r2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Q1 (join formulation):     %zu rows\n", r1->NumRows());
+  std::printf("Q2 (denormalised ");
+  std::printf("formulation): %zu rows\n", r2->NumRows());
+
+  // How equivalent are the two answers? Score each against the other with
+  // the evaluation machinery (the larger one as reference avoids the
+  // degenerate 0-cell case when a join collapses).
+  const galois::Relation& reference =
+      r1->NumRows() >= r2->NumRows() ? *r1 : *r2;
+  const galois::Relation& other =
+      r1->NumRows() >= r2->NumRows() ? *r2 : *r1;
+  galois::eval::CellMatchResult overlap =
+      galois::eval::MatchCells(reference, other);
+  std::printf("Cell overlap between the two answers: %.0f%% (%zu of %zu "
+              "cells)\n\n",
+              overlap.Percent(), overlap.matched_cells,
+              overlap.total_cells);
+  std::printf(
+      "A DBMS would guarantee 100%%: both scripts are correct "
+      "translations of the\nsame question. Over an LLM the answers "
+      "diverge — the Q1 plan issues a join\nwhose surface forms can "
+      "mismatch, and the two plans page through different\nprompt "
+      "sequences. This is the paper's schema-less equivalence "
+      "challenge.\n");
+  return 0;
+}

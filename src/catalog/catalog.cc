@@ -1,0 +1,96 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace galois::catalog {
+
+const char* SourceKindName(SourceKind k) {
+  switch (k) {
+    case SourceKind::kDb:
+      return "DB";
+    case SourceKind::kLlm:
+      return "LLM";
+  }
+  return "?";
+}
+
+Result<size_t> TableDef::KeyIndex() const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, key_column)) return i;
+  }
+  return Status::NotFound("key column '" + key_column +
+                          "' not found in table '" + name + "'");
+}
+
+Result<const ColumnDef*> TableDef::FindColumn(
+    const std::string& col_name) const {
+  for (const ColumnDef& c : columns) {
+    if (EqualsIgnoreCase(c.name, col_name)) return &c;
+  }
+  return Status::NotFound("column '" + col_name + "' not found in table '" +
+                          name + "'");
+}
+
+Schema TableDef::ToSchema(const std::string& alias) const {
+  Schema schema;
+  const std::string& qualifier = alias.empty() ? name : alias;
+  for (const ColumnDef& c : columns) {
+    schema.AddColumn(Column(c.name, c.type, qualifier));
+  }
+  return schema;
+}
+
+Status Catalog::AddTable(TableDef def) {
+  std::string key = ToLower(def.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + def.name +
+                                 "' already registered");
+  }
+  if (!def.key_column.empty()) {
+    GALOIS_RETURN_IF_ERROR(def.KeyIndex().status());
+  }
+  tables_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, def] : tables_) names.push_back(def.name);
+  return names;
+}
+
+Status Catalog::AddInstance(const std::string& table_name,
+                            Relation relation) {
+  std::string key = ToLower(table_name);
+  if (tables_.count(key) == 0) {
+    return Status::NotFound("cannot add instance for unknown table '" +
+                            table_name + "'");
+  }
+  instances_[key] = std::move(relation);
+  return Status::OK();
+}
+
+Result<const Relation*> Catalog::GetInstance(
+    const std::string& table_name) const {
+  auto it = instances_.find(ToLower(table_name));
+  if (it == instances_.end()) {
+    return Status::NotFound("no instance registered for table '" +
+                            table_name + "'");
+  }
+  return &it->second;
+}
+
+}  // namespace galois::catalog

@@ -1,0 +1,46 @@
+#ifndef GALOIS_COMMON_LOGGING_H_
+#define GALOIS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace galois {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity that is actually emitted (default: Warning,
+/// so library internals stay quiet in tests and benches).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line to stderr if `level` >= the configured level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log sink; flushes on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GALOIS_LOG(level) \
+  ::galois::internal::LogStream(::galois::LogLevel::k##level)
+
+}  // namespace galois
+
+#endif  // GALOIS_COMMON_LOGGING_H_

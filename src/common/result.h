@@ -1,0 +1,82 @@
+#ifndef GALOIS_COMMON_RESULT_H_
+#define GALOIS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace galois {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+///
+/// This is the value-returning counterpart of Status (the Arrow
+/// `arrow::Result` / abseil `StatusOr` idiom). Accessing the value of an
+/// errored Result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns OK if this holds a value, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+///   GALOIS_ASSIGN_OR_RETURN(auto plan, BuildPlan(q));
+#define GALOIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define GALOIS_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define GALOIS_ASSIGN_OR_RETURN_CONCAT(a, b) \
+  GALOIS_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define GALOIS_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  GALOIS_ASSIGN_OR_RETURN_IMPL(                                             \
+      GALOIS_ASSIGN_OR_RETURN_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace galois
+
+#endif  // GALOIS_COMMON_RESULT_H_

@@ -1,0 +1,110 @@
+#ifndef GALOIS_COMMON_STATUS_H_
+#define GALOIS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace galois {
+
+/// Error category for a failed operation. Mirrors the Arrow/RocksDB idiom of
+/// returning rich status objects instead of throwing exceptions across
+/// library boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kBindError,
+  kTypeError,
+  kExecutionError,
+  kLlmError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status carries either success ("OK") or an error code plus message.
+///
+/// All fallible public APIs in this project return `Status` or
+/// `Result<T>` (see result.h). Statuses are cheap to copy in the OK case
+/// (no allocation) and must be checked by the caller.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status LlmError(std::string msg) {
+    return Status(StatusCode::kLlmError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usage:
+///   GALOIS_RETURN_IF_ERROR(DoThing());
+#define GALOIS_RETURN_IF_ERROR(expr)        \
+  do {                                      \
+    ::galois::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace galois
+
+#endif  // GALOIS_COMMON_STATUS_H_

@@ -1,0 +1,526 @@
+#include "core/galois_executor.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/llm_operators.h"
+#include "sql/parser.h"
+
+namespace galois::core {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStatement;
+
+/// Flattens an AND tree into conjuncts.
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    FlattenConjuncts(e->children[0].get(), out);
+    FlattenConjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// SQL symbol for a comparison operator usable in prompt filters; empty
+/// when the operator is not a simple comparison.
+std::string ComparisonSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLtEq:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGtEq:
+      return ">=";
+    case BinaryOp::kLike:
+      return "LIKE";
+    default:
+      return "";
+  }
+}
+
+/// Mirror of a comparison when operands are swapped (lit op col ->
+/// col op' lit).
+std::string MirrorSymbol(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  if (op == "=" || op == "!=") return op;
+  return "";  // LIKE cannot be mirrored
+}
+
+/// Deep-copies a statement, replacing WHERE with `new_where` (may be
+/// null).
+SelectStatement CloneWithWhere(const SelectStatement& stmt,
+                               sql::ExprPtr new_where) {
+  SelectStatement out;
+  out.distinct = stmt.distinct;
+  for (const auto& item : stmt.select_list) {
+    sql::SelectItem copy;
+    copy.expr = item.expr->Clone();
+    copy.alias = item.alias;
+    out.select_list.push_back(std::move(copy));
+  }
+  out.from = stmt.from;
+  for (const auto& j : stmt.joins) {
+    sql::JoinClause copy;
+    copy.type = j.type;
+    copy.table = j.table;
+    copy.condition = j.condition ? j.condition->Clone() : nullptr;
+    out.joins.push_back(std::move(copy));
+  }
+  out.where = std::move(new_where);
+  for (const auto& g : stmt.group_by) out.group_by.push_back(g->Clone());
+  out.having = stmt.having ? stmt.having->Clone() : nullptr;
+  for (const auto& o : stmt.order_by) {
+    sql::OrderItem copy;
+    copy.expr = o.expr->Clone();
+    copy.descending = o.descending;
+    out.order_by.push_back(std::move(copy));
+  }
+  out.limit = stmt.limit;
+  return out;
+}
+
+}  // namespace
+
+GaloisExecutor::GaloisExecutor(llm::LanguageModel* model,
+                               const catalog::Catalog* catalog,
+                               ExecutionOptions options)
+    : model_(model), catalog_(catalog), options_(options) {}
+
+Result<Relation> GaloisExecutor::ExecuteSql(const std::string& sql) {
+  GALOIS_ASSIGN_OR_RETURN(SelectStatement stmt, sql::ParseSelect(sql));
+  return Execute(stmt);
+}
+
+Result<std::vector<GaloisExecutor::TableContext>>
+GaloisExecutor::PlanTables(const SelectStatement& stmt) const {
+  std::vector<TableContext> ctxs;
+  auto add_ref = [&](const sql::TableRef& ref) -> Status {
+    TableContext ctx;
+    ctx.ref = ref;
+    GALOIS_ASSIGN_OR_RETURN(ctx.def, catalog_->GetTable(ref.table));
+    ctx.alias = ref.EffectiveAlias();
+    if (ref.source == "LLM") {
+      ctx.from_llm = true;
+    } else if (ref.source == "DB") {
+      ctx.from_llm = false;
+    } else if (!ref.source.empty()) {
+      return Status::BindError("unknown source qualifier '" + ref.source +
+                               "' (expected LLM or DB)");
+    } else {
+      ctx.from_llm =
+          ctx.def->default_source == catalog::SourceKind::kLlm;
+    }
+    ctxs.push_back(std::move(ctx));
+    return Status::OK();
+  };
+  for (const sql::TableRef& ref : stmt.from) {
+    GALOIS_RETURN_IF_ERROR(add_ref(ref));
+  }
+  for (const sql::JoinClause& j : stmt.joins) {
+    GALOIS_RETURN_IF_ERROR(add_ref(j.table));
+  }
+
+  // Resolve a column reference to one of the table contexts: by alias when
+  // qualified, otherwise by unique column-name lookup across the defs.
+  auto resolve = [&ctxs](const Expr& ref) -> TableContext* {
+    if (!ref.table.empty()) {
+      for (TableContext& ctx : ctxs) {
+        if (EqualsIgnoreCase(ctx.alias, ref.table)) return &ctx;
+      }
+      return nullptr;
+    }
+    TableContext* found = nullptr;
+    for (TableContext& ctx : ctxs) {
+      if (ctx.def->FindColumn(ref.column).ok()) {
+        if (found != nullptr) return nullptr;  // ambiguous
+        found = &ctx;
+      }
+    }
+    return found;
+  };
+
+  // --- split WHERE into LLM-executed filters and engine-side residue ----
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where) FlattenConjuncts(stmt.where.get(), &conjuncts);
+  std::set<const Expr*> consumed;
+  if (options_.llm_filter_checks) {
+    for (const Expr* c : conjuncts) {
+      if (c->kind != ExprKind::kBinary) continue;
+      std::string op = ComparisonSymbol(c->binary_op);
+      if (op.empty()) continue;
+      const Expr* lhs = c->children[0].get();
+      const Expr* rhs = c->children[1].get();
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      if (lhs->kind == ExprKind::kColumnRef &&
+          rhs->kind == ExprKind::kLiteral) {
+        col = lhs;
+        lit = rhs;
+      } else if (rhs->kind == ExprKind::kColumnRef &&
+                 lhs->kind == ExprKind::kLiteral) {
+        col = rhs;
+        lit = lhs;
+        op = MirrorSymbol(op);
+        if (op.empty()) continue;
+      } else {
+        continue;
+      }
+      TableContext* ctx = resolve(*col);
+      if (ctx == nullptr || !ctx->from_llm) continue;
+      auto coldef = ctx->def->FindColumn(col->column);
+      if (!coldef.ok()) continue;
+      llm::PromptFilter filter;
+      filter.attribute = coldef.value()->name;
+      filter.attribute_description = coldef.value()->description;
+      filter.op = op;
+      filter.value = lit->literal;
+      ctx->llm_filters.push_back(std::move(filter));
+      consumed.insert(c);
+    }
+  }
+
+  // --- collect the columns each table must materialise ------------------
+  auto mark_needed = [&](const Expr& e) {
+    sql::VisitExpr(e, [&](const Expr& node) {
+      if (node.kind == ExprKind::kStar) {
+        for (TableContext& ctx : ctxs) {
+          if (node.table.empty() ||
+              EqualsIgnoreCase(ctx.alias, node.table)) {
+            ctx.needs_all_columns = true;
+          }
+        }
+        return;
+      }
+      if (node.kind != ExprKind::kColumnRef) return;
+      TableContext* ctx = resolve(node);
+      if (ctx == nullptr) return;  // select-alias refs etc.; engine binds
+      auto coldef = ctx->def->FindColumn(node.column);
+      if (!coldef.ok()) return;
+      if (EqualsIgnoreCase(coldef.value()->name, ctx->def->key_column)) {
+        return;  // the key is always retrieved
+      }
+      for (const catalog::ColumnDef* existing : ctx->needed_columns) {
+        if (existing == coldef.value()) return;
+      }
+      ctx->needed_columns.push_back(coldef.value());
+    });
+  };
+  for (const auto& item : stmt.select_list) mark_needed(*item.expr);
+  for (const auto& j : stmt.joins) {
+    if (j.condition) mark_needed(*j.condition);
+  }
+  for (const Expr* c : conjuncts) {
+    if (consumed.count(c) == 0) mark_needed(*c);
+  }
+  for (const auto& g : stmt.group_by) mark_needed(*g);
+  if (stmt.having) mark_needed(*stmt.having);
+  for (const auto& o : stmt.order_by) mark_needed(*o.expr);
+
+  // Keep needed_columns in definition order for stable schemas.
+  for (TableContext& ctx : ctxs) {
+    if (ctx.needs_all_columns) {
+      ctx.needed_columns.clear();
+      GALOIS_ASSIGN_OR_RETURN(size_t key_idx, ctx.def->KeyIndex());
+      for (size_t i = 0; i < ctx.def->columns.size(); ++i) {
+        if (i == key_idx) continue;
+        ctx.needed_columns.push_back(&ctx.def->columns[i]);
+      }
+      continue;
+    }
+    std::vector<const catalog::ColumnDef*> ordered;
+    for (const catalog::ColumnDef& col : ctx.def->columns) {
+      for (const catalog::ColumnDef* needed : ctx.needed_columns) {
+        if (needed == &col) {
+          ordered.push_back(needed);
+          break;
+        }
+      }
+    }
+    ctx.needed_columns = std::move(ordered);
+  }
+  return ctxs;
+}
+
+Result<Relation> GaloisExecutor::MaterialiseLlmTable(
+    const TableContext& ctx) {
+  const catalog::TableDef& def = *ctx.def;
+  GALOIS_ASSIGN_OR_RETURN(size_t key_idx, def.KeyIndex());
+  const catalog::ColumnDef& key_col = def.columns[key_idx];
+
+  // 1. Leaf access: key scan, optionally with one pushed-down filter.
+  // The pushdown decision follows the configured policy; kAuto merges
+  // only when the scan is expected to be large enough that the saved
+  // per-key prompts outweigh the merged prompt's accuracy penalty.
+  std::optional<llm::PromptFilter> scan_filter;
+  size_t first_check = 0;
+  PushdownPolicy policy = options_.EffectivePushdown();
+  bool push = policy == PushdownPolicy::kAlways ||
+              (policy == PushdownPolicy::kAuto &&
+               def.expected_rows >= options_.auto_pushdown_min_rows);
+  if (push && !ctx.llm_filters.empty()) {
+    scan_filter = ctx.llm_filters[0];
+    first_check = 1;
+  }
+  int scan_pages = 0;
+  GALOIS_ASSIGN_OR_RETURN(
+      std::vector<std::string> keys,
+      LlmKeyScan(model_, def, options_, scan_filter, &scan_pages));
+
+  // 2a. Optional critic pass over the scanned keys: "Is it true that the
+  // name of the country New Italy is New Italy?" rejects hallucinated
+  // entities before any further prompt is spent on them.
+  if (options_.verify_cells) {
+    std::vector<std::string> confirmed;
+    confirmed.reserve(keys.size());
+    for (const std::string& key : keys) {
+      GALOIS_ASSIGN_OR_RETURN(
+          int verdict,
+          LlmVerifyCell(model_, def, key, key_col, Value::String(key)));
+      if (verdict != 0) confirmed.push_back(key);
+    }
+    keys = std::move(confirmed);
+  }
+
+  // 2b. Selection: filter-check prompts for remaining predicates, either
+  // one round trip per key (paper behaviour) or batched per predicate.
+  // The two paths return identical keys: the model's verdicts are stable
+  // per (key, filter).
+  std::vector<std::string> surviving;
+  if (options_.batch_prompts) {
+    surviving = keys;
+    for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
+      if (surviving.empty()) break;
+      GALOIS_ASSIGN_OR_RETURN(
+          std::vector<int> verdicts,
+          LlmFilterCheckBatch(model_, def, surviving,
+                              ctx.llm_filters[f]));
+      std::vector<std::string> kept;
+      kept.reserve(surviving.size());
+      for (size_t i = 0; i < surviving.size(); ++i) {
+        if (verdicts[i] == 1) kept.push_back(std::move(surviving[i]));
+      }
+      surviving = std::move(kept);
+    }
+  } else {
+    surviving.reserve(keys.size());
+    for (const std::string& key : keys) {
+      bool keep = true;
+      for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
+        GALOIS_ASSIGN_OR_RETURN(
+            int holds,
+            LlmFilterCheck(model_, def, key, ctx.llm_filters[f]));
+        if (holds != 1) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) surviving.push_back(key);
+    }
+  }
+  if (options_.record_provenance) {
+    ScanProvenance scan;
+    scan.table_alias = ctx.alias;
+    scan.pages = scan_pages;
+    scan.keys = keys.size();
+    scan.filtered = keys.size() - surviving.size();
+    last_trace_.scans.push_back(std::move(scan));
+  }
+
+  // 3. Attribute completion for every needed column, optionally followed
+  // by a critic verification prompt per cell (Section 6 extensions).
+  Schema schema;
+  schema.AddColumn(Column(key_col.name, key_col.type, ctx.alias));
+  for (const catalog::ColumnDef* col : ctx.needed_columns) {
+    schema.AddColumn(Column(col->name, col->type, ctx.alias));
+  }
+  Relation rel(schema);
+  if (options_.batch_prompts) {
+    // Column-wise batches: one round trip retrieves a whole column.
+    std::vector<std::vector<Value>> columns;
+    columns.reserve(ctx.needed_columns.size());
+    for (const catalog::ColumnDef* col : ctx.needed_columns) {
+      std::vector<CellProvenance> provenances;
+      std::vector<CellProvenance>* prov_ptr =
+          options_.record_provenance ? &provenances : nullptr;
+      GALOIS_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          LlmGetAttributeBatch(model_, def, surviving, *col, options_,
+                               prov_ptr));
+      if (options_.verify_cells) {
+        for (size_t i = 0; i < values.size(); ++i) {
+          if (values[i].is_null()) continue;
+          GALOIS_ASSIGN_OR_RETURN(
+              int verdict, LlmVerifyCell(model_, def, surviving[i], *col,
+                                         values[i]));
+          if (prov_ptr != nullptr) provenances[i].verified = true;
+          if (verdict == 0) {
+            values[i] = Value::Null();
+            if (prov_ptr != nullptr) {
+              provenances[i].rejected = true;
+              provenances[i].value = Value::Null();
+            }
+          }
+        }
+      }
+      if (prov_ptr != nullptr) {
+        for (CellProvenance& p : provenances) {
+          p.table_alias = ctx.alias;
+          last_trace_.cells.push_back(std::move(p));
+        }
+      }
+      columns.push_back(std::move(values));
+    }
+    for (size_t r = 0; r < surviving.size(); ++r) {
+      Tuple row;
+      row.reserve(1 + columns.size());
+      row.push_back(Value::String(surviving[r]));
+      for (auto& column : columns) row.push_back(column[r]);
+      rel.AddRowUnchecked(std::move(row));
+    }
+    return rel;
+  }
+  for (const std::string& key : surviving) {
+    Tuple row;
+    row.reserve(1 + ctx.needed_columns.size());
+    row.push_back(Value::String(key));
+    for (const catalog::ColumnDef* col : ctx.needed_columns) {
+      CellProvenance provenance;
+      CellProvenance* prov_ptr =
+          options_.record_provenance ? &provenance : nullptr;
+      GALOIS_ASSIGN_OR_RETURN(
+          Value v,
+          LlmGetAttribute(model_, def, key, *col, options_, prov_ptr));
+      if (options_.verify_cells && !v.is_null()) {
+        GALOIS_ASSIGN_OR_RETURN(int verdict,
+                                LlmVerifyCell(model_, def, key, *col, v));
+        if (prov_ptr != nullptr) prov_ptr->verified = true;
+        if (verdict == 0) {
+          // The critic rejected the value: treat it as a hallucination.
+          v = Value::Null();
+          if (prov_ptr != nullptr) {
+            prov_ptr->rejected = true;
+            prov_ptr->value = v;
+          }
+        }
+      }
+      if (prov_ptr != nullptr) {
+        prov_ptr->table_alias = ctx.alias;
+        last_trace_.cells.push_back(std::move(provenance));
+      }
+      row.push_back(std::move(v));
+    }
+    rel.AddRowUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+Result<Relation> GaloisExecutor::MaterialiseDbTable(
+    const TableContext& ctx) const {
+  GALOIS_ASSIGN_OR_RETURN(const Relation* instance,
+                          catalog_->GetInstance(ctx.def->name));
+  return Relation(ctx.def->ToSchema(ctx.alias), instance->rows());
+}
+
+Result<Relation> GaloisExecutor::Execute(const SelectStatement& stmt) {
+  llm::CostMeter before = model_->cost();
+  last_trace_.Clear();
+  GALOIS_ASSIGN_OR_RETURN(std::vector<TableContext> ctxs,
+                          PlanTables(stmt));
+
+  std::vector<engine::BoundRelation> bases;
+  bases.reserve(ctxs.size());
+  for (TableContext& ctx : ctxs) {
+    if (ctx.from_llm) {
+      GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseLlmTable(ctx));
+      bases.emplace_back(ctx.alias, std::move(rel));
+    } else {
+      GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseDbTable(ctx));
+      bases.emplace_back(ctx.alias, std::move(rel));
+    }
+  }
+
+  // Rebuild WHERE from the conjuncts that were not executed via the LLM.
+  sql::ExprPtr residual;
+  if (stmt.where) {
+    std::vector<const Expr*> conjuncts;
+    FlattenConjuncts(stmt.where.get(), &conjuncts);
+    // Recompute which conjuncts were consumed: a conjunct is consumed iff
+    // it matches one of the planned llm_filters (same rendering).
+    std::set<std::string> llm_filter_keys;
+    for (const TableContext& ctx : ctxs) {
+      for (const llm::PromptFilter& f : ctx.llm_filters) {
+        llm_filter_keys.insert(ctx.alias + "|" + f.attribute + f.op +
+                               f.value.ToString());
+      }
+    }
+    for (const Expr* c : conjuncts) {
+      bool is_consumed = false;
+      if (c->kind == ExprKind::kBinary) {
+        std::string op = ComparisonSymbol(c->binary_op);
+        const Expr* col = nullptr;
+        const Expr* lit = nullptr;
+        if (!op.empty()) {
+          const Expr* lhs = c->children[0].get();
+          const Expr* rhs = c->children[1].get();
+          if (lhs->kind == ExprKind::kColumnRef &&
+              rhs->kind == ExprKind::kLiteral) {
+            col = lhs;
+            lit = rhs;
+          } else if (rhs->kind == ExprKind::kColumnRef &&
+                     lhs->kind == ExprKind::kLiteral) {
+            col = rhs;
+            lit = lhs;
+            op = MirrorSymbol(op);
+          }
+        }
+        if (col != nullptr && lit != nullptr && !op.empty()) {
+          for (const TableContext& ctx : ctxs) {
+            // Match alias (or unqualified ref against a unique table).
+            bool alias_match =
+                col->table.empty()
+                    ? ctx.def->FindColumn(col->column).ok()
+                    : EqualsIgnoreCase(ctx.alias, col->table);
+            if (!alias_match) continue;
+            auto coldef = ctx.def->FindColumn(col->column);
+            if (!coldef.ok()) continue;
+            std::string key = ctx.alias + "|" + coldef.value()->name + op +
+                              lit->literal.ToString();
+            if (llm_filter_keys.count(key) > 0) {
+              is_consumed = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!is_consumed) {
+        sql::ExprPtr clone = c->Clone();
+        residual = residual
+                       ? Expr::MakeBinary(BinaryOp::kAnd,
+                                          std::move(residual),
+                                          std::move(clone))
+                       : std::move(clone);
+      }
+    }
+  }
+  SelectStatement residual_stmt = CloneWithWhere(stmt, std::move(residual));
+  Result<Relation> result =
+      engine::ExecuteOnRelations(residual_stmt, bases);
+  last_cost_ = model_->cost() - before;
+  return result;
+}
+
+}  // namespace galois::core

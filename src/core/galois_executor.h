@@ -1,0 +1,95 @@
+#ifndef GALOIS_CORE_GALOIS_EXECUTOR_H_
+#define GALOIS_CORE_GALOIS_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/options.h"
+#include "core/provenance.h"
+#include "engine/executor.h"
+#include "llm/language_model.h"
+#include "sql/ast.h"
+#include "types/relation.h"
+
+namespace galois::core {
+
+/// The Galois executor (the paper's primary contribution, Section 4).
+///
+/// Executes SPJA SQL where some or all base relations live in a language
+/// model. The query plan decomposes the task chain-of-thought style:
+///
+///   1. leaf access — retrieve the key-attribute values of each LLM table
+///      with iterative key-scan prompts;
+///   2. selection — simple predicates on LLM tables become per-key
+///      filter-check prompts (or are pushed into the scan prompt when the
+///      pushdown optimisation is on);
+///   3. attribute completion — every non-key attribute the rest of the
+///      plan needs is retrieved with one prompt per (key, attribute) and
+///      cleaned into a typed cell;
+///   4. relational tail — joins, aggregates, ORDER BY etc. run on the
+///      classic engine over the materialised tuples ("traditional
+///      algorithms for any operator involving attributes that have already
+///      been retrieved").
+///
+/// Hybrid queries mix `LLM.` and `DB.` tables: DB tables are read from the
+/// catalog instances, exactly like the intro's
+/// `SELECT c.GDP, AVG(e.salary) FROM LLM.country c, DB.Employees e ...`.
+class GaloisExecutor {
+ public:
+  /// `model` and `catalog` must outlive the executor.
+  GaloisExecutor(llm::LanguageModel* model,
+                 const catalog::Catalog* catalog,
+                 ExecutionOptions options = ExecutionOptions());
+
+  /// Parses and executes `sql`.
+  Result<Relation> ExecuteSql(const std::string& sql);
+
+  /// Executes a parsed statement.
+  Result<Relation> Execute(const sql::SelectStatement& stmt);
+
+  /// Cost incurred by the most recent Execute call.
+  const llm::CostMeter& last_cost() const { return last_cost_; }
+
+  /// Provenance of the most recent Execute call; populated only when
+  /// options().record_provenance is set (Section 6, "Provenance").
+  const ExecutionTrace& last_trace() const { return last_trace_; }
+
+  const ExecutionOptions& options() const { return options_; }
+  void set_options(ExecutionOptions options) { options_ = options; }
+
+ private:
+  /// Per-table execution context assembled during planning.
+  struct TableContext {
+    sql::TableRef ref;
+    const catalog::TableDef* def = nullptr;
+    std::string alias;
+    bool from_llm = true;
+    /// Non-key columns the rest of the plan needs, in def order.
+    std::vector<const catalog::ColumnDef*> needed_columns;
+    /// Predicates executed through the LLM (not by the engine).
+    std::vector<llm::PromptFilter> llm_filters;
+    bool needs_all_columns = false;
+  };
+
+  Result<std::vector<TableContext>> PlanTables(
+      const sql::SelectStatement& stmt) const;
+
+  /// Materialises one LLM-backed base relation (steps 1-3 above).
+  Result<Relation> MaterialiseLlmTable(const TableContext& ctx);
+
+  /// Materialises a DB-backed base relation from the catalog instance.
+  Result<Relation> MaterialiseDbTable(const TableContext& ctx) const;
+
+  llm::LanguageModel* model_;
+  const catalog::Catalog* catalog_;
+  ExecutionOptions options_;
+  llm::CostMeter last_cost_;
+  ExecutionTrace last_trace_;
+};
+
+}  // namespace galois::core
+
+#endif  // GALOIS_CORE_GALOIS_EXECUTOR_H_

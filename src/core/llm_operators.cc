@@ -1,0 +1,207 @@
+#include "core/llm_operators.h"
+
+#include <unordered_set>
+
+#include "clean/normalize.h"
+#include "llm/prompt_templates.h"
+
+namespace galois::core {
+
+Result<std::vector<std::string>> LlmKeyScan(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const ExecutionOptions& options,
+    const std::optional<llm::PromptFilter>& filter, int* pages_issued) {
+  std::vector<std::string> keys;
+  std::unordered_set<std::string> seen;
+  if (pages_issued != nullptr) *pages_issued = 0;
+  for (int page = 0; page < options.max_scan_pages; ++page) {
+    if (pages_issued != nullptr) ++*pages_issued;
+    llm::KeyScanIntent intent;
+    intent.concept_name = table.entity_type;
+    intent.key_attribute = table.key_column;
+    intent.page = page;
+    intent.filter = filter;
+    llm::Prompt prompt = llm::BuildKeyScanPrompt(intent);
+    GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
+                            model->Complete(prompt));
+    if (clean::IsNoMoreResults(completion.text)) break;
+    std::vector<std::string> page_keys = clean::SplitList(completion.text);
+    size_t new_keys = 0;
+    for (std::string& k : page_keys) {
+      if (seen.insert(k).second) {
+        keys.push_back(std::move(k));
+        ++new_keys;
+      }
+    }
+    // Termination condition: "we keep asking for more names ... until we
+    // stop getting new results".
+    if (new_keys == 0) break;
+  }
+  return keys;
+}
+
+Result<Value> LlmGetAttribute(llm::LanguageModel* model,
+                              const catalog::TableDef& table,
+                              const std::string& key,
+                              const catalog::ColumnDef& column,
+                              const ExecutionOptions& options,
+                              CellProvenance* provenance) {
+  llm::AttributeGetIntent intent;
+  intent.concept_name = table.entity_type;
+  intent.key = key;
+  intent.attribute = column.name;
+  intent.attribute_description = column.description;
+  intent.expected_type = column.type;
+  llm::Prompt prompt = llm::BuildAttributePrompt(intent);
+  GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
+                          model->Complete(prompt));
+  if (provenance != nullptr) {
+    provenance->table_alias = table.name;
+    provenance->key = key;
+    provenance->column = column.name;
+    provenance->prompt = prompt.text;
+    provenance->completion = completion.text;
+  }
+  Value value;
+  if (!options.enable_cleaning) {
+    // Ablation: store the raw completion (still mapping "Unknown" to NULL
+    // so the relation stays well-formed).
+    value = clean::IsUnknown(completion.text)
+                ? Value::Null()
+                : Value::String(completion.text);
+  } else {
+    clean::DomainConstraint domain =
+        clean::DefaultDomainForColumn(column.name);
+    GALOIS_ASSIGN_OR_RETURN(
+        value, clean::NormalizeCell(completion.text, column.type,
+                                    options.enforce_domains ? &domain
+                                                            : nullptr));
+  }
+  if (provenance != nullptr) provenance->value = value;
+  return value;
+}
+
+namespace {
+
+/// Converts one completion into a typed cell (shared by the scalar and
+/// batched attribute paths).
+Result<Value> CleanAttributeCompletion(const std::string& completion,
+                                       const catalog::ColumnDef& column,
+                                       const ExecutionOptions& options) {
+  if (!options.enable_cleaning) {
+    if (clean::IsUnknown(completion)) return Value::Null();
+    return Value::String(completion);
+  }
+  clean::DomainConstraint domain =
+      clean::DefaultDomainForColumn(column.name);
+  return clean::NormalizeCell(completion, column.type,
+                              options.enforce_domains ? &domain : nullptr);
+}
+
+}  // namespace
+
+Result<std::vector<Value>> LlmGetAttributeBatch(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const ExecutionOptions& options,
+    std::vector<CellProvenance>* provenances) {
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(keys.size());
+  for (const std::string& key : keys) {
+    llm::AttributeGetIntent intent;
+    intent.concept_name = table.entity_type;
+    intent.key = key;
+    intent.attribute = column.name;
+    intent.attribute_description = column.description;
+    intent.expected_type = column.type;
+    prompts.push_back(llm::BuildAttributePrompt(intent));
+  }
+  GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
+                          model->CompleteBatch(prompts));
+  std::vector<Value> values;
+  values.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    GALOIS_ASSIGN_OR_RETURN(
+        Value v,
+        CleanAttributeCompletion(completions[i].text, column, options));
+    if (provenances != nullptr) {
+      CellProvenance p;
+      p.table_alias = table.name;
+      p.key = keys[i];
+      p.column = column.name;
+      p.prompt = prompts[i].text;
+      p.completion = completions[i].text;
+      p.value = v;
+      provenances->push_back(std::move(p));
+    }
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+Result<std::vector<int>> LlmFilterCheckBatch(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const llm::PromptFilter& filter) {
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(keys.size());
+  for (const std::string& key : keys) {
+    llm::FilterCheckIntent intent;
+    intent.concept_name = table.entity_type;
+    intent.key = key;
+    intent.filter = filter;
+    prompts.push_back(llm::BuildFilterPrompt(intent));
+  }
+  GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
+                          model->CompleteBatch(prompts));
+  std::vector<int> verdicts;
+  verdicts.reserve(keys.size());
+  for (const llm::Completion& c : completions) {
+    if (clean::IsUnknown(c.text)) {
+      verdicts.push_back(-1);
+      continue;
+    }
+    auto b = clean::ParseBool(c.text);
+    verdicts.push_back(!b.ok() ? -1 : (b.value() ? 1 : 0));
+  }
+  return verdicts;
+}
+
+Result<int> LlmVerifyCell(llm::LanguageModel* model,
+                          const catalog::TableDef& table,
+                          const std::string& key,
+                          const catalog::ColumnDef& column,
+                          const Value& claimed) {
+  llm::VerifyIntent intent;
+  intent.concept_name = table.entity_type;
+  intent.key = key;
+  intent.attribute = column.name;
+  intent.attribute_description = column.description;
+  intent.claimed = claimed;
+  llm::Prompt prompt = llm::BuildVerifyPrompt(intent);
+  GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
+                          model->Complete(prompt));
+  if (clean::IsUnknown(completion.text)) return -1;
+  auto b = clean::ParseBool(completion.text);
+  if (!b.ok()) return -1;
+  return b.value() ? 1 : 0;
+}
+
+Result<int> LlmFilterCheck(llm::LanguageModel* model,
+                           const catalog::TableDef& table,
+                           const std::string& key,
+                           const llm::PromptFilter& filter) {
+  llm::FilterCheckIntent intent;
+  intent.concept_name = table.entity_type;
+  intent.key = key;
+  intent.filter = filter;
+  llm::Prompt prompt = llm::BuildFilterPrompt(intent);
+  GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
+                          model->Complete(prompt));
+  if (clean::IsUnknown(completion.text)) return -1;
+  auto b = clean::ParseBool(completion.text);
+  if (!b.ok()) return -1;
+  return b.value() ? 1 : 0;
+}
+
+}  // namespace galois::core

@@ -1,0 +1,79 @@
+#ifndef GALOIS_CORE_LLM_OPERATORS_H_
+#define GALOIS_CORE_LLM_OPERATORS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/options.h"
+#include "core/provenance.h"
+#include "llm/language_model.h"
+
+namespace galois::core {
+
+/// The physical operators that access the LLM (Section 4, Figure 3).
+/// These functions are the prompt-issuing leaves of the Galois plan; the
+/// relational part of the plan runs on the classic engine.
+
+/// Leaf data access: retrieves the set of key-attribute values of `table`
+/// by iterating "Return more results" prompts until the model stops
+/// producing new keys (workflow: "we iterate with the prompt until we stop
+/// getting new results"). An optional `filter` is pushed into the scan
+/// prompt (Section 6 optimisation). Keys are deduplicated, first-seen
+/// order.
+Result<std::vector<std::string>> LlmKeyScan(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const ExecutionOptions& options,
+    const std::optional<llm::PromptFilter>& filter = std::nullopt,
+    int* pages_issued = nullptr);
+
+/// Attribute retrieval node: fetches `column` of the entity identified by
+/// `key` and converts the completion to a typed cell via the cleaning
+/// layer (or stores the raw string when cleaning is disabled). When
+/// `provenance` is non-null the raw prompt/completion are recorded there.
+Result<Value> LlmGetAttribute(llm::LanguageModel* model,
+                              const catalog::TableDef& table,
+                              const std::string& key,
+                              const catalog::ColumnDef& column,
+                              const ExecutionOptions& options,
+                              CellProvenance* provenance = nullptr);
+
+/// Batched attribute retrieval: one CompleteBatch round trip fetching
+/// `column` for every key in `keys`. Semantically identical to calling
+/// LlmGetAttribute per key; used when ExecutionOptions::batch_prompts is
+/// set. `provenances`, when non-null, receives one record per key.
+Result<std::vector<Value>> LlmGetAttributeBatch(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const ExecutionOptions& options,
+    std::vector<CellProvenance>* provenances = nullptr);
+
+/// Batched filter check over many keys; returns one verdict (1/0/-1) per
+/// key, in order.
+Result<std::vector<int>> LlmFilterCheckBatch(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys, const llm::PromptFilter& filter);
+
+/// Critic verification (Section 6): asks a second prompt whether the
+/// claimed value is true. Returns 1 (confirmed), 0 (rejected) or -1
+/// (critic answered "Unknown" — treated as confirmation by callers, the
+/// critic abstains).
+Result<int> LlmVerifyCell(llm::LanguageModel* model,
+                          const catalog::TableDef& table,
+                          const std::string& key,
+                          const catalog::ColumnDef& column,
+                          const Value& claimed);
+
+/// Selection check: asks whether `filter` holds for `key`. Returns 1/0 for
+/// yes/no and -1 when the model answers "Unknown" (callers drop unknown
+/// keys, matching the closed-world behaviour of a selection).
+Result<int> LlmFilterCheck(llm::LanguageModel* model,
+                           const catalog::TableDef& table,
+                           const std::string& key,
+                           const llm::PromptFilter& filter);
+
+}  // namespace galois::core
+
+#endif  // GALOIS_CORE_LLM_OPERATORS_H_

@@ -1,0 +1,82 @@
+#ifndef GALOIS_CORE_OPTIONS_H_
+#define GALOIS_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace galois::core {
+
+/// When to push a selection into the leaf key-scan prompt instead of
+/// issuing one filter-check prompt per key (Section 6, query
+/// optimization): fewer prompts, but merged prompts answer less
+/// accurately.
+enum class PushdownPolicy {
+  kNever,   // paper default: per-key filter-check prompts
+  kAlways,  // always merge the first selection into the scan prompt
+  kAuto,    // cost-based: merge only for scans expected to be large
+};
+
+const char* PushdownPolicyName(PushdownPolicy p);
+
+/// Execution options of the Galois executor. The defaults reproduce the
+/// paper's prototype; the flags exist for the Section 6 ablations and
+/// extensions.
+struct ExecutionOptions {
+  /// Selection pushdown strategy (see PushdownPolicy).
+  PushdownPolicy pushdown_policy = PushdownPolicy::kNever;
+
+  /// kAuto pushes down only when the table's expected cardinality is at
+  /// least this many rows (each avoided filter prompt is worth more on
+  /// large scans, while the accuracy penalty is per-prompt).
+  size_t auto_pushdown_min_rows = 60;
+
+  /// Back-compat convenience used by older call sites and the ablation
+  /// benches: true behaves like PushdownPolicy::kAlways.
+  bool pushdown_selections = false;
+
+  /// Effective policy combining the enum and the legacy flag.
+  PushdownPolicy EffectivePushdown() const {
+    if (pushdown_selections) return PushdownPolicy::kAlways;
+    return pushdown_policy;
+  }
+
+  /// Verify every retrieved non-NULL cell with a second critic prompt and
+  /// null the cells the critic rejects (Section 6, "Knowledge of the
+  /// Unknown"). Costs one extra prompt per cell.
+  bool verify_cells = false;
+
+  /// Record per-cell provenance (prompt, completion, critic verdict) in
+  /// GaloisExecutor::last_trace() (Section 6, "Provenance").
+  bool record_provenance = false;
+
+  /// Issue per-key prompts (filter checks, attribute retrievals) as
+  /// batches via LanguageModel::CompleteBatch instead of one round trip
+  /// each. Answers are identical; the simulated latency drops because a
+  /// batch pays one shared overhead and overlapped decoding. Off by
+  /// default to mirror the paper prototype's sequential behaviour.
+  bool batch_prompts = false;
+
+  /// Run the cleaning step (Section 4, workflow step 3): normalise numeric
+  /// formats, parse dates, coerce types. When off, raw completion strings
+  /// are stored as-is — the ablation shows how much accuracy this loses.
+  bool enable_cleaning = true;
+
+  /// Enforce per-column domain constraints (years in [1000, 2100], ...),
+  /// rejecting hallucinated out-of-range values as NULL.
+  bool enforce_domains = true;
+
+  /// Upper bound on "Return more results" pages per key scan (the paper's
+  /// user-specified termination threshold alternative).
+  int max_scan_pages = 64;
+
+  /// Execute per-key selection checks with the LLM (the paper's filter
+  /// operator). When false, the attribute is retrieved instead and the
+  /// predicate is evaluated by the engine on the cleaned value.
+  bool llm_filter_checks = true;
+
+  std::string ToString() const;
+};
+
+}  // namespace galois::core
+
+#endif  // GALOIS_CORE_OPTIONS_H_

@@ -1,0 +1,50 @@
+#include "core/provenance.h"
+
+#include <sstream>
+
+namespace galois::core {
+
+std::string CellProvenance::ToString() const {
+  std::ostringstream os;
+  os << table_alias << "[" << key << "]." << column << " = "
+     << value.ToString();
+  if (verified) os << (rejected ? " [REJECTED by critic]" : " [verified]");
+  // The prompt's request line is the last line before the completion.
+  auto pos = prompt.rfind("Q: ");
+  if (pos != std::string::npos) {
+    std::string request = prompt.substr(pos);
+    auto nl = request.find('\n');
+    if (nl != std::string::npos) request = request.substr(0, nl);
+    os << "  <- " << request << " -> \"" << completion << "\"";
+  }
+  return os.str();
+}
+
+size_t ExecutionTrace::NumRejectedCells() const {
+  size_t n = 0;
+  for (const CellProvenance& c : cells) {
+    if (c.rejected) ++n;
+  }
+  return n;
+}
+
+std::string ExecutionTrace::ToString(size_t max_cells) const {
+  std::ostringstream os;
+  for (const ScanProvenance& s : scans) {
+    os << "scan " << s.table_alias << ": " << s.pages << " page prompt(s), "
+       << s.keys << " key(s)";
+    if (s.filtered > 0) os << ", " << s.filtered << " dropped by filters";
+    os << "\n";
+  }
+  size_t shown = 0;
+  for (const CellProvenance& c : cells) {
+    if (shown++ == max_cells) {
+      os << "(" << cells.size() - max_cells << " more cells)\n";
+      break;
+    }
+    os << c.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace galois::core

@@ -1,0 +1,56 @@
+#ifndef GALOIS_CORE_PROVENANCE_H_
+#define GALOIS_CORE_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace galois::core {
+
+/// Provenance of one materialised cell (Section 6, "Provenance": "it is
+/// not possible to judge correctness without the origin of the
+/// information"). Galois can record, for every cell it retrieves from the
+/// model, the exact prompt and completion that produced it, plus the
+/// critic's verdict when verification is enabled.
+struct CellProvenance {
+  std::string table_alias;
+  std::string key;
+  std::string column;
+  std::string prompt;
+  std::string completion;
+  Value value;            // the cleaned cell that entered the relation
+  bool verified = false;  // a critic prompt was issued
+  bool rejected = false;  // the critic rejected the value (cell nulled)
+
+  /// One-line rendering for logs/reports.
+  std::string ToString() const;
+};
+
+/// Provenance of one leaf key scan.
+struct ScanProvenance {
+  std::string table_alias;
+  int pages = 0;       // scan prompts issued (including the terminal one)
+  size_t keys = 0;     // keys retrieved
+  size_t filtered = 0; // keys dropped by LLM filter checks
+};
+
+/// Full trace of one GaloisExecutor::Execute call.
+struct ExecutionTrace {
+  std::vector<ScanProvenance> scans;
+  std::vector<CellProvenance> cells;
+
+  void Clear() {
+    scans.clear();
+    cells.clear();
+  }
+
+  size_t NumRejectedCells() const;
+
+  /// Human-readable report (truncated to `max_cells` cell entries).
+  std::string ToString(size_t max_cells = 20) const;
+};
+
+}  // namespace galois::core
+
+#endif  // GALOIS_CORE_PROVENANCE_H_

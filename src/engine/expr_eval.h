@@ -1,0 +1,40 @@
+#ifndef GALOIS_ENGINE_EXPR_EVAL_H_
+#define GALOIS_ENGINE_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+namespace galois::engine {
+
+/// Values of already-computed aggregate expressions, keyed by the
+/// canonical rendering of the aggregate call (e.g. "AVG(e.salary)").
+/// Used when evaluating SELECT/HAVING expressions over grouped data.
+using AggregateEnv = std::map<std::string, Value>;
+
+/// Evaluates `expr` against one tuple of `schema`. Column references are
+/// resolved by (optionally qualified) name. Aggregate calls are looked up
+/// in `agg_env` if provided, and are an error otherwise.
+///
+/// SQL NULL semantics: any arithmetic/comparison with a NULL operand yields
+/// NULL; AND/OR use null-as-unknown collapsed conservatively (NULL AND x ->
+/// NULL unless x is false; NULL OR x -> NULL unless x is true).
+Result<Value> EvalExpr(const sql::Expr& expr, const Schema& schema,
+                       const Tuple& tuple,
+                       const AggregateEnv* agg_env = nullptr);
+
+/// Evaluates `expr` as a predicate: NULL and non-boolean non-numeric
+/// results count as false; numeric results count as (value != 0).
+Result<bool> EvalPredicate(const sql::Expr& expr, const Schema& schema,
+                           const Tuple& tuple,
+                           const AggregateEnv* agg_env = nullptr);
+
+/// SQL LIKE matching with % (any run) and _ (single char) wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace galois::engine
+
+#endif  // GALOIS_ENGINE_EXPR_EVAL_H_

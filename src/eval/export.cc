@@ -1,0 +1,92 @@
+#include "eval/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace galois::eval {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string OutcomesToCsv(const std::vector<QueryOutcome>& outcomes) {
+  std::ostringstream os;
+  os << "query_id,class,rd_rows,rm_rows,cardinality_diff_pct,"
+        "galois_match_pct,nl_match_pct,cot_match_pct,prompts,"
+        "latency_ms\n";
+  for (const QueryOutcome& o : outcomes) {
+    os << o.query_id << ","
+       << knowledge::QueryClassName(o.query_class) << "," << o.rd_rows
+       << ",";
+    if (o.rm_rows.has_value()) os << *o.rm_rows;
+    os << ",";
+    if (o.cardinality_diff_percent.has_value()) {
+      os << Fmt(*o.cardinality_diff_percent);
+    }
+    os << ",";
+    if (o.galois_match.has_value()) os << Fmt(o.galois_match->Percent());
+    os << ",";
+    if (o.nl_match.has_value()) os << Fmt(o.nl_match->Percent());
+    os << ",";
+    if (o.cot_match.has_value()) os << Fmt(o.cot_match->Percent());
+    os << "," << o.galois_cost.num_prompts << ","
+       << Fmt(o.galois_cost.simulated_latency_ms) << "\n";
+  }
+  return os.str();
+}
+
+std::string Table1Csv(
+    const std::vector<std::pair<std::string, std::vector<QueryOutcome>>>&
+        per_model) {
+  std::ostringstream os;
+  os << "model,cardinality_diff_pct\n";
+  for (const auto& [name, outcomes] : per_model) {
+    os << name << "," << Fmt(AverageCardinalityDiff(outcomes)) << "\n";
+  }
+  return os.str();
+}
+
+std::string Table2Csv(const std::vector<QueryOutcome>& outcomes) {
+  using knowledge::QueryClass;
+  std::ostringstream os;
+  os << "method,all,selections,aggregates,joins_only\n";
+  struct Row {
+    const char* label;
+    Method method;
+  };
+  for (const Row& row : {Row{"galois", Method::kGalois},
+                         Row{"nl_qa", Method::kNlQa},
+                         Row{"cot_qa", Method::kCotQa}}) {
+    os << row.label << ","
+       << Fmt(Table2Average(outcomes, row.method, std::nullopt)) << ","
+       << Fmt(Table2Average(outcomes, row.method, QueryClass::kSelection))
+       << ","
+       << Fmt(Table2Average(outcomes, row.method, QueryClass::kAggregate))
+       << ","
+       << Fmt(Table2Average(outcomes, row.method, QueryClass::kJoin))
+       << "\n";
+  }
+  return os.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace galois::eval

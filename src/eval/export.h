@@ -1,0 +1,30 @@
+#ifndef GALOIS_EVAL_EXPORT_H_
+#define GALOIS_EVAL_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/harness.h"
+
+namespace galois::eval {
+
+/// CSV with one row per query outcome: id, class, |R_D|, |R_M|,
+/// cardinality diff, per-method match percentages, prompt/latency costs.
+/// Empty optionals render as empty fields.
+std::string OutcomesToCsv(const std::vector<QueryOutcome>& outcomes);
+
+/// CSV of Table 1: model, avg cardinality diff.
+std::string Table1Csv(
+    const std::vector<std::pair<std::string, std::vector<QueryOutcome>>>&
+        per_model);
+
+/// CSV of Table 2: method x query-class match matrix for one model run.
+std::string Table2Csv(const std::vector<QueryOutcome>& outcomes);
+
+/// Writes `content` to `path` (error on I/O failure).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace galois::eval
+
+#endif  // GALOIS_EVAL_EXPORT_H_

@@ -1,0 +1,95 @@
+#include "eval/harness.h"
+
+#include "engine/executor.h"
+#include "llm/simulated_llm.h"
+#include "qa/qa_baseline.h"
+#include "sql/parser.h"
+
+namespace galois::eval {
+
+Result<std::vector<QueryOutcome>> RunExperiment(
+    const knowledge::SpiderLikeWorkload& workload,
+    const llm::ModelProfile& profile, const ExperimentConfig& config) {
+  llm::SimulatedLlm model(&workload.kb(), profile, &workload.catalog(),
+                          config.llm_seed);
+  core::GaloisExecutor galois(&model, &workload.catalog(), config.options);
+
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(workload.queries().size());
+  for (const knowledge::QuerySpec& query : workload.queries()) {
+    QueryOutcome outcome;
+    outcome.query_id = query.id;
+    outcome.query_class = query.query_class;
+
+    // Ground truth R_D from the relational engine over the instances.
+    GALOIS_ASSIGN_OR_RETURN(
+        Relation rd, engine::ExecuteSql(query.sql, workload.catalog()));
+    outcome.rd_rows = rd.NumRows();
+
+    if (config.run_galois) {
+      GALOIS_ASSIGN_OR_RETURN(Relation rm, galois.ExecuteSql(query.sql));
+      outcome.rm_rows = rm.NumRows();
+      outcome.cardinality_diff_percent =
+          CardinalityDiffPercent(rd.NumRows(), rm.NumRows());
+      outcome.galois_match = MatchCells(rd, rm);
+      outcome.galois_cost = galois.last_cost();
+    }
+    if (config.run_nl_qa) {
+      GALOIS_ASSIGN_OR_RETURN(
+          qa::QaResult nl, qa::RunNlQuestion(&model, query, rd.schema()));
+      outcome.nl_match = MatchCells(rd, nl.relation);
+    }
+    if (config.run_cot_qa) {
+      GALOIS_ASSIGN_OR_RETURN(
+          qa::QaResult cot,
+          qa::RunChainOfThought(&model, query, rd.schema()));
+      outcome.cot_match = MatchCells(rd, cot.relation);
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+double AverageCardinalityDiff(const std::vector<QueryOutcome>& outcomes) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const QueryOutcome& o : outcomes) {
+    // "averaged over all queries with non-empty results".
+    if (o.rd_rows == 0 || !o.cardinality_diff_percent.has_value()) {
+      continue;
+    }
+    sum += *o.cardinality_diff_percent;
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+double Table2Average(const std::vector<QueryOutcome>& outcomes,
+                     Method method,
+                     std::optional<knowledge::QueryClass> cls) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const QueryOutcome& o : outcomes) {
+    if (cls.has_value() && o.query_class != *cls) continue;
+    const std::optional<CellMatchResult>* match = nullptr;
+    switch (method) {
+      case Method::kGalois:
+        match = &o.galois_match;
+        break;
+      case Method::kNlQa:
+        match = &o.nl_match;
+        break;
+      case Method::kCotQa:
+        match = &o.cot_match;
+        break;
+    }
+    if (!match->has_value()) continue;
+    sum += (*match)->Percent();
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace galois::eval

@@ -1,0 +1,63 @@
+#ifndef GALOIS_EVAL_HARNESS_H_
+#define GALOIS_EVAL_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/galois_executor.h"
+#include "eval/metrics.h"
+#include "knowledge/workload.h"
+#include "llm/model_profile.h"
+
+namespace galois::eval {
+
+/// What to run for each query.
+struct ExperimentConfig {
+  bool run_galois = true;        // R_M
+  bool run_nl_qa = false;        // T_M
+  bool run_cot_qa = false;       // T^C_M
+  core::ExecutionOptions options;
+  uint64_t llm_seed = 7;
+};
+
+/// Per-query measurements.
+struct QueryOutcome {
+  int query_id = 0;
+  knowledge::QueryClass query_class = knowledge::QueryClass::kSelection;
+  size_t rd_rows = 0;
+
+  // Galois (R_M).
+  std::optional<size_t> rm_rows;
+  std::optional<double> cardinality_diff_percent;
+  std::optional<CellMatchResult> galois_match;
+  llm::CostMeter galois_cost;
+
+  // Baselines.
+  std::optional<CellMatchResult> nl_match;
+  std::optional<CellMatchResult> cot_match;
+};
+
+/// Runs the workload for one model profile and collects the measurements
+/// that Tables 1 and 2 aggregate.
+Result<std::vector<QueryOutcome>> RunExperiment(
+    const knowledge::SpiderLikeWorkload& workload,
+    const llm::ModelProfile& profile, const ExperimentConfig& config);
+
+/// Table 1 aggregate: average cardinality-difference percent over queries
+/// with non-empty ground truth.
+double AverageCardinalityDiff(const std::vector<QueryOutcome>& outcomes);
+
+/// Which accessor to average in Table2Average.
+enum class Method { kGalois, kNlQa, kCotQa };
+
+/// Table 2 aggregate: mean cell-match percent for a method over one query
+/// class ("All" = std::nullopt).
+double Table2Average(const std::vector<QueryOutcome>& outcomes,
+                     Method method,
+                     std::optional<knowledge::QueryClass> cls);
+
+}  // namespace galois::eval
+
+#endif  // GALOIS_EVAL_HARNESS_H_

@@ -1,0 +1,120 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace galois::eval {
+
+double CardinalityRatio(size_t rd_rows, size_t rm_rows) {
+  if (rd_rows + rm_rows == 0) return 1.0;
+  return 2.0 * static_cast<double>(rd_rows) /
+         static_cast<double>(rd_rows + rm_rows);
+}
+
+double CardinalityDiffPercent(size_t rd_rows, size_t rm_rows) {
+  return (1.0 - CardinalityRatio(rd_rows, rm_rows)) * 100.0;
+}
+
+namespace {
+
+/// Canonical form for the lenient comparison: lower-cased, trimmed,
+/// leading article and disambiguating ", ..." suffix removed.
+std::string CanonicalString(const std::string& s) {
+  std::string t = ToLower(Trim(s));
+  if (StartsWith(t, "the ")) t = t.substr(4);
+  size_t comma = t.find(", ");
+  if (comma != std::string::npos) t = t.substr(0, comma);
+  const std::string kLangSuffix = " language";
+  if (EndsWith(t, kLangSuffix)) {
+    t = t.substr(0, t.size() - kLangSuffix.size());
+  }
+  return Trim(t);
+}
+
+/// "j. smith" vs "james smith": abbreviated given name.
+bool AbbreviatedNameMatch(const std::string& a, const std::string& b) {
+  std::vector<std::string> ta = Split(a, ' ', true, true);
+  std::vector<std::string> tb = Split(b, ' ', true, true);
+  if (ta.size() < 2 || tb.size() < 2) return false;
+  if (ta.back() != tb.back()) return false;
+  const std::string& fa = ta.front();
+  const std::string& fb = tb.front();
+  auto is_initial = [](const std::string& s) {
+    return s.size() == 2 && s[1] == '.';
+  };
+  if (is_initial(fa) && !fb.empty()) return fa[0] == fb[0];
+  if (is_initial(fb) && !fa.empty()) return fb[0] == fa[0];
+  return false;
+}
+
+}  // namespace
+
+bool LenientStringMatch(const std::string& truth,
+                        const std::string& predicted) {
+  std::string a = CanonicalString(truth);
+  std::string b = CanonicalString(predicted);
+  if (a == b) return true;
+  return AbbreviatedNameMatch(a, b);
+}
+
+bool CellMatches(const Value& truth, const Value& predicted) {
+  if (truth.is_null() || predicted.is_null()) return false;
+  // Numeric comparison with 5% relative tolerance.
+  auto td = truth.AsDouble();
+  auto pd = predicted.AsDouble();
+  if (td.ok() && pd.ok()) {
+    double t = td.value();
+    double p = pd.value();
+    if (t == 0.0) return std::fabs(p) < 1e-9;
+    return std::fabs(p - t) / std::fabs(t) < kNumericTolerance;
+  }
+  if (truth.type() == DataType::kDate &&
+      predicted.type() == DataType::kDate) {
+    return truth.date_packed() == predicted.date_packed();
+  }
+  if (truth.type() == DataType::kString &&
+      predicted.type() == DataType::kString) {
+    return LenientStringMatch(truth.string_value(),
+                              predicted.string_value());
+  }
+  // Mixed types (e.g. the model produced a string for a numeric column and
+  // cleaning was off): compare rendered forms leniently.
+  return EqualsIgnoreCase(truth.ToString(), predicted.ToString());
+}
+
+CellMatchResult MatchCells(const Relation& truth,
+                           const Relation& predicted) {
+  CellMatchResult result;
+  const size_t cols = truth.NumColumns();
+  result.total_cells = truth.NumRows() * cols;
+  if (result.total_cells == 0) return result;
+
+  std::vector<bool> used(predicted.NumRows(), false);
+  for (size_t t = 0; t < truth.NumRows(); ++t) {
+    // Greedy: best unused predicted row by matched-cell count.
+    size_t best_row = predicted.NumRows();
+    size_t best_score = 0;
+    for (size_t p = 0; p < predicted.NumRows(); ++p) {
+      if (used[p]) continue;
+      const size_t compare_cols =
+          std::min(cols, predicted.NumColumns());
+      size_t score = 0;
+      for (size_t c = 0; c < compare_cols; ++c) {
+        if (CellMatches(truth.At(t, c), predicted.At(p, c))) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_row = p;
+      }
+    }
+    if (best_row < predicted.NumRows() && best_score > 0) {
+      used[best_row] = true;
+      result.matched_cells += best_score;
+    }
+  }
+  return result;
+}
+
+}  // namespace galois::eval

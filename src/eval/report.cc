@@ -1,0 +1,90 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace galois::eval {
+
+namespace {
+
+std::string Fixed1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f", v);
+  return buf;
+}
+
+std::string Fixed0(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatTable1(
+    const std::vector<std::pair<std::string, std::vector<QueryOutcome>>>&
+        per_model) {
+  std::ostringstream os;
+  os << "Table 1: Average cardinality difference of R_M vs |R_D| "
+        "(closer to 0 is better)\n";
+  os << "  Model                       Diff as % of |R_D|\n";
+  for (const auto& [name, outcomes] : per_model) {
+    os << "  " << name << std::string(28 - std::min<size_t>(28, name.size()), ' ')
+       << Fixed1(AverageCardinalityDiff(outcomes)) << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatTable2(const std::vector<QueryOutcome>& outcomes) {
+  using knowledge::QueryClass;
+  std::ostringstream os;
+  os << "Table 2: Cell value matches (%) vs ground truth R_D\n";
+  os << "  Method                All   Selections  Aggregates  Joins only\n";
+  auto row = [&](const char* label, Method m) {
+    os << "  " << label
+       << Fixed0(Table2Average(outcomes, m, std::nullopt)) << "    "
+       << Fixed0(Table2Average(outcomes, m, QueryClass::kSelection))
+       << "          "
+       << Fixed0(Table2Average(outcomes, m, QueryClass::kAggregate))
+       << "          "
+       << Fixed0(Table2Average(outcomes, m, QueryClass::kJoin)) << "\n";
+  };
+  row("R_M  (SQL Queries)    ", Method::kGalois);
+  row("T_M  (NL Questions)   ", Method::kNlQa);
+  row("T_C_M (NL Quest.+CoT) ", Method::kCotQa);
+  return os.str();
+}
+
+std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes) {
+  std::ostringstream os;
+  double total_prompts = 0.0;
+  double total_latency_ms = 0.0;
+  std::vector<double> latencies;
+  size_t count = 0;
+  for (const QueryOutcome& o : outcomes) {
+    if (o.galois_cost.num_prompts == 0) continue;
+    total_prompts += static_cast<double>(o.galois_cost.num_prompts);
+    total_latency_ms += o.galois_cost.simulated_latency_ms;
+    latencies.push_back(o.galois_cost.simulated_latency_ms);
+    ++count;
+  }
+  if (count == 0) return "No cost data collected\n";
+  std::sort(latencies.begin(), latencies.end());
+  double mean_prompts = total_prompts / static_cast<double>(count);
+  double mean_latency_s = total_latency_ms / 1000.0 /
+                          static_cast<double>(count);
+  double median_s = latencies[latencies.size() / 2] / 1000.0;
+  double p95_s = latencies[static_cast<size_t>(
+                     static_cast<double>(latencies.size() - 1) * 0.95)] /
+                 1000.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Cost stats over %zu queries: avg %.0f prompts/query, avg "
+                "%.1f s/query (simulated), median %.1f s, p95 %.1f s\n",
+                count, mean_prompts, mean_latency_s, median_s, p95_s);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace galois::eval

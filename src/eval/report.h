@@ -1,0 +1,31 @@
+#ifndef GALOIS_EVAL_REPORT_H_
+#define GALOIS_EVAL_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+
+namespace galois::eval {
+
+/// Renders Table 1 ("Average difference in the cardinality of Galois's
+/// output relations w.r.t. the ground truth") from per-model outcomes.
+/// `per_model` maps the model display name -> its outcomes, in insertion
+/// order.
+std::string FormatTable1(
+    const std::vector<std::pair<std::string, std::vector<QueryOutcome>>>&
+        per_model);
+
+/// Renders Table 2 ("Cell value matches (%) between the result returned by
+/// a method and the same query executed on the ground truth data") for one
+/// model's outcomes (the paper uses ChatGPT).
+std::string FormatTable2(const std::vector<QueryOutcome>& outcomes);
+
+/// Renders the Section 5 in-text cost statistics: prompts per query,
+/// latency per query (mean plus distribution hints).
+std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes);
+
+}  // namespace galois::eval
+
+#endif  // GALOIS_EVAL_REPORT_H_

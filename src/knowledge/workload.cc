@@ -1,0 +1,439 @@
+#include "knowledge/workload.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace galois::knowledge {
+
+namespace {
+
+using catalog::ColumnDef;
+using catalog::SourceKind;
+using catalog::TableDef;
+
+TableDef CountryTable() {
+  TableDef t;
+  t.name = "country";
+  t.entity_type = "country";
+  t.key_column = "name";
+  t.default_source = SourceKind::kLlm;
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "country name"),
+      ColumnDef("code", DataType::kString, false, "ISO 3166 alpha-3 code"),
+      ColumnDef("code2", DataType::kString, false, "ISO 3166 alpha-2 code"),
+      ColumnDef("continent", DataType::kString, false, "continent"),
+      ColumnDef("capital", DataType::kString, false, "capital city"),
+      ColumnDef("language", DataType::kString, false, "official language"),
+      ColumnDef("currency", DataType::kString, false, "currency"),
+      ColumnDef("population", DataType::kInt64, false, "population"),
+      ColumnDef("area", DataType::kInt64, false, "area in square km"),
+      ColumnDef("gdp", DataType::kDouble, false, "GDP in billion dollars"),
+      ColumnDef("independenceYear", DataType::kInt64, false,
+                "year of independence"),
+  };
+  return t;
+}
+
+TableDef CityTable() {
+  TableDef t;
+  t.name = "city";
+  t.entity_type = "city";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "city name"),
+      ColumnDef("country", DataType::kString, false,
+                "country the city is located in"),
+      ColumnDef("population", DataType::kInt64, false, "population"),
+      ColumnDef("mayor", DataType::kString, false, "current mayor"),
+      ColumnDef("elevation", DataType::kInt64, false,
+                "elevation above sea level in meters"),
+      ColumnDef("foundedYear", DataType::kInt64, false, "founding year"),
+  };
+  return t;
+}
+
+TableDef CityMayorTable() {
+  TableDef t;
+  t.name = "cityMayor";
+  t.entity_type = "mayor";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "mayor name"),
+      ColumnDef("birthDate", DataType::kDate, false, "date of birth"),
+      ColumnDef("age", DataType::kInt64, false, "age in years"),
+      ColumnDef("electionYear", DataType::kInt64, false,
+                "year elected to office"),
+      ColumnDef("party", DataType::kString, false, "political party"),
+      ColumnDef("city", DataType::kString, false, "city governed"),
+  };
+  return t;
+}
+
+TableDef AirportTable() {
+  TableDef t;
+  t.name = "airport";
+  t.entity_type = "airport";
+  t.key_column = "code";
+  t.columns = {
+      ColumnDef("code", DataType::kString, true, "IATA airport code"),
+      ColumnDef("name", DataType::kString, false, "airport name"),
+      ColumnDef("city", DataType::kString, false, "city served"),
+      ColumnDef("elevation", DataType::kInt64, false,
+                "elevation in meters"),
+      ColumnDef("runways", DataType::kInt64, false, "number of runways"),
+      ColumnDef("passengers", DataType::kInt64, false,
+                "annual passengers"),
+  };
+  return t;
+}
+
+TableDef AirlineTable() {
+  TableDef t;
+  t.name = "airline";
+  t.entity_type = "airline";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "airline name"),
+      ColumnDef("country", DataType::kString, false, "home country"),
+      ColumnDef("foundedYear", DataType::kInt64, false, "founding year"),
+      ColumnDef("fleetSize", DataType::kInt64, false,
+                "number of aircraft"),
+      ColumnDef("destinations", DataType::kInt64, false,
+                "number of destinations"),
+  };
+  return t;
+}
+
+TableDef SingerTable() {
+  TableDef t;
+  t.name = "singer";
+  t.entity_type = "singer";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "singer name"),
+      ColumnDef("country", DataType::kString, false, "country of origin"),
+      ColumnDef("birthYear", DataType::kInt64, false, "year of birth"),
+      ColumnDef("genre", DataType::kString, false, "music genre"),
+      ColumnDef("netWorth", DataType::kDouble, false,
+                "net worth in million dollars"),
+  };
+  return t;
+}
+
+TableDef ConcertTable() {
+  TableDef t;
+  t.name = "concert";
+  t.entity_type = "concert";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "concert name"),
+      ColumnDef("singer", DataType::kString, false, "performing singer"),
+      ColumnDef("stadium", DataType::kString, false, "host stadium"),
+      ColumnDef("year", DataType::kInt64, false, "year held"),
+      ColumnDef("attendance", DataType::kInt64, false, "attendance"),
+  };
+  return t;
+}
+
+TableDef StadiumTable() {
+  TableDef t;
+  t.name = "stadium";
+  t.entity_type = "stadium";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "stadium name"),
+      ColumnDef("city", DataType::kString, false, "city"),
+      ColumnDef("capacity", DataType::kInt64, false, "seating capacity"),
+      ColumnDef("openedYear", DataType::kInt64, false, "opening year"),
+  };
+  return t;
+}
+
+TableDef LanguageTable() {
+  TableDef t;
+  t.name = "language";
+  t.entity_type = "language";
+  t.key_column = "name";
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "language name"),
+      ColumnDef("family", DataType::kString, false, "language family"),
+      ColumnDef("speakers", DataType::kInt64, false,
+                "number of speakers"),
+  };
+  return t;
+}
+
+/// DB-only table used by the hybrid querying example from the paper's
+/// introduction: it exists in a traditional database, not in the LLM.
+TableDef EmployeesTable() {
+  TableDef t;
+  t.name = "Employees";
+  t.entity_type = "employee";
+  t.key_column = "name";
+  t.default_source = SourceKind::kDb;
+  t.columns = {
+      ColumnDef("name", DataType::kString, true, "employee name"),
+      ColumnDef("countryCode", DataType::kString, false,
+                "ISO-3 code of the employee's country"),
+      ColumnDef("salary", DataType::kDouble, false, "annual salary"),
+  };
+  return t;
+}
+
+/// Synthesises the Employees instance (not KB-backed).
+Relation MakeEmployees(const WorldKb& kb, uint64_t seed) {
+  const EntitySet* countries = kb.FindConcept("country");
+  Relation rel(EmployeesTable().ToSchema());
+  Rng rng(seed ^ 0xE3212EE5ULL);
+  int id = 0;
+  for (size_t i = 0; i < countries->entities.size(); i += 3) {
+    const Entity& c = countries->entities[i];
+    const Value* code = c.FindAttribute("code");
+    int employees_here = static_cast<int>(rng.NextInt(2, 5));
+    for (int e = 0; e < employees_here; ++e) {
+      ++id;
+      Tuple row;
+      row.push_back(Value::String("Employee " + std::to_string(id)));
+      row.push_back(*code);
+      row.push_back(Value::Double(
+          30000.0 + static_cast<double>(rng.NextInt(0, 90000))));
+      rel.AddRowUnchecked(std::move(row));
+    }
+  }
+  return rel;
+}
+
+std::vector<QuerySpec> BuildQueries() {
+  std::vector<QuerySpec> qs;
+  auto add = [&qs](QueryClass cls, const std::string& sql,
+                   const std::string& question) {
+    QuerySpec spec;
+    spec.id = static_cast<int>(qs.size()) + 1;
+    spec.sql = sql;
+    spec.question = question;
+    spec.query_class = cls;
+    qs.push_back(std::move(spec));
+  };
+  using QC = QueryClass;
+
+  // --- selection-only -----------------------------------------------------
+  add(QC::kSelection,
+      "SELECT name FROM country WHERE continent = 'Europe'",
+      "What are the names of the countries in Europe?");
+  add(QC::kSelection,
+      "SELECT name FROM country WHERE independenceYear > 1950",
+      "What are the names of the countries that became independent after "
+      "1950?");
+  add(QC::kSelection, "SELECT capital FROM country WHERE name = 'France'",
+      "What is the capital of France?");
+  add(QC::kSelection,
+      "SELECT name, capital FROM country WHERE continent = 'Asia'",
+      "List the Asian countries together with their capitals.");
+  add(QC::kSelection, "SELECT name FROM city WHERE population > 5000000",
+      "Which cities have more than 5 million inhabitants?");
+  add(QC::kSelection, "SELECT name FROM country WHERE language = 'English'",
+      "Which countries have English as their official language?");
+  add(QC::kSelection, "SELECT code FROM airport WHERE city = 'London'",
+      "What are the IATA codes of the airports serving London?");
+  add(QC::kSelection, "SELECT name FROM airline WHERE foundedYear < 1940",
+      "Which airlines were founded before 1940?");
+  add(QC::kSelection, "SELECT name FROM singer WHERE genre = 'pop'",
+      "Which singers perform pop music?");
+  add(QC::kSelection, "SELECT name FROM singer WHERE birthYear > 1980",
+      "Which singers were born after 1980?");
+  add(QC::kSelection, "SELECT name FROM stadium WHERE capacity > 60000",
+      "Which stadiums can seat more than 60000 people?");
+  add(QC::kSelection,
+      "SELECT name FROM country WHERE continent = 'Africa'",
+      "What are the names of the African countries?");
+  add(QC::kSelection,
+      "SELECT name, population FROM country WHERE population > 100000000",
+      "Which countries have a population above 100 million, and what is "
+      "it?");
+  add(QC::kSelection, "SELECT name FROM language WHERE family = 'Romance'",
+      "Which languages belong to the Romance family?");
+  add(QC::kSelection, "SELECT name FROM concert WHERE year = 2020",
+      "Which concerts took place in 2020?");
+  add(QC::kSelection,
+      "SELECT name, mayor FROM city WHERE country = 'Italy'",
+      "List the Italian cities and their current mayors.");
+
+  // --- aggregates ----------------------------------------------------------
+  add(QC::kAggregate,
+      "SELECT COUNT(*) FROM country WHERE continent = 'Europe'",
+      "How many countries are in Europe?");
+  add(QC::kAggregate,
+      "SELECT AVG(population) FROM country WHERE continent = 'Asia'",
+      "What is the average population of Asian countries?");
+  add(QC::kAggregate, "SELECT MAX(population) FROM country",
+      "What is the population of the most populous country?");
+  add(QC::kAggregate, "SELECT COUNT(*) FROM airport WHERE runways > 2",
+      "How many airports have more than two runways?");
+  add(QC::kAggregate,
+      "SELECT continent, COUNT(*) FROM country GROUP BY continent",
+      "How many countries are there on each continent?");
+  add(QC::kAggregate, "SELECT AVG(capacity) FROM stadium",
+      "What is the average capacity of the stadiums?");
+  add(QC::kAggregate, "SELECT MIN(foundedYear) FROM airline",
+      "In what year was the oldest airline founded?");
+  add(QC::kAggregate, "SELECT genre, COUNT(*) FROM singer GROUP BY genre",
+      "How many singers are there for each music genre?");
+  add(QC::kAggregate,
+      "SELECT SUM(population) FROM city WHERE country = 'Japan'",
+      "What is the total population of the Japanese cities?");
+  add(QC::kAggregate,
+      "SELECT COUNT(*) FROM singer WHERE country = 'United States'",
+      "How many singers are from the United States?");
+  add(QC::kAggregate,
+      "SELECT AVG(netWorth) FROM singer WHERE genre = 'rock'",
+      "What is the average net worth of rock singers?");
+  add(QC::kAggregate, "SELECT year, COUNT(*) FROM concert GROUP BY year",
+      "How many concerts were held in each year?");
+  add(QC::kAggregate, "SELECT MAX(speakers) FROM language",
+      "How many people speak the most spoken language?");
+  add(QC::kAggregate, "SELECT COUNT(DISTINCT country) FROM city",
+      "How many different countries have a listed city?");
+  add(QC::kAggregate, "SELECT AVG(elevation) FROM airport",
+      "What is the average elevation of the airports?");
+
+  // --- joins only ----------------------------------------------------------
+  add(QC::kJoin,
+      "SELECT ci.name, co.continent FROM city ci, country co "
+      "WHERE ci.country = co.name",
+      "For each city, which continent is it on?");
+  add(QC::kJoin,
+      "SELECT a.name, ci.country FROM airport a, city ci "
+      "WHERE a.city = ci.name",
+      "For each airport, in which country is it located?");
+  add(QC::kJoin,
+      "SELECT s.name, c.name FROM singer s, concert c "
+      "WHERE c.singer = s.name AND c.year = 2022",
+      "Which singers performed a concert in 2022, and which concert?");
+  add(QC::kJoin,
+      "SELECT c.name, cm.birthDate FROM city c, cityMayor cm "
+      "WHERE c.mayor = cm.name AND cm.electionYear = 2019",
+      "List names of the cities and mayor birth date for the cities where "
+      "the current mayor has been in charge since 2019.");
+  add(QC::kJoin,
+      "SELECT st.name, ci.country FROM stadium st, city ci "
+      "WHERE st.city = ci.name",
+      "For each stadium, in which country is it?");
+  add(QC::kJoin,
+      "SELECT al.name, co.capital FROM airline al, country co "
+      "WHERE al.country = co.name",
+      "For each airline, what is the capital of its home country?");
+  add(QC::kJoin,
+      "SELECT co.name, la.family FROM country co, language la "
+      "WHERE co.language = la.name",
+      "For each country, which family does its official language belong "
+      "to?");
+  add(QC::kJoin,
+      "SELECT c.name, s.country FROM concert c, singer s "
+      "WHERE c.singer = s.name AND c.attendance > 50000",
+      "For concerts with attendance above 50000, where is the singer "
+      "from?");
+
+  // --- join + aggregate (count toward 'All' only) --------------------------
+  add(QC::kJoinAggregate,
+      "SELECT co.continent, COUNT(*) FROM city ci, country co "
+      "WHERE ci.country = co.name GROUP BY co.continent",
+      "How many of the listed cities are on each continent?");
+  add(QC::kJoinAggregate,
+      "SELECT co.name, AVG(ci.population) FROM city ci, country co "
+      "WHERE ci.country = co.name GROUP BY co.name",
+      "What is the average population of the listed cities per country?");
+  add(QC::kJoinAggregate,
+      "SELECT s.genre, AVG(c.attendance) FROM concert c, singer s "
+      "WHERE c.singer = s.name GROUP BY s.genre",
+      "What is the average concert attendance for each music genre?");
+  add(QC::kJoinAggregate,
+      "SELECT COUNT(*) FROM airport a, city ci "
+      "WHERE a.city = ci.name AND ci.country = 'United States'",
+      "How many of the listed airports are in the United States?");
+  add(QC::kJoinAggregate,
+      "SELECT ci.country, COUNT(*) FROM stadium st, city ci "
+      "WHERE st.city = ci.name GROUP BY ci.country",
+      "How many stadiums are there in each country?");
+  add(QC::kJoinAggregate,
+      "SELECT AVG(cm.age) FROM city c, cityMayor cm "
+      "WHERE c.mayor = cm.name AND c.country = 'Germany'",
+      "What is the average age of the mayors of German cities?");
+  add(QC::kJoinAggregate,
+      "SELECT la.family, SUM(la.speakers) FROM country co, language la "
+      "WHERE co.language = la.name GROUP BY la.family",
+      "For language families of official country languages, how many "
+      "speakers do they have in total?");
+
+  return qs;
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kSelection:
+      return "Selection";
+    case QueryClass::kAggregate:
+      return "Aggregate";
+    case QueryClass::kJoin:
+      return "Join";
+    case QueryClass::kJoinAggregate:
+      return "JoinAggregate";
+  }
+  return "?";
+}
+
+Result<Relation> MaterialiseFromKb(const WorldKb& kb,
+                                   const catalog::TableDef& def) {
+  GALOIS_ASSIGN_OR_RETURN(const EntitySet* set,
+                          kb.GetConcept(def.entity_type));
+  Relation rel(def.ToSchema());
+  for (const Entity& e : set->entities) {
+    Tuple row;
+    row.reserve(def.columns.size());
+    for (const catalog::ColumnDef& col : def.columns) {
+      const Value* v = e.FindAttribute(ToLower(col.name));
+      if (v == nullptr) {
+        return Status::Internal("entity '" + e.key + "' of concept '" +
+                                def.entity_type + "' lacks attribute '" +
+                                col.name + "'");
+      }
+      row.push_back(*v);
+    }
+    rel.AddRowUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+Result<SpiderLikeWorkload> SpiderLikeWorkload::Create(uint64_t seed) {
+  SpiderLikeWorkload w;
+  w.kb_ = WorldKb::Generate(seed);
+  std::vector<catalog::TableDef> defs = {
+      CountryTable(), CityTable(),    CityMayorTable(),
+      AirportTable(), AirlineTable(), SingerTable(),
+      ConcertTable(), StadiumTable(), LanguageTable(),
+  };
+  for (catalog::TableDef& def : defs) {
+    GALOIS_ASSIGN_OR_RETURN(Relation instance,
+                            MaterialiseFromKb(w.kb_, def));
+    def.expected_rows = instance.NumRows();
+    GALOIS_RETURN_IF_ERROR(w.catalog_.AddTable(def));
+    GALOIS_RETURN_IF_ERROR(w.catalog_.AddInstance(def.name,
+                                                  std::move(instance)));
+  }
+  // DB-only table for hybrid queries.
+  GALOIS_RETURN_IF_ERROR(w.catalog_.AddTable(EmployeesTable()));
+  GALOIS_RETURN_IF_ERROR(
+      w.catalog_.AddInstance("Employees", MakeEmployees(w.kb_, seed)));
+  w.queries_ = BuildQueries();
+  return w;
+}
+
+Result<const QuerySpec*> SpiderLikeWorkload::GetQuery(int id) const {
+  for (const QuerySpec& q : queries_) {
+    if (q.id == id) return &q;
+  }
+  return Status::NotFound("no query with id " + std::to_string(id));
+}
+
+}  // namespace galois::knowledge

@@ -1,0 +1,61 @@
+#ifndef GALOIS_KNOWLEDGE_WORKLOAD_H_
+#define GALOIS_KNOWLEDGE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "knowledge/world_kb.h"
+
+namespace galois::knowledge {
+
+/// Structural class of a query, used for Table 2's breakdown. Precedence:
+/// a query over >1 relation is a join; joins that also aggregate are
+/// kJoinAggregate (they count toward "All" but neither "Aggregates" nor
+/// "Joins only" in the paper's table).
+enum class QueryClass { kSelection, kAggregate, kJoin, kJoinAggregate };
+
+const char* QueryClassName(QueryClass c);
+
+/// One benchmark query: the SQL text, the paper's NL paraphrase (used by
+/// the QA baselines T_M and T^C_M), and its class.
+struct QuerySpec {
+  int id = 0;
+  std::string sql;
+  std::string question;
+  QueryClass query_class = QueryClass::kSelection;
+};
+
+/// The Spider-like evaluation workload (Section 5): a catalog of
+/// generic-topic tables whose ground-truth instances are materialised from
+/// the WorldKb, plus 46 SQL queries with NL paraphrases, mirroring the
+/// paper's subset of Spider ("world geography and airports"-style topics).
+class SpiderLikeWorkload {
+ public:
+  /// Builds the KB, catalog, instances and query list. Deterministic in
+  /// `seed`.
+  static Result<SpiderLikeWorkload> Create(uint64_t seed = 20240325);
+
+  const WorldKb& kb() const { return kb_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  const std::vector<QuerySpec>& queries() const { return queries_; }
+
+  /// Look up one query by id (1-based, as in `queries()` order).
+  Result<const QuerySpec*> GetQuery(int id) const;
+
+ private:
+  WorldKb kb_;
+  catalog::Catalog catalog_;
+  std::vector<QuerySpec> queries_;
+};
+
+/// Materialises the ground-truth relation for `def` by reading every
+/// entity of `def.entity_type` from the KB (column c <- attribute
+/// lower(c.name)). Exposed for tests.
+Result<Relation> MaterialiseFromKb(const WorldKb& kb,
+                                   const catalog::TableDef& def);
+
+}  // namespace galois::knowledge
+
+#endif  // GALOIS_KNOWLEDGE_WORKLOAD_H_

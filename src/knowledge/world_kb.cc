@@ -1,0 +1,633 @@
+#include "knowledge/world_kb.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace galois::knowledge {
+
+namespace {
+
+/// Static country seed data: name, ISO-2, ISO-3, continent, capital,
+/// primary language, currency. Popularity decays with list position
+/// (roughly "how much web text mentions this country").
+struct CountrySeed {
+  const char* name;
+  const char* code2;
+  const char* code3;
+  const char* continent;
+  const char* capital;
+  const char* language;
+  const char* currency;
+};
+
+constexpr CountrySeed kCountries[] = {
+    {"United States", "US", "USA", "North America", "Washington", "English", "Dollar"},
+    {"United Kingdom", "GB", "GBR", "Europe", "London", "English", "Pound"},
+    {"France", "FR", "FRA", "Europe", "Paris", "French", "Euro"},
+    {"Germany", "DE", "DEU", "Europe", "Berlin", "German", "Euro"},
+    {"Italy", "IT", "ITA", "Europe", "Rome", "Italian", "Euro"},
+    {"Spain", "ES", "ESP", "Europe", "Madrid", "Spanish", "Euro"},
+    {"China", "CN", "CHN", "Asia", "Beijing", "Mandarin", "Yuan"},
+    {"Japan", "JP", "JPN", "Asia", "Tokyo", "Japanese", "Yen"},
+    {"India", "IN", "IND", "Asia", "New Delhi", "Hindi", "Rupee"},
+    {"Brazil", "BR", "BRA", "South America", "Brasilia", "Portuguese", "Real"},
+    {"Canada", "CA", "CAN", "North America", "Ottawa", "English", "Dollar"},
+    {"Australia", "AU", "AUS", "Oceania", "Canberra", "English", "Dollar"},
+    {"Russia", "RU", "RUS", "Europe", "Moscow", "Russian", "Ruble"},
+    {"Mexico", "MX", "MEX", "North America", "Mexico City", "Spanish", "Peso"},
+    {"Netherlands", "NL", "NLD", "Europe", "Amsterdam", "Dutch", "Euro"},
+    {"Switzerland", "CH", "CHE", "Europe", "Bern", "German", "Franc"},
+    {"Sweden", "SE", "SWE", "Europe", "Stockholm", "Swedish", "Krona"},
+    {"Norway", "NO", "NOR", "Europe", "Oslo", "Norwegian", "Krone"},
+    {"Poland", "PL", "POL", "Europe", "Warsaw", "Polish", "Zloty"},
+    {"Portugal", "PT", "PRT", "Europe", "Lisbon", "Portuguese", "Euro"},
+    {"Greece", "GR", "GRC", "Europe", "Athens", "Greek", "Euro"},
+    {"Turkey", "TR", "TUR", "Asia", "Ankara", "Turkish", "Lira"},
+    {"Egypt", "EG", "EGY", "Africa", "Cairo", "Arabic", "Pound"},
+    {"South Africa", "ZA", "ZAF", "Africa", "Pretoria", "English", "Rand"},
+    {"Nigeria", "NG", "NGA", "Africa", "Abuja", "English", "Naira"},
+    {"Kenya", "KE", "KEN", "Africa", "Nairobi", "Swahili", "Shilling"},
+    {"Argentina", "AR", "ARG", "South America", "Buenos Aires", "Spanish", "Peso"},
+    {"Chile", "CL", "CHL", "South America", "Santiago", "Spanish", "Peso"},
+    {"Colombia", "CO", "COL", "South America", "Bogota", "Spanish", "Peso"},
+    {"Peru", "PE", "PER", "South America", "Lima", "Spanish", "Sol"},
+    {"South Korea", "KR", "KOR", "Asia", "Seoul", "Korean", "Won"},
+    {"Indonesia", "ID", "IDN", "Asia", "Jakarta", "Indonesian", "Rupiah"},
+    {"Thailand", "TH", "THA", "Asia", "Bangkok", "Thai", "Baht"},
+    {"Vietnam", "VN", "VNM", "Asia", "Hanoi", "Vietnamese", "Dong"},
+    {"Philippines", "PH", "PHL", "Asia", "Manila", "Filipino", "Peso"},
+    {"Malaysia", "MY", "MYS", "Asia", "Kuala Lumpur", "Malay", "Ringgit"},
+    {"Singapore", "SG", "SGP", "Asia", "Singapore", "English", "Dollar"},
+    {"New Zealand", "NZ", "NZL", "Oceania", "Wellington", "English", "Dollar"},
+    {"Ireland", "IE", "IRL", "Europe", "Dublin", "English", "Euro"},
+    {"Austria", "AT", "AUT", "Europe", "Vienna", "German", "Euro"},
+    {"Belgium", "BE", "BEL", "Europe", "Brussels", "Dutch", "Euro"},
+    {"Denmark", "DK", "DNK", "Europe", "Copenhagen", "Danish", "Krone"},
+    {"Finland", "FI", "FIN", "Europe", "Helsinki", "Finnish", "Euro"},
+    {"Czech Republic", "CZ", "CZE", "Europe", "Prague", "Czech", "Koruna"},
+    {"Hungary", "HU", "HUN", "Europe", "Budapest", "Hungarian", "Forint"},
+    {"Romania", "RO", "ROU", "Europe", "Bucharest", "Romanian", "Leu"},
+    {"Morocco", "MA", "MAR", "Africa", "Rabat", "Arabic", "Dirham"},
+    {"Israel", "IL", "ISR", "Asia", "Jerusalem", "Hebrew", "Shekel"},
+};
+
+/// Extra (non-capital) cities for prominent countries.
+struct CitySeed {
+  const char* country;
+  const char* city;
+};
+
+constexpr CitySeed kExtraCities[] = {
+    {"United States", "New York City"}, {"United States", "Los Angeles"},
+    {"United States", "Chicago"},       {"United States", "Houston"},
+    {"United Kingdom", "Manchester"},   {"United Kingdom", "Birmingham"},
+    {"France", "Lyon"},                 {"France", "Marseille"},
+    {"Germany", "Munich"},              {"Germany", "Hamburg"},
+    {"Italy", "Milan"},                 {"Italy", "Naples"},
+    {"Spain", "Barcelona"},             {"Spain", "Valencia"},
+    {"China", "Shanghai"},              {"China", "Shenzhen"},
+    {"Japan", "Osaka"},                 {"Japan", "Kyoto"},
+    {"India", "Mumbai"},                {"India", "Bangalore"},
+    {"Brazil", "Sao Paulo"},            {"Brazil", "Rio de Janeiro"},
+    {"Canada", "Toronto"},              {"Canada", "Vancouver"},
+    {"Australia", "Sydney"},            {"Australia", "Melbourne"},
+    {"Russia", "Saint Petersburg"},     {"Mexico", "Guadalajara"},
+    {"Netherlands", "Rotterdam"},       {"Switzerland", "Zurich"},
+    {"Sweden", "Gothenburg"},           {"Poland", "Krakow"},
+    {"Turkey", "Istanbul"},             {"Egypt", "Alexandria"},
+    {"South Africa", "Cape Town"},      {"Nigeria", "Lagos"},
+    {"Argentina", "Cordoba"},           {"Colombia", "Medellin"},
+    {"South Korea", "Busan"},           {"Indonesia", "Surabaya"},
+    {"Vietnam", "Ho Chi Minh City"},    {"New Zealand", "Auckland"},
+    {"Ireland", "Cork"},                {"Austria", "Salzburg"},
+    {"Belgium", "Antwerp"},             {"Denmark", "Aarhus"},
+    {"Czech Republic", "Brno"},         {"Morocco", "Casablanca"},
+    {"Israel", "Tel Aviv"},             {"Greece", "Thessaloniki"},
+};
+
+/// Major airports: IATA code, airport name, city.
+struct AirportSeed {
+  const char* code;
+  const char* name;
+  const char* city;
+};
+
+constexpr AirportSeed kAirports[] = {
+    {"JFK", "John F. Kennedy International", "New York City"},
+    {"LAX", "Los Angeles International", "Los Angeles"},
+    {"ORD", "O'Hare International", "Chicago"},
+    {"IAH", "George Bush Intercontinental", "Houston"},
+    {"LHR", "Heathrow", "London"},
+    {"MAN", "Manchester Airport", "Manchester"},
+    {"CDG", "Charles de Gaulle", "Paris"},
+    {"LYS", "Lyon-Saint Exupery", "Lyon"},
+    {"FRA", "Frankfurt Airport", "Berlin"},
+    {"MUC", "Munich Airport", "Munich"},
+    {"FCO", "Fiumicino", "Rome"},
+    {"MXP", "Malpensa", "Milan"},
+    {"MAD", "Barajas", "Madrid"},
+    {"BCN", "El Prat", "Barcelona"},
+    {"PEK", "Beijing Capital International", "Beijing"},
+    {"PVG", "Shanghai Pudong International", "Shanghai"},
+    {"HND", "Haneda", "Tokyo"},
+    {"KIX", "Kansai International", "Osaka"},
+    {"DEL", "Indira Gandhi International", "New Delhi"},
+    {"BOM", "Chhatrapati Shivaji International", "Mumbai"},
+    {"GRU", "Guarulhos International", "Sao Paulo"},
+    {"GIG", "Galeao International", "Rio de Janeiro"},
+    {"YYZ", "Pearson International", "Toronto"},
+    {"YVR", "Vancouver International", "Vancouver"},
+    {"SYD", "Kingsford Smith", "Sydney"},
+    {"MEL", "Melbourne Airport", "Melbourne"},
+    {"SVO", "Sheremetyevo", "Moscow"},
+    {"MEX", "Benito Juarez International", "Mexico City"},
+    {"AMS", "Schiphol", "Amsterdam"},
+    {"ZRH", "Zurich Airport", "Zurich"},
+    {"ARN", "Arlanda", "Stockholm"},
+    {"OSL", "Gardermoen", "Oslo"},
+    {"WAW", "Chopin", "Warsaw"},
+    {"LIS", "Humberto Delgado", "Lisbon"},
+    {"ATH", "Eleftherios Venizelos", "Athens"},
+    {"IST", "Istanbul Airport", "Istanbul"},
+    {"CAI", "Cairo International", "Cairo"},
+    {"CPT", "Cape Town International", "Cape Town"},
+    {"LOS", "Murtala Muhammed International", "Lagos"},
+    {"EZE", "Ministro Pistarini", "Buenos Aires"},
+    {"SCL", "Arturo Merino Benitez", "Santiago"},
+    {"BOG", "El Dorado International", "Bogota"},
+    {"ICN", "Incheon International", "Seoul"},
+    {"CGK", "Soekarno-Hatta International", "Jakarta"},
+    {"BKK", "Suvarnabhumi", "Bangkok"},
+    {"SIN", "Changi", "Singapore"},
+    {"AKL", "Auckland Airport", "Auckland"},
+    {"DUB", "Dublin Airport", "Dublin"},
+    {"VIE", "Vienna International", "Vienna"},
+    {"BRU", "Brussels Airport", "Brussels"},
+    {"CPH", "Kastrup", "Copenhagen"},
+    {"HEL", "Vantaa", "Helsinki"},
+    {"PRG", "Vaclav Havel", "Prague"},
+    {"BUD", "Ferenc Liszt International", "Budapest"},
+    {"OTP", "Henri Coanda International", "Bucharest"},
+    {"CMN", "Mohammed V International", "Casablanca"},
+    {"TLV", "Ben Gurion", "Tel Aviv"},
+};
+
+struct AirlineSeed {
+  const char* name;
+  const char* country;
+  int founded;
+};
+
+constexpr AirlineSeed kAirlines[] = {
+    {"American Airlines", "United States", 1930},
+    {"Delta Air Lines", "United States", 1925},
+    {"United Airlines", "United States", 1926},
+    {"British Airways", "United Kingdom", 1974},
+    {"Air France", "France", 1933},
+    {"Lufthansa", "Germany", 1953},
+    {"Alitalia", "Italy", 1946},
+    {"Iberia", "Spain", 1927},
+    {"Air China", "China", 1988},
+    {"Japan Airlines", "Japan", 1951},
+    {"Air India", "India", 1932},
+    {"LATAM Brasil", "Brazil", 1976},
+    {"Air Canada", "Canada", 1937},
+    {"Qantas", "Australia", 1920},
+    {"Aeroflot", "Russia", 1923},
+    {"Aeromexico", "Mexico", 1934},
+    {"KLM", "Netherlands", 1919},
+    {"Swiss International", "Switzerland", 2002},
+    {"SAS", "Sweden", 1946},
+    {"LOT Polish Airlines", "Poland", 1928},
+    {"TAP Air Portugal", "Portugal", 1945},
+    {"Aegean Airlines", "Greece", 1987},
+    {"Turkish Airlines", "Turkey", 1933},
+    {"EgyptAir", "Egypt", 1932},
+    {"South African Airways", "South Africa", 1934},
+    {"Korean Air", "South Korea", 1969},
+    {"Garuda Indonesia", "Indonesia", 1949},
+    {"Thai Airways", "Thailand", 1960},
+    {"Singapore Airlines", "Singapore", 1947},
+    {"Air New Zealand", "New Zealand", 1940},
+    {"Aer Lingus", "Ireland", 1936},
+    {"Austrian Airlines", "Austria", 1957},
+};
+
+constexpr const char* kFirstNames[] = {
+    "James",  "Mary",    "Robert",  "Linda",  "Michael", "Elena",
+    "David",  "Sofia",   "Carlos",  "Anna",   "Pierre",  "Marta",
+    "Hans",   "Giulia",  "Marco",   "Laura",  "Pedro",   "Ines",
+    "Ivan",   "Olga",    "Kenji",   "Yuki",   "Wei",     "Mei",
+    "Raj",    "Priya",   "Ahmed",   "Fatima", "Kwame",   "Amara",
+    "Diego",  "Camila",  "Lucas",   "Emma",   "Oliver",  "Sophie",
+    "Liam",   "Chloe",   "Noah",    "Isabella",
+};
+
+constexpr const char* kLastNames[] = {
+    "Smith",    "Johnson",  "Brown",   "Garcia",   "Martinez", "Rossi",
+    "Ferrari",  "Dubois",   "Martin",  "Mueller",  "Schmidt",  "Silva",
+    "Santos",   "Ivanov",   "Petrov",  "Tanaka",   "Suzuki",   "Wang",
+    "Li",       "Patel",    "Sharma",  "Hassan",   "Ali",      "Okafor",
+    "Mensah",   "Gonzalez", "Lopez",   "Andersen", "Nielsen",  "Kowalski",
+    "Novak",    "Papadopoulos", "Yilmaz", "Kim",   "Park",     "Nguyen",
+};
+
+constexpr const char* kGenres[] = {
+    "pop", "rock", "jazz", "classical", "hip hop", "folk", "electronic",
+    "country",
+};
+
+constexpr const char* kParties[] = {
+    "Progressive Party", "Civic Union", "Green Alliance",
+    "Liberal Movement", "National Forum",
+};
+
+struct LanguageSeed {
+  const char* name;
+  const char* family;
+};
+
+constexpr LanguageSeed kLanguages[] = {
+    {"English", "Germanic"},   {"Mandarin", "Sino-Tibetan"},
+    {"Hindi", "Indo-Aryan"},   {"Spanish", "Romance"},
+    {"French", "Romance"},     {"Arabic", "Semitic"},
+    {"Portuguese", "Romance"}, {"Russian", "Slavic"},
+    {"Japanese", "Japonic"},   {"German", "Germanic"},
+    {"Korean", "Koreanic"},    {"Italian", "Romance"},
+    {"Turkish", "Turkic"},     {"Vietnamese", "Austroasiatic"},
+    {"Polish", "Slavic"},      {"Dutch", "Germanic"},
+    {"Thai", "Kra-Dai"},       {"Swedish", "Germanic"},
+    {"Greek", "Hellenic"},     {"Hebrew", "Semitic"},
+};
+
+/// Per-entity deterministic RNG: independent of generation order.
+Rng EntityRng(uint64_t seed, const std::string& concept_name,
+              const std::string& key) {
+  return Rng(seed ^ Rng::HashString(concept_name) * 3 ^ Rng::HashString(key));
+}
+
+}  // namespace
+
+const Value* Entity::FindAttribute(const std::string& name) const {
+  auto it = attributes.find(name);
+  if (it == attributes.end()) return nullptr;
+  return &it->second;
+}
+
+const Entity* EntitySet::FindEntity(const std::string& key) const {
+  for (const Entity& e : entities) {
+    if (EqualsIgnoreCase(e.key, key)) return &e;
+  }
+  return nullptr;
+}
+
+void WorldKb::AddConcept(EntitySet set) {
+  concepts_[set.concept_name] = std::move(set);
+}
+
+const EntitySet* WorldKb::FindConcept(const std::string& concept_name) const {
+  auto it = concepts_.find(ToLower(concept_name));
+  if (it == concepts_.end()) return nullptr;
+  return &it->second;
+}
+
+Result<const EntitySet*> WorldKb::GetConcept(
+    const std::string& concept_name) const {
+  const EntitySet* set = FindConcept(concept_name);
+  if (set == nullptr) {
+    return Status::NotFound("unknown concept_name '" + concept_name + "'");
+  }
+  return set;
+}
+
+Result<Value> WorldKb::GetAttribute(const std::string& concept_name,
+                                    const std::string& key,
+                                    const std::string& attribute) const {
+  GALOIS_ASSIGN_OR_RETURN(const EntitySet* set, GetConcept(concept_name));
+  const Entity* entity = set->FindEntity(key);
+  if (entity == nullptr) {
+    return Status::NotFound("unknown " + concept_name + " '" + key + "'");
+  }
+  const Value* v = entity->FindAttribute(ToLower(attribute));
+  if (v == nullptr) {
+    return Status::NotFound("unknown attribute '" + attribute + "' of " +
+                            concept_name + " '" + key + "'");
+  }
+  return *v;
+}
+
+std::vector<std::string> WorldKb::ConceptNames() const {
+  std::vector<std::string> names;
+  names.reserve(concepts_.size());
+  for (const auto& [name, set] : concepts_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> WorldKb::SurfaceForms(const std::string& concept_name,
+                                               const std::string& key) const {
+  std::vector<std::string> forms{key};
+  const EntitySet* set = FindConcept(concept_name);
+  if (set == nullptr) return forms;
+  const Entity* e = set->FindEntity(key);
+  if (e == nullptr) return forms;
+  std::string lc = ToLower(concept_name);
+  if (lc == "country") {
+    if (const Value* v = e->FindAttribute("code"); v && !v->is_null()) {
+      forms.push_back(v->string_value());  // ISO-3
+    }
+    if (const Value* v = e->FindAttribute("code2"); v && !v->is_null()) {
+      forms.push_back(v->string_value());  // ISO-2
+    }
+  } else if (lc == "airport") {
+    if (const Value* v = e->FindAttribute("name"); v && !v->is_null()) {
+      forms.push_back(v->string_value());
+    }
+  } else if (lc == "mayor" || lc == "singer") {
+    // "J. Smith" abbreviation of "James Smith".
+    auto space = key.find(' ');
+    if (space != std::string::npos && space > 0) {
+      forms.push_back(key.substr(0, 1) + ". " + key.substr(space + 1));
+    }
+  } else if (lc == "city") {
+    // Country-disambiguated form, the natural LLM answer style:
+    // "Rome, Italy".
+    if (const Value* v = e->FindAttribute("country"); v && !v->is_null()) {
+      forms.push_back(key + ", " + v->string_value());
+    }
+  } else if (lc == "stadium") {
+    forms.push_back("The " + key);
+  } else if (lc == "language") {
+    forms.push_back(key + " language");
+  }
+  return forms;
+}
+
+std::string WorldKb::ReferencedConcept(const std::string& concept_name,
+                                       const std::string& attribute) {
+  const std::string c = ToLower(concept_name);
+  const std::string a = ToLower(attribute);
+  // city.country, airline.country, singer.country hold country keys.
+  if (a == "country" && c != "country") return "country";
+  if ((a == "city" && c != "city") || a == "capital") return "city";
+  if (a == "mayor" && c != "mayor") return "mayor";
+  if (a == "singer" && c != "singer") return "singer";
+  if (a == "stadium" && c != "stadium") return "stadium";
+  if (a == "language" && c == "country") return "language";
+  return "";
+}
+
+WorldKb WorldKb::Generate(uint64_t seed) {
+  WorldKb kb;
+  const size_t num_countries = std::size(kCountries);
+
+  // --- countries ---
+  EntitySet countries;
+  countries.concept_name = "country";
+  countries.key_attribute = "name";
+  for (size_t i = 0; i < num_countries; ++i) {
+    const CountrySeed& cs = kCountries[i];
+    Rng rng = EntityRng(seed, "country", cs.name);
+    Entity e;
+    e.key = cs.name;
+    // Popularity decays with list position: 1.0 down to ~0.2.
+    e.popularity = 1.0 - 0.8 * static_cast<double>(i) /
+                             static_cast<double>(num_countries - 1);
+    e.attributes["name"] = Value::String(cs.name);
+    e.attributes["code"] = Value::String(cs.code3);
+    e.attributes["code2"] = Value::String(cs.code2);
+    e.attributes["continent"] = Value::String(cs.continent);
+    e.attributes["capital"] = Value::String(cs.capital);
+    e.attributes["language"] = Value::String(cs.language);
+    e.attributes["currency"] = Value::String(cs.currency);
+    // Synthetic but plausible magnitudes; the DB ground truth uses the
+    // same values, so absolute realism is irrelevant to the experiments.
+    e.attributes["population"] =
+        Value::Int(rng.NextInt(2, 320) * 1000000);
+    e.attributes["area"] = Value::Int(rng.NextInt(40, 9000) * 1000);
+    e.attributes["gdp"] = Value::Double(rng.NextInt(50, 21000) * 1.0);
+    e.attributes["independenceyear"] =
+        Value::Int(rng.NextInt(1776, 1991));
+    countries.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(countries));
+
+  // --- cities (capitals + extras) and mayors ---
+  EntitySet cities;
+  cities.concept_name = "city";
+  cities.key_attribute = "name";
+  EntitySet mayors;
+  mayors.concept_name = "mayor";
+  mayors.key_attribute = "name";
+  size_t person_idx = 0;
+  auto add_city = [&](const std::string& city, const std::string& country,
+                      double country_pop, bool is_capital) {
+    Rng rng = EntityRng(seed, "city", city);
+    // Person name: deterministic walk through the pools.
+    const char* first =
+        kFirstNames[(person_idx * 7 + 3) % std::size(kFirstNames)];
+    const char* last =
+        kLastNames[(person_idx * 11 + 5) % std::size(kLastNames)];
+    ++person_idx;
+    std::string mayor_name = std::string(first) + " " + last;
+
+    Entity e;
+    e.key = city;
+    e.popularity = std::min(1.0, country_pop * (is_capital ? 1.0 : 0.85) +
+                                     rng.NextDouble() * 0.05);
+    e.attributes["name"] = Value::String(city);
+    e.attributes["country"] = Value::String(country);
+    e.attributes["population"] =
+        Value::Int(rng.NextInt(200, 22000) * 1000);
+    e.attributes["mayor"] = Value::String(mayor_name);
+    e.attributes["elevation"] = Value::Int(rng.NextInt(1, 2200));
+    e.attributes["foundedyear"] = Value::Int(rng.NextInt(800, 1900));
+    e.attributes["iscapital"] = Value::Bool(is_capital);
+    cities.entities.push_back(std::move(e));
+
+    Rng mrng = EntityRng(seed, "mayor", mayor_name);
+    Entity m;
+    m.key = mayor_name;
+    m.popularity = std::max(
+        0.05, cities.entities.back().popularity * 0.6);
+    m.attributes["name"] = Value::String(mayor_name);
+    int birth_year = static_cast<int>(mrng.NextInt(1948, 1982));
+    int birth_month = static_cast<int>(mrng.NextInt(1, 12));
+    int birth_day = static_cast<int>(mrng.NextInt(1, 28));
+    m.attributes["birthdate"] =
+        Value::Date(birth_year, birth_month, birth_day);
+    m.attributes["age"] = Value::Int(2023 - birth_year);
+    m.attributes["electionyear"] =
+        Value::Int(mrng.NextInt(2016, 2022));
+    m.attributes["party"] = Value::String(
+        kParties[mrng.NextInt(0, std::size(kParties) - 1)]);
+    m.attributes["city"] = Value::String(city);
+    mayors.entities.push_back(std::move(m));
+  };
+  for (size_t i = 0; i < num_countries; ++i) {
+    const CountrySeed& cs = kCountries[i];
+    double country_pop = 1.0 - 0.8 * static_cast<double>(i) /
+                                   static_cast<double>(num_countries - 1);
+    add_city(cs.capital, cs.name, country_pop, /*is_capital=*/true);
+  }
+  for (const CitySeed& cs : kExtraCities) {
+    // Find the country popularity.
+    double country_pop = 0.5;
+    for (size_t i = 0; i < num_countries; ++i) {
+      if (std::string_view(kCountries[i].name) == cs.country) {
+        country_pop = 1.0 - 0.8 * static_cast<double>(i) /
+                                static_cast<double>(num_countries - 1);
+        break;
+      }
+    }
+    add_city(cs.city, cs.country, country_pop, /*is_capital=*/false);
+  }
+  kb.AddConcept(std::move(cities));
+  kb.AddConcept(std::move(mayors));
+
+  // --- airports ---
+  EntitySet airports;
+  airports.concept_name = "airport";
+  airports.key_attribute = "code";
+  for (size_t i = 0; i < std::size(kAirports); ++i) {
+    const AirportSeed& as = kAirports[i];
+    Rng rng = EntityRng(seed, "airport", as.code);
+    Entity e;
+    e.key = as.code;
+    e.popularity = 1.0 - 0.75 * static_cast<double>(i) /
+                             static_cast<double>(std::size(kAirports) - 1);
+    e.attributes["code"] = Value::String(as.code);
+    e.attributes["name"] = Value::String(as.name);
+    e.attributes["city"] = Value::String(as.city);
+    e.attributes["elevation"] = Value::Int(rng.NextInt(2, 1600));
+    e.attributes["runways"] = Value::Int(rng.NextInt(1, 6));
+    e.attributes["passengers"] =
+        Value::Int(rng.NextInt(4, 100) * 1000000);
+    airports.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(airports));
+
+  // --- airlines ---
+  EntitySet airlines;
+  airlines.concept_name = "airline";
+  airlines.key_attribute = "name";
+  for (size_t i = 0; i < std::size(kAirlines); ++i) {
+    const AirlineSeed& as = kAirlines[i];
+    Rng rng = EntityRng(seed, "airline", as.name);
+    Entity e;
+    e.key = as.name;
+    e.popularity = 1.0 - 0.7 * static_cast<double>(i) /
+                             static_cast<double>(std::size(kAirlines) - 1);
+    e.attributes["name"] = Value::String(as.name);
+    e.attributes["country"] = Value::String(as.country);
+    e.attributes["foundedyear"] = Value::Int(as.founded);
+    e.attributes["fleetsize"] = Value::Int(rng.NextInt(20, 950));
+    e.attributes["destinations"] = Value::Int(rng.NextInt(15, 320));
+    airlines.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(airlines));
+
+  // --- singers ---
+  EntitySet singers;
+  singers.concept_name = "singer";
+  singers.key_attribute = "name";
+  const size_t num_singers = 36;
+  for (size_t i = 0; i < num_singers; ++i) {
+    const char* first = kFirstNames[(i * 13 + 1) % std::size(kFirstNames)];
+    const char* last = kLastNames[(i * 17 + 7) % std::size(kLastNames)];
+    std::string name = std::string(first) + " " + last;
+    Rng rng = EntityRng(seed, "singer", name);
+    Entity e;
+    e.key = name;
+    e.popularity =
+        1.0 - 0.85 * static_cast<double>(i) / (num_singers - 1);
+    e.attributes["name"] = Value::String(name);
+    e.attributes["country"] = Value::String(
+        kCountries[rng.NextInt(0, num_countries - 1)].name);
+    e.attributes["birthyear"] = Value::Int(rng.NextInt(1950, 2000));
+    e.attributes["genre"] = Value::String(
+        kGenres[rng.NextInt(0, std::size(kGenres) - 1)]);
+    e.attributes["networth"] =
+        Value::Double(rng.NextInt(1, 400) * 1.0);  // millions
+    singers.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(singers));
+
+  // --- stadiums ---
+  EntitySet stadiums;
+  stadiums.concept_name = "stadium";
+  stadiums.key_attribute = "name";
+  const char* kStadiumKinds[] = {"Arena", "Stadium", "Park", "Dome",
+                                 "Coliseum"};
+  const EntitySet* city_set = kb.FindConcept("city");
+  const size_t num_stadiums = 30;
+  for (size_t i = 0; i < num_stadiums; ++i) {
+    const Entity& city =
+        city_set->entities[(i * 7 + 2) % city_set->entities.size()];
+    std::string name =
+        city.key + " " + kStadiumKinds[i % std::size(kStadiumKinds)];
+    Rng rng = EntityRng(seed, "stadium", name);
+    Entity e;
+    e.key = name;
+    e.popularity = std::max(0.1, city.popularity * 0.7);
+    e.attributes["name"] = Value::String(name);
+    e.attributes["city"] = Value::String(city.key);
+    e.attributes["capacity"] = Value::Int(rng.NextInt(8, 95) * 1000);
+    e.attributes["openedyear"] = Value::Int(rng.NextInt(1920, 2015));
+    stadiums.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(stadiums));
+
+  // --- concerts ---
+  EntitySet concerts;
+  concerts.concept_name = "concert";
+  concerts.key_attribute = "name";
+  const EntitySet* singer_set = kb.FindConcept("singer");
+  const EntitySet* stadium_set = kb.FindConcept("stadium");
+  const size_t num_concerts = 60;
+  for (size_t i = 0; i < num_concerts; ++i) {
+    const Entity& singer =
+        singer_set->entities[(i * 5 + 1) % singer_set->entities.size()];
+    const Entity& stadium =
+        stadium_set->entities[(i * 11 + 3) % stadium_set->entities.size()];
+    Rng rng = EntityRng(seed, "concert",
+                        singer.key + "#" + std::to_string(i));
+    int year = static_cast<int>(rng.NextInt(2014, 2023));
+    std::string name =
+        singer.key + " Live " + std::to_string(year) + " #" +
+        std::to_string(i + 1);
+    Entity e;
+    e.key = name;
+    e.popularity = std::max(0.05, singer.popularity * 0.55);
+    e.attributes["name"] = Value::String(name);
+    e.attributes["singer"] = Value::String(singer.key);
+    e.attributes["stadium"] = Value::String(stadium.key);
+    e.attributes["year"] = Value::Int(year);
+    e.attributes["attendance"] = Value::Int(rng.NextInt(4, 90) * 1000);
+    concerts.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(concerts));
+
+  // --- languages ---
+  EntitySet languages;
+  languages.concept_name = "language";
+  languages.key_attribute = "name";
+  for (size_t i = 0; i < std::size(kLanguages); ++i) {
+    const LanguageSeed& ls = kLanguages[i];
+    Rng rng = EntityRng(seed, "language", ls.name);
+    Entity e;
+    e.key = ls.name;
+    e.popularity = 1.0 - 0.8 * static_cast<double>(i) /
+                             static_cast<double>(std::size(kLanguages) - 1);
+    e.attributes["name"] = Value::String(ls.name);
+    e.attributes["family"] = Value::String(ls.family);
+    e.attributes["speakers"] =
+        Value::Int(rng.NextInt(5, 1100) * 1000000);
+    languages.entities.push_back(std::move(e));
+  }
+  kb.AddConcept(std::move(languages));
+
+  return kb;
+}
+
+}  // namespace galois::knowledge

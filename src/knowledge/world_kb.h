@@ -1,0 +1,80 @@
+#ifndef GALOIS_KNOWLEDGE_WORLD_KB_H_
+#define GALOIS_KNOWLEDGE_WORLD_KB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "types/value.h"
+
+namespace galois::knowledge {
+
+/// One real-world entity: a key (its canonical name / code), a popularity
+/// score in (0,1] (how frequently it would occur in web-scale pre-training
+/// text — Section 3: "the default semantics for the LLM is to pick the most
+/// popular interpretation"), and a bag of typed attributes.
+struct Entity {
+  std::string key;
+  double popularity = 0.5;
+  std::map<std::string, Value> attributes;
+
+  const Value* FindAttribute(const std::string& name) const;
+};
+
+/// All entities of one concept_name ("country", "city", "airport", ...).
+struct EntitySet {
+  std::string concept_name;
+  std::string key_attribute;  // e.g. "name" or "code"
+  std::vector<Entity> entities;
+
+  const Entity* FindEntity(const std::string& key) const;
+};
+
+/// The synthetic world knowledge base. It plays the role of "the facts the
+/// LLM absorbed during pre-training": the simulated LLM answers prompts by
+/// (noisily) reading this KB, while the ground-truth Spider-like database
+/// instances are materialised from the *same* KB exactly. The gap between
+/// the two is therefore exactly the simulated model error, which is the
+/// quantity the paper's experiments measure.
+///
+/// Concepts: country, city, mayor, airport, airline, singer, concert,
+/// stadium, language. All content is generated deterministically from the
+/// seed, with realistic names and popularity skew.
+class WorldKb {
+ public:
+  /// Builds the full world. `seed` controls all synthesised values.
+  static WorldKb Generate(uint64_t seed = 20240325);
+
+  const EntitySet* FindConcept(const std::string& concept_name) const;
+  Result<const EntitySet*> GetConcept(const std::string& concept_name) const;
+
+  /// Attribute of one entity (error when concept_name/entity/attr unknown).
+  Result<Value> GetAttribute(const std::string& concept_name,
+                             const std::string& key,
+                             const std::string& attribute) const;
+
+  std::vector<std::string> ConceptNames() const;
+
+  /// Surface forms the world uses for an entity, most canonical first.
+  /// e.g. country "Italy" -> {"Italy", "ITA", "IT"}. The simulated LLM may
+  /// answer with any of these (Section 5: the failed `IT` vs `ITA` join).
+  std::vector<std::string> SurfaceForms(const std::string& concept_name,
+                                        const std::string& key) const;
+
+  /// If `attribute` of `concept_name` holds keys of another concept_name (e.g.
+  /// city.country -> "country"), returns that concept_name name; "" otherwise.
+  /// These are the attributes whose non-canonical rendering breaks joins.
+  static std::string ReferencedConcept(const std::string& concept_name,
+                                       const std::string& attribute);
+
+ private:
+  void AddConcept(EntitySet set);
+
+  std::map<std::string, EntitySet> concepts_;
+};
+
+}  // namespace galois::knowledge
+
+#endif  // GALOIS_KNOWLEDGE_WORLD_KB_H_

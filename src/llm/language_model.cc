@@ -1,0 +1,26 @@
+#include "llm/language_model.h"
+
+#include <sstream>
+
+namespace galois::llm {
+
+Result<std::vector<Completion>> LanguageModel::CompleteBatch(
+    const std::vector<Prompt>& prompts) {
+  std::vector<Completion> out;
+  out.reserve(prompts.size());
+  for (const Prompt& p : prompts) {
+    GALOIS_ASSIGN_OR_RETURN(Completion c, Complete(p));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+int64_t CountTokens(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  int64_t count = 0;
+  while (is >> word) ++count;
+  return count;
+}
+
+}  // namespace galois::llm

@@ -1,0 +1,68 @@
+#ifndef GALOIS_LLM_LANGUAGE_MODEL_H_
+#define GALOIS_LLM_LANGUAGE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "llm/prompt.h"
+
+namespace galois::llm {
+
+/// Accumulated usage statistics for a model (Section 5 reports ~110
+/// batched prompts and ~20 s per query; the cost meter regenerates those
+/// numbers). Latency is simulated deterministically from token counts.
+struct CostMeter {
+  int64_t num_prompts = 0;
+  int64_t prompt_tokens = 0;
+  int64_t completion_tokens = 0;
+  double simulated_latency_ms = 0.0;
+  int64_t cache_hits = 0;    // filled by PromptCache
+  int64_t num_batches = 0;   // batched round trips (CompleteBatch calls)
+
+  void Reset() { *this = CostMeter(); }
+
+  CostMeter operator-(const CostMeter& other) const {
+    CostMeter out = *this;
+    out.num_prompts -= other.num_prompts;
+    out.prompt_tokens -= other.prompt_tokens;
+    out.completion_tokens -= other.completion_tokens;
+    out.simulated_latency_ms -= other.simulated_latency_ms;
+    out.cache_hits -= other.cache_hits;
+    out.num_batches -= other.num_batches;
+    return out;
+  }
+};
+
+/// Whitespace token count (our stand-in tokenizer for cost accounting).
+int64_t CountTokens(const std::string& text);
+
+/// Abstract language model client. Implementations: SimulatedLlm (the four
+/// paper profiles over the synthetic world) and PromptCache (a caching
+/// decorator). A production build would add an HTTP-API client here.
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  /// Human-readable model name ("GPT-3.5-turbo").
+  virtual const std::string& name() const = 0;
+
+  /// Executes one prompt.
+  virtual Result<Completion> Complete(const Prompt& prompt) = 0;
+
+  /// Executes a batch of independent prompts in one round trip (the
+  /// paper's "~110 *batched* prompts per query"). The default loops over
+  /// Complete; implementations may overlap the per-prompt latency —
+  /// SimulatedLlm bills one shared round-trip overhead per batch.
+  virtual Result<std::vector<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts);
+
+  /// Usage since construction / last reset.
+  virtual const CostMeter& cost() const = 0;
+  virtual void ResetCost() = 0;
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_LANGUAGE_MODEL_H_

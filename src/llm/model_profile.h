@@ -1,0 +1,137 @@
+#ifndef GALOIS_LLM_MODEL_PROFILE_H_
+#define GALOIS_LLM_MODEL_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace galois::llm {
+
+/// Behavioural knobs of a simulated language model.
+///
+/// The four presets correspond to the models evaluated in the paper
+/// (Section 5, Setup): Flan-T5-large, TK-instruct-large, InstructGPT-3 and
+/// GPT-3.5-turbo. Values are calibrated so the *shape* of Table 1 and
+/// Table 2 is preserved (small models miss many rows; GPT-3 slightly
+/// over-generates; joins fail on surface-form mismatches; Galois beats QA
+/// which beats CoT on aggregates).
+struct ModelProfile {
+  std::string name;
+  int64_t parameters_millions = 0;
+
+  // --- knowledge coverage -------------------------------------------------
+  /// An entity of popularity p is known iff
+  /// hash-uniform(model, entity) < coverage_floor + coverage_gain * p
+  /// (clamped to [0,1]). Popular entities are nearly always known.
+  double coverage_floor = 0.2;
+  double coverage_gain = 0.8;
+
+  /// Probability a *known* attribute is still answered "Unknown".
+  double unknown_rate = 0.02;
+
+  /// Probability the model answers confidently (with a fabricated value)
+  /// about an entity it does not actually know, instead of "Unknown" —
+  /// Section 3's "LLMs do not know what they know". Keeps hallucinated
+  /// scan keys alive through filter checks.
+  double fake_entity_confidence = 0.3;
+
+  // --- factuality ---------------------------------------------------------
+  /// Probability an attribute value is recalled correctly; otherwise the
+  /// model hallucinates a perturbed value.
+  double fact_accuracy = 0.8;
+
+  /// Recall accuracy for numeric magnitudes (populations, capacities...).
+  /// Substantially below fact_accuracy: language models are much weaker at
+  /// exact numeric literals than at entity names (cf. the paper's
+  /// discussion of poor data-manipulation skills and [31]). Years use
+  /// fact_accuracy — they behave like memorable tokens.
+  double numeric_fact_accuracy = 0.6;
+
+  /// Relative magnitude of numeric hallucinations (value scaled by
+  /// 1 +/- U(0.1, this)).
+  double numeric_error_scale = 0.5;
+
+  // --- surface forms / formatting ----------------------------------------
+  /// Probability that a *reference* attribute (a value that is the key of
+  /// another concept: city.country, airport.city, ...) is systematically
+  /// rendered in a non-canonical surface form for a given (concept,
+  /// attribute) pair — e.g. "ITA" instead of "Italy". This is the paper's
+  /// join-failure mechanism ("an attempt to join the country code IT with
+  /// ITA for entity Italy").
+  double reference_style_noise = 0.5;
+
+  /// Probability a numeric/date value is rendered in a noisy format that
+  /// the cleaning layer must normalise ("1k", "3 million", "08/04/1962").
+  double value_format_noise = 0.3;
+
+  /// Probability a scalar answer is wrapped in a full sentence instead of
+  /// the bare value ("The population of Rome is 2.8 million.").
+  double verbosity = 0.2;
+
+  // --- iterative retrieval (key scans) ------------------------------------
+  /// Keys returned per page of the iterative "Return more results" loop.
+  int page_size = 15;
+
+  /// After each page, probability the model refuses to produce more
+  /// results even though it knows more entities (drives the missing-rows
+  /// behaviour of the small models in Table 1).
+  double paging_fatigue = 0.1;
+
+  /// Probability (per page) of injecting one invented entity into a key
+  /// scan (drives GPT-3's slightly positive cardinality delta).
+  double hallucinated_key_rate = 0.02;
+
+  /// Extra probability that a filter pushed down into the scan prompt is
+  /// evaluated wrongly (Section 6: merged prompts are "complex questions
+  /// that have lower accuracy than simple ones").
+  double pushdown_error = 0.1;
+
+  /// Probability a per-key filter-check prompt flips its outcome on top of
+  /// the value noise.
+  double filter_check_error = 0.03;
+
+  /// Probability the critic catches a *false* claim. Higher than
+  /// generation accuracy — Section 6: "verification is easier than
+  /// generation, e.g., it is easier to verify a proof rather than
+  /// generate it".
+  double verifier_accuracy = 0.92;
+
+  /// Probability the critic wrongly rejects a *true* claim. Much smaller:
+  /// confirming a statement the model already believes is the easy
+  /// direction of verification.
+  double verifier_false_reject = 0.02;
+
+  // --- QA baseline behaviour (Section 5, T_M and T^C_M) -------------------
+  /// Fraction of the true result list a one-shot NL answer covers.
+  double qa_list_recall = 0.7;
+  /// Probability a one-shot NL aggregate answer lands within the 5%
+  /// tolerance.
+  double qa_aggregate_accuracy = 0.2;
+  /// Probability a one-shot NL join row is aligned correctly.
+  double qa_join_accuracy = 0.08;
+  /// Same three for the chain-of-thought prompt variant.
+  double cot_list_recall = 0.7;
+  double cot_aggregate_accuracy = 0.13;
+  double cot_join_accuracy = 0.0;
+
+  // --- simulated cost -----------------------------------------------------
+  double latency_ms_base = 120.0;     // fixed per-prompt overhead
+  double latency_ms_per_token = 6.0;  // decoding cost per completion token
+
+  /// The four paper models.
+  static ModelProfile Flan();
+  static ModelProfile Tk();
+  static ModelProfile Gpt3();
+  static ModelProfile ChatGpt();
+
+  /// Lookup by (case-insensitive) name: "flan", "tk", "gpt-3", "chatgpt".
+  static Result<ModelProfile> ByName(const std::string& name);
+
+  /// All four presets, in the paper's table order.
+  static std::vector<ModelProfile> AllPaperModels();
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_MODEL_PROFILE_H_

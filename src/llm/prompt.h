@@ -1,0 +1,90 @@
+#ifndef GALOIS_LLM_PROMPT_H_
+#define GALOIS_LLM_PROMPT_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "types/value.h"
+
+namespace galois::llm {
+
+/// A comparison pushed into a prompt ("population greater than 1000000").
+struct PromptFilter {
+  std::string attribute;
+  std::string attribute_description;
+  std::string op;  // one of =, !=, <, <=, >, >=, LIKE
+  Value value;
+};
+
+/// Intent: page `page` of the key listing for a concept_name (the leaf-node
+/// data access of Section 4: "the access to the base relations ... with the
+/// retrieval of the key attribute values"). An optional filter models the
+/// Section 6 pushdown optimisation ("get names of cities with > 1M
+/// population").
+struct KeyScanIntent {
+  std::string concept_name;        // "country", "city", ...
+  std::string key_attribute;  // "name" / "code"
+  int page = 0;               // 0 = first prompt, >0 = "Return more results"
+  std::optional<PromptFilter> filter;
+};
+
+/// Intent: fetch one attribute of one entity ("Get the current mayor of
+/// Rome").
+struct AttributeGetIntent {
+  std::string concept_name;
+  std::string key;
+  std::string attribute;
+  std::string attribute_description;
+  DataType expected_type = DataType::kString;
+};
+
+/// Intent: boolean membership check for the selection operator
+/// ("Has city Rome population greater than 1000000?").
+struct FilterCheckIntent {
+  std::string concept_name;
+  std::string key;
+  PromptFilter filter;
+};
+
+/// Intent: a free-text question (the QA baselines T_M / T^C_M). `sql`
+/// carries the underlying query so the *simulated* model can ground its
+/// answer; a real deployment would rely on the model's NL understanding.
+struct FreeformIntent {
+  std::string question;
+  std::string sql;
+  bool chain_of_thought = false;
+};
+
+/// Intent: critic verification of a previously generated cell (Section 6,
+/// "Knowledge of the Unknown": "one direction is to verify generated query
+/// answers by another model ... verification is easier than generation").
+struct VerifyIntent {
+  std::string concept_name;
+  std::string key;
+  std::string attribute;
+  std::string attribute_description;
+  Value claimed;  // the value the generator produced
+};
+
+using PromptIntent = std::variant<KeyScanIntent, AttributeGetIntent,
+                                  FilterCheckIntent, FreeformIntent,
+                                  VerifyIntent>;
+
+/// A prompt as sent to a model: the full natural-language text (instruction
+/// preamble + few-shot examples + request) plus the structured intent. The
+/// text is what a production system would transmit; the simulator answers
+/// from the intent but bills tokens from the text.
+struct Prompt {
+  std::string text;
+  PromptIntent intent;
+};
+
+/// A model completion.
+struct Completion {
+  std::string text;
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_PROMPT_H_

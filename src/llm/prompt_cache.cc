@@ -1,0 +1,27 @@
+#include "llm/prompt_cache.h"
+
+namespace galois::llm {
+
+Result<Completion> PromptCache::Complete(const Prompt& prompt) {
+  auto it = cache_.find(prompt.text);
+  if (it != cache_.end()) {
+    ++hits_;
+    return Completion{it->second};
+  }
+  GALOIS_ASSIGN_OR_RETURN(Completion c, inner_->Complete(prompt));
+  cache_.emplace(prompt.text, c.text);
+  return c;
+}
+
+const CostMeter& PromptCache::cost() const {
+  merged_ = inner_->cost();
+  merged_.cache_hits = hits_;
+  return merged_;
+}
+
+void PromptCache::ResetCost() {
+  inner_->ResetCost();
+  hits_ = 0;
+}
+
+}  // namespace galois::llm

@@ -1,0 +1,42 @@
+#ifndef GALOIS_LLM_PROMPT_CACHE_H_
+#define GALOIS_LLM_PROMPT_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "llm/language_model.h"
+
+namespace galois::llm {
+
+/// Caching decorator: memoises completions by exact prompt text.
+///
+/// Query plans re-issue identical sub-prompts (e.g. the same attribute
+/// retrieval appearing under a selection and a projection); caching them is
+/// one of the physical-plan optimisations discussed in Section 6. The cache
+/// is sound for SimulatedLlm because its completions are deterministic.
+class PromptCache : public LanguageModel {
+ public:
+  /// `inner` must outlive the cache.
+  explicit PromptCache(LanguageModel* inner) : inner_(inner) {}
+
+  const std::string& name() const override { return inner_->name(); }
+
+  Result<Completion> Complete(const Prompt& prompt) override;
+
+  /// Combined meter: inner usage plus our cache hit count.
+  const CostMeter& cost() const override;
+  void ResetCost() override;
+
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  LanguageModel* inner_;
+  std::unordered_map<std::string, std::string> cache_;
+  mutable CostMeter merged_;
+  int64_t hits_ = 0;
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_PROMPT_CACHE_H_

@@ -1,0 +1,142 @@
+#include "llm/prompt_templates.h"
+
+#include "common/strings.h"
+
+namespace galois::llm {
+
+const std::string& FewShotPreamble() {
+  // Figure 4 of the paper, verbatim in spirit: instruction plus few-shot
+  // QA pairs steering the model toward terse factual answers.
+  static const std::string* kPreamble = new std::string(
+      "I am a highly intelligent question answering bot. If you ask me a "
+      "question that is rooted in truth, I will give you the short answer. "
+      "If you ask me a question that is nonsense, trickery, or has no clear "
+      "answer, I will respond with \"Unknown\". If the answer is numerical, "
+      "I will return the number only.\n"
+      "Q: What is human life expectancy in the United States?\nA: 78.\n"
+      "Q: Who was president of the United States in 1955?\n"
+      "A: Dwight D. Eisenhower.\n"
+      "Q: What is the capital of France?\nA: Paris.\n"
+      "Q: What is a continent starting with letter O?\nA: Oceania.\n"
+      "Q: Where were the 1992 Olympics held?\nA: Barcelona.\n"
+      "Q: How many squigs are in a bonk?\nA: Unknown\n");
+  return *kPreamble;
+}
+
+std::string OperatorPhrase(const std::string& op) {
+  if (op == "=") return "equal to";
+  if (op == "!=") return "different from";
+  if (op == "<") return "less than";
+  if (op == "<=") return "at most";
+  if (op == ">") return "greater than";
+  if (op == ">=") return "at least";
+  if (op == "LIKE") return "matching";
+  return op;
+}
+
+std::string Pluralize(const std::string& noun) {
+  if (noun.empty()) return noun;
+  if (EndsWith(noun, "y") && noun.size() > 1) {
+    char prev = noun[noun.size() - 2];
+    if (prev != 'a' && prev != 'e' && prev != 'i' && prev != 'o' &&
+        prev != 'u') {
+      return noun.substr(0, noun.size() - 1) + "ies";
+    }
+  }
+  if (EndsWith(noun, "s") || EndsWith(noun, "x") || EndsWith(noun, "ch") ||
+      EndsWith(noun, "sh")) {
+    return noun + "es";
+  }
+  return noun + "s";
+}
+
+namespace {
+
+std::string FilterPhrase(const PromptFilter& f) {
+  std::string attr = f.attribute_description.empty()
+                         ? HumanizeIdentifier(f.attribute)
+                         : f.attribute_description;
+  return attr + " " + OperatorPhrase(f.op) + " " + f.value.ToString();
+}
+
+}  // namespace
+
+Prompt BuildKeyScanPrompt(const KeyScanIntent& intent) {
+  Prompt p;
+  std::string request;
+  std::string key = HumanizeIdentifier(intent.key_attribute);
+  std::string nouns = Pluralize(intent.concept_name);
+  if (intent.filter.has_value()) {
+    request = "Q: List the " + Pluralize(key) + " of all " + nouns +
+              " with " + FilterPhrase(*intent.filter) + ".\nA:";
+  } else {
+    request = "Q: List the " + Pluralize(key) + " of all " + nouns +
+              ".\nA:";
+  }
+  if (intent.page > 0) {
+    request += " [previous results omitted]\nQ: Return more results.\nA:";
+  }
+  p.text = FewShotPreamble() + request;
+  p.intent = intent;
+  return p;
+}
+
+Prompt BuildAttributePrompt(const AttributeGetIntent& intent) {
+  Prompt p;
+  std::string attr = intent.attribute_description.empty()
+                         ? HumanizeIdentifier(intent.attribute)
+                         : intent.attribute_description;
+  p.text = FewShotPreamble() + "Q: What is the " + attr + " of the " +
+           intent.concept_name + " " + intent.key + "?\nA:";
+  p.intent = intent;
+  return p;
+}
+
+Prompt BuildFilterPrompt(const FilterCheckIntent& intent) {
+  // Instantiates the paper's template
+  // "Has relationName keyName attributeName operator value ?".
+  Prompt p;
+  p.text = FewShotPreamble() + "Q: Has " + intent.concept_name + " " +
+           intent.key + " " + FilterPhrase(intent.filter) +
+           "? Answer Yes or No.\nA:";
+  p.intent = intent;
+  return p;
+}
+
+Prompt BuildVerifyPrompt(const VerifyIntent& intent) {
+  Prompt p;
+  std::string attr = intent.attribute_description.empty()
+                         ? HumanizeIdentifier(intent.attribute)
+                         : intent.attribute_description;
+  p.text = FewShotPreamble() + "Q: Is it true that the " + attr +
+           " of the " + intent.concept_name + " " + intent.key + " is " +
+           intent.claimed.ToString() + "? Answer Yes or No.\nA:";
+  p.intent = intent;
+  return p;
+}
+
+Prompt BuildFreeformPrompt(const FreeformIntent& intent) {
+  Prompt p;
+  if (intent.chain_of_thought) {
+    // Section 5: "an engineered prompt contains a complete example of a
+    // manually crafted chain-of-thought, similar to the logical plan
+    // execution for the query, followed by t and instructions to reason
+    // step by step". The example is fixed, as in the paper.
+    p.text =
+        FewShotPreamble() +
+        "Q: List the capitals of the countries where the current head of "
+        "state took office after 2015.\n"
+        "A: Let's break the task into steps. Step 1: list the countries. "
+        "Step 2: for each country, find when its head of state took "
+        "office. Step 3: keep the countries where that year is after "
+        "2015. Step 4: for each kept country, return its capital.\n"
+        "Q: " +
+        intent.question + "\nA: Let's think step by step.";
+  } else {
+    p.text = FewShotPreamble() + "Q: " + intent.question + "\nA:";
+  }
+  p.intent = intent;
+  return p;
+}
+
+}  // namespace galois::llm

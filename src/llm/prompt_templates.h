@@ -1,0 +1,48 @@
+#ifndef GALOIS_LLM_PROMPT_TEMPLATES_H_
+#define GALOIS_LLM_PROMPT_TEMPLATES_H_
+
+#include <string>
+
+#include "llm/prompt.h"
+
+namespace galois::llm {
+
+/// Builders for the operator-specific prompt templates of Section 4.
+/// Each returns a complete Prompt: the Figure-4 instruction preamble with
+/// few-shot examples, followed by the operator request instantiated with
+/// the schema labels and conditions of the query at hand.
+
+/// The fixed instruction + few-shot preamble (Figure 4 of the paper).
+const std::string& FewShotPreamble();
+
+/// Leaf data access: "List the names of all countries." / page>0 appends
+/// the iterative "Return more results." continuation. A pushed-down filter
+/// becomes e.g. "List the names of all cities with population greater than
+/// 1000000."
+Prompt BuildKeyScanPrompt(const KeyScanIntent& intent);
+
+/// Attribute retrieval node: "What is the current mayor of the city Rome?"
+Prompt BuildAttributePrompt(const AttributeGetIntent& intent);
+
+/// Selection check: template "Has relationName keyName attributeName
+/// operator value?" -> "Has politician B. Obama age less than 40?"
+Prompt BuildFilterPrompt(const FilterCheckIntent& intent);
+
+/// QA baseline prompt: the plain NL question (T_M) or the engineered
+/// chain-of-thought variant (T^C_M) with a worked decomposition example.
+Prompt BuildFreeformPrompt(const FreeformIntent& intent);
+
+/// Critic verification: "Is it true that the population of the city Rome
+/// is 2800000? Answer Yes or No." (Section 6's verify-by-another-model.)
+Prompt BuildVerifyPrompt(const VerifyIntent& intent);
+
+/// English rendering of a comparison operator ("greater than", ...).
+std::string OperatorPhrase(const std::string& op);
+
+/// Naive English pluralisation used in scan prompts ("country" ->
+/// "countries").
+std::string Pluralize(const std::string& noun);
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_PROMPT_TEMPLATES_H_

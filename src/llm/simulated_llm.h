@@ -1,0 +1,125 @@
+#ifndef GALOIS_LLM_SIMULATED_LLM_H_
+#define GALOIS_LLM_SIMULATED_LLM_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "knowledge/world_kb.h"
+#include "llm/language_model.h"
+#include "llm/model_profile.h"
+
+namespace galois::llm {
+
+/// Deterministic simulated language model.
+///
+/// Stands in for the OpenAI / HuggingFace models of the paper (see
+/// DESIGN.md, substitutions). It answers prompts by reading the synthetic
+/// WorldKb through a *noisy view* controlled by a ModelProfile:
+///
+///  * coverage — an entity is "known" iff a per-(model, entity) hash draw
+///    falls under coverage_floor + coverage_gain * popularity; unknown
+///    entities never appear in scans and yield "Unknown" on lookups;
+///  * factuality — attribute values are recalled correctly with
+///    probability fact_accuracy, otherwise a stable hallucinated
+///    perturbation is returned (the same wrong value on every prompt);
+///  * surface forms — reference attributes may be systematically rendered
+///    in non-canonical forms per (model, concept_name, attribute) ("ITA" for
+///    "Italy"), the paper's join-failure mechanism; numeric/date values may
+///    be formatted noisily ("1k", "3 million", "08/04/1962");
+///  * paging — key scans page through known entities by popularity and
+///    stop early with probability paging_fatigue per page, and may inject
+///    hallucinated keys.
+///
+/// Every draw is a pure function of (seed, model name, entity, attribute,
+/// purpose), so runs are reproducible and answers are self-consistent
+/// across prompts.
+class SimulatedLlm : public LanguageModel {
+ public:
+  /// `kb` must outlive the model. `ground_catalog` is optional and only
+  /// needed for free-form QA prompts (the baselines), which ground their
+  /// answers by executing the underlying SQL; pass the workload catalog.
+  SimulatedLlm(const knowledge::WorldKb* kb, ModelProfile profile,
+               const catalog::Catalog* ground_catalog = nullptr,
+               uint64_t seed = 7);
+
+  const std::string& name() const override { return profile_.name; }
+  Result<Completion> Complete(const Prompt& prompt) override;
+
+  /// Batched execution: prompts in one batch share a single round-trip
+  /// overhead and their decode latencies overlap (the max, not the sum,
+  /// dominates), mirroring how API batching amortises cost.
+  Result<std::vector<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts) override;
+  const CostMeter& cost() const override { return cost_; }
+  void ResetCost() override { cost_.Reset(); }
+
+  const ModelProfile& profile() const { return profile_; }
+
+  // --- noisy world view (used by the QA baseline and by tests) -----------
+
+  /// Whether this model knows the entity at all.
+  bool KnowsEntity(const std::string& concept_name, const std::string& key) const;
+
+  /// Known entities of a concept_name, most popular first.
+  std::vector<const knowledge::Entity*> KnownEntities(
+      const std::string& concept_name) const;
+
+  /// The value this model believes for (concept_name, key, attribute): the true
+  /// value with probability fact_accuracy, else a stable perturbation.
+  /// Returns NULL Value when the model would answer "Unknown".
+  Result<Value> NoisyAttribute(const std::string& concept_name,
+                               const std::string& key,
+                               const std::string& attribute) const;
+
+  /// Renders `v` as the model would print it, applying surface-form style
+  /// (for reference attributes) and format noise. `key` seeds the
+  /// per-value format draw.
+  std::string RenderValue(const std::string& concept_name,
+                          const std::string& attribute, const Value& v,
+                          const std::string& key) const;
+
+  /// Whether this model systematically uses a non-canonical surface form
+  /// for the given reference attribute (decided once per (model, concept_name,
+  /// attribute)).
+  bool UsesNonCanonicalStyle(const std::string& concept_name,
+                             const std::string& attribute) const;
+
+  /// The page index (1-based) at which a key scan of `concept_name` stops
+  /// producing results; pages >= this return "No more results".
+  int ScanStopPage(const std::string& concept_name) const;
+
+ private:
+  /// Uniform [0,1) draw, pure in the labels.
+  double Draw(const std::string& purpose, const std::string& a,
+              const std::string& b = "", const std::string& c = "") const;
+
+  Result<Completion> CompleteKeyScan(const KeyScanIntent& intent);
+  Result<Completion> CompleteAttributeGet(const AttributeGetIntent& intent);
+  Result<Completion> CompleteFilterCheck(const FilterCheckIntent& intent);
+  Result<Completion> CompleteFreeform(const FreeformIntent& intent);
+  Result<Completion> CompleteVerify(const VerifyIntent& intent);
+
+  /// Applies filter semantics on the model's noisy value. Returns 1 (holds),
+  /// 0 (does not hold) or -1 (model would answer "Unknown").
+  Result<int> NoisyFilterHolds(const std::string& concept_name,
+                               const std::string& key,
+                               const PromptFilter& filter,
+                               double extra_error,
+                               const std::string& purpose) const;
+
+  /// Books cost for (prompt, completion) and returns the completion.
+  Completion Billed(const Prompt& prompt, std::string completion_text);
+
+  const knowledge::WorldKb* kb_;
+  ModelProfile profile_;
+  const catalog::Catalog* ground_catalog_;
+  uint64_t seed_;
+  CostMeter cost_;
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_SIMULATED_LLM_H_

@@ -1,0 +1,436 @@
+#include "planner/planner.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace galois::planner {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    FlattenConjuncts(e->children[0].get(), out);
+    FlattenConjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Collects column names referenced with the given alias (or unqualified).
+void CollectColumns(const Expr& e, const std::string& alias,
+                    const catalog::TableDef& def,
+                    std::set<std::string>* out) {
+  sql::VisitExpr(e, [&](const Expr& node) {
+    if (node.kind != ExprKind::kColumnRef) return;
+    if (!node.table.empty() && !EqualsIgnoreCase(node.table, alias)) {
+      return;
+    }
+    if (def.FindColumn(node.column).ok()) out->insert(node.column);
+  });
+}
+
+PlanNodePtr MakeNode(PlanOp op) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  return node;
+}
+
+}  // namespace
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan:
+      return "Scan";
+    case PlanOp::kFilter:
+      return "Filter";
+    case PlanOp::kRetrieve:
+      return "Retrieve";
+    case PlanOp::kJoin:
+      return "Join";
+    case PlanOp::kAggregate:
+      return "Aggregate";
+    case PlanOp::kProject:
+      return "Project";
+    case PlanOp::kSort:
+      return "Sort";
+    case PlanOp::kLimit:
+      return "Limit";
+    case PlanOp::kDistinct:
+      return "Distinct";
+  }
+  return "?";
+}
+
+std::string PlanNode::Describe() const {
+  std::ostringstream os;
+  os << PlanOpName(op);
+  switch (op) {
+    case PlanOp::kScan:
+      os << "[" << (from_llm ? "LLM" : "DB") << "] " << table;
+      if (!alias.empty() && alias != table) os << " AS " << alias;
+      if (from_llm) {
+        os << " (retrieve key '" << key_column << "' via prompts";
+        if (predicate) {
+          os << ", filter merged into scan prompt: "
+             << predicate->ToString();
+        }
+        os << ")";
+      }
+      break;
+    case PlanOp::kFilter:
+      os << " " << (predicate ? predicate->ToString() : "?");
+      if (pushed_into_scan) {
+        os << " (merged into scan prompt)";
+      } else if (via_llm) {
+        os << " (one check prompt per key)";
+      }
+      break;
+    case PlanOp::kRetrieve:
+      os << " " << alias << ".{" << Join(columns, ", ")
+         << "} (one prompt per key per attribute)";
+      break;
+    case PlanOp::kJoin:
+      if (predicate) os << " ON " << predicate->ToString();
+      break;
+    case PlanOp::kAggregate:
+    case PlanOp::kProject: {
+      std::vector<std::string> parts;
+      for (const auto& e : exprs) parts.push_back(e->ToString());
+      os << " [" << Join(parts, ", ") << "]";
+      break;
+    }
+    case PlanOp::kSort: {
+      std::vector<std::string> parts;
+      for (const auto& e : exprs) parts.push_back(e->ToString());
+      os << " [" << Join(parts, ", ") << "]";
+      break;
+    }
+    case PlanOp::kLimit:
+      os << " " << limit;
+      break;
+    case PlanOp::kDistinct:
+      break;
+  }
+  return os.str();
+}
+
+Result<PlanNodePtr> BuildLogicalPlan(const sql::SelectStatement& stmt,
+                                     const catalog::Catalog& catalog) {
+  // 1. One scan (+ retrieve) subtree per base relation.
+  struct BaseInfo {
+    const sql::TableRef* ref;
+    const catalog::TableDef* def;
+  };
+  std::vector<BaseInfo> bases;
+  for (const sql::TableRef& ref : stmt.from) {
+    GALOIS_ASSIGN_OR_RETURN(const catalog::TableDef* def,
+                            catalog.GetTable(ref.table));
+    bases.push_back({&ref, def});
+  }
+  for (const sql::JoinClause& j : stmt.joins) {
+    GALOIS_ASSIGN_OR_RETURN(const catalog::TableDef* def,
+                            catalog.GetTable(j.table.table));
+    bases.push_back({&j.table, def});
+  }
+
+  // Build scans; LLM scans only yield keys, so inject a Retrieve node for
+  // every other column the statement references.
+  std::vector<PlanNodePtr> subtrees;
+  for (const BaseInfo& info : bases) {
+    PlanNodePtr scan = MakeNode(PlanOp::kScan);
+    scan->table = info.def->name;
+    scan->alias = info.ref->EffectiveAlias();
+    scan->key_column = info.def->key_column;
+    if (info.ref->source == "LLM") {
+      scan->from_llm = true;
+    } else if (info.ref->source == "DB") {
+      scan->from_llm = false;
+    } else {
+      scan->from_llm =
+          info.def->default_source == catalog::SourceKind::kLlm;
+    }
+    if (!scan->from_llm) {
+      subtrees.push_back(std::move(scan));
+      continue;
+    }
+    std::set<std::string> needed;
+    for (const auto& item : stmt.select_list) {
+      if (item.expr->kind == ExprKind::kStar) {
+        for (const auto& c : info.def->columns) needed.insert(c.name);
+        continue;
+      }
+      CollectColumns(*item.expr, scan->alias, *info.def, &needed);
+    }
+    if (stmt.where) {
+      CollectColumns(*stmt.where, scan->alias, *info.def, &needed);
+    }
+    for (const auto& j : stmt.joins) {
+      if (j.condition) {
+        CollectColumns(*j.condition, scan->alias, *info.def, &needed);
+      }
+    }
+    for (const auto& g : stmt.group_by) {
+      CollectColumns(*g, scan->alias, *info.def, &needed);
+    }
+    if (stmt.having) {
+      CollectColumns(*stmt.having, scan->alias, *info.def, &needed);
+    }
+    for (const auto& o : stmt.order_by) {
+      CollectColumns(*o.expr, scan->alias, *info.def, &needed);
+    }
+    needed.erase(info.def->key_column);
+    std::string alias = scan->alias;
+    PlanNodePtr subtree = std::move(scan);
+    if (!needed.empty()) {
+      PlanNodePtr retrieve = MakeNode(PlanOp::kRetrieve);
+      retrieve->alias = alias;
+      retrieve->columns.assign(needed.begin(), needed.end());
+      retrieve->children.push_back(std::move(subtree));
+      subtree = std::move(retrieve);
+    }
+    subtrees.push_back(std::move(subtree));
+  }
+
+  // 2. Join tree, left-deep in FROM/JOIN order.
+  PlanNodePtr root = std::move(subtrees[0]);
+  for (size_t i = 1; i < subtrees.size(); ++i) {
+    PlanNodePtr join = MakeNode(PlanOp::kJoin);
+    size_t join_idx = i - stmt.from.size();
+    if (i >= stmt.from.size() && stmt.joins[join_idx].condition) {
+      join->predicate = stmt.joins[join_idx].condition->Clone();
+    }
+    join->children.push_back(std::move(root));
+    join->children.push_back(std::move(subtrees[i]));
+    root = std::move(join);
+  }
+
+  // 3. WHERE.
+  if (stmt.where) {
+    PlanNodePtr filter = MakeNode(PlanOp::kFilter);
+    filter->predicate = stmt.where->Clone();
+    filter->children.push_back(std::move(root));
+    root = std::move(filter);
+  }
+
+  // 4. Aggregate.
+  bool has_agg = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const auto& item : stmt.select_list) {
+    if (sql::ContainsAggregate(*item.expr)) has_agg = true;
+  }
+  if (has_agg) {
+    PlanNodePtr agg = MakeNode(PlanOp::kAggregate);
+    for (const auto& g : stmt.group_by) agg->exprs.push_back(g->Clone());
+    for (const auto& item : stmt.select_list) {
+      if (sql::ContainsAggregate(*item.expr)) {
+        agg->exprs.push_back(item.expr->Clone());
+      }
+    }
+    agg->children.push_back(std::move(root));
+    root = std::move(agg);
+    if (stmt.having) {
+      PlanNodePtr having = MakeNode(PlanOp::kFilter);
+      having->predicate = stmt.having->Clone();
+      having->children.push_back(std::move(root));
+      root = std::move(having);
+    }
+  }
+
+  // 5. Project.
+  PlanNodePtr project = MakeNode(PlanOp::kProject);
+  for (const auto& item : stmt.select_list) {
+    project->exprs.push_back(item.expr->Clone());
+  }
+  project->children.push_back(std::move(root));
+  root = std::move(project);
+
+  // 6. Sort / Distinct / Limit.
+  if (!stmt.order_by.empty()) {
+    PlanNodePtr sort = MakeNode(PlanOp::kSort);
+    for (const auto& o : stmt.order_by) sort->exprs.push_back(o.expr->Clone());
+    sort->children.push_back(std::move(root));
+    root = std::move(sort);
+  }
+  if (stmt.distinct) {
+    PlanNodePtr distinct = MakeNode(PlanOp::kDistinct);
+    distinct->children.push_back(std::move(root));
+    root = std::move(distinct);
+  }
+  if (stmt.limit.has_value()) {
+    PlanNodePtr limit = MakeNode(PlanOp::kLimit);
+    limit->limit = *stmt.limit;
+    limit->children.push_back(std::move(root));
+    root = std::move(limit);
+  }
+  return root;
+}
+
+namespace {
+
+/// Finds the scan feeding a filter (through Retrieve nodes) for the alias
+/// referenced by a predicate; returns nullptr when ambiguous.
+PlanNode* FindLlmScan(PlanNode* node) {
+  if (node->op == PlanOp::kScan) {
+    return node->from_llm ? node : nullptr;
+  }
+  if (node->op == PlanOp::kRetrieve) {
+    return FindLlmScan(node->children[0].get());
+  }
+  return nullptr;
+}
+
+/// Alias referenced by a simple predicate ("" if none/mixed).
+std::string PredicateAlias(const Expr& e) {
+  std::string alias;
+  bool mixed = false;
+  sql::VisitExpr(e, [&](const Expr& node) {
+    if (node.kind != ExprKind::kColumnRef) return;
+    if (alias.empty()) {
+      alias = node.table;
+    } else if (!EqualsIgnoreCase(alias, node.table)) {
+      mixed = true;
+    }
+  });
+  return mixed ? "" : alias;
+}
+
+}  // namespace
+
+int OptimizeLlmFilters(PlanNode* root, bool merge_into_scan) {
+  int rewritten = 0;
+  for (auto& child : root->children) {
+    rewritten += OptimizeLlmFilters(child.get(), merge_into_scan);
+  }
+  if (root->op != PlanOp::kFilter || root->predicate == nullptr ||
+      root->via_llm) {
+    return rewritten;
+  }
+  PlanNode* input = root->children[0].get();
+  PlanNode* scan = FindLlmScan(input);
+  if (scan == nullptr) return rewritten;
+  // The filter must be a conjunction of simple comparisons on the scan.
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(root->predicate.get(), &conjuncts);
+  // Fake TableDef lookup is not available here; accept column refs whose
+  // alias matches the scan (the executor re-validates against the
+  // catalog).
+  bool all_simple = true;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary) {
+      all_simple = false;
+      break;
+    }
+    const Expr* lhs = c->children[0].get();
+    const Expr* rhs = c->children[1].get();
+    bool shape = (lhs->kind == ExprKind::kColumnRef &&
+                  rhs->kind == ExprKind::kLiteral) ||
+                 (rhs->kind == ExprKind::kColumnRef &&
+                  lhs->kind == ExprKind::kLiteral);
+    if (!shape) {
+      all_simple = false;
+      break;
+    }
+    std::string alias = PredicateAlias(*c);
+    if (!alias.empty() && !EqualsIgnoreCase(alias, scan->alias)) {
+      all_simple = false;
+      break;
+    }
+  }
+  if (!all_simple) return rewritten;
+  root->via_llm = true;
+  ++rewritten;
+  if (merge_into_scan) {
+    root->pushed_into_scan = true;
+    scan->predicate = root->predicate->Clone();
+  }
+  return rewritten;
+}
+
+int PruneRetrievedColumns(PlanNode* root) {
+  // Gather every column name referenced anywhere above each Retrieve.
+  // Simple conservative approach: collect all column refs in the whole
+  // plan and drop retrieved columns never mentioned.
+  std::set<std::string> referenced;
+  std::function<void(const PlanNode&)> collect = [&](const PlanNode& n) {
+    if (n.predicate) {
+      sql::VisitExpr(*n.predicate, [&](const Expr& e) {
+        if (e.kind == ExprKind::kColumnRef) referenced.insert(
+            ToLower(e.column));
+      });
+    }
+    for (const auto& e : n.exprs) {
+      sql::VisitExpr(*e, [&](const Expr& node) {
+        if (node.kind == ExprKind::kColumnRef) {
+          referenced.insert(ToLower(node.column));
+        }
+      });
+    }
+    for (const auto& c : n.children) collect(*c);
+  };
+  collect(*root);
+  int pruned = 0;
+  std::function<void(PlanNode*)> prune = [&](PlanNode* n) {
+    if (n->op == PlanOp::kRetrieve) {
+      std::vector<std::string> kept;
+      for (const std::string& col : n->columns) {
+        if (referenced.count(ToLower(col)) > 0) {
+          kept.push_back(col);
+        } else {
+          ++pruned;
+        }
+      }
+      n->columns = std::move(kept);
+    }
+    for (auto& c : n->children) prune(c.get());
+  };
+  prune(root);
+  return pruned;
+}
+
+namespace {
+
+void ExplainRec(const PlanNode& node, int depth, std::ostringstream* os) {
+  *os << std::string(static_cast<size_t>(depth) * 2, ' ')
+      << node.Describe() << "\n";
+  for (const auto& c : node.children) ExplainRec(*c, depth + 1, os);
+}
+
+}  // namespace
+
+std::string Explain(const PlanNode& root) {
+  std::ostringstream os;
+  ExplainRec(root, 0, &os);
+  return os.str();
+}
+
+int64_t EstimatePromptCount(const PlanNode& root, int64_t num_keys,
+                            int64_t page_size) {
+  int64_t prompts = 0;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    switch (n.op) {
+      case PlanOp::kScan:
+        if (n.from_llm) {
+          prompts += (num_keys + page_size - 1) / page_size + 1;
+        }
+        break;
+      case PlanOp::kFilter:
+        if (n.via_llm && !n.pushed_into_scan) prompts += num_keys;
+        break;
+      case PlanOp::kRetrieve:
+        prompts += num_keys * static_cast<int64_t>(n.columns.size());
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(root);
+  return prompts;
+}
+
+}  // namespace galois::planner

@@ -1,0 +1,94 @@
+#ifndef GALOIS_PLANNER_PLANNER_H_
+#define GALOIS_PLANNER_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace galois::planner {
+
+/// Logical operator kinds. The plan mirrors Figure 3 of the paper: leaf
+/// scans over LLM-backed relations are annotated as prompt-driven key
+/// retrievals; filters over LLM relations are annotated as per-key prompt
+/// checks; attribute-completion nodes are injected before operators that
+/// need not-yet-retrieved attributes.
+enum class PlanOp {
+  kScan,        // base relation access (DB instance or LLM key scan)
+  kFilter,      // sigma
+  kRetrieve,    // LLM attribute completion (injected node)
+  kJoin,        // theta join
+  kAggregate,   // gamma
+  kProject,     // pi
+  kSort,        // ORDER BY
+  kLimit,       // LIMIT
+  kDistinct,    // DISTINCT
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// A node of the logical plan tree.
+struct PlanNode {
+  PlanOp op;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kScan
+  std::string table;
+  std::string alias;
+  bool from_llm = false;
+  std::string key_column;
+
+  // kFilter / kJoin
+  sql::ExprPtr predicate;
+  /// True when the filter executes as per-key LLM prompts rather than on
+  /// the engine (set by the optimizer for simple predicates on LLM scans).
+  bool via_llm = false;
+  /// True when the filter was merged into the scan prompt (pushdown).
+  bool pushed_into_scan = false;
+
+  // kRetrieve / kProject / kAggregate: column or expression lists.
+  std::vector<std::string> columns;
+  std::vector<sql::ExprPtr> exprs;
+
+  // kLimit
+  int64_t limit = 0;
+
+  /// One-line description ("Scan[LLM] city (keys via prompts)").
+  std::string Describe() const;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Builds the canonical logical plan for `stmt`: scans (with retrieve
+/// nodes for every needed non-key attribute), filters, joins, aggregate,
+/// project, sort, limit, distinct — bottom-up, unoptimised.
+Result<PlanNodePtr> BuildLogicalPlan(const sql::SelectStatement& stmt,
+                                     const catalog::Catalog& catalog);
+
+/// Rewrite: marks simple comparisons over LLM scans as LLM-executed filter
+/// checks (via_llm) and, when `merge_into_scan` is set, pushes the first
+/// such filter into the scan prompt (Section 6's prompt-combining
+/// optimisation). Returns the number of filters rewritten.
+int OptimizeLlmFilters(PlanNode* root, bool merge_into_scan);
+
+/// Rewrite: removes Retrieve columns that no ancestor consumes
+/// (projection pruning; each pruned column saves |keys| prompts).
+/// Returns the number of pruned columns.
+int PruneRetrievedColumns(PlanNode* root);
+
+/// Pretty-prints the plan as an indented tree (Figure 3 rendering).
+std::string Explain(const PlanNode& root);
+
+/// Estimated number of prompts the plan will issue, assuming `num_keys`
+/// rows per LLM scan and `page_size` keys per scan page. Used by the
+/// optimizer ablations to reason about prompt budgets without running a
+/// model.
+int64_t EstimatePromptCount(const PlanNode& root, int64_t num_keys,
+                            int64_t page_size);
+
+}  // namespace galois::planner
+
+#endif  // GALOIS_PLANNER_PLANNER_H_

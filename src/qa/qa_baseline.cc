@@ -1,0 +1,42 @@
+#include "qa/qa_baseline.h"
+
+#include "llm/prompt_templates.h"
+#include "qa/text_records.h"
+
+namespace galois::qa {
+
+namespace {
+
+Result<QaResult> Run(llm::LanguageModel* model,
+                     const knowledge::QuerySpec& query,
+                     const Schema& expected_schema,
+                     bool chain_of_thought) {
+  llm::FreeformIntent intent;
+  intent.question = query.question;
+  intent.sql = query.sql;
+  intent.chain_of_thought = chain_of_thought;
+  llm::Prompt prompt = llm::BuildFreeformPrompt(intent);
+  GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
+                          model->Complete(prompt));
+  QaResult result;
+  result.raw_answer = completion.text;
+  GALOIS_ASSIGN_OR_RETURN(
+      result.relation, TextToRelation(completion.text, expected_schema));
+  return result;
+}
+
+}  // namespace
+
+Result<QaResult> RunNlQuestion(llm::LanguageModel* model,
+                               const knowledge::QuerySpec& query,
+                               const Schema& expected_schema) {
+  return Run(model, query, expected_schema, /*chain_of_thought=*/false);
+}
+
+Result<QaResult> RunChainOfThought(llm::LanguageModel* model,
+                                   const knowledge::QuerySpec& query,
+                                   const Schema& expected_schema) {
+  return Run(model, query, expected_schema, /*chain_of_thought=*/true);
+}
+
+}  // namespace galois::qa

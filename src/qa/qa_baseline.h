@@ -1,0 +1,35 @@
+#ifndef GALOIS_QA_QA_BASELINE_H_
+#define GALOIS_QA_QA_BASELINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "knowledge/workload.h"
+#include "llm/language_model.h"
+#include "types/relation.h"
+
+namespace galois::qa {
+
+/// Outcome of one QA-baseline run: the raw text the model produced and the
+/// relation recovered by the post-processing step.
+struct QaResult {
+  std::string raw_answer;
+  Relation relation;
+};
+
+/// Runs the paper's T_M baseline: asks the query's NL paraphrase as a
+/// single question and post-processes the textual answer into a relation
+/// with the ground-truth schema.
+Result<QaResult> RunNlQuestion(llm::LanguageModel* model,
+                               const knowledge::QuerySpec& query,
+                               const Schema& expected_schema);
+
+/// Runs the T^C_M baseline: same question with the engineered
+/// chain-of-thought prompt (fixed worked example + "think step by step").
+Result<QaResult> RunChainOfThought(llm::LanguageModel* model,
+                                   const knowledge::QuerySpec& query,
+                                   const Schema& expected_schema);
+
+}  // namespace galois::qa
+
+#endif  // GALOIS_QA_QA_BASELINE_H_

@@ -1,0 +1,74 @@
+#include "qa/text_records.h"
+
+#include "clean/normalize.h"
+#include "common/strings.h"
+
+namespace galois::qa {
+
+std::string StripChainOfThought(const std::string& answer) {
+  const std::string marker = "Final answer:";
+  size_t pos = answer.rfind(marker);
+  if (pos == std::string::npos) return answer;
+  return Trim(answer.substr(pos + marker.size()));
+}
+
+Result<Relation> TextToRelation(const std::string& answer,
+                                const Schema& expected_schema) {
+  Relation out(expected_schema);
+  std::string body = StripChainOfThought(answer);
+  if (clean::IsUnknown(body)) return out;
+
+  const size_t arity = expected_schema.size();
+  std::vector<std::vector<std::string>> records;
+  for (std::string& line :
+       Split(body, '\n', /*trim=*/true, /*skip_empty=*/true)) {
+    std::string s = line;
+    if (StartsWith(s, "- ") || StartsWith(s, "* ")) s = s.substr(2);
+    if (clean::IsUnknown(s)) continue;
+    if (arity == 1) {
+      // Single column: comma lists are multiple records.
+      for (std::string& piece :
+           Split(s, ',', /*trim=*/true, /*skip_empty=*/true)) {
+        records.push_back({piece});
+      }
+      continue;
+    }
+    // Multi column: "a: b: c" fields.
+    std::vector<std::string> fields =
+        Split(s, ':', /*trim=*/true, /*skip_empty=*/false);
+    if (fields.size() > arity) {
+      // Merge overflow into the last field (values may contain ':').
+      std::vector<std::string> merged(fields.begin(),
+                                      fields.begin() + arity - 1);
+      std::string tail = fields[arity - 1];
+      for (size_t i = arity; i < fields.size(); ++i) {
+        tail += ":" + fields[i];
+      }
+      merged.push_back(tail);
+      fields = std::move(merged);
+    }
+    while (fields.size() < arity) fields.emplace_back("");
+    records.push_back(std::move(fields));
+  }
+
+  for (const auto& rec : records) {
+    Tuple row;
+    row.reserve(arity);
+    bool any_value = false;
+    for (size_t c = 0; c < arity; ++c) {
+      clean::DomainConstraint domain = clean::DefaultDomainForColumn(
+          expected_schema.column(c).name);
+      GALOIS_ASSIGN_OR_RETURN(
+          Value v, clean::NormalizeCell(rec[c],
+                                        expected_schema.column(c).type,
+                                        &domain));
+      if (!v.is_null()) any_value = true;
+      row.push_back(std::move(v));
+    }
+    if (any_value) out.AddRowUnchecked(std::move(row));
+  }
+  out.DedupRows();
+  return out;
+}
+
+}  // namespace galois::qa

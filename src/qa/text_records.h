@@ -1,0 +1,32 @@
+#ifndef GALOIS_QA_TEXT_RECORDS_H_
+#define GALOIS_QA_TEXT_RECORDS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "types/relation.h"
+
+namespace galois::qa {
+
+/// Removes a chain-of-thought preamble, keeping the text after the final
+/// "Final answer:" marker (or the whole text when absent).
+std::string StripChainOfThought(const std::string& answer);
+
+/// Converts a free-text QA answer into a relation with `expected_schema`.
+///
+/// This mechanises the paper's manual post-processing (Section 5,
+/// Evaluation: "we split comma-separated values, remove repeated values
+/// and punctuation, and map the resulting tuples to the ground truth
+/// records"):
+///   * lines become candidate records; leading bullets are stripped;
+///   * "a: b: c" separates fields; a single-column schema also splits
+///     comma lists into individual records;
+///   * each field is normalised through the cleaning layer to the expected
+///     column type; rows whose every field is NULL are dropped;
+///   * exact duplicate records are removed.
+Result<Relation> TextToRelation(const std::string& answer,
+                                const Schema& expected_schema);
+
+}  // namespace galois::qa
+
+#endif  // GALOIS_QA_TEXT_RECORDS_H_

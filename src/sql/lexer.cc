@@ -1,0 +1,211 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace galois::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE",    "GROUP",  "BY",     "HAVING",
+      "ORDER",  "LIMIT", "AS",       "AND",    "OR",     "NOT",
+      "JOIN",   "INNER", "LEFT",     "RIGHT",  "OUTER",  "ON",
+      "ASC",    "DESC",  "DISTINCT", "LIKE",   "IN",     "IS",
+      "NULL",   "TRUE",  "FALSE",    "BETWEEN", "COUNT", "SUM",
+      "AVG",    "MIN",   "MAX",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& word) {
+  return Keywords().count(word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  auto push = [&](TokenType t, std::string text, size_t pos) {
+    tokens.push_back(Token{t, std::move(text), pos});
+  };
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && query[i + 1] == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.' || query[i] == 'e' || query[i] == 'E' ||
+                       ((query[i] == '+' || query[i] == '-') && i > start &&
+                        (query[i - 1] == 'e' || query[i - 1] == 'E')))) {
+        if (query[i] == '.' || query[i] == 'e' || query[i] == 'E') {
+          is_double = true;
+        }
+        ++i;
+      }
+      push(is_double ? TokenType::kDoubleLiteral : TokenType::kIntLiteral,
+           query.substr(start, i - start), start);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_')) {
+        ++i;
+      }
+      std::string word = query.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        push(TokenType::kKeyword, upper, start);
+      } else {
+        push(TokenType::kIdentifier, word, start);
+      }
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '\'') {
+          if (i + 1 < n && query[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(query[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kStringLiteral, std::move(text), start);
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(query[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            "unterminated quoted identifier at offset " +
+            std::to_string(start));
+      }
+      push(TokenType::kIdentifier, std::move(text), start);
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenType::kComma, ",", start);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, ".", start);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, ")", start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, "*", start);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, "+", start);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, "-", start);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, "/", start);
+        ++i;
+        break;
+      case '%':
+        push(TokenType::kPercent, "%", start);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, ";", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenType::kNotEq, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected character '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenType::kLtEq, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '>') {
+          push(TokenType::kNotEq, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenType::kGtEq, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  push(TokenType::kEof, "", n);
+  return tokens;
+}
+
+}  // namespace galois::sql

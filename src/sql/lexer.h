@@ -1,0 +1,24 @@
+#ifndef GALOIS_SQL_LEXER_H_
+#define GALOIS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace galois::sql {
+
+/// Tokenises `query` into a vector ending with a kEof token.
+///
+/// Keywords are recognised case-insensitively and normalised to upper case;
+/// identifiers keep their original spelling. String literals use single
+/// quotes with '' as the escape; quoted identifiers use double quotes.
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+/// True if `word` (upper-case) is a reserved keyword of the dialect.
+bool IsReservedKeyword(const std::string& word);
+
+}  // namespace galois::sql
+
+#endif  // GALOIS_SQL_LEXER_H_

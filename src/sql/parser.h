@@ -1,0 +1,26 @@
+#ifndef GALOIS_SQL_PARSER_H_
+#define GALOIS_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace galois::sql {
+
+/// Parses one SELECT statement in the SPJA dialect.
+///
+/// Supported grammar (case-insensitive keywords):
+///   SELECT [DISTINCT] item[, item]*
+///   FROM table_ref[, table_ref]* (JOIN table_ref ON expr)*
+///   [WHERE expr] [GROUP BY expr[, expr]*] [HAVING expr]
+///   [ORDER BY expr [ASC|DESC][, ...]] [LIMIT n] [;]
+/// where table_ref := [source '.'] table [[AS] alias] and expressions cover
+/// literals, column refs, arithmetic, comparisons, AND/OR/NOT, LIKE,
+/// BETWEEN, IN lists, IS [NOT] NULL, and aggregate calls
+/// (COUNT/SUM/AVG/MIN/MAX, with DISTINCT and COUNT(*)).
+Result<SelectStatement> ParseSelect(const std::string& query);
+
+}  // namespace galois::sql
+
+#endif  // GALOIS_SQL_PARSER_H_

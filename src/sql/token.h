@@ -1,0 +1,48 @@
+#ifndef GALOIS_SQL_TOKEN_H_
+#define GALOIS_SQL_TOKEN_H_
+
+#include <string>
+
+namespace galois::sql {
+
+/// Lexical token categories of the SQL dialect.
+enum class TokenType {
+  kEof,
+  kIdentifier,    // foo, "quoted id"
+  kKeyword,       // SELECT, FROM, ... (normalised upper-case in `text`)
+  kIntLiteral,    // 42
+  kDoubleLiteral, // 4.2, 1e9
+  kStringLiteral, // 'text'
+  // punctuation / operators
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNotEq,     // != or <>
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kSemicolon,
+};
+
+/// One token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // raw (keywords upper-cased, string literals unquoted)
+  size_t position = 0;  // byte offset into the query
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace galois::sql
+
+#endif  // GALOIS_SQL_TOKEN_H_

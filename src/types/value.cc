@@ -1,0 +1,247 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace galois {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+int64_t PackDate(int year, int month, int day) {
+  return static_cast<int64_t>(year) * 10000 + month * 100 + day;
+}
+
+void UnpackDate(int64_t packed, int* year, int* month, int* day) {
+  *year = static_cast<int>(packed / 10000);
+  *month = static_cast<int>((packed / 100) % 100);
+  *day = static_cast<int>(packed % 100);
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = DataType::kBool;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.type_ = DataType::kInt64;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.type_ = DataType::kDouble;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.type_ = DataType::kString;
+  out.data_ = std::move(v);
+  return out;
+}
+
+Value Value::Date(int year, int month, int day) {
+  Value out;
+  out.type_ = DataType::kDate;
+  out.data_ = PackDate(year, month, day);
+  return out;
+}
+
+Value Value::DatePacked(int64_t packed) {
+  Value out;
+  out.type_ = DataType::kDate;
+  out.data_ = packed;
+  return out;
+}
+
+bool Value::bool_value() const {
+  assert(type_ == DataType::kBool);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::int_value() const {
+  assert(type_ == DataType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::double_value() const {
+  assert(type_ == DataType::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::string_value() const {
+  assert(type_ == DataType::kString);
+  return std::get<std::string>(data_);
+}
+
+int64_t Value::date_packed() const {
+  assert(type_ == DataType::kDate);
+  return std::get<int64_t>(data_);
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(int_value());
+    case DataType::kDouble:
+      return double_value();
+    default:
+      return Status::TypeError("value of type " +
+                               std::string(DataTypeName(type_)) +
+                               " is not numeric");
+  }
+}
+
+namespace {
+
+/// Orders type families for heterogeneous comparison.
+int TypeGroup(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;
+    case DataType::kDate:
+      return 3;
+    case DataType::kString:
+      return 4;
+  }
+  return 5;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  int ga = TypeGroup(type_);
+  int gb = TypeGroup(other.type_);
+  if (ga != gb) return ga < gb ? -1 : 1;
+  switch (type_) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool: {
+      bool a = bool_value();
+      bool b = other.bool_value();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Same numeric group; compare as doubles (exact for our data scale).
+      double a = type_ == DataType::kInt64
+                     ? static_cast<double>(int_value())
+                     : double_value();
+      double b = other.type_ == DataType::kInt64
+                     ? static_cast<double>(other.int_value())
+                     : other.double_value();
+      return Sign(a - b);
+    }
+    case DataType::kDate: {
+      int64_t a = date_packed();
+      int64_t b = other.date_packed();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kString:
+      return string_value().compare(other.string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(int_value());
+    case DataType::kDouble: {
+      double d = double_value();
+      if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+        // Integral double: print without trailing zeros.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        return buf;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", d);
+      return buf;
+    }
+    case DataType::kString:
+      return string_value();
+    case DataType::kDate: {
+      int y, m, d;
+      UnpackDate(date_packed(), &y, &m, &d);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ == DataType::kNull && other.type_ == DataType::kNull) return true;
+  if (TypeGroup(type_) != TypeGroup(other.type_)) return false;
+  return Compare(other) == 0;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 0x9E3779B9;
+    case DataType::kBool:
+      return bool_value() ? 0xB5297A4D : 0x68E31DA4;
+    case DataType::kInt64:
+      return std::hash<double>()(static_cast<double>(int_value()));
+    case DataType::kDouble:
+      return std::hash<double>()(double_value());
+    case DataType::kString:
+      return std::hash<std::string>()(string_value());
+    case DataType::kDate:
+      return std::hash<int64_t>()(date_packed()) ^ 0x5DEECE66D;
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace galois

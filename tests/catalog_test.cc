@@ -1,0 +1,101 @@
+// Unit tests for the catalog: table defs, key handling, instances.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace galois::catalog {
+namespace {
+
+TableDef MakeCountry() {
+  TableDef t;
+  t.name = "country";
+  t.entity_type = "country";
+  t.key_column = "name";
+  t.columns = {ColumnDef("name", DataType::kString, true, "country name"),
+               ColumnDef("population", DataType::kInt64)};
+  return t;
+}
+
+TEST(CatalogTest, AddAndGetTable) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(MakeCountry()).ok());
+  auto def = c.GetTable("country");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def.value()->name, "country");
+  EXPECT_TRUE(c.HasTable("COUNTRY"));  // case-insensitive
+  EXPECT_FALSE(c.HasTable("city"));
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(MakeCountry()).ok());
+  Status s = c.AddTable(MakeCountry());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, BadKeyColumnRejected) {
+  Catalog c;
+  TableDef t = MakeCountry();
+  t.key_column = "nosuch";
+  EXPECT_FALSE(c.AddTable(t).ok());
+}
+
+TEST(CatalogTest, KeyIndex) {
+  TableDef t = MakeCountry();
+  EXPECT_EQ(t.KeyIndex().value(), 0u);
+  t.key_column = "population";
+  EXPECT_EQ(t.KeyIndex().value(), 1u);
+}
+
+TEST(CatalogTest, FindColumnCaseInsensitive) {
+  TableDef t = MakeCountry();
+  EXPECT_TRUE(t.FindColumn("Population").ok());
+  EXPECT_FALSE(t.FindColumn("nosuch").ok());
+}
+
+TEST(CatalogTest, ToSchemaQualifies) {
+  TableDef t = MakeCountry();
+  Schema with_alias = t.ToSchema("c");
+  EXPECT_EQ(with_alias.column(0).table, "c");
+  Schema bare = t.ToSchema();
+  EXPECT_EQ(bare.column(0).table, "country");
+  EXPECT_EQ(bare.column(1).type, DataType::kInt64);
+}
+
+TEST(CatalogTest, InstanceLifecycle) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(MakeCountry()).ok());
+  // No instance yet.
+  EXPECT_FALSE(c.GetInstance("country").ok());
+  Relation rel(MakeCountry().ToSchema());
+  rel.AddRowUnchecked({Value::String("Italy"), Value::Int(59000000)});
+  ASSERT_TRUE(c.AddInstance("country", std::move(rel)).ok());
+  auto instance = c.GetInstance("Country");
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance.value()->NumRows(), 1u);
+}
+
+TEST(CatalogTest, InstanceForUnknownTableRejected) {
+  Catalog c;
+  EXPECT_FALSE(c.AddInstance("ghost", Relation()).ok());
+}
+
+TEST(CatalogTest, TableNamesEnumerates) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(MakeCountry()).ok());
+  TableDef t2 = MakeCountry();
+  t2.name = "city";
+  ASSERT_TRUE(c.AddTable(t2).ok());
+  auto names = c.TableNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(CatalogTest, SourceKindNames) {
+  EXPECT_STREQ(SourceKindName(SourceKind::kDb), "DB");
+  EXPECT_STREQ(SourceKindName(SourceKind::kLlm), "LLM");
+}
+
+}  // namespace
+}  // namespace galois::catalog

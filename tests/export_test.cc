@@ -1,0 +1,111 @@
+// Tests for the CSV export of experiment outcomes, plus seed-robustness
+// properties of the whole pipeline (the paper's shape must not hinge on
+// one lucky seed).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+#include "eval/export.h"
+#include "knowledge/workload.h"
+#include "llm/model_profile.h"
+
+namespace galois::eval {
+namespace {
+
+std::vector<QueryOutcome> SampleOutcomes() {
+  std::vector<QueryOutcome> outcomes(2);
+  outcomes[0].query_id = 1;
+  outcomes[0].query_class = knowledge::QueryClass::kSelection;
+  outcomes[0].rd_rows = 10;
+  outcomes[0].rm_rows = 8;
+  outcomes[0].cardinality_diff_percent = -11.11;
+  outcomes[0].galois_match = CellMatchResult{8, 10};
+  outcomes[0].galois_cost.num_prompts = 42;
+  outcomes[0].galois_cost.simulated_latency_ms = 1234.5;
+  outcomes[1].query_id = 2;
+  outcomes[1].query_class = knowledge::QueryClass::kJoin;
+  outcomes[1].rd_rows = 5;
+  // no galois data for q2 (tests empty optional fields)
+  return outcomes;
+}
+
+TEST(ExportTest, OutcomesCsvShape) {
+  std::string csv = OutcomesToCsv(SampleOutcomes());
+  std::vector<std::string> lines = Split(csv, '\n', false, true);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(StartsWith(lines[0], "query_id,class,rd_rows"));
+  EXPECT_TRUE(StartsWith(lines[1], "1,Selection,10,8,-11.11,80.00"));
+  // Missing fields stay empty, trailing costs still rendered.
+  EXPECT_TRUE(StartsWith(lines[2], "2,Join,5,,,,"));
+}
+
+TEST(ExportTest, Table1Csv) {
+  std::vector<std::pair<std::string, std::vector<QueryOutcome>>> per_model{
+      {"ModelA", SampleOutcomes()}};
+  std::string csv = Table1Csv(per_model);
+  EXPECT_NE(csv.find("model,cardinality_diff_pct"), std::string::npos);
+  EXPECT_NE(csv.find("ModelA,-11.11"), std::string::npos);
+}
+
+TEST(ExportTest, Table2Csv) {
+  std::string csv = Table2Csv(SampleOutcomes());
+  std::vector<std::string> lines = Split(csv, '\n', false, true);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(StartsWith(lines[1], "galois,"));
+  EXPECT_TRUE(StartsWith(lines[2], "nl_qa,"));
+  EXPECT_TRUE(StartsWith(lines[3], "cot_qa,"));
+}
+
+TEST(ExportTest, WriteFileRoundTrip) {
+  std::string path = "/tmp/galois_export_test.csv";
+  ASSERT_TRUE(WriteFile(path, "a,b\n1,2\n").ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(WriteFile("/nonexistent-dir/x.csv", "data").ok());
+}
+
+// --- seed robustness -------------------------------------------------------
+
+class SeedRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedRobustnessTest, Table1ShapeHoldsAcrossModelSeeds) {
+  // Different LLM seeds redraw every noise decision; the qualitative
+  // ordering of Table 1 must survive.
+  static const auto* workload = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  ExperimentConfig config;
+  config.run_galois = true;
+  config.llm_seed = GetParam();
+  double flan = AverageCardinalityDiff(
+      RunExperiment(*workload, llm::ModelProfile::Flan(), config)
+          .value());
+  double gpt3 = AverageCardinalityDiff(
+      RunExperiment(*workload, llm::ModelProfile::Gpt3(), config)
+          .value());
+  double chatgpt = AverageCardinalityDiff(
+      RunExperiment(*workload, llm::ModelProfile::ChatGpt(), config)
+          .value());
+  // Coarse bands: the 46-query sample gives a +/-10-point seed variance
+  // (documented in EXPERIMENTS.md), so assert ordering plus loose bounds.
+  EXPECT_LT(flan, -25.0);   // small model misses many rows
+  EXPECT_GT(gpt3, -20.0);   // GPT-3 closest to exact
+  EXPECT_LT(chatgpt, gpt3); // ChatGPT between the two
+  EXPECT_GT(chatgpt, flan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustnessTest,
+                         ::testing::Values(11, 23, 47));
+
+}  // namespace
+}  // namespace galois::eval

@@ -1,0 +1,220 @@
+// Property-based equivalence fuzzing: generate random SPJA queries over
+// the workload catalog and check that
+//   (a) the ground-truth engine executes them deterministically,
+//   (b) Galois over a *perfect* (noise-free) model reproduces the engine
+//       exactly — any divergence is an executor bug, not model noise,
+//   (c) Galois over a noisy model still produces the expected schema.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/galois_executor.h"
+#include "engine/executor.h"
+#include "knowledge/workload.h"
+#include "llm/simulated_llm.h"
+#include "sql/parser.h"
+
+namespace galois {
+namespace {
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+llm::ModelProfile PerfectProfile() {
+  llm::ModelProfile p = llm::ModelProfile::ChatGpt();
+  p.name = "perfect";
+  p.coverage_floor = 1.0;
+  p.coverage_gain = 0.0;
+  p.unknown_rate = 0.0;
+  p.fake_entity_confidence = 0.0;
+  p.fact_accuracy = 1.0;
+  p.numeric_fact_accuracy = 1.0;
+  p.reference_style_noise = 0.0;
+  p.value_format_noise = 0.0;
+  p.verbosity = 0.0;
+  p.paging_fatigue = 0.0;
+  p.hallucinated_key_rate = 0.0;
+  p.pushdown_error = 0.0;
+  p.filter_check_error = 0.0;
+  return p;
+}
+
+/// Deterministic random SPJA query generator over the LLM-backed tables.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    // Single-table or two-table join shape.
+    bool join = rng_.NextBool(0.35);
+    if (join) return GenerateJoin();
+    return GenerateSingleTable();
+  }
+
+ private:
+  struct TableInfo {
+    const char* name;
+    const char* key;
+    std::vector<const char*> string_cols;
+    std::vector<const char*> numeric_cols;
+  };
+
+  const TableInfo& PickTable() {
+    static const std::vector<TableInfo>* kTables =
+        new std::vector<TableInfo>{
+            {"country",
+             "name",
+             {"continent", "language", "currency"},
+             {"population", "area", "independenceYear"}},
+            {"city", "name", {"country"}, {"population", "elevation"}},
+            {"airline", "name", {"country"}, {"foundedYear", "fleetSize"}},
+            {"singer", "name", {"genre", "country"}, {"birthYear"}},
+            {"stadium", "name", {"city"}, {"capacity", "openedYear"}},
+            {"language", "name", {"family"}, {"speakers"}},
+        };
+    return (*kTables)[static_cast<size_t>(
+        rng_.NextInt(0, static_cast<int64_t>(kTables->size()) - 1))];
+  }
+
+  std::string NumericPredicate(const TableInfo& t) {
+    const char* col = t.numeric_cols[static_cast<size_t>(rng_.NextInt(
+        0, static_cast<int64_t>(t.numeric_cols.size()) - 1))];
+    const char* op = rng_.NextBool(0.5) ? ">" : "<";
+    // Thresholds chosen to hit a mid-range selectivity for our data.
+    int64_t threshold;
+    std::string c = col;
+    if (c.find("Year") != std::string::npos) {
+      threshold = rng_.NextInt(1930, 1995);
+    } else if (c == "population") {
+      threshold = rng_.NextInt(1, 150) * 1000000;
+    } else if (c == "speakers") {
+      threshold = rng_.NextInt(50, 800) * 1000000;
+    } else {
+      threshold = rng_.NextInt(10, 5000);
+    }
+    std::ostringstream os;
+    os << col << " " << op << " " << threshold;
+    return os.str();
+  }
+
+  std::string GenerateSingleTable() {
+    const TableInfo& t = PickTable();
+    std::ostringstream os;
+    int shape = static_cast<int>(rng_.NextInt(0, 3));
+    switch (shape) {
+      case 0:  // selection + projection
+        os << "SELECT " << t.key;
+        if (rng_.NextBool(0.5) && !t.numeric_cols.empty()) {
+          os << ", " << t.numeric_cols[0];
+        }
+        os << " FROM " << t.name << " WHERE " << NumericPredicate(t);
+        break;
+      case 1:  // scalar aggregate
+        os << "SELECT "
+           << (rng_.NextBool(0.5) ? "COUNT(*)"
+                                  : std::string("AVG(") +
+                                        t.numeric_cols[0] + ")")
+           << " FROM " << t.name << " WHERE " << NumericPredicate(t);
+        break;
+      case 2:  // group by
+        os << "SELECT " << t.string_cols[0] << ", COUNT(*) FROM "
+           << t.name << " GROUP BY " << t.string_cols[0];
+        break;
+      default:  // order by + limit
+        os << "SELECT " << t.key << " FROM " << t.name << " ORDER BY "
+           << t.numeric_cols[0] << (rng_.NextBool(0.5) ? " DESC" : "")
+           << " LIMIT " << rng_.NextInt(1, 10);
+        break;
+    }
+    return os.str();
+  }
+
+  std::string GenerateJoin() {
+    // Join pairs with known reference attributes.
+    struct JoinShape {
+      const char* left;
+      const char* left_col;
+      const char* right;
+      const char* right_key;
+      const char* project;
+    };
+    static const JoinShape kJoins[] = {
+        {"city", "country", "country", "name", "co.continent"},
+        {"airline", "country", "country", "name", "co.capital"},
+        {"singer", "country", "country", "name", "co.continent"},
+        {"stadium", "city", "city", "name", "co.country"},
+    };
+    const JoinShape& j = kJoins[static_cast<size_t>(
+        rng_.NextInt(0, std::size(kJoins) - 1))];
+    std::ostringstream os;
+    if (rng_.NextBool(0.4)) {
+      os << "SELECT " << j.project << ", COUNT(*) FROM " << j.left
+         << " l, " << j.right << " co WHERE l." << j.left_col
+         << " = co." << j.right_key << " GROUP BY " << j.project;
+    } else {
+      os << "SELECT l." << j.left_col << ", " << j.project << " FROM "
+         << j.left << " l, " << j.right << " co WHERE l." << j.left_col
+         << " = co." << j.right_key;
+    }
+    return os.str();
+  }
+
+  Rng rng_;
+};
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEquivalenceTest, PerfectGaloisMatchesEngine) {
+  QueryGenerator gen(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  llm::SimulatedLlm model(&W().kb(), PerfectProfile(), &W().catalog(), 7);
+  core::GaloisExecutor galois(&model, &W().catalog());
+  for (int i = 0; i < 5; ++i) {
+    std::string sql = gen.Generate();
+    SCOPED_TRACE(sql);
+    auto stmt = sql::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status();
+    auto rd = engine::ExecuteSelect(stmt.value(), W().catalog());
+    ASSERT_TRUE(rd.ok()) << rd.status();
+    auto rd2 = engine::ExecuteSelect(stmt.value(), W().catalog());
+    ASSERT_TRUE(rd2.ok());
+    EXPECT_TRUE(rd->SameContents(*rd2));  // engine determinism
+    auto rm = galois.Execute(stmt.value());
+    ASSERT_TRUE(rm.ok()) << rm.status();
+    EXPECT_TRUE(rm->SameContents(*rd));   // perfect model == engine
+  }
+}
+
+TEST_P(FuzzEquivalenceTest, NoisyGaloisKeepsSchemaContract) {
+  QueryGenerator gen(static_cast<uint64_t>(GetParam()) * 104729 + 5);
+  llm::SimulatedLlm model(&W().kb(), llm::ModelProfile::ChatGpt(),
+                          &W().catalog(), 7);
+  core::GaloisExecutor galois(&model, &W().catalog());
+  for (int i = 0; i < 3; ++i) {
+    std::string sql = gen.Generate();
+    SCOPED_TRACE(sql);
+    auto stmt = sql::ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto rd = engine::ExecuteSelect(stmt.value(), W().catalog());
+    ASSERT_TRUE(rd.ok());
+    auto rm = galois.Execute(stmt.value());
+    ASSERT_TRUE(rm.ok()) << rm.status();
+    ASSERT_EQ(rm->NumColumns(), rd->NumColumns());
+    for (size_t c = 0; c < rd->NumColumns(); ++c) {
+      EXPECT_EQ(rm->schema().column(c).name, rd->schema().column(c).name);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace galois

@@ -1,0 +1,118 @@
+// Unit tests for the SQL lexer.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace galois::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& q) {
+  auto r = Tokenize(q);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value_or({});
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsNormalisedUpperCase) {
+  auto tokens = Lex("select From WHERE");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  auto tokens = Lex("cityMayor birth_date c2");
+  EXPECT_EQ(tokens[0].text, "cityMayor");
+  EXPECT_EQ(tokens[1].text, "birth_date");
+  EXPECT_EQ(tokens[2].text, "c2");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+  }
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto tokens = Lex("42 4.5 1e9 2.5e-3 .5");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[4].type, TokenType::kDoubleLiteral);
+}
+
+TEST(LexerTest, StringLiteralWithEscape) {
+  auto tokens = Lex("'O''Hare'");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "O'Hare");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'open").ok());
+  EXPECT_FALSE(Tokenize("\"open").ok());
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = Lex("\"select\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "select");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= != <> < <= > >= + - * / % ( ) , . ;");
+  std::vector<TokenType> expected{
+      TokenType::kEq,     TokenType::kNotEq, TokenType::kNotEq,
+      TokenType::kLt,     TokenType::kLtEq,  TokenType::kGt,
+      TokenType::kGtEq,   TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kStar,   TokenType::kSlash, TokenType::kPercent,
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot,    TokenType::kSemicolon, TokenType::kEof};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("SELECT -- this is a comment\n name");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].text, "name");
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Lex("SELECT name");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, InvalidCharacterIsError) {
+  EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+  EXPECT_FALSE(Tokenize("SELECT !").ok());
+}
+
+TEST(LexerTest, AggregateKeywords) {
+  auto tokens = Lex("count SUM avg MIN max");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword) << i;
+  }
+  EXPECT_EQ(tokens[0].text, "COUNT");
+  EXPECT_EQ(tokens[4].text, "MAX");
+}
+
+TEST(LexerTest, ReservedKeywordSet) {
+  EXPECT_TRUE(IsReservedKeyword("SELECT"));
+  EXPECT_TRUE(IsReservedKeyword("BETWEEN"));
+  EXPECT_FALSE(IsReservedKeyword("select"));  // exact upper-case match
+  EXPECT_FALSE(IsReservedKeyword("country"));
+}
+
+}  // namespace
+}  // namespace galois::sql

@@ -1,0 +1,180 @@
+// Tests for the evaluation metrics: cardinality ratio, lenient cell
+// matching, greedy tuple mapping.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace galois::eval {
+namespace {
+
+TEST(CardinalityTest, PerfectMatchIsOne) {
+  EXPECT_DOUBLE_EQ(CardinalityRatio(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(CardinalityDiffPercent(10, 10), 0.0);
+}
+
+TEST(CardinalityTest, PaperWorkedExample) {
+  // "Consider expected Relation R_D with size (3,2) ... Galois produced
+  // R_M = (1,2). In this case, f = |2*3| / (3+1) = 6/4 = 1.5."
+  EXPECT_DOUBLE_EQ(CardinalityRatio(3, 1), 1.5);
+  EXPECT_DOUBLE_EQ(CardinalityDiffPercent(3, 1), -50.0);
+}
+
+TEST(CardinalityTest, OverGenerationIsPositive) {
+  EXPECT_GT(CardinalityDiffPercent(10, 12), 0.0);
+  EXPECT_LT(CardinalityDiffPercent(10, 8), 0.0);
+}
+
+TEST(CardinalityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(CardinalityRatio(10, 0), 2.0);   // nothing returned
+  EXPECT_DOUBLE_EQ(CardinalityRatio(0, 10), 0.0);   // all spurious
+  EXPECT_DOUBLE_EQ(CardinalityRatio(0, 0), 1.0);    // both empty: perfect
+}
+
+TEST(CellMatchesTest, NumericTolerance) {
+  // < 5% relative error passes.
+  EXPECT_TRUE(CellMatches(Value::Int(100), Value::Int(104)));
+  EXPECT_FALSE(CellMatches(Value::Int(100), Value::Int(106)));
+  EXPECT_TRUE(CellMatches(Value::Double(2.0), Value::Double(2.05)));
+  EXPECT_FALSE(CellMatches(Value::Double(2.0), Value::Double(2.2)));
+  // Cross-type numeric comparison.
+  EXPECT_TRUE(CellMatches(Value::Int(1000), Value::Double(1000.0)));
+}
+
+TEST(CellMatchesTest, ZeroTruthRequiresNearZero) {
+  EXPECT_TRUE(CellMatches(Value::Int(0), Value::Int(0)));
+  EXPECT_FALSE(CellMatches(Value::Int(0), Value::Int(1)));
+}
+
+TEST(CellMatchesTest, NullNeverMatches) {
+  EXPECT_FALSE(CellMatches(Value::Null(), Value::Null()));
+  EXPECT_FALSE(CellMatches(Value::Int(1), Value::Null()));
+  EXPECT_FALSE(CellMatches(Value::Null(), Value::Int(1)));
+}
+
+TEST(CellMatchesTest, DatesExact) {
+  EXPECT_TRUE(
+      CellMatches(Value::Date(1962, 8, 4), Value::Date(1962, 8, 4)));
+  EXPECT_FALSE(
+      CellMatches(Value::Date(1962, 8, 4), Value::Date(1962, 8, 5)));
+}
+
+TEST(LenientStringMatchTest, CaseAndWhitespace) {
+  EXPECT_TRUE(LenientStringMatch("Rome", "rome"));
+  EXPECT_TRUE(LenientStringMatch("Rome", "  Rome  "));
+  EXPECT_FALSE(LenientStringMatch("Rome", "Milan"));
+}
+
+TEST(LenientStringMatchTest, DisambiguatingSuffix) {
+  // The paper's manual mapping would pair these.
+  EXPECT_TRUE(LenientStringMatch("Rome", "Rome, Italy"));
+  EXPECT_TRUE(LenientStringMatch("Rome, Italy", "Rome"));
+  EXPECT_FALSE(LenientStringMatch("Rome", "Milan, Italy"));
+}
+
+TEST(LenientStringMatchTest, LeadingArticle) {
+  EXPECT_TRUE(LenientStringMatch("Rome Arena", "The Rome Arena"));
+}
+
+TEST(LenientStringMatchTest, LanguageSuffix) {
+  EXPECT_TRUE(LenientStringMatch("Italian", "Italian language"));
+}
+
+TEST(LenientStringMatchTest, AbbreviatedGivenName) {
+  EXPECT_TRUE(LenientStringMatch("James Smith", "J. Smith"));
+  EXPECT_TRUE(LenientStringMatch("J. Smith", "James Smith"));
+  EXPECT_FALSE(LenientStringMatch("James Smith", "K. Smith"));
+  EXPECT_FALSE(LenientStringMatch("James Smith", "J. Jones"));
+}
+
+TEST(LenientStringMatchTest, CodesDoNotMatchNames) {
+  // The manual mapping cannot pair "ITA" with "Italy" — this is exactly
+  // the join-failure mechanism.
+  EXPECT_FALSE(LenientStringMatch("Italy", "ITA"));
+  EXPECT_FALSE(LenientStringMatch("Italy", "IT"));
+}
+
+Relation TwoColRelation(
+    std::vector<std::pair<std::string, int64_t>> rows) {
+  Relation r(Schema({Column("name", DataType::kString),
+                     Column("pop", DataType::kInt64)}));
+  for (auto& [name, pop] : rows) {
+    r.AddRowUnchecked({Value::String(name), Value::Int(pop)});
+  }
+  return r;
+}
+
+TEST(MatchCellsTest, IdenticalRelationsFullScore) {
+  Relation truth = TwoColRelation({{"Rome", 100}, {"Paris", 200}});
+  CellMatchResult r = MatchCells(truth, truth);
+  EXPECT_EQ(r.matched_cells, 4u);
+  EXPECT_EQ(r.total_cells, 4u);
+  EXPECT_DOUBLE_EQ(r.Percent(), 100.0);
+}
+
+TEST(MatchCellsTest, RowOrderIrrelevant) {
+  Relation truth = TwoColRelation({{"Rome", 100}, {"Paris", 200}});
+  Relation pred = TwoColRelation({{"Paris", 200}, {"Rome", 100}});
+  EXPECT_DOUBLE_EQ(MatchCells(truth, pred).Percent(), 100.0);
+}
+
+TEST(MatchCellsTest, MissingRowsLoseCells) {
+  Relation truth =
+      TwoColRelation({{"Rome", 100}, {"Paris", 200}, {"Berlin", 300}});
+  Relation pred = TwoColRelation({{"Rome", 100}});
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.matched_cells, 2u);
+  EXPECT_EQ(r.total_cells, 6u);
+}
+
+TEST(MatchCellsTest, PartialRowsCountPartially) {
+  Relation truth = TwoColRelation({{"Rome", 100}});
+  Relation pred = TwoColRelation({{"Rome", 999}});  // name right, pop wrong
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.matched_cells, 1u);
+  EXPECT_EQ(r.total_cells, 2u);
+}
+
+TEST(MatchCellsTest, ExtraPredictedRowsDoNotHelp) {
+  Relation truth = TwoColRelation({{"Rome", 100}});
+  Relation pred = TwoColRelation(
+      {{"Rome", 100}, {"Fake", 1}, {"Faker", 2}});
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.matched_cells, 2u);
+  EXPECT_EQ(r.total_cells, 2u);
+}
+
+TEST(MatchCellsTest, PredictedRowUsedAtMostOnce) {
+  Relation truth = TwoColRelation({{"Rome", 100}, {"Rome", 100}});
+  Relation pred = TwoColRelation({{"Rome", 100}});
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.matched_cells, 2u);  // one row matched, not both
+}
+
+TEST(MatchCellsTest, EmptyTruthIsPerfect) {
+  Relation truth = TwoColRelation({});
+  Relation pred = TwoColRelation({{"Rome", 100}});
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.total_cells, 0u);
+  EXPECT_DOUBLE_EQ(r.Percent(), 100.0);
+}
+
+TEST(MatchCellsTest, EmptyPredictionScoresZero) {
+  Relation truth = TwoColRelation({{"Rome", 100}});
+  Relation pred = TwoColRelation({});
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.matched_cells, 0u);
+  EXPECT_DOUBLE_EQ(r.Percent(), 0.0);
+}
+
+TEST(MatchCellsTest, NarrowerPredictionComparesPrefix) {
+  Relation truth = TwoColRelation({{"Rome", 100}});
+  Relation pred(Schema({Column("name", DataType::kString)}));
+  pred.AddRowUnchecked({Value::String("Rome")});
+  CellMatchResult r = MatchCells(truth, pred);
+  EXPECT_EQ(r.matched_cells, 1u);
+  EXPECT_EQ(r.total_cells, 2u);
+}
+
+}  // namespace
+}  // namespace galois::eval

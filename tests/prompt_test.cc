@@ -1,0 +1,203 @@
+// Tests for prompt templates and the prompt cache.
+
+#include <gtest/gtest.h>
+
+#include "knowledge/workload.h"
+#include "llm/prompt_cache.h"
+#include "llm/prompt_templates.h"
+#include "llm/simulated_llm.h"
+
+namespace galois::llm {
+namespace {
+
+TEST(PromptTemplatesTest, PreambleMatchesFigure4) {
+  const std::string& p = FewShotPreamble();
+  EXPECT_NE(p.find("highly intelligent question answering bot"),
+            std::string::npos);
+  EXPECT_NE(p.find("Dwight D. Eisenhower"), std::string::npos);
+  EXPECT_NE(p.find("How many squigs are in a bonk?"), std::string::npos);
+  EXPECT_NE(p.find("Unknown"), std::string::npos);
+}
+
+TEST(PromptTemplatesTest, OperatorPhrases) {
+  EXPECT_EQ(OperatorPhrase("="), "equal to");
+  EXPECT_EQ(OperatorPhrase("<"), "less than");
+  EXPECT_EQ(OperatorPhrase(">"), "greater than");
+  EXPECT_EQ(OperatorPhrase("<="), "at most");
+  EXPECT_EQ(OperatorPhrase(">="), "at least");
+  EXPECT_EQ(OperatorPhrase("!="), "different from");
+  EXPECT_EQ(OperatorPhrase("LIKE"), "matching");
+}
+
+TEST(PromptTemplatesTest, Pluralize) {
+  EXPECT_EQ(Pluralize("country"), "countries");
+  EXPECT_EQ(Pluralize("city"), "cities");
+  EXPECT_EQ(Pluralize("airport"), "airports");
+  EXPECT_EQ(Pluralize("bus"), "buses");
+  EXPECT_EQ(Pluralize("match"), "matches");
+  EXPECT_EQ(Pluralize("day"), "days");  // vowel + y
+}
+
+TEST(PromptTemplatesTest, KeyScanPromptText) {
+  KeyScanIntent intent;
+  intent.concept_name = "country";
+  intent.key_attribute = "name";
+  Prompt p = BuildKeyScanPrompt(intent);
+  EXPECT_NE(p.text.find("List the names of all countries."),
+            std::string::npos);
+  EXPECT_EQ(p.text.find("Return more results"), std::string::npos);
+}
+
+TEST(PromptTemplatesTest, KeyScanPaging) {
+  KeyScanIntent intent;
+  intent.concept_name = "country";
+  intent.key_attribute = "name";
+  intent.page = 2;
+  Prompt p = BuildKeyScanPrompt(intent);
+  EXPECT_NE(p.text.find("Return more results."), std::string::npos);
+}
+
+TEST(PromptTemplatesTest, KeyScanWithPushedFilter) {
+  KeyScanIntent intent;
+  intent.concept_name = "city";
+  intent.key_attribute = "name";
+  PromptFilter f;
+  f.attribute = "population";
+  f.op = ">";
+  f.value = Value::Int(1000000);
+  intent.filter = f;
+  Prompt p = BuildKeyScanPrompt(intent);
+  // Section 6's example: "get names of cities with > 1M population".
+  EXPECT_NE(p.text.find(
+                "List the names of all cities with population greater "
+                "than 1000000."),
+            std::string::npos);
+}
+
+TEST(PromptTemplatesTest, AttributePromptUsesDescription) {
+  AttributeGetIntent intent;
+  intent.concept_name = "city";
+  intent.key = "Rome";
+  intent.attribute = "mayor";
+  intent.attribute_description = "current mayor";
+  Prompt p = BuildAttributePrompt(intent);
+  EXPECT_NE(p.text.find("What is the current mayor of the city Rome?"),
+            std::string::npos);
+}
+
+TEST(PromptTemplatesTest, AttributePromptHumanizesLabel) {
+  AttributeGetIntent intent;
+  intent.concept_name = "mayor";
+  intent.key = "James Smith";
+  intent.attribute = "birthDate";
+  Prompt p = BuildAttributePrompt(intent);
+  EXPECT_NE(p.text.find("birth date"), std::string::npos);
+}
+
+TEST(PromptTemplatesTest, FilterPromptMatchesPaperTemplate) {
+  // "Has relationName keyName attributeName operator value ?" instantiated
+  // as "Has politician B. Obama age less than 40?" in the paper.
+  FilterCheckIntent intent;
+  intent.concept_name = "politician";
+  intent.key = "B. Obama";
+  intent.filter.attribute = "age";
+  intent.filter.op = "<";
+  intent.filter.value = Value::Int(40);
+  Prompt p = BuildFilterPrompt(intent);
+  EXPECT_NE(p.text.find("Has politician B. Obama age less than 40?"),
+            std::string::npos);
+}
+
+TEST(PromptTemplatesTest, FreeformPlainAndCot) {
+  FreeformIntent intent;
+  intent.question = "What is the capital of Italy?";
+  intent.sql = "SELECT capital FROM country WHERE name = 'Italy'";
+  Prompt plain = BuildFreeformPrompt(intent);
+  EXPECT_NE(plain.text.find("What is the capital of Italy?"),
+            std::string::npos);
+  EXPECT_EQ(plain.text.find("step by step"), std::string::npos);
+  intent.chain_of_thought = true;
+  Prompt cot = BuildFreeformPrompt(intent);
+  EXPECT_NE(cot.text.find("Let's think step by step"), std::string::npos);
+  EXPECT_NE(cot.text.find("break the task into steps"), std::string::npos);
+}
+
+class PromptCacheTest : public ::testing::Test {
+ protected:
+  PromptCacheTest()
+      : workload_(*[]() {
+          static auto w = knowledge::SpiderLikeWorkload::Create();
+          return &w.value();
+        }()),
+        model_(&workload_.kb(), ModelProfile::ChatGpt(),
+               &workload_.catalog(), 7),
+        cache_(&model_) {}
+
+  Prompt CapitalPrompt(const std::string& country) {
+    AttributeGetIntent intent;
+    intent.concept_name = "country";
+    intent.key = country;
+    intent.attribute = "capital";
+    return BuildAttributePrompt(intent);
+  }
+
+  const knowledge::SpiderLikeWorkload& workload_;
+  SimulatedLlm model_;
+  PromptCache cache_;
+};
+
+TEST_F(PromptCacheTest, SecondCallIsCacheHit) {
+  Prompt p = CapitalPrompt("Italy");
+  auto a = cache_.Complete(p);
+  auto b = cache_.Complete(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().text, b.value().text);
+  EXPECT_EQ(model_.cost().num_prompts, 1);  // inner hit once
+  EXPECT_EQ(cache_.cost().cache_hits, 1);
+  EXPECT_EQ(cache_.size(), 1u);
+}
+
+TEST_F(PromptCacheTest, DistinctPromptsMiss) {
+  ASSERT_TRUE(cache_.Complete(CapitalPrompt("Italy")).ok());
+  ASSERT_TRUE(cache_.Complete(CapitalPrompt("France")).ok());
+  EXPECT_EQ(model_.cost().num_prompts, 2);
+  EXPECT_EQ(cache_.cost().cache_hits, 0);
+}
+
+TEST_F(PromptCacheTest, ClearDropsEntries) {
+  ASSERT_TRUE(cache_.Complete(CapitalPrompt("Italy")).ok());
+  cache_.Clear();
+  EXPECT_EQ(cache_.size(), 0u);
+  ASSERT_TRUE(cache_.Complete(CapitalPrompt("Italy")).ok());
+  EXPECT_EQ(model_.cost().num_prompts, 2);
+}
+
+TEST_F(PromptCacheTest, ResetCostClearsBothMeters) {
+  ASSERT_TRUE(cache_.Complete(CapitalPrompt("Italy")).ok());
+  ASSERT_TRUE(cache_.Complete(CapitalPrompt("Italy")).ok());
+  cache_.ResetCost();
+  EXPECT_EQ(cache_.cost().num_prompts, 0);
+  EXPECT_EQ(cache_.cost().cache_hits, 0);
+}
+
+TEST(CountTokensTest, WhitespaceTokenizer) {
+  EXPECT_EQ(CountTokens(""), 0);
+  EXPECT_EQ(CountTokens("one"), 1);
+  EXPECT_EQ(CountTokens("a b  c\nd\te"), 5);
+}
+
+TEST(CostMeterTest, Subtraction) {
+  CostMeter a;
+  a.num_prompts = 10;
+  a.prompt_tokens = 100;
+  CostMeter b;
+  b.num_prompts = 4;
+  b.prompt_tokens = 30;
+  CostMeter d = a - b;
+  EXPECT_EQ(d.num_prompts, 6);
+  EXPECT_EQ(d.prompt_tokens, 70);
+}
+
+}  // namespace
+}  // namespace galois::llm

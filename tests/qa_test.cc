@@ -1,0 +1,169 @@
+// Tests for the QA baselines (T_M, T^C_M) and the text->records
+// post-processing.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "knowledge/workload.h"
+#include "llm/simulated_llm.h"
+#include "qa/qa_baseline.h"
+#include "qa/text_records.h"
+
+namespace galois::qa {
+namespace {
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+TEST(TextRecordsTest, StripChainOfThought) {
+  EXPECT_EQ(StripChainOfThought("Step 1 blah.\nFinal answer:\n42"), "42");
+  EXPECT_EQ(StripChainOfThought("plain answer"), "plain answer");
+}
+
+Schema OneCol() {
+  return Schema({Column("name", DataType::kString)});
+}
+
+Schema TwoCol() {
+  return Schema({Column("name", DataType::kString),
+                 Column("population", DataType::kInt64)});
+}
+
+TEST(TextRecordsTest, SingleColumnCommaList) {
+  auto r = TextToRelation("Rome, Paris, Berlin", OneCol());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 3u);
+}
+
+TEST(TextRecordsTest, SingleColumnBullets) {
+  auto r = TextToRelation("- Rome\n- Paris", OneCol());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+TEST(TextRecordsTest, MultiColumnColonFields) {
+  auto r = TextToRelation("- Rome: 2.8M\n- Paris: 2,100,000", TwoCol());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 2u);
+  r->SortRows();
+  EXPECT_EQ(r->At(0, 0).string_value(), "Paris");
+  EXPECT_EQ(r->At(0, 1).int_value(), 2100000);
+  EXPECT_EQ(r->At(1, 1).int_value(), 2800000);
+}
+
+TEST(TextRecordsTest, MissingFieldsPaddedWithNull) {
+  auto r = TextToRelation("- Rome", TwoCol());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_TRUE(r->At(0, 1).is_null());
+}
+
+TEST(TextRecordsTest, OverflowFieldsMergedIntoLast) {
+  Schema two({Column("name", DataType::kString),
+              Column("note", DataType::kString)});
+  auto r = TextToRelation("- Rome: nice: old", two);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->At(0, 1).string_value(), "nice:old");
+}
+
+TEST(TextRecordsTest, UnknownYieldsEmptyRelation) {
+  auto r = TextToRelation("Unknown", OneCol());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST(TextRecordsTest, DuplicatesRemoved) {
+  auto r = TextToRelation("Rome, Rome, Rome, Paris", OneCol());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+TEST(TextRecordsTest, AllNullRowsDropped) {
+  auto r = TextToRelation("- Unknown\n- Rome", OneCol());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 1u);
+}
+
+TEST(TextRecordsTest, NumericColumnRunsDomainChecks) {
+  Schema year({Column("foundedYear", DataType::kInt64)});
+  auto r = TextToRelation("1936, 99999", year);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);  // 99999 rejected by the year domain
+  EXPECT_EQ(r->At(0, 0).int_value(), 1936);
+}
+
+class QaBaselineTest : public ::testing::Test {
+ protected:
+  QaBaselineTest()
+      : model_(&W().kb(), llm::ModelProfile::ChatGpt(), &W().catalog(),
+               7) {}
+
+  llm::SimulatedLlm model_;
+};
+
+TEST_F(QaBaselineTest, NlQuestionProducesSchemaShapedRelation) {
+  const knowledge::QuerySpec* spec = W().GetQuery(1).value();
+  auto rd = engine::ExecuteSql(spec->sql, W().catalog());
+  ASSERT_TRUE(rd.ok());
+  auto result = RunNlQuestion(&model_, *spec, rd->schema());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->raw_answer.empty());
+  EXPECT_EQ(result->relation.NumColumns(), rd->NumColumns());
+}
+
+TEST_F(QaBaselineTest, ChainOfThoughtStripsPreamble) {
+  const knowledge::QuerySpec* spec = W().GetQuery(1).value();
+  auto rd = engine::ExecuteSql(spec->sql, W().catalog());
+  ASSERT_TRUE(rd.ok());
+  auto result = RunChainOfThought(&model_, *spec, rd->schema());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->raw_answer.find("Step 1"), std::string::npos);
+  // The parsed relation must not contain the reasoning preamble.
+  for (const Tuple& row : result->relation.rows()) {
+    if (row[0].type() == DataType::kString) {
+      EXPECT_EQ(row[0].string_value().find("Step 1"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(QaBaselineTest, QaRecallIsPartial) {
+  // The one-shot NL answer covers only part of a large result list.
+  const knowledge::QuerySpec* spec = W().GetQuery(5).value();  // big list
+  auto rd = engine::ExecuteSql(spec->sql, W().catalog());
+  ASSERT_TRUE(rd.ok());
+  auto result = RunNlQuestion(&model_, *spec, rd->schema());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->relation.NumRows(), 0u);
+  EXPECT_LT(result->relation.NumRows(), rd->NumRows());
+}
+
+TEST_F(QaBaselineTest, DeterministicAcrossRuns) {
+  const knowledge::QuerySpec* spec = W().GetQuery(9).value();
+  auto rd = engine::ExecuteSql(spec->sql, W().catalog());
+  ASSERT_TRUE(rd.ok());
+  auto a = RunNlQuestion(&model_, *spec, rd->schema());
+  auto b = RunNlQuestion(&model_, *spec, rd->schema());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->raw_answer, b->raw_answer);
+  EXPECT_TRUE(a->relation.SameContents(b->relation));
+}
+
+TEST_F(QaBaselineTest, BaselineConsumesOnePrompt) {
+  const knowledge::QuerySpec* spec = W().GetQuery(3).value();
+  auto rd = engine::ExecuteSql(spec->sql, W().catalog());
+  ASSERT_TRUE(rd.ok());
+  model_.ResetCost();
+  ASSERT_TRUE(RunNlQuestion(&model_, *spec, rd->schema()).ok());
+  EXPECT_EQ(model_.cost().num_prompts, 1);
+}
+
+}  // namespace
+}  // namespace galois::qa

@@ -1,0 +1,325 @@
+// Tests for the simulated LLM: determinism, coverage behaviour, noise
+// model invariants, prompt handling, and the cost meter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clean/normalize.h"
+#include "knowledge/workload.h"
+#include "llm/prompt_templates.h"
+#include "llm/simulated_llm.h"
+
+namespace galois::llm {
+namespace {
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+SimulatedLlm MakeModel(ModelProfile profile = ModelProfile::ChatGpt(),
+                       uint64_t seed = 7) {
+  return SimulatedLlm(&W().kb(), std::move(profile), &W().catalog(), seed);
+}
+
+TEST(SimulatedLlmTest, NameFromProfile) {
+  SimulatedLlm m = MakeModel();
+  EXPECT_EQ(m.name(), "GPT-3.5-turbo");
+}
+
+TEST(SimulatedLlmTest, CompletionsAreDeterministic) {
+  SimulatedLlm a = MakeModel();
+  SimulatedLlm b = MakeModel();
+  KeyScanIntent intent;
+  intent.concept_name = "country";
+  intent.key_attribute = "name";
+  Prompt prompt = BuildKeyScanPrompt(intent);
+  auto ca = a.Complete(prompt);
+  auto cb = b.Complete(prompt);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(ca.value().text, cb.value().text);
+}
+
+TEST(SimulatedLlmTest, DifferentSeedsDiffer) {
+  SimulatedLlm a = MakeModel(ModelProfile::ChatGpt(), 1);
+  SimulatedLlm b = MakeModel(ModelProfile::ChatGpt(), 2);
+  int differing = 0;
+  for (const char* country : {"Italy", "Kenya", "Peru", "Hungary"}) {
+    auto va = a.NoisyAttribute("country", country, "population");
+    auto vb = b.NoisyAttribute("country", country, "population");
+    if (va.ok() && vb.ok() && !(va.value() == vb.value())) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(SimulatedLlmTest, PopularEntitiesKnownByEveryModel) {
+  // The most popular entities should be known even by the small models.
+  for (ModelProfile profile : ModelProfile::AllPaperModels()) {
+    SimulatedLlm m = MakeModel(profile);
+    EXPECT_TRUE(m.KnowsEntity("country", "United States")) << profile.name;
+  }
+}
+
+TEST(SimulatedLlmTest, SmallModelsKnowFewerEntities) {
+  SimulatedLlm flan = MakeModel(ModelProfile::Flan());
+  SimulatedLlm gpt3 = MakeModel(ModelProfile::Gpt3());
+  EXPECT_LT(flan.KnownEntities("city").size(),
+            gpt3.KnownEntities("city").size());
+}
+
+TEST(SimulatedLlmTest, KnownEntitiesSortedByPopularity) {
+  SimulatedLlm m = MakeModel();
+  auto known = m.KnownEntities("country");
+  ASSERT_GT(known.size(), 2u);
+  for (size_t i = 1; i < known.size(); ++i) {
+    EXPECT_GE(known[i - 1]->popularity, known[i]->popularity);
+  }
+}
+
+TEST(SimulatedLlmTest, NoisyAttributeStableAcrossCalls) {
+  SimulatedLlm m = MakeModel();
+  for (const char* country : {"Italy", "Japan", "Peru"}) {
+    auto a = m.NoisyAttribute("country", country, "population");
+    auto b = m.NoisyAttribute("country", country, "population");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value()) << country;
+  }
+}
+
+TEST(SimulatedLlmTest, PerfectProfileReturnsTruth) {
+  ModelProfile perfect = ModelProfile::ChatGpt();
+  perfect.coverage_floor = 1.0;
+  perfect.coverage_gain = 0.0;
+  perfect.unknown_rate = 0.0;
+  perfect.fact_accuracy = 1.0;
+  perfect.numeric_fact_accuracy = 1.0;
+  SimulatedLlm m = MakeModel(perfect);
+  for (const char* country : {"Italy", "Kenya", "Israel"}) {
+    Value noisy =
+        m.NoisyAttribute("country", country, "population").value();
+    Value truth =
+        W().kb().GetAttribute("country", country, "population").value();
+    EXPECT_EQ(noisy, truth) << country;
+  }
+}
+
+TEST(SimulatedLlmTest, ZeroAccuracyAlwaysPerturbsNumerics) {
+  ModelProfile wrong = ModelProfile::ChatGpt();
+  wrong.coverage_floor = 1.0;
+  wrong.coverage_gain = 0.0;
+  wrong.unknown_rate = 0.0;
+  wrong.fact_accuracy = 0.0;
+  wrong.numeric_fact_accuracy = 0.0;
+  SimulatedLlm m = MakeModel(wrong);
+  Value noisy = m.NoisyAttribute("country", "Italy", "population").value();
+  Value truth =
+      W().kb().GetAttribute("country", "Italy", "population").value();
+  EXPECT_FALSE(noisy == truth);
+}
+
+TEST(SimulatedLlmTest, YearPerturbationIsSmallShift) {
+  ModelProfile wrong = ModelProfile::ChatGpt();
+  wrong.coverage_floor = 1.0;
+  wrong.coverage_gain = 0.0;
+  wrong.unknown_rate = 0.0;
+  wrong.fact_accuracy = 0.0;
+  SimulatedLlm m = MakeModel(wrong);
+  for (const char* airline : {"KLM", "Qantas", "Lufthansa"}) {
+    Value noisy =
+        m.NoisyAttribute("airline", airline, "foundedYear").value();
+    Value truth =
+        W().kb().GetAttribute("airline", airline, "foundedyear").value();
+    int64_t delta =
+        std::llabs(noisy.int_value() - truth.int_value());
+    EXPECT_GE(delta, 1) << airline;
+    EXPECT_LE(delta, 5) << airline;
+  }
+}
+
+TEST(SimulatedLlmTest, UnknownEntityMayFabricate) {
+  ModelProfile confident = ModelProfile::Gpt3();
+  confident.coverage_floor = 0.0;  // knows nothing
+  confident.coverage_gain = 0.0;
+  confident.fake_entity_confidence = 1.0;
+  SimulatedLlm m = MakeModel(confident);
+  Value v = m.NoisyAttribute("country", "Italy", "capital").value();
+  EXPECT_FALSE(v.is_null());  // fabricated, not "Unknown"
+
+  ModelProfile humble = confident;
+  humble.fake_entity_confidence = 0.0;
+  SimulatedLlm h = MakeModel(humble);
+  EXPECT_TRUE(
+      h.NoisyAttribute("country", "Italy", "capital").value().is_null());
+}
+
+TEST(SimulatedLlmTest, StyleIsPerAttributeConsistent) {
+  ModelProfile styled = ModelProfile::ChatGpt();
+  styled.reference_style_noise = 1.0;
+  SimulatedLlm m = MakeModel(styled);
+  ASSERT_TRUE(m.UsesNonCanonicalStyle("city", "country"));
+  // Every country value of the same attribute renders in the same
+  // non-canonical form family (here: ISO codes).
+  std::string italy = m.RenderValue("city", "country",
+                                    Value::String("Italy"), "Rome");
+  std::string france = m.RenderValue("city", "country",
+                                     Value::String("France"), "Paris");
+  EXPECT_NE(italy, "Italy");
+  EXPECT_NE(france, "France");
+  EXPECT_EQ(italy.size(), france.size());  // same code family (ISO2/ISO3)
+}
+
+TEST(SimulatedLlmTest, NonReferenceAttributesNeverStyled) {
+  ModelProfile styled = ModelProfile::ChatGpt();
+  styled.reference_style_noise = 1.0;
+  SimulatedLlm m = MakeModel(styled);
+  EXPECT_FALSE(m.UsesNonCanonicalStyle("country", "population"));
+  EXPECT_FALSE(m.UsesNonCanonicalStyle("country", "code"));
+}
+
+TEST(SimulatedLlmTest, RenderedNumbersRemainParseable) {
+  ModelProfile noisy = ModelProfile::ChatGpt();
+  noisy.value_format_noise = 1.0;
+  SimulatedLlm m = MakeModel(noisy);
+  // Whatever format the model picks, the cleaning layer must parse it to
+  // within compact-rounding error.
+  for (const char* country : {"Italy", "Japan", "Brazil", "Kenya"}) {
+    Value truth =
+        W().kb().GetAttribute("country", country, "population").value();
+    std::string rendered =
+        m.RenderValue("country", "population", truth, country);
+    auto parsed = clean::ParseNumber(rendered);
+    ASSERT_TRUE(parsed.ok()) << rendered;
+    double rel = std::fabs(parsed.value() - truth.AsDouble().value()) /
+                 truth.AsDouble().value();
+    EXPECT_LT(rel, 0.06) << rendered;
+  }
+}
+
+TEST(SimulatedLlmTest, RenderedDatesRemainParseable) {
+  ModelProfile noisy = ModelProfile::ChatGpt();
+  noisy.value_format_noise = 1.0;
+  SimulatedLlm m = MakeModel(noisy);
+  const knowledge::Entity& mayor =
+      W().kb().FindConcept("mayor")->entities[3];
+  Value truth = *mayor.FindAttribute("birthdate");
+  std::string rendered =
+      m.RenderValue("mayor", "birthDate", truth, mayor.key);
+  auto parsed = clean::ParseDate(rendered);
+  ASSERT_TRUE(parsed.ok()) << rendered;
+  EXPECT_EQ(parsed.value(), truth) << rendered;
+}
+
+TEST(SimulatedLlmTest, ScanStopsEventually) {
+  SimulatedLlm m = MakeModel(ModelProfile::Flan());
+  int stop = m.ScanStopPage("city");
+  EXPECT_GE(stop, 1);
+  EXPECT_LT(stop, 1000);
+}
+
+TEST(SimulatedLlmTest, KeyScanPagesAreDisjointAndOrdered) {
+  SimulatedLlm m = MakeModel(ModelProfile::Gpt3());
+  std::set<std::string> seen;
+  for (int page = 0; page < 3; ++page) {
+    KeyScanIntent intent;
+    intent.concept_name = "city";
+    intent.key_attribute = "name";
+    intent.page = page;
+    auto c = m.Complete(BuildKeyScanPrompt(intent));
+    ASSERT_TRUE(c.ok());
+    if (clean::IsNoMoreResults(c.value().text)) break;
+    for (const std::string& key : clean::SplitList(c.value().text)) {
+      EXPECT_TRUE(seen.insert(key).second)
+          << key << " repeated on page " << page;
+    }
+  }
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(SimulatedLlmTest, FilterCheckAnswersYesNoUnknown) {
+  SimulatedLlm m = MakeModel();
+  FilterCheckIntent intent;
+  intent.concept_name = "country";
+  intent.key = "Italy";
+  intent.filter.attribute = "continent";
+  intent.filter.op = "=";
+  intent.filter.value = Value::String("Europe");
+  auto c = m.Complete(BuildFilterPrompt(intent));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c.value().text == "Yes." || c.value().text == "No." ||
+              c.value().text == "Unknown");
+}
+
+TEST(SimulatedLlmTest, AttributeGetUnknownForUnknownEntity) {
+  ModelProfile humble = ModelProfile::ChatGpt();
+  humble.coverage_floor = 0.0;
+  humble.coverage_gain = 0.0;
+  humble.fake_entity_confidence = 0.0;
+  SimulatedLlm m = MakeModel(humble);
+  AttributeGetIntent intent;
+  intent.concept_name = "country";
+  intent.key = "Italy";
+  intent.attribute = "capital";
+  auto c = m.Complete(BuildAttributePrompt(intent));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().text, "Unknown");
+}
+
+TEST(SimulatedLlmTest, CostMeterAccumulates) {
+  SimulatedLlm m = MakeModel();
+  EXPECT_EQ(m.cost().num_prompts, 0);
+  AttributeGetIntent intent;
+  intent.concept_name = "country";
+  intent.key = "Italy";
+  intent.attribute = "capital";
+  Prompt p = BuildAttributePrompt(intent);
+  ASSERT_TRUE(m.Complete(p).ok());
+  EXPECT_EQ(m.cost().num_prompts, 1);
+  EXPECT_GT(m.cost().prompt_tokens, 50);  // few-shot preamble counted
+  EXPECT_GT(m.cost().simulated_latency_ms, 0.0);
+  ASSERT_TRUE(m.Complete(p).ok());
+  EXPECT_EQ(m.cost().num_prompts, 2);
+  m.ResetCost();
+  EXPECT_EQ(m.cost().num_prompts, 0);
+}
+
+TEST(SimulatedLlmTest, FreeformRequiresCatalog) {
+  SimulatedLlm m(&W().kb(), ModelProfile::ChatGpt(), nullptr, 7);
+  FreeformIntent intent;
+  intent.question = "What is the capital of France?";
+  intent.sql = "SELECT capital FROM country WHERE name = 'France'";
+  auto c = m.Complete(BuildFreeformPrompt(intent));
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kLlmError);
+}
+
+TEST(SimulatedLlmTest, FreeformAnswersGroundedQuestion) {
+  SimulatedLlm m = MakeModel();
+  FreeformIntent intent;
+  intent.question = "What are the names of the countries in Europe?";
+  intent.sql = "SELECT name FROM country WHERE continent = 'Europe'";
+  auto c = m.Complete(BuildFreeformPrompt(intent));
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_FALSE(c.value().text.empty());
+}
+
+TEST(SimulatedLlmTest, ChainOfThoughtAddsSteps) {
+  SimulatedLlm m = MakeModel();
+  FreeformIntent intent;
+  intent.question = "What are the names of the countries in Europe?";
+  intent.sql = "SELECT name FROM country WHERE continent = 'Europe'";
+  intent.chain_of_thought = true;
+  auto c = m.Complete(BuildFreeformPrompt(intent));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c.value().text.find("Step 1"), std::string::npos);
+  EXPECT_NE(c.value().text.find("Final answer:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galois::llm

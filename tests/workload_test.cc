@@ -1,0 +1,148 @@
+// Unit tests for the Spider-like workload: catalog completeness, ground
+// truth materialisation, query classification.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.h"
+#include "knowledge/workload.h"
+#include "sql/parser.h"
+
+namespace galois::knowledge {
+namespace {
+
+const SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok()) << r.status();
+    return new SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+TEST(WorkloadTest, Exactly46Queries) {
+  EXPECT_EQ(W().queries().size(), 46u);
+}
+
+TEST(WorkloadTest, QueryIdsAreSequential) {
+  for (size_t i = 0; i < W().queries().size(); ++i) {
+    EXPECT_EQ(W().queries()[i].id, static_cast<int>(i) + 1);
+  }
+  EXPECT_TRUE(W().GetQuery(1).ok());
+  EXPECT_TRUE(W().GetQuery(46).ok());
+  EXPECT_FALSE(W().GetQuery(0).ok());
+  EXPECT_FALSE(W().GetQuery(47).ok());
+}
+
+TEST(WorkloadTest, ClassMixMatchesDesign) {
+  std::map<QueryClass, int> counts;
+  for (const QuerySpec& q : W().queries()) ++counts[q.query_class];
+  EXPECT_EQ(counts[QueryClass::kSelection], 16);
+  EXPECT_EQ(counts[QueryClass::kAggregate], 15);
+  EXPECT_EQ(counts[QueryClass::kJoin], 8);
+  EXPECT_EQ(counts[QueryClass::kJoinAggregate], 7);
+}
+
+TEST(WorkloadTest, EveryQueryHasAnNlParaphrase) {
+  for (const QuerySpec& q : W().queries()) {
+    EXPECT_FALSE(q.question.empty()) << q.id;
+    EXPECT_NE(q.question.back(), ' ');
+  }
+}
+
+TEST(WorkloadTest, AllLlmTablesRegisteredWithInstances) {
+  for (const char* table :
+       {"country", "city", "cityMayor", "airport", "airline", "singer",
+        "concert", "stadium", "language", "Employees"}) {
+    ASSERT_TRUE(W().catalog().HasTable(table)) << table;
+    EXPECT_TRUE(W().catalog().GetInstance(table).ok()) << table;
+  }
+}
+
+TEST(WorkloadTest, EmployeesIsDbSource) {
+  auto def = W().catalog().GetTable("Employees");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def.value()->default_source, catalog::SourceKind::kDb);
+  auto country = W().catalog().GetTable("country");
+  EXPECT_EQ(country.value()->default_source, catalog::SourceKind::kLlm);
+}
+
+TEST(WorkloadTest, InstancesMatchKbCardinality) {
+  auto instance = W().catalog().GetInstance("country").value();
+  EXPECT_EQ(instance->NumRows(),
+            W().kb().FindConcept("country")->entities.size());
+}
+
+TEST(WorkloadTest, MaterialiseFromKbMapsColumnsToAttributes) {
+  auto def = W().catalog().GetTable("cityMayor").value();
+  auto rel = MaterialiseFromKb(W().kb(), *def);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  // Spot-check one mayor row against the KB.
+  const Entity& m = W().kb().FindConcept("mayor")->entities[0];
+  bool found = false;
+  size_t name_idx = rel->schema().Resolve("name").value();
+  size_t age_idx = rel->schema().Resolve("age").value();
+  for (const Tuple& row : rel->rows()) {
+    if (row[name_idx].string_value() == m.key) {
+      EXPECT_EQ(row[age_idx], *m.FindAttribute("age"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadTest, MaterialiseRejectsUnknownConcept) {
+  catalog::TableDef def;
+  def.name = "ghost";
+  def.entity_type = "ghost";
+  def.key_column = "name";
+  def.columns = {catalog::ColumnDef("name", DataType::kString, true)};
+  EXPECT_FALSE(MaterialiseFromKb(W().kb(), def).ok());
+}
+
+TEST(WorkloadTest, GroundTruthNonEmptyForAllQueries) {
+  for (const QuerySpec& q : W().queries()) {
+    auto rd = engine::ExecuteSql(q.sql, W().catalog());
+    ASSERT_TRUE(rd.ok()) << q.sql << " -> " << rd.status();
+    EXPECT_GT(rd->NumRows(), 0u)
+        << "query " << q.id << " has empty ground truth: " << q.sql;
+  }
+}
+
+TEST(WorkloadTest, ClassificationConsistentWithSql) {
+  for (const QuerySpec& q : W().queries()) {
+    auto stmt = sql::ParseSelect(q.sql);
+    ASSERT_TRUE(stmt.ok());
+    bool multi_table =
+        stmt.value().from.size() + stmt.value().joins.size() > 1;
+    bool has_agg = !stmt.value().group_by.empty();
+    for (const auto& item : stmt.value().select_list) {
+      has_agg = has_agg || sql::ContainsAggregate(*item.expr);
+    }
+    QueryClass expected =
+        multi_table
+            ? (has_agg ? QueryClass::kJoinAggregate : QueryClass::kJoin)
+            : (has_agg ? QueryClass::kAggregate : QueryClass::kSelection);
+    EXPECT_EQ(q.query_class, expected) << "query " << q.id;
+  }
+}
+
+TEST(WorkloadTest, QueryClassNames) {
+  EXPECT_STREQ(QueryClassName(QueryClass::kSelection), "Selection");
+  EXPECT_STREQ(QueryClassName(QueryClass::kAggregate), "Aggregate");
+  EXPECT_STREQ(QueryClassName(QueryClass::kJoin), "Join");
+  EXPECT_STREQ(QueryClassName(QueryClass::kJoinAggregate),
+               "JoinAggregate");
+}
+
+TEST(WorkloadTest, DifferentSeedsDifferentInstances) {
+  auto w2 = SpiderLikeWorkload::Create(99);
+  ASSERT_TRUE(w2.ok());
+  auto a = W().catalog().GetInstance("country").value();
+  auto b = w2.value().catalog().GetInstance("country").value();
+  EXPECT_FALSE(a->SameContents(*b));
+}
+
+}  // namespace
+}  // namespace galois::knowledge

@@ -1,0 +1,182 @@
+// Unit tests for the synthetic world knowledge base.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "knowledge/world_kb.h"
+
+namespace galois::knowledge {
+namespace {
+
+const WorldKb& Kb() {
+  static const WorldKb* kb = new WorldKb(WorldKb::Generate());
+  return *kb;
+}
+
+TEST(WorldKbTest, AllConceptsPresent) {
+  std::set<std::string> names;
+  for (const std::string& n : Kb().ConceptNames()) names.insert(n);
+  for (const char* expected :
+       {"country", "city", "mayor", "airport", "airline", "singer",
+        "concert", "stadium", "language"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(WorldKbTest, GenerationIsDeterministic) {
+  WorldKb a = WorldKb::Generate(5);
+  WorldKb b = WorldKb::Generate(5);
+  const EntitySet* ca = a.FindConcept("country");
+  const EntitySet* cb = b.FindConcept("country");
+  ASSERT_EQ(ca->entities.size(), cb->entities.size());
+  for (size_t i = 0; i < ca->entities.size(); ++i) {
+    EXPECT_EQ(ca->entities[i].key, cb->entities[i].key);
+    EXPECT_EQ(ca->entities[i].attributes, cb->entities[i].attributes);
+  }
+}
+
+TEST(WorldKbTest, DifferentSeedsChangeSynthesisedValues) {
+  WorldKb a = WorldKb::Generate(1);
+  WorldKb b = WorldKb::Generate(2);
+  // Names are static; the synthesised magnitudes differ.
+  int differing = 0;
+  const EntitySet* ca = a.FindConcept("country");
+  for (const Entity& e : ca->entities) {
+    Value pa = a.GetAttribute("country", e.key, "population").value();
+    Value pb = b.GetAttribute("country", e.key, "population").value();
+    if (!(pa == pb)) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(WorldKbTest, EntityCounts) {
+  EXPECT_EQ(Kb().FindConcept("country")->entities.size(), 48u);
+  EXPECT_GT(Kb().FindConcept("city")->entities.size(), 90u);
+  EXPECT_EQ(Kb().FindConcept("city")->entities.size(),
+            Kb().FindConcept("mayor")->entities.size());
+  EXPECT_GT(Kb().FindConcept("airport")->entities.size(), 40u);
+}
+
+TEST(WorldKbTest, PopularityInUnitInterval) {
+  for (const std::string& concept_name : Kb().ConceptNames()) {
+    for (const Entity& e :
+         Kb().FindConcept(concept_name)->entities) {
+      EXPECT_GT(e.popularity, 0.0) << concept_name << "/" << e.key;
+      EXPECT_LE(e.popularity, 1.0) << concept_name << "/" << e.key;
+    }
+  }
+}
+
+TEST(WorldKbTest, GetAttributeSuccessAndErrors) {
+  auto capital = Kb().GetAttribute("country", "France", "capital");
+  ASSERT_TRUE(capital.ok());
+  EXPECT_EQ(capital.value().string_value(), "Paris");
+  EXPECT_FALSE(Kb().GetAttribute("country", "Narnia", "capital").ok());
+  EXPECT_FALSE(Kb().GetAttribute("country", "France", "nosuch").ok());
+  EXPECT_FALSE(Kb().GetAttribute("nosuch", "France", "capital").ok());
+}
+
+TEST(WorldKbTest, CaseInsensitiveEntityLookup) {
+  const EntitySet* countries = Kb().FindConcept("country");
+  EXPECT_NE(countries->FindEntity("italy"), nullptr);
+  EXPECT_NE(countries->FindEntity("ITALY"), nullptr);
+}
+
+TEST(WorldKbTest, ReferentialIntegrityCityCountry) {
+  const EntitySet* cities = Kb().FindConcept("city");
+  const EntitySet* countries = Kb().FindConcept("country");
+  for (const Entity& city : cities->entities) {
+    const Value* country = city.FindAttribute("country");
+    ASSERT_NE(country, nullptr);
+    EXPECT_NE(countries->FindEntity(country->string_value()), nullptr)
+        << city.key << " references unknown country";
+  }
+}
+
+TEST(WorldKbTest, ReferentialIntegrityMayors) {
+  const EntitySet* cities = Kb().FindConcept("city");
+  const EntitySet* mayors = Kb().FindConcept("mayor");
+  for (const Entity& city : cities->entities) {
+    const Value* mayor = city.FindAttribute("mayor");
+    ASSERT_NE(mayor, nullptr);
+    EXPECT_NE(mayors->FindEntity(mayor->string_value()), nullptr)
+        << city.key << " has unknown mayor";
+  }
+}
+
+TEST(WorldKbTest, ReferentialIntegrityConcerts) {
+  const EntitySet* concerts = Kb().FindConcept("concert");
+  const EntitySet* singers = Kb().FindConcept("singer");
+  const EntitySet* stadiums = Kb().FindConcept("stadium");
+  for (const Entity& c : concerts->entities) {
+    EXPECT_NE(singers->FindEntity(c.FindAttribute("singer")->string_value()),
+              nullptr);
+    EXPECT_NE(
+        stadiums->FindEntity(c.FindAttribute("stadium")->string_value()),
+        nullptr);
+  }
+}
+
+TEST(WorldKbTest, CapitalsAreCities) {
+  const EntitySet* countries = Kb().FindConcept("country");
+  const EntitySet* cities = Kb().FindConcept("city");
+  for (const Entity& country : countries->entities) {
+    const Value* capital = country.FindAttribute("capital");
+    EXPECT_NE(cities->FindEntity(capital->string_value()), nullptr)
+        << country.key;
+  }
+}
+
+TEST(WorldKbTest, MayorAgeConsistentWithBirthDate) {
+  const EntitySet* mayors = Kb().FindConcept("mayor");
+  for (const Entity& m : mayors->entities) {
+    int y, mo, d;
+    UnpackDate(m.FindAttribute("birthdate")->date_packed(), &y, &mo, &d);
+    EXPECT_EQ(m.FindAttribute("age")->int_value(), 2023 - y);
+  }
+}
+
+TEST(WorldKbTest, SurfaceFormsCountry) {
+  auto forms = Kb().SurfaceForms("country", "Italy");
+  ASSERT_GE(forms.size(), 3u);
+  EXPECT_EQ(forms[0], "Italy");
+  EXPECT_EQ(forms[1], "ITA");
+  EXPECT_EQ(forms[2], "IT");
+}
+
+TEST(WorldKbTest, SurfaceFormsCityIncludesDisambiguated) {
+  auto forms = Kb().SurfaceForms("city", "Rome");
+  ASSERT_GE(forms.size(), 2u);
+  EXPECT_EQ(forms[0], "Rome");
+  EXPECT_EQ(forms[1], "Rome, Italy");
+}
+
+TEST(WorldKbTest, SurfaceFormsPersonAbbreviation) {
+  const Entity& mayor = Kb().FindConcept("mayor")->entities[0];
+  auto forms = Kb().SurfaceForms("mayor", mayor.key);
+  ASSERT_GE(forms.size(), 2u);
+  EXPECT_EQ(forms[1][1], '.');  // "X. Lastname"
+}
+
+TEST(WorldKbTest, SurfaceFormsUnknownEntityReturnsKey) {
+  auto forms = Kb().SurfaceForms("country", "Narnia");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0], "Narnia");
+}
+
+TEST(WorldKbTest, ReferencedConceptMapping) {
+  EXPECT_EQ(WorldKb::ReferencedConcept("city", "country"), "country");
+  EXPECT_EQ(WorldKb::ReferencedConcept("country", "capital"), "city");
+  EXPECT_EQ(WorldKb::ReferencedConcept("concert", "singer"), "singer");
+  EXPECT_EQ(WorldKb::ReferencedConcept("concert", "stadium"), "stadium");
+  EXPECT_EQ(WorldKb::ReferencedConcept("country", "language"), "language");
+  EXPECT_EQ(WorldKb::ReferencedConcept("city", "mayor"), "mayor");
+  // Non-references.
+  EXPECT_EQ(WorldKb::ReferencedConcept("country", "code"), "");
+  EXPECT_EQ(WorldKb::ReferencedConcept("country", "population"), "");
+  EXPECT_EQ(WorldKb::ReferencedConcept("singer", "name"), "");
+}
+
+}  // namespace
+}  // namespace galois::knowledge
