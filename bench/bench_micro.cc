@@ -9,6 +9,7 @@
 #include "core/galois_executor.h"
 #include "engine/executor.h"
 #include "knowledge/workload.h"
+#include "llm/prompt_cache.h"
 #include "llm/prompt_templates.h"
 #include "llm/simulated_llm.h"
 #include "sql/parser.h"
@@ -110,6 +111,50 @@ void BM_GaloisSelectionQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GaloisSelectionQuery);
+
+void BM_GaloisSelectionQueryBatched(benchmark::State& state) {
+  // range(0) is max_batch_size: 0 = one batch per retrieval phase.
+  galois::llm::SimulatedLlm model(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  galois::core::ExecutionOptions options;
+  options.batch_prompts = true;
+  options.max_batch_size = static_cast<size_t>(state.range(0));
+  galois::core::GaloisExecutor galois(&model, &Workload().catalog(),
+                                      options);
+  const std::string sql =
+      "SELECT name FROM country WHERE continent = 'Europe'";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+  }
+  state.counters["batches"] =
+      static_cast<double>(galois.last_cost().num_batches);
+  state.counters["prompts"] =
+      static_cast<double>(galois.last_cost().num_prompts);
+}
+BENCHMARK(BM_GaloisSelectionQueryBatched)->Arg(0)->Arg(8)->Arg(32);
+
+void BM_GaloisBatchedWarmCache(benchmark::State& state) {
+  // Warm rerun through the batch-aware PromptCache: every batch is served
+  // from cache without an inner round trip.
+  galois::llm::SimulatedLlm inner(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  galois::llm::PromptCache cache(&inner);
+  galois::core::ExecutionOptions options;
+  options.batch_prompts = true;
+  galois::core::GaloisExecutor galois(&cache, &Workload().catalog(),
+                                      options);
+  const std::string sql =
+      "SELECT name, capital FROM country WHERE continent = 'Europe'";
+  benchmark::DoNotOptimize(galois.ExecuteSql(sql));  // cold fill
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(galois.last_cost().cache_hits);
+}
+BENCHMARK(BM_GaloisBatchedWarmCache);
 
 void BM_GaloisJoinQuery(benchmark::State& state) {
   galois::llm::SimulatedLlm model(&Workload().kb(),

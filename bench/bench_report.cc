@@ -88,6 +88,15 @@ int main(int argc, char** argv) {
     std::printf("%s", galois::eval::FormatCostStats(gpt3.value()).c_str());
     std::printf("  (paper: ~110 batched prompts, ~20 s per query)\n\n");
   }
+  galois::eval::ExperimentConfig batched_cfg = galois_only;
+  batched_cfg.options.batch_prompts = true;
+  auto gpt3_batched = galois::eval::RunExperiment(
+      workload.value(), galois::llm::ModelProfile::Gpt3(), batched_cfg);
+  if (gpt3_batched.ok()) {
+    std::printf("Same workload with batched dispatch:\n%s\n",
+                galois::eval::FormatCostStats(gpt3_batched.value())
+                    .c_str());
+  }
 
   // --- quick shape checks -------------------------------------------------
   using galois::eval::Method;

@@ -10,6 +10,8 @@
 //
 // Also works non-interactively: echo "SELECT ..." | galois_shell
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 #include <memory>

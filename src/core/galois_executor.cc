@@ -282,54 +282,44 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
 
   // 2a. Optional critic pass over the scanned keys: "Is it true that the
   // name of the country New Italy is New Italy?" rejects hallucinated
-  // entities before any further prompt is spent on them.
-  if (options_.verify_cells) {
+  // entities before any further prompt is spent on them. One scheduler
+  // phase over all scanned keys.
+  if (options_.verify_cells && !keys.empty()) {
+    std::vector<Value> claimed;
+    claimed.reserve(keys.size());
+    for (const std::string& key : keys) {
+      claimed.push_back(Value::String(key));
+    }
+    GALOIS_ASSIGN_OR_RETURN(
+        std::vector<int> verdicts,
+        LlmVerifyCellBatch(model_, def, keys, key_col, claimed, options_));
     std::vector<std::string> confirmed;
     confirmed.reserve(keys.size());
-    for (const std::string& key : keys) {
-      GALOIS_ASSIGN_OR_RETURN(
-          int verdict,
-          LlmVerifyCell(model_, def, key, key_col, Value::String(key)));
-      if (verdict != 0) confirmed.push_back(key);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (verdicts[i] != 0) confirmed.push_back(std::move(keys[i]));
     }
     keys = std::move(confirmed);
   }
 
-  // 2b. Selection: filter-check prompts for remaining predicates, either
-  // one round trip per key (paper behaviour) or batched per predicate.
-  // The two paths return identical keys: the model's verdicts are stable
-  // per (key, filter).
-  std::vector<std::string> surviving;
-  if (options_.batch_prompts) {
-    surviving = keys;
-    for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
-      if (surviving.empty()) break;
-      GALOIS_ASSIGN_OR_RETURN(
-          std::vector<int> verdicts,
-          LlmFilterCheckBatch(model_, def, surviving,
-                              ctx.llm_filters[f]));
-      std::vector<std::string> kept;
-      kept.reserve(surviving.size());
-      for (size_t i = 0; i < surviving.size(); ++i) {
-        if (verdicts[i] == 1) kept.push_back(std::move(surviving[i]));
-      }
-      surviving = std::move(kept);
+  // 2b. Selection: one filter-check phase per remaining predicate, each
+  // over the keys that survived the previous predicates — the same prompt
+  // set as the paper prototype's per-key short-circuiting loop, just
+  // grouped so the scheduler can dispatch each phase as a batch. Batched
+  // and sequential dispatch return identical keys: the model's verdicts
+  // are stable per (key, filter).
+  std::vector<std::string> surviving = keys;
+  for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
+    if (surviving.empty()) break;
+    GALOIS_ASSIGN_OR_RETURN(
+        std::vector<int> verdicts,
+        LlmFilterCheckBatch(model_, def, surviving, ctx.llm_filters[f],
+                            options_));
+    std::vector<std::string> kept;
+    kept.reserve(surviving.size());
+    for (size_t i = 0; i < surviving.size(); ++i) {
+      if (verdicts[i] == 1) kept.push_back(std::move(surviving[i]));
     }
-  } else {
-    surviving.reserve(keys.size());
-    for (const std::string& key : keys) {
-      bool keep = true;
-      for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
-        GALOIS_ASSIGN_OR_RETURN(
-            int holds,
-            LlmFilterCheck(model_, def, key, ctx.llm_filters[f]));
-        if (holds != 1) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) surviving.push_back(key);
-    }
+    surviving = std::move(kept);
   }
   if (options_.record_provenance) {
     ScanProvenance scan;
@@ -340,34 +330,46 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
     last_trace_.scans.push_back(std::move(scan));
   }
 
-  // 3. Attribute completion for every needed column, optionally followed
-  // by a critic verification prompt per cell (Section 6 extensions).
+  // 3. Attribute completion: one scheduler phase per needed column
+  // retrieves the whole column, optionally followed by a critic
+  // verification phase over its non-NULL cells (Section 6 extensions).
   Schema schema;
   schema.AddColumn(Column(key_col.name, key_col.type, ctx.alias));
   for (const catalog::ColumnDef* col : ctx.needed_columns) {
     schema.AddColumn(Column(col->name, col->type, ctx.alias));
   }
   Relation rel(schema);
-  if (options_.batch_prompts) {
-    // Column-wise batches: one round trip retrieves a whole column.
-    std::vector<std::vector<Value>> columns;
-    columns.reserve(ctx.needed_columns.size());
-    for (const catalog::ColumnDef* col : ctx.needed_columns) {
-      std::vector<CellProvenance> provenances;
-      std::vector<CellProvenance>* prov_ptr =
-          options_.record_provenance ? &provenances : nullptr;
-      GALOIS_ASSIGN_OR_RETURN(
-          std::vector<Value> values,
-          LlmGetAttributeBatch(model_, def, surviving, *col, options_,
-                               prov_ptr));
-      if (options_.verify_cells) {
-        for (size_t i = 0; i < values.size(); ++i) {
-          if (values[i].is_null()) continue;
-          GALOIS_ASSIGN_OR_RETURN(
-              int verdict, LlmVerifyCell(model_, def, surviving[i], *col,
-                                         values[i]));
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(ctx.needed_columns.size());
+  for (const catalog::ColumnDef* col : ctx.needed_columns) {
+    std::vector<CellProvenance> provenances;
+    std::vector<CellProvenance>* prov_ptr =
+        options_.record_provenance ? &provenances : nullptr;
+    GALOIS_ASSIGN_OR_RETURN(
+        std::vector<Value> values,
+        LlmGetAttributeBatch(model_, def, surviving, *col, options_,
+                             prov_ptr));
+    if (options_.verify_cells) {
+      // Verify the column's non-NULL cells in one phase.
+      std::vector<size_t> cell_idx;
+      std::vector<std::string> cell_keys;
+      std::vector<Value> cell_values;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (values[i].is_null()) continue;
+        cell_idx.push_back(i);
+        cell_keys.push_back(surviving[i]);
+        cell_values.push_back(values[i]);
+      }
+      if (!cell_idx.empty()) {
+        GALOIS_ASSIGN_OR_RETURN(
+            std::vector<int> verdicts,
+            LlmVerifyCellBatch(model_, def, cell_keys, *col, cell_values,
+                               options_));
+        for (size_t v = 0; v < cell_idx.size(); ++v) {
+          size_t i = cell_idx[v];
           if (prov_ptr != nullptr) provenances[i].verified = true;
-          if (verdict == 0) {
+          if (verdicts[v] == 0) {
+            // The critic rejected the value: treat it as a hallucination.
             values[i] = Value::Null();
             if (prov_ptr != nullptr) {
               provenances[i].rejected = true;
@@ -376,53 +378,20 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
           }
         }
       }
-      if (prov_ptr != nullptr) {
-        for (CellProvenance& p : provenances) {
-          p.table_alias = ctx.alias;
-          last_trace_.cells.push_back(std::move(p));
-        }
+    }
+    if (prov_ptr != nullptr) {
+      for (CellProvenance& p : provenances) {
+        p.table_alias = ctx.alias;
+        last_trace_.cells.push_back(std::move(p));
       }
-      columns.push_back(std::move(values));
     }
-    for (size_t r = 0; r < surviving.size(); ++r) {
-      Tuple row;
-      row.reserve(1 + columns.size());
-      row.push_back(Value::String(surviving[r]));
-      for (auto& column : columns) row.push_back(column[r]);
-      rel.AddRowUnchecked(std::move(row));
-    }
-    return rel;
+    columns.push_back(std::move(values));
   }
-  for (const std::string& key : surviving) {
+  for (size_t r = 0; r < surviving.size(); ++r) {
     Tuple row;
-    row.reserve(1 + ctx.needed_columns.size());
-    row.push_back(Value::String(key));
-    for (const catalog::ColumnDef* col : ctx.needed_columns) {
-      CellProvenance provenance;
-      CellProvenance* prov_ptr =
-          options_.record_provenance ? &provenance : nullptr;
-      GALOIS_ASSIGN_OR_RETURN(
-          Value v,
-          LlmGetAttribute(model_, def, key, *col, options_, prov_ptr));
-      if (options_.verify_cells && !v.is_null()) {
-        GALOIS_ASSIGN_OR_RETURN(int verdict,
-                                LlmVerifyCell(model_, def, key, *col, v));
-        if (prov_ptr != nullptr) prov_ptr->verified = true;
-        if (verdict == 0) {
-          // The critic rejected the value: treat it as a hallucination.
-          v = Value::Null();
-          if (prov_ptr != nullptr) {
-            prov_ptr->rejected = true;
-            prov_ptr->value = v;
-          }
-        }
-      }
-      if (prov_ptr != nullptr) {
-        prov_ptr->table_alias = ctx.alias;
-        last_trace_.cells.push_back(std::move(provenance));
-      }
-      row.push_back(std::move(v));
-    }
+    row.reserve(1 + columns.size());
+    row.push_back(Value::String(surviving[r]));
+    for (auto& column : columns) row.push_back(column[r]);
     rel.AddRowUnchecked(std::move(row));
   }
   return rel;

@@ -7,10 +7,48 @@
 
 namespace galois::core {
 
+llm::BatchPolicy BatchPolicyFor(const ExecutionOptions& options) {
+  llm::BatchPolicy policy;
+  policy.batch = options.batch_prompts;
+  policy.max_batch_size = options.max_batch_size;
+  policy.parallel_batches =
+      options.parallel_batches < 1 ? 1 : options.parallel_batches;
+  return policy;
+}
+
+namespace {
+
+/// Parses a yes/no/Unknown completion into the 1/0/-1 verdict shared by
+/// the filter-check and critic operators.
+int ParseVerdict(const std::string& completion) {
+  if (clean::IsUnknown(completion)) return -1;
+  auto b = clean::ParseBool(completion);
+  if (!b.ok()) return -1;
+  return b.value() ? 1 : 0;
+}
+
+/// Converts one completion into a typed cell (shared by the scalar and
+/// batched attribute paths).
+Result<Value> CleanAttributeCompletion(const std::string& completion,
+                                       const catalog::ColumnDef& column,
+                                       const ExecutionOptions& options) {
+  if (!options.enable_cleaning) {
+    if (clean::IsUnknown(completion)) return Value::Null();
+    return Value::String(completion);
+  }
+  clean::DomainConstraint domain =
+      clean::DefaultDomainForColumn(column.name);
+  return clean::NormalizeCell(completion, column.type,
+                              options.enforce_domains ? &domain : nullptr);
+}
+
+}  // namespace
+
 Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
     const std::optional<llm::PromptFilter>& filter, int* pages_issued) {
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
   std::vector<std::string> keys;
   std::unordered_set<std::string> seen;
   if (pages_issued != nullptr) *pages_issued = 0;
@@ -23,7 +61,7 @@ Result<std::vector<std::string>> LlmKeyScan(
     intent.filter = filter;
     llm::Prompt prompt = llm::BuildKeyScanPrompt(intent);
     GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
-                            model->Complete(prompt));
+                            scheduler.CompleteOne(prompt));
     if (clean::IsNoMoreResults(completion.text)) break;
     std::vector<std::string> page_keys = clean::SplitList(completion.text);
     size_t new_keys = 0;
@@ -81,25 +119,6 @@ Result<Value> LlmGetAttribute(llm::LanguageModel* model,
   return value;
 }
 
-namespace {
-
-/// Converts one completion into a typed cell (shared by the scalar and
-/// batched attribute paths).
-Result<Value> CleanAttributeCompletion(const std::string& completion,
-                                       const catalog::ColumnDef& column,
-                                       const ExecutionOptions& options) {
-  if (!options.enable_cleaning) {
-    if (clean::IsUnknown(completion)) return Value::Null();
-    return Value::String(completion);
-  }
-  clean::DomainConstraint domain =
-      clean::DefaultDomainForColumn(column.name);
-  return clean::NormalizeCell(completion, column.type,
-                              options.enforce_domains ? &domain : nullptr);
-}
-
-}  // namespace
-
 Result<std::vector<Value>> LlmGetAttributeBatch(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const std::vector<std::string>& keys,
@@ -116,8 +135,9 @@ Result<std::vector<Value>> LlmGetAttributeBatch(
     intent.expected_type = column.type;
     prompts.push_back(llm::BuildAttributePrompt(intent));
   }
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
-                          model->CompleteBatch(prompts));
+                          scheduler.Run(prompts));
   std::vector<Value> values;
   values.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -141,8 +161,8 @@ Result<std::vector<Value>> LlmGetAttributeBatch(
 
 Result<std::vector<int>> LlmFilterCheckBatch(
     llm::LanguageModel* model, const catalog::TableDef& table,
-    const std::vector<std::string>& keys,
-    const llm::PromptFilter& filter) {
+    const std::vector<std::string>& keys, const llm::PromptFilter& filter,
+    const ExecutionOptions& options) {
   std::vector<llm::Prompt> prompts;
   prompts.reserve(keys.size());
   for (const std::string& key : keys) {
@@ -152,17 +172,44 @@ Result<std::vector<int>> LlmFilterCheckBatch(
     intent.filter = filter;
     prompts.push_back(llm::BuildFilterPrompt(intent));
   }
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
-                          model->CompleteBatch(prompts));
+                          scheduler.Run(std::move(prompts)));
   std::vector<int> verdicts;
   verdicts.reserve(keys.size());
   for (const llm::Completion& c : completions) {
-    if (clean::IsUnknown(c.text)) {
-      verdicts.push_back(-1);
-      continue;
-    }
-    auto b = clean::ParseBool(c.text);
-    verdicts.push_back(!b.ok() ? -1 : (b.value() ? 1 : 0));
+    verdicts.push_back(ParseVerdict(c.text));
+  }
+  return verdicts;
+}
+
+Result<std::vector<int>> LlmVerifyCellBatch(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const std::vector<Value>& claimed,
+    const ExecutionOptions& options) {
+  if (keys.size() != claimed.size()) {
+    return Status::InvalidArgument(
+        "LlmVerifyCellBatch: keys/claimed size mismatch");
+  }
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    llm::VerifyIntent intent;
+    intent.concept_name = table.entity_type;
+    intent.key = keys[i];
+    intent.attribute = column.name;
+    intent.attribute_description = column.description;
+    intent.claimed = claimed[i];
+    prompts.push_back(llm::BuildVerifyPrompt(intent));
+  }
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
+  GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
+                          scheduler.Run(std::move(prompts)));
+  std::vector<int> verdicts;
+  verdicts.reserve(keys.size());
+  for (const llm::Completion& c : completions) {
+    verdicts.push_back(ParseVerdict(c.text));
   }
   return verdicts;
 }
@@ -181,10 +228,7 @@ Result<int> LlmVerifyCell(llm::LanguageModel* model,
   llm::Prompt prompt = llm::BuildVerifyPrompt(intent);
   GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
                           model->Complete(prompt));
-  if (clean::IsUnknown(completion.text)) return -1;
-  auto b = clean::ParseBool(completion.text);
-  if (!b.ok()) return -1;
-  return b.value() ? 1 : 0;
+  return ParseVerdict(completion.text);
 }
 
 Result<int> LlmFilterCheck(llm::LanguageModel* model,
@@ -198,10 +242,7 @@ Result<int> LlmFilterCheck(llm::LanguageModel* model,
   llm::Prompt prompt = llm::BuildFilterPrompt(intent);
   GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
                           model->Complete(prompt));
-  if (clean::IsUnknown(completion.text)) return -1;
-  auto b = clean::ParseBool(completion.text);
-  if (!b.ok()) return -1;
-  return b.value() ? 1 : 0;
+  return ParseVerdict(completion.text);
 }
 
 }  // namespace galois::core

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/options.h"
 #include "core/provenance.h"
+#include "llm/batch_scheduler.h"
 #include "llm/language_model.h"
 
 namespace galois::core {
@@ -16,13 +17,24 @@ namespace galois::core {
 /// The physical operators that access the LLM (Section 4, Figure 3).
 /// These functions are the prompt-issuing leaves of the Galois plan; the
 /// relational part of the plan runs on the classic engine.
+///
+/// Every fan-out operator dispatches its prompts through one
+/// llm::BatchScheduler per phase: batched (CompleteBatch round trips split
+/// by ExecutionOptions::max_batch_size) when options.batch_prompts is on,
+/// sequential Complete calls otherwise. The two modes issue the same
+/// deduplicated prompt set and return identical results; only the round
+/// trips differ.
+
+/// The scheduler dispatch policy implied by the execution options.
+llm::BatchPolicy BatchPolicyFor(const ExecutionOptions& options);
 
 /// Leaf data access: retrieves the set of key-attribute values of `table`
 /// by iterating "Return more results" prompts until the model stops
 /// producing new keys (workflow: "we iterate with the prompt until we stop
 /// getting new results"). An optional `filter` is pushed into the scan
 /// prompt (Section 6 optimisation). Keys are deduplicated, first-seen
-/// order.
+/// order. Pages are dependent prompts (page k+1 needs page k's answer),
+/// so the scan issues them through the scheduler one at a time.
 Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
@@ -40,21 +52,22 @@ Result<Value> LlmGetAttribute(llm::LanguageModel* model,
                               const ExecutionOptions& options,
                               CellProvenance* provenance = nullptr);
 
-/// Batched attribute retrieval: one CompleteBatch round trip fetching
-/// `column` for every key in `keys`. Semantically identical to calling
-/// LlmGetAttribute per key; used when ExecutionOptions::batch_prompts is
-/// set. `provenances`, when non-null, receives one record per key.
+/// Attribute-retrieval phase: fetches `column` for every key in `keys`
+/// through the batch scheduler. Semantically identical to calling
+/// LlmGetAttribute per key. `provenances`, when non-null, receives one
+/// record per key.
 Result<std::vector<Value>> LlmGetAttributeBatch(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const std::vector<std::string>& keys,
     const catalog::ColumnDef& column, const ExecutionOptions& options,
     std::vector<CellProvenance>* provenances = nullptr);
 
-/// Batched filter check over many keys; returns one verdict (1/0/-1) per
+/// Filter-check phase over many keys; returns one verdict (1/0/-1) per
 /// key, in order.
 Result<std::vector<int>> LlmFilterCheckBatch(
     llm::LanguageModel* model, const catalog::TableDef& table,
-    const std::vector<std::string>& keys, const llm::PromptFilter& filter);
+    const std::vector<std::string>& keys, const llm::PromptFilter& filter,
+    const ExecutionOptions& options);
 
 /// Critic verification (Section 6): asks a second prompt whether the
 /// claimed value is true. Returns 1 (confirmed), 0 (rejected) or -1
@@ -65,6 +78,15 @@ Result<int> LlmVerifyCell(llm::LanguageModel* model,
                           const std::string& key,
                           const catalog::ColumnDef& column,
                           const Value& claimed);
+
+/// Critic-verification phase: one verdict per (keys[i], claimed[i]) pair
+/// for `column`, dispatched through the batch scheduler. `keys` and
+/// `claimed` must have equal length.
+Result<std::vector<int>> LlmVerifyCellBatch(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const std::vector<Value>& claimed,
+    const ExecutionOptions& options);
 
 /// Selection check: asks whether `filter` holds for `key`. Returns 1/0 for
 /// yes/no and -1 when the model answers "Unknown" (callers drop unknown

@@ -24,6 +24,8 @@ std::string ExecutionOptions::ToString() const {
      << " llm_filters=" << (llm_filter_checks ? "on" : "off")
      << " verify=" << (verify_cells ? "on" : "off")
      << " batching=" << (batch_prompts ? "on" : "off")
+     << " max_batch=" << max_batch_size
+     << " parallel_batches=" << parallel_batches
      << " provenance=" << (record_provenance ? "on" : "off")
      << " max_pages=" << max_scan_pages;
   return os.str();

@@ -49,12 +49,29 @@ struct ExecutionOptions {
   /// GaloisExecutor::last_trace() (Section 6, "Provenance").
   bool record_provenance = false;
 
-  /// Issue per-key prompts (filter checks, attribute retrievals) as
-  /// batches via LanguageModel::CompleteBatch instead of one round trip
-  /// each. Answers are identical; the simulated latency drops because a
-  /// batch pays one shared overhead and overlapped decoding. Off by
-  /// default to mirror the paper prototype's sequential behaviour.
+  /// Issue per-key prompts (filter checks, attribute retrievals, critic
+  /// verifications) as batches via LanguageModel::CompleteBatch instead of
+  /// one round trip each. Answers are identical; the simulated latency
+  /// drops because a batch pays one shared overhead and overlapped
+  /// decoding. Off by default to mirror the paper prototype's sequential
+  /// behaviour. Either way, every retrieval phase is dispatched through
+  /// llm::BatchScheduler, which also dedupes repeated prompt texts within
+  /// a phase (repeated keys from a join are billed once).
   bool batch_prompts = false;
+
+  /// Upper bound on prompts per CompleteBatch round trip when
+  /// batch_prompts is on; 0 sends each retrieval phase as a single batch
+  /// (the paper's "~110 batched prompts per query" shape). Real APIs cap
+  /// request sizes, so a phase of n prompts is split into
+  /// ceil(n / max_batch_size) round trips — num_batches in the CostMeter
+  /// grows accordingly while answers stay identical.
+  size_t max_batch_size = 0;
+
+  /// How many batch round trips the scheduler may keep in flight at once.
+  /// Current backends are synchronous so this only bounds the planned
+  /// fan-out; async/multi-backend dispatchers will honour it. Must be
+  /// >= 1.
+  int parallel_batches = 1;
 
   /// Run the cleaning step (Section 4, workflow step 3): normalise numeric
   /// formats, parse dates, coerce types. When off, raw completion strings

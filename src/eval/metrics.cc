@@ -117,4 +117,40 @@ CellMatchResult MatchCells(const Relation& truth,
   return result;
 }
 
+double BatchStats::PromptsPerBatch() const {
+  if (num_batches == 0) return 0.0;
+  return static_cast<double>(num_prompts) /
+         static_cast<double>(num_batches);
+}
+
+double BatchStats::CacheHitRate() const {
+  // cache_hits counts answers served without a model round trip; those
+  // prompts are not in num_prompts (the inner meter never saw them), so
+  // the denominator is everything the caller asked for.
+  const int64_t asked = num_prompts + cache_hits;
+  if (asked == 0) return 0.0;
+  return static_cast<double>(cache_hits) / static_cast<double>(asked);
+}
+
+BatchStats SummarizeBatching(const llm::CostMeter& cost) {
+  BatchStats stats;
+  stats.num_prompts = cost.num_prompts;
+  stats.num_batches = cost.num_batches;
+  stats.cache_hits = cost.cache_hits;
+  return stats;
+}
+
+llm::CostMeter TotalCost(const std::vector<llm::CostMeter>& costs) {
+  llm::CostMeter total;
+  for (const llm::CostMeter& c : costs) {
+    total.num_prompts += c.num_prompts;
+    total.prompt_tokens += c.prompt_tokens;
+    total.completion_tokens += c.completion_tokens;
+    total.simulated_latency_ms += c.simulated_latency_ms;
+    total.cache_hits += c.cache_hits;
+    total.num_batches += c.num_batches;
+  }
+  return total;
+}
+
 }  // namespace galois::eval

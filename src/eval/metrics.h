@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "llm/language_model.h"
 #include "types/relation.h"
 
 namespace galois::eval {
@@ -52,6 +53,26 @@ struct CellMatchResult {
 /// of ground-truth cells. This mechanises the paper's manual mapping.
 CellMatchResult MatchCells(const Relation& truth,
                            const Relation& predicted);
+
+/// Prompt-efficiency view of a CostMeter (Section 5's "~110 *batched*
+/// prompts per query"): how many round trips the batching layer actually
+/// paid and how much the prompt cache absorbed.
+struct BatchStats {
+  int64_t num_prompts = 0;
+  int64_t num_batches = 0;
+  int64_t cache_hits = 0;
+
+  /// Average prompts per batched round trip; 0 when nothing was batched.
+  double PromptsPerBatch() const;
+
+  /// Fraction of prompts answered from the cache, in [0, 1].
+  double CacheHitRate() const;
+};
+
+BatchStats SummarizeBatching(const llm::CostMeter& cost);
+
+/// Element-wise sum of per-query cost meters (for whole-workload totals).
+llm::CostMeter TotalCost(const std::vector<llm::CostMeter>& costs);
 
 }  // namespace galois::eval
 

@@ -60,29 +60,55 @@ std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes) {
   std::ostringstream os;
   double total_prompts = 0.0;
   double total_latency_ms = 0.0;
+  std::vector<llm::CostMeter> costs;
+  costs.reserve(outcomes.size());
   std::vector<double> latencies;
   size_t count = 0;
   for (const QueryOutcome& o : outcomes) {
+    costs.push_back(o.galois_cost);
+    // Queries answered entirely from cache issue zero prompts; they stay
+    // out of the per-query prompt/latency averages but keep their batch
+    // and cache-hit attribution in the batching summary below.
     if (o.galois_cost.num_prompts == 0) continue;
     total_prompts += static_cast<double>(o.galois_cost.num_prompts);
     total_latency_ms += o.galois_cost.simulated_latency_ms;
     latencies.push_back(o.galois_cost.simulated_latency_ms);
     ++count;
   }
-  if (count == 0) return "No cost data collected\n";
-  std::sort(latencies.begin(), latencies.end());
-  double mean_prompts = total_prompts / static_cast<double>(count);
-  double mean_latency_s = total_latency_ms / 1000.0 /
-                          static_cast<double>(count);
-  double median_s = latencies[latencies.size() / 2] / 1000.0;
-  double p95_s = latencies[static_cast<size_t>(
-                     static_cast<double>(latencies.size() - 1) * 0.95)] /
-                 1000.0;
+  const llm::CostMeter totals = TotalCost(costs);
+  if (count == 0 && totals.num_batches == 0 && totals.cache_hits == 0) {
+    return "No cost data collected\n";
+  }
   char buf[256];
+  if (count == 0) {
+    os << "No prompt-issuing queries (all served from cache)\n";
+  }
+  if (count > 0) {
+    std::sort(latencies.begin(), latencies.end());
+    double mean_prompts = total_prompts / static_cast<double>(count);
+    double mean_latency_s = total_latency_ms / 1000.0 /
+                            static_cast<double>(count);
+    double median_s = latencies[latencies.size() / 2] / 1000.0;
+    double p95_s =
+        latencies[static_cast<size_t>(
+            static_cast<double>(latencies.size() - 1) * 0.95)] /
+        1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "Cost stats over %zu queries: avg %.0f prompts/query, "
+                  "avg %.1f s/query (simulated), median %.1f s, p95 "
+                  "%.1f s\n",
+                  count, mean_prompts, mean_latency_s, median_s, p95_s);
+    os << buf;
+  }
+  BatchStats batching = SummarizeBatching(totals);
   std::snprintf(buf, sizeof(buf),
-                "Cost stats over %zu queries: avg %.0f prompts/query, avg "
-                "%.1f s/query (simulated), median %.1f s, p95 %.1f s\n",
-                count, mean_prompts, mean_latency_s, median_s, p95_s);
+                "Batching: avg %.1f batches/query (%.1f prompts/batch), "
+                "cache hits %lld (%.0f%% of prompts)\n",
+                static_cast<double>(batching.num_batches) /
+                    static_cast<double>(outcomes.size()),
+                batching.PromptsPerBatch(),
+                static_cast<long long>(batching.cache_hits),
+                100.0 * batching.CacheHitRate());
   os << buf;
   return os.str();
 }

@@ -1,0 +1,73 @@
+#include "llm/batch_scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace galois::llm {
+
+Result<std::vector<Completion>> BatchScheduler::Flush() {
+  std::vector<Prompt> pending = std::move(pending_);
+  pending_.clear();
+  if (pending.empty()) return std::vector<Completion>{};
+
+  // Dedupe by prompt text, first occurrence wins; slot_of maps every
+  // pending position onto its distinct prompt.
+  std::vector<size_t> slot_of(pending.size());
+  std::vector<size_t> unique;  // indices into `pending`
+  unique.reserve(pending.size());
+  std::unordered_map<std::string, size_t> slot_by_text;
+  slot_by_text.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    auto [it, inserted] =
+        slot_by_text.try_emplace(pending[i].text, unique.size());
+    if (inserted) unique.push_back(i);
+    slot_of[i] = it->second;
+  }
+
+  std::vector<Completion> unique_out;
+  unique_out.reserve(unique.size());
+  if (!policy_.batch) {
+    for (size_t idx : unique) {
+      GALOIS_ASSIGN_OR_RETURN(Completion c, model_->Complete(pending[idx]));
+      unique_out.push_back(std::move(c));
+    }
+  } else {
+    const size_t chunk = policy_.max_batch_size == 0
+                             ? unique.size()
+                             : policy_.max_batch_size;
+    for (size_t start = 0; start < unique.size(); start += chunk) {
+      const size_t end = std::min(unique.size(), start + chunk);
+      std::vector<Prompt> batch;
+      batch.reserve(end - start);
+      for (size_t j = start; j < end; ++j) {
+        batch.push_back(pending[unique[j]]);
+      }
+      GALOIS_ASSIGN_OR_RETURN(std::vector<Completion> completions,
+                              model_->CompleteBatch(batch));
+      if (completions.size() != batch.size()) {
+        return Status::LlmError("CompleteBatch returned " +
+                                std::to_string(completions.size()) +
+                                " completions for " +
+                                std::to_string(batch.size()) + " prompts");
+      }
+      for (Completion& c : completions) unique_out.push_back(std::move(c));
+    }
+  }
+
+  std::vector<Completion> out;
+  out.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    out.push_back(unique_out[slot_of[i]]);
+  }
+  return out;
+}
+
+Result<std::vector<Completion>> BatchScheduler::Run(
+    std::vector<Prompt> prompts) {
+  for (Prompt& p : prompts) Add(std::move(p));
+  return Flush();
+}
+
+}  // namespace galois::llm

@@ -1,0 +1,81 @@
+#ifndef GALOIS_LLM_BATCH_SCHEDULER_H_
+#define GALOIS_LLM_BATCH_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "llm/language_model.h"
+
+namespace galois::llm {
+
+/// How one retrieval phase dispatches its prompts to the model.
+struct BatchPolicy {
+  /// When true, queued prompts go out via CompleteBatch round trips;
+  /// when false, one Complete call per prompt (the paper prototype's
+  /// sequential behaviour, kept for the Section 6 batching ablation).
+  bool batch = true;
+
+  /// Upper bound on prompts per CompleteBatch round trip; 0 sends a whole
+  /// flush as one batch. Real APIs cap request sizes, so large phases are
+  /// split into ceil(n / max_batch_size) round trips.
+  size_t max_batch_size = 0;
+
+  /// Round trips the scheduler may keep in flight at once. Current
+  /// backends are synchronous, so this only bounds the planned fan-out;
+  /// an async backend dispatches up to this many chunks concurrently.
+  int parallel_batches = 1;
+};
+
+/// Collects the pending prompts of one executor phase (a filter-check
+/// pass, an attribute column, ...) and dispatches them according to a
+/// BatchPolicy. This is the single chokepoint between the Galois plan and
+/// the LanguageModel: the operators above it never decide batched vs.
+/// sequential themselves — mirroring how a logic layer sits over a
+/// relational store without knowing its physical access pattern.
+///
+/// Duplicate prompt texts within one flush (repeated keys from a join,
+/// the same attribute needed by two operators) are dispatched once and
+/// fanned back out to every position, so the model is billed a single
+/// completion per distinct prompt.
+class BatchScheduler {
+ public:
+  /// `model` must outlive the scheduler.
+  BatchScheduler(LanguageModel* model, BatchPolicy policy)
+      : model_(model), policy_(policy) {}
+
+  /// Queues a prompt; the returned ticket is its index into the vector
+  /// that the next Flush returns.
+  size_t Add(Prompt prompt) {
+    pending_.push_back(std::move(prompt));
+    return pending_.size() - 1;
+  }
+
+  size_t pending() const { return pending_.size(); }
+
+  /// Dispatches every queued prompt (deduped by text, split into chunks
+  /// of max_batch_size) and returns one completion per Add, in Add order.
+  /// The queue is empty afterwards, also on error.
+  Result<std::vector<Completion>> Flush();
+
+  /// Convenience: queue `prompts` and flush in one call.
+  Result<std::vector<Completion>> Run(std::vector<Prompt> prompts);
+
+  /// Dispatches one dependent prompt immediately, outside any batch
+  /// (scan paging: page k+1 cannot be built until page k's answer is
+  /// seen). Never billed as a batch round trip.
+  Result<Completion> CompleteOne(const Prompt& prompt) {
+    return model_->Complete(prompt);
+  }
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  LanguageModel* model_;
+  BatchPolicy policy_;
+  std::vector<Prompt> pending_;
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_BATCH_SCHEDULER_H_

@@ -1,27 +1,120 @@
 #include "llm/prompt_cache.h"
 
+#include <utility>
+
 namespace galois::llm {
 
+bool PromptCache::Lookup(const std::string& text,
+                         std::string* completion) const {
+  const Shard& shard = ShardFor(text);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(text);
+  if (it == shard.map.end()) return false;
+  *completion = it->second;
+  return true;
+}
+
+void PromptCache::Insert(const std::string& text,
+                         const std::string& completion) {
+  Shard& shard = ShardFor(text);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(text, completion);
+}
+
 Result<Completion> PromptCache::Complete(const Prompt& prompt) {
-  auto it = cache_.find(prompt.text);
-  if (it != cache_.end()) {
-    ++hits_;
-    return Completion{it->second};
+  std::string cached;
+  if (Lookup(prompt.text, &cached)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return Completion{std::move(cached)};
   }
   GALOIS_ASSIGN_OR_RETURN(Completion c, inner_->Complete(prompt));
-  cache_.emplace(prompt.text, c.text);
+  Insert(prompt.text, c.text);
   return c;
 }
 
+Result<std::vector<Completion>> PromptCache::CompleteBatch(
+    const std::vector<Prompt>& prompts) {
+  if (prompts.empty()) return std::vector<Completion>{};
+
+  // Partition hits from misses; repeated miss texts within the batch map
+  // onto one forwarded prompt (and count as hits: they cost no extra
+  // completion).
+  std::vector<Completion> out(prompts.size());
+  std::vector<Prompt> miss_prompts;
+  std::unordered_map<std::string, size_t> miss_slot;
+  std::vector<std::vector<size_t>> miss_positions;
+  int64_t hits = 0;
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    std::string cached;
+    if (Lookup(prompts[i].text, &cached)) {
+      out[i].text = std::move(cached);
+      ++hits;
+      continue;
+    }
+    auto [it, inserted] =
+        miss_slot.try_emplace(prompts[i].text, miss_prompts.size());
+    if (inserted) {
+      miss_prompts.push_back(prompts[i]);
+      miss_positions.emplace_back();
+    } else {
+      ++hits;  // in-batch duplicate: billed once
+    }
+    miss_positions[it->second].push_back(i);
+  }
+  hits_.fetch_add(hits, std::memory_order_relaxed);
+
+  if (miss_prompts.empty()) {
+    // Entirely served from cache: no inner round trip, but keep the batch
+    // attribution (see header).
+    batches_from_cache_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  GALOIS_ASSIGN_OR_RETURN(std::vector<Completion> completions,
+                          inner_->CompleteBatch(miss_prompts));
+  if (completions.size() != miss_prompts.size()) {
+    return Status::LlmError("inner CompleteBatch returned " +
+                            std::to_string(completions.size()) +
+                            " completions for " +
+                            std::to_string(miss_prompts.size()) +
+                            " prompts");
+  }
+  for (size_t m = 0; m < miss_prompts.size(); ++m) {
+    Insert(miss_prompts[m].text, completions[m].text);
+    for (size_t pos : miss_positions[m]) out[pos] = completions[m];
+  }
+  return out;
+}
+
 const CostMeter& PromptCache::cost() const {
+  std::lock_guard<std::mutex> lock(merged_mu_);
   merged_ = inner_->cost();
-  merged_.cache_hits = hits_;
+  merged_.cache_hits = hits_.load(std::memory_order_relaxed);
+  merged_.num_batches +=
+      batches_from_cache_.load(std::memory_order_relaxed);
   return merged_;
 }
 
 void PromptCache::ResetCost() {
   inner_->ResetCost();
-  hits_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  batches_from_cache_.store(0, std::memory_order_relaxed);
+}
+
+size_t PromptCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void PromptCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
 }
 
 }  // namespace galois::llm

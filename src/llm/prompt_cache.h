@@ -1,8 +1,13 @@
 #ifndef GALOIS_LLM_PROMPT_CACHE_H_
 #define GALOIS_LLM_PROMPT_CACHE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "llm/language_model.h"
 
@@ -14,6 +19,22 @@ namespace galois::llm {
 /// retrieval appearing under a selection and a projection); caching them is
 /// one of the physical-plan optimisations discussed in Section 6. The cache
 /// is sound for SimulatedLlm because its completions are deterministic.
+///
+/// The cache is batch-aware: CompleteBatch partitions hits from misses,
+/// dedupes repeated prompt texts within the batch, forwards all distinct
+/// misses to the inner model as ONE batch, and merges the answers back in
+/// input order — so a cached configuration still exercises the inner
+/// model's batched path instead of degrading to N sequential Complete
+/// calls.
+///
+/// The map is sharded into buckets, each guarded by its own mutex, so a
+/// scheduler may later fan batches out across threads. Thread-safety
+/// scope: concurrent Complete/CompleteBatch/cost calls are safe, but two
+/// threads that miss the same prompt simultaneously may each dispatch it
+/// to the inner model (a benign cache stampede for deterministic models:
+/// last insert wins, both callers get the same answer), and the reference
+/// cost() returns is only stable until the next cost() call — concurrent
+/// readers should copy the meter.
 class PromptCache : public LanguageModel {
  public:
   /// `inner` must outlive the cache.
@@ -23,18 +44,46 @@ class PromptCache : public LanguageModel {
 
   Result<Completion> Complete(const Prompt& prompt) override;
 
-  /// Combined meter: inner usage plus our cache hit count.
+  /// Hit/miss-partitioned batched execution (see class comment). A batch
+  /// answered entirely from cache performs no inner round trip but is
+  /// still counted in cost().num_batches, so warm reruns keep their batch
+  /// attribution (the round trip was *saved*, not never-planned).
+  Result<std::vector<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts) override;
+
+  /// Combined meter: inner usage, plus our cache hit count, plus the batch
+  /// calls served entirely from cache.
   const CostMeter& cost() const override;
   void ResetCost() override;
 
-  size_t size() const { return cache_.size(); }
-  void Clear() { cache_.clear(); }
+  size_t size() const;
+  void Clear();
 
  private:
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::string> map;
+  };
+
+  const Shard& ShardFor(const std::string& text) const {
+    return shards_[std::hash<std::string>{}(text) % kNumShards];
+  }
+  Shard& ShardFor(const std::string& text) {
+    return shards_[std::hash<std::string>{}(text) % kNumShards];
+  }
+
+  /// Copies the cached completion for `text` into `*completion`; false on
+  /// miss.
+  bool Lookup(const std::string& text, std::string* completion) const;
+  void Insert(const std::string& text, const std::string& completion);
+
   LanguageModel* inner_;
-  std::unordered_map<std::string, std::string> cache_;
+  std::array<Shard, kNumShards> shards_;
+  mutable std::mutex merged_mu_;
   mutable CostMeter merged_;
-  int64_t hits_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> batches_from_cache_{0};
 };
 
 }  // namespace galois::llm

@@ -74,7 +74,13 @@ Prompt BuildKeyScanPrompt(const KeyScanIntent& intent) {
               ".\nA:";
   }
   if (intent.page > 0) {
-    request += " [previous results omitted]\nQ: Return more results.\nA:";
+    // The page index keeps each paging prompt's text distinct: in a real
+    // conversation the transcript (the omitted previous results) differs
+    // per page, and a text-keyed prompt cache must not conflate page k
+    // with page k+1 or every cached scan would terminate after one
+    // "Return more results" round.
+    request += " [previous results 1-" + std::to_string(intent.page) +
+               " omitted]\nQ: Return more results.\nA:";
   }
   p.text = FewShotPreamble() + request;
   p.intent = intent;
