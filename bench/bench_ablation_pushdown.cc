@@ -24,12 +24,16 @@ int main() {
     const char* label;
     bool pushdown;
     bool batch;
+    size_t max_batch;  // 0 = whole phase as one batch
+    int parallel;      // batch round trips in flight (needs batch)
   };
   const Config configs[] = {
-      {"per-key filter prompts", false, false},
-      {"per-key, batched", false, true},
-      {"selection pushed into scan", true, false},
-      {"pushed + batched", true, true}};
+      {"per-key filter prompts", false, false, 0, 1},
+      {"per-key, batched", false, true, 0, 1},
+      {"per-key, batched x8", false, true, 8, 1},
+      {"per-key, batched x8, 4-way", false, true, 8, 4},
+      {"selection pushed into scan", true, false, 0, 1},
+      {"pushed + batched", true, true, 0, 1}};
 
   std::printf(
       "Pushdown ablation (ChatGPT profile, selection queries only)\n");
@@ -42,6 +46,8 @@ int main() {
     galois::core::ExecutionOptions options;
     options.pushdown_selections = config.pushdown;
     options.batch_prompts = config.batch;
+    options.max_batch_size = config.max_batch;
+    options.parallel_batches = config.parallel;
     galois::core::GaloisExecutor galois(&model, &workload->catalog(),
                                         options);
     double total_prompts = 0.0;
@@ -81,6 +87,10 @@ int main() {
       "merged prompts are\n\"complex questions that have lower accuracy "
       "than simple ones\".\nBatched dispatch keeps prompts and answers "
       "identical while collapsing the\nper-prompt round-trip overhead "
-      "into one per batch.\n");
+      "into one per batch. The x8 rows split phases\ninto chunks of 8 "
+      "(more batches, each billing its own round-trip overhead);\nthe "
+      "4-way row additionally overlaps up to 4 of those round trips and "
+      "is\nidentical to its x8 counterpart in every reported statistic — "
+      "concurrency\nmoves wall-clock time, never answers or billing.\n");
   return 0;
 }

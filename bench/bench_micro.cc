@@ -134,6 +134,41 @@ void BM_GaloisSelectionQueryBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_GaloisSelectionQueryBatched)->Arg(0)->Arg(8)->Arg(32);
 
+void BM_GaloisConcurrentDispatch(benchmark::State& state) {
+  // range(0) is parallel_batches. The simulated model sleeps a fixed 5 ms
+  // of wall time per round trip, so overlapping round trips shows up
+  // directly in real time: at parallel_batches=4 each multi-chunk phase
+  // takes ~ceil(chunks / 4) round trips instead of `chunks`. Answers and
+  // the CostMeter (num_batches, cache_hits, tokens, simulated latency)
+  // are identical across all arguments — only wall clock moves.
+  galois::llm::SimulatedLlm model(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  model.set_wall_latency_ms(5.0);
+  galois::core::ExecutionOptions options;
+  options.batch_prompts = true;
+  options.max_batch_size = 4;
+  options.parallel_batches = static_cast<int>(state.range(0));
+  galois::core::GaloisExecutor galois(&model, &Workload().catalog(),
+                                      options);
+  const std::string sql =
+      "SELECT name, capital, population FROM country";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+  }
+  state.counters["batches"] =
+      static_cast<double>(galois.last_cost().num_batches);
+  state.counters["prompts"] =
+      static_cast<double>(galois.last_cost().num_prompts);
+}
+BENCHMARK(BM_GaloisConcurrentDispatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GaloisBatchedWarmCache(benchmark::State& state) {
   // Warm rerun through the batch-aware PromptCache: every batch is served
   // from cache without an inner round trip.

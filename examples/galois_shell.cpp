@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -51,6 +52,8 @@ void PrintHelp() {
       "  .pushdown <never|always|auto>    selection pushdown policy\n"
       "  .verify <on|off>         critic verification of every cell\n"
       "  .batch <on|off>          batched prompt round trips\n"
+      "  .parallel <n> [chunk]    round trips in flight per phase (needs\n"
+      "                           .batch on); chunk sets max_batch_size\n"
       "  .tables                  list catalog tables\n"
       "  .options                 show executor options\n"
       "  .help | .quit\n");
@@ -83,6 +86,18 @@ bool HandleCommand(ShellState* state, const std::string& line) {
     state->options.verify_cells = arg() != "off";
   } else if (cmd == ".batch") {
     state->options.batch_prompts = arg() != "off";
+  } else if (cmd == ".parallel") {
+    int n = std::atoi(arg().c_str());
+    state->options.parallel_batches = n < 1 ? 1 : n;
+    if (words.size() > 2) {
+      int chunk = std::atoi(words[2].c_str());
+      state->options.max_batch_size =
+          chunk < 0 ? 0 : static_cast<size_t>(chunk);
+    } else if (state->options.parallel_batches > 1 &&
+               state->options.max_batch_size == 0) {
+      // Whole-phase batches leave nothing to overlap; pick a sane chunk.
+      state->options.max_batch_size = 8;
+    }
   } else if (cmd == ".pushdown") {
     if (arg() == "always") {
       state->options.pushdown_policy =

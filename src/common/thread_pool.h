@@ -1,0 +1,78 @@
+#ifndef GALOIS_COMMON_THREAD_POOL_H_
+#define GALOIS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace galois {
+
+/// A small fixed-size thread pool for overlapping I/O-bound work —
+/// primarily the concurrent `CompleteBatch` round trips issued by
+/// `llm::BatchScheduler` when `parallel_batches > 1`.
+///
+/// Tasks are plain `std::function<void()>` thunks executed FIFO by a fixed
+/// set of worker threads created in the constructor. The pool never grows
+/// or shrinks; excess submissions queue until a worker frees up. Because
+/// the intended workload is round-trip latency (network waits, simulated
+/// sleeps) rather than CPU, the pool size is deliberately independent of
+/// `std::thread::hardware_concurrency()`.
+///
+/// Thread safety: `Submit` may be called from any thread, including
+/// concurrently. Tasks must not block on the completion of *other* pool
+/// tasks (a task that waits for a queued task can deadlock when every
+/// worker is occupied); callers that need to wait — like
+/// `BatchScheduler::Flush` — must do so from a non-pool thread via the
+/// returned future.
+///
+/// Error behavior: a task that throws has the exception captured in its
+/// future (rethrown by `future::get`); the worker thread survives. Project
+/// code reports failures through `Status`, so in practice futures only
+/// carry completion, not errors.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: queued-but-unstarted tasks are abandoned (their
+  /// futures become broken promises). Joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution and returns a future that becomes ready
+  /// when it finishes.
+  std::future<void> Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// The process-wide shared pool used by the batch scheduler. Created
+  /// lazily on first use with kSharedThreads workers and intentionally
+  /// never destroyed (avoids static-destruction-order races with worker
+  /// threads at exit).
+  static ThreadPool& Shared();
+
+  /// Size of the shared pool. Sized for overlapped round-trip latency,
+  /// not CPU parallelism; a `parallel_batches` above this still works but
+  /// keeps at most this many round trips in flight.
+  static constexpr size_t kSharedThreads = 16;
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace galois
+
+#endif  // GALOIS_COMMON_THREAD_POOL_H_

@@ -48,7 +48,8 @@ Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
     const std::optional<llm::PromptFilter>& filter, int* pages_issued) {
-  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                "key-scan:" + table.entity_type);
   std::vector<std::string> keys;
   std::unordered_set<std::string> seen;
   if (pages_issued != nullptr) *pages_issued = 0;
@@ -135,7 +136,8 @@ Result<std::vector<Value>> LlmGetAttributeBatch(
     intent.expected_type = column.type;
     prompts.push_back(llm::BuildAttributePrompt(intent));
   }
-  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                "attribute:" + column.name);
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
                           scheduler.Run(prompts));
   std::vector<Value> values;
@@ -172,7 +174,8 @@ Result<std::vector<int>> LlmFilterCheckBatch(
     intent.filter = filter;
     prompts.push_back(llm::BuildFilterPrompt(intent));
   }
-  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                "filter-check:" + filter.attribute);
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
                           scheduler.Run(std::move(prompts)));
   std::vector<int> verdicts;
@@ -203,7 +206,8 @@ Result<std::vector<int>> LlmVerifyCellBatch(
     intent.claimed = claimed[i];
     prompts.push_back(llm::BuildVerifyPrompt(intent));
   }
-  llm::BatchScheduler scheduler(model, BatchPolicyFor(options));
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                "verify:" + column.name);
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
                           scheduler.Run(std::move(prompts)));
   std::vector<int> verdicts;

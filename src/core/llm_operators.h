@@ -20,10 +20,14 @@ namespace galois::core {
 ///
 /// Every fan-out operator dispatches its prompts through one
 /// llm::BatchScheduler per phase: batched (CompleteBatch round trips split
-/// by ExecutionOptions::max_batch_size) when options.batch_prompts is on,
-/// sequential Complete calls otherwise. The two modes issue the same
-/// deduplicated prompt set and return identical results; only the round
-/// trips differ.
+/// by ExecutionOptions::max_batch_size, up to
+/// ExecutionOptions::parallel_batches in flight concurrently) when
+/// options.batch_prompts is on, sequential Complete calls otherwise. All
+/// modes issue the same deduplicated prompt set and return identical
+/// results; only the round trips — and, with parallelism, the wall-clock
+/// time — differ. Each scheduler carries a phase label
+/// ("filter-check:population") so a failed round trip names the phase and
+/// chunk in its error message.
 
 /// The scheduler dispatch policy implied by the execution options.
 llm::BatchPolicy BatchPolicyFor(const ExecutionOptions& options);

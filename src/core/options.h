@@ -67,10 +67,14 @@ struct ExecutionOptions {
   /// grows accordingly while answers stay identical.
   size_t max_batch_size = 0;
 
-  /// How many batch round trips the scheduler may keep in flight at once.
-  /// Current backends are synchronous so this only bounds the planned
-  /// fan-out; async/multi-backend dispatchers will honour it. Must be
-  /// >= 1.
+  /// How many batch round trips the scheduler may keep in flight at once
+  /// when batch_prompts is on. Above 1, each retrieval phase fans its
+  /// max_batch_size chunks out across the shared thread pool, so phases
+  /// with many chunks take roughly ceil(chunks / parallel_batches) round
+  /// trips of wall-clock time instead of `chunks`. Results, Add-order,
+  /// dedupe and the CostMeter are identical to sequential dispatch — the
+  /// model must merely tolerate concurrent CompleteBatch calls
+  /// (SimulatedLlm and PromptCache do). Values < 1 are treated as 1.
   int parallel_batches = 1;
 
   /// Run the cleaning step (Section 4, workflow step 3): normalise numeric

@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include <chrono>
+
 #include "engine/executor.h"
 #include "llm/simulated_llm.h"
 #include "qa/qa_baseline.h"
@@ -27,7 +29,12 @@ Result<std::vector<QueryOutcome>> RunExperiment(
     outcome.rd_rows = rd.NumRows();
 
     if (config.run_galois) {
+      auto start = std::chrono::steady_clock::now();
       GALOIS_ASSIGN_OR_RETURN(Relation rm, galois.ExecuteSql(query.sql));
+      outcome.galois_wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
       outcome.rm_rows = rm.NumRows();
       outcome.cardinality_diff_percent =
           CardinalityDiffPercent(rd.NumRows(), rm.NumRows());

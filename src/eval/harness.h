@@ -33,6 +33,12 @@ struct QueryOutcome {
   std::optional<double> cardinality_diff_percent;
   std::optional<CellMatchResult> galois_match;
   llm::CostMeter galois_cost;
+  /// Measured wall-clock time of the Galois run. Unlike
+  /// galois_cost.simulated_latency_ms (the modelled API latency, which is
+  /// invariant under parallel_batches), this shrinks when round trips
+  /// overlap — the pair shows how much of the simulated budget
+  /// concurrency actually recovers.
+  double galois_wall_ms = 0.0;
 
   // Baselines.
   std::optional<CellMatchResult> nl_match;

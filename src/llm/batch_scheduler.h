@@ -2,6 +2,8 @@
 #define GALOIS_LLM_BATCH_SCHEDULER_H_
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -21,9 +23,13 @@ struct BatchPolicy {
   /// split into ceil(n / max_batch_size) round trips.
   size_t max_batch_size = 0;
 
-  /// Round trips the scheduler may keep in flight at once. Current
-  /// backends are synchronous, so this only bounds the planned fan-out;
-  /// an async backend dispatches up to this many chunks concurrently.
+  /// Round trips the scheduler may keep in flight at once. With a value
+  /// above 1 (and batch on), Flush fans its chunks out across the shared
+  /// ThreadPool and up to this many CompleteBatch calls run concurrently;
+  /// the model behind the scheduler must then be safe under concurrent
+  /// CompleteBatch calls (SimulatedLlm and PromptCache are). 1 keeps the
+  /// fully sequential dispatch. Effective concurrency is additionally
+  /// capped by ThreadPool::kSharedThreads.
   int parallel_batches = 1;
 };
 
@@ -31,18 +37,29 @@ struct BatchPolicy {
 /// pass, an attribute column, ...) and dispatches them according to a
 /// BatchPolicy. This is the single chokepoint between the Galois plan and
 /// the LanguageModel: the operators above it never decide batched vs.
-/// sequential themselves — mirroring how a logic layer sits over a
-/// relational store without knowing its physical access pattern.
+/// sequential vs. concurrent themselves — mirroring how a logic layer sits
+/// over a relational store without knowing its physical access pattern
+/// (cf. the DB-nets separation of logic and persistence layers).
 ///
 /// Duplicate prompt texts within one flush (repeated keys from a join,
 /// the same attribute needed by two operators) are dispatched once and
 /// fanned back out to every position, so the model is billed a single
-/// completion per distinct prompt.
+/// completion per distinct prompt. Dedupe happens before chunking, so no
+/// two concurrent chunks ever carry the same prompt text.
+///
+/// Thread-safety: a scheduler instance is NOT itself thread-safe — it is
+/// a per-phase, single-owner object (Add/Flush from one thread). The
+/// concurrency introduced by parallel_batches is internal to Flush, which
+/// joins every in-flight round trip before returning. Flush must not be
+/// called from inside a ThreadPool task (the wait could starve the pool).
 class BatchScheduler {
  public:
-  /// `model` must outlive the scheduler.
-  BatchScheduler(LanguageModel* model, BatchPolicy policy)
-      : model_(model), policy_(policy) {}
+  /// `model` must outlive the scheduler. `phase` is a human-readable
+  /// label ("filter-check:population") used to attribute errors to the
+  /// retrieval phase that failed.
+  BatchScheduler(LanguageModel* model, BatchPolicy policy,
+                 std::string phase = "")
+      : model_(model), policy_(policy), phase_(std::move(phase)) {}
 
   /// Queues a prompt; the returned ticket is its index into the vector
   /// that the next Flush returns.
@@ -54,8 +71,20 @@ class BatchScheduler {
   size_t pending() const { return pending_.size(); }
 
   /// Dispatches every queued prompt (deduped by text, split into chunks
-  /// of max_batch_size) and returns one completion per Add, in Add order.
-  /// The queue is empty afterwards, also on error.
+  /// of max_batch_size, up to parallel_batches chunks in flight) and
+  /// returns one completion per Add, in Add order — regardless of the
+  /// order in which concurrent chunks finish.
+  ///
+  /// Error contract: the queue is emptied unconditionally — also on
+  /// error. Prompts queued before a failed Flush are dropped, never
+  /// retried implicitly; callers own retry policy and must re-Add. On
+  /// failure the returned Status keeps the model's error code and
+  /// prefixes the message with the phase label and the chunk (or prompt)
+  /// that failed. When chunks run concurrently, every chunk is still
+  /// dispatched (and billed) and the error of the lowest-indexed failed
+  /// chunk is reported — deterministically the same chunk a sequential
+  /// run reports, though the sequential path stops dispatching at the
+  /// first failure.
   Result<std::vector<Completion>> Flush();
 
   /// Convenience: queue `prompts` and flush in one call.
@@ -69,10 +98,24 @@ class BatchScheduler {
   }
 
   const BatchPolicy& policy() const { return policy_; }
+  const std::string& phase() const { return phase_; }
 
  private:
+  /// One Complete call per distinct prompt, in order.
+  Result<std::vector<Completion>> DispatchSequential(
+      const std::vector<Prompt>& pending, const std::vector<size_t>& unique);
+
+  /// CompleteBatch round trips over max_batch_size chunks; concurrent
+  /// when the policy allows more than one in flight.
+  Result<std::vector<Completion>> DispatchBatched(
+      const std::vector<Prompt>& pending, const std::vector<size_t>& unique);
+
+  /// Prefixes `status` with the phase/chunk context, keeping its code.
+  Status Annotate(const Status& status, const std::string& where) const;
+
   LanguageModel* model_;
   BatchPolicy policy_;
+  std::string phase_;
   std::vector<Prompt> pending_;
 };
 

@@ -13,6 +13,12 @@ namespace galois::llm {
 /// Accumulated usage statistics for a model (Section 5 reports ~110
 /// batched prompts and ~20 s per query; the cost meter regenerates those
 /// numbers). Latency is simulated deterministically from token counts.
+///
+/// A CostMeter value is plain data with no internal synchronisation;
+/// implementations that bill from several threads (SimulatedLlm under
+/// parallel_batches, PromptCache) guard their meter internally and apply
+/// one atomic update per round trip, so a meter snapshot never shows a
+/// half-billed batch.
 struct CostMeter {
   int64_t num_prompts = 0;
   int64_t prompt_tokens = 0;
@@ -41,6 +47,13 @@ int64_t CountTokens(const std::string& text);
 /// Abstract language model client. Implementations: SimulatedLlm (the four
 /// paper profiles over the synthetic world) and PromptCache (a caching
 /// decorator). A production build would add an HTTP-API client here.
+///
+/// Concurrency contract: BatchScheduler overlaps CompleteBatch round
+/// trips when ExecutionOptions::parallel_batches > 1, so any model that
+/// may sit behind a scheduler must tolerate concurrent Complete and
+/// CompleteBatch calls (both shipped implementations do). Single-threaded
+/// custom models remain valid as long as they are only used with
+/// parallel_batches == 1.
 class LanguageModel {
  public:
   virtual ~LanguageModel() = default;
@@ -48,18 +61,25 @@ class LanguageModel {
   /// Human-readable model name ("GPT-3.5-turbo").
   virtual const std::string& name() const = 0;
 
-  /// Executes one prompt.
+  /// Executes one prompt in one round trip. Errors use
+  /// StatusCode::kLlmError for model-side failures.
   virtual Result<Completion> Complete(const Prompt& prompt) = 0;
 
   /// Executes a batch of independent prompts in one round trip (the
-  /// paper's "~110 *batched* prompts per query"). The default loops over
+  /// paper's "~110 *batched* prompts per query"), returning exactly one
+  /// completion per prompt, in input order. The default loops over
   /// Complete; implementations may overlap the per-prompt latency —
-  /// SimulatedLlm bills one shared round-trip overhead per batch.
+  /// SimulatedLlm bills one shared round-trip overhead per batch. On
+  /// error, nothing is returned (no partial completions), but the failed
+  /// round trip may already have been billed.
   virtual Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts);
 
-  /// Usage since construction / last reset.
-  virtual const CostMeter& cost() const = 0;
+  /// Usage since construction / last reset, returned as a consistent
+  /// snapshot. Safe to call concurrently with in-flight round trips (the
+  /// shipped implementations synchronise internally and never expose a
+  /// half-billed batch).
+  virtual CostMeter cost() const = 0;
   virtual void ResetCost() = 0;
 };
 

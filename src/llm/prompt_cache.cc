@@ -86,13 +86,12 @@ Result<std::vector<Completion>> PromptCache::CompleteBatch(
   return out;
 }
 
-const CostMeter& PromptCache::cost() const {
-  std::lock_guard<std::mutex> lock(merged_mu_);
-  merged_ = inner_->cost();
-  merged_.cache_hits = hits_.load(std::memory_order_relaxed);
-  merged_.num_batches +=
+CostMeter PromptCache::cost() const {
+  CostMeter merged = inner_->cost();
+  merged.cache_hits = hits_.load(std::memory_order_relaxed);
+  merged.num_batches +=
       batches_from_cache_.load(std::memory_order_relaxed);
-  return merged_;
+  return merged;
 }
 
 void PromptCache::ResetCost() {

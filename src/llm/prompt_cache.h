@@ -27,21 +27,29 @@ namespace galois::llm {
 /// model's batched path instead of degrading to N sequential Complete
 /// calls.
 ///
-/// The map is sharded into buckets, each guarded by its own mutex, so a
-/// scheduler may later fan batches out across threads. Thread-safety
-/// scope: concurrent Complete/CompleteBatch/cost calls are safe, but two
-/// threads that miss the same prompt simultaneously may each dispatch it
-/// to the inner model (a benign cache stampede for deterministic models:
-/// last insert wins, both callers get the same answer), and the reference
-/// cost() returns is only stable until the next cost() call — concurrent
-/// readers should copy the meter.
+/// The map is sharded into buckets, each guarded by its own mutex, so the
+/// batch scheduler can fan chunks out across threads (parallel_batches >
+/// 1) with hits and misses resolving concurrently. Thread-safety scope:
+/// concurrent Complete/CompleteBatch/cost calls are safe, but two threads
+/// that miss the same prompt simultaneously may each dispatch it to the
+/// inner model (a benign cache stampede for deterministic models: last
+/// insert wins, both callers get the same answer; the scheduler's
+/// in-flush dedupe keeps concurrent chunks of one phase disjoint, so the
+/// stampede can only happen across independent flushes). The inner model
+/// must itself tolerate concurrent Complete/CompleteBatch/cost calls
+/// when used with parallel_batches > 1.
 class PromptCache : public LanguageModel {
  public:
   /// `inner` must outlive the cache.
   explicit PromptCache(LanguageModel* inner) : inner_(inner) {}
 
+  /// Reports the inner model's name — the cache is invisible to
+  /// identification.
   const std::string& name() const override { return inner_->name(); }
 
+  /// Serves `prompt` from cache or forwards it to the inner model and
+  /// memoises the answer. Errors from the inner model pass through
+  /// unchanged and are never cached.
   Result<Completion> Complete(const Prompt& prompt) override;
 
   /// Hit/miss-partitioned batched execution (see class comment). A batch
@@ -52,11 +60,16 @@ class PromptCache : public LanguageModel {
       const std::vector<Prompt>& prompts) override;
 
   /// Combined meter: inner usage, plus our cache hit count, plus the batch
-  /// calls served entirely from cache.
-  const CostMeter& cost() const override;
+  /// calls served entirely from cache. Returned by value, so concurrent
+  /// cost() readers are safe.
+  CostMeter cost() const override;
   void ResetCost() override;
 
+  /// Number of distinct memoised prompts (sums the shards; safe to call
+  /// concurrently but only a point-in-time figure under writes).
   size_t size() const;
+
+  /// Drops every memoised completion; cost attribution is untouched.
   void Clear();
 
  private:
@@ -80,8 +93,6 @@ class PromptCache : public LanguageModel {
 
   LanguageModel* inner_;
   std::array<Shard, kNumShards> shards_;
-  mutable std::mutex merged_mu_;
-  mutable CostMeter merged_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> batches_from_cache_{0};
 };

@@ -1,8 +1,10 @@
 #include "llm/simulated_llm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "common/strings.h"
 #include "engine/executor.h"
@@ -359,75 +361,100 @@ Result<int> SimulatedLlm::NoisyFilterHolds(const std::string& concept_name,
   return holds ? 1 : 0;
 }
 
-Completion SimulatedLlm::Billed(const Prompt& prompt,
-                                std::string completion_text) {
-  ++cost_.num_prompts;
-  int64_t pt = CountTokens(prompt.text);
+double SimulatedLlm::PromptLatencyMs(
+    const Prompt& prompt, const std::string& completion_text) const {
+  // Deterministic jitter in [0.9, 1.1), seeded by the prompt text alone so
+  // the meter is independent of round-trip ordering (and hence identical
+  // for sequential and concurrent dispatch).
+  double jitter = 0.9 + 0.2 * Draw("latency", prompt.text.substr(0, 64));
   int64_t ct = CountTokens(completion_text);
-  cost_.prompt_tokens += pt;
-  cost_.completion_tokens += ct;
-  // Deterministic jitter in [0.9, 1.1) keeps latency distributions skewed
-  // but reproducible.
-  double jitter =
-      0.9 + 0.2 * Draw("latency", prompt.text.substr(0, 64),
-                       std::to_string(cost_.num_prompts));
-  cost_.simulated_latency_ms +=
-      (profile_.latency_ms_base +
-       profile_.latency_ms_per_token * static_cast<double>(ct)) *
-      jitter;
-  return Completion{std::move(completion_text)};
+  return (profile_.latency_ms_base +
+          profile_.latency_ms_per_token * static_cast<double>(ct)) *
+         jitter;
 }
 
-Result<Completion> SimulatedLlm::Complete(const Prompt& prompt) {
+void SimulatedLlm::SimulateRoundTripWait() const {
+  if (wall_latency_ms_ <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(wall_latency_ms_));
+}
+
+Result<Completion> SimulatedLlm::Answer(const Prompt& prompt) const {
   if (const auto* scan = std::get_if<KeyScanIntent>(&prompt.intent)) {
-    GALOIS_ASSIGN_OR_RETURN(Completion c, CompleteKeyScan(*scan));
-    return Billed(prompt, std::move(c.text));
+    return CompleteKeyScan(*scan);
   }
   if (const auto* get = std::get_if<AttributeGetIntent>(&prompt.intent)) {
-    GALOIS_ASSIGN_OR_RETURN(Completion c, CompleteAttributeGet(*get));
-    return Billed(prompt, std::move(c.text));
+    return CompleteAttributeGet(*get);
   }
   if (const auto* check = std::get_if<FilterCheckIntent>(&prompt.intent)) {
-    GALOIS_ASSIGN_OR_RETURN(Completion c, CompleteFilterCheck(*check));
-    return Billed(prompt, std::move(c.text));
+    return CompleteFilterCheck(*check);
   }
   if (const auto* freeform = std::get_if<FreeformIntent>(&prompt.intent)) {
-    GALOIS_ASSIGN_OR_RETURN(Completion c, CompleteFreeform(*freeform));
-    return Billed(prompt, std::move(c.text));
+    return CompleteFreeform(*freeform);
   }
   if (const auto* verify = std::get_if<VerifyIntent>(&prompt.intent)) {
-    GALOIS_ASSIGN_OR_RETURN(Completion c, CompleteVerify(*verify));
-    return Billed(prompt, std::move(c.text));
+    return CompleteVerify(*verify);
   }
   return Status::LlmError("unhandled prompt intent");
 }
 
+Result<Completion> SimulatedLlm::Complete(const Prompt& prompt) {
+  GALOIS_ASSIGN_OR_RETURN(Completion c, Answer(prompt));
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    ++cost_.num_prompts;
+    cost_.prompt_tokens += CountTokens(prompt.text);
+    cost_.completion_tokens += CountTokens(c.text);
+    cost_.simulated_latency_ms += PromptLatencyMs(prompt, c.text);
+  }
+  SimulateRoundTripWait();
+  return c;
+}
+
 Result<std::vector<Completion>> SimulatedLlm::CompleteBatch(
     const std::vector<Prompt>& prompts) {
-  // Run the prompts individually (same answers, full token billing), then
-  // rebate the overlapped latency: a batch pays one base overhead plus the
-  // *maximum* decode time instead of the sum.
-  double latency_before = cost_.simulated_latency_ms;
+  if (prompts.empty()) return std::vector<Completion>{};
+  // Answer the prompts individually (same completions, full token
+  // billing), but charge the overlapped latency of one round trip: a
+  // batch pays one base overhead plus the *maximum* decode time instead
+  // of the sum. All meter fields are applied in one locked update so
+  // concurrent batches never observe a half-billed round trip.
   std::vector<Completion> out;
   out.reserve(prompts.size());
+  int64_t prompt_tokens = 0;
+  int64_t completion_tokens = 0;
   double max_single = 0.0;
   for (const Prompt& p : prompts) {
-    double before = cost_.simulated_latency_ms;
-    GALOIS_ASSIGN_OR_RETURN(Completion c, Complete(p));
-    max_single = std::max(max_single,
-                          cost_.simulated_latency_ms - before);
+    GALOIS_ASSIGN_OR_RETURN(Completion c, Answer(p));
+    prompt_tokens += CountTokens(p.text);
+    completion_tokens += CountTokens(c.text);
+    max_single = std::max(max_single, PromptLatencyMs(p, c.text));
     out.push_back(std::move(c));
   }
-  if (!prompts.empty()) {
-    cost_.simulated_latency_ms =
-        latency_before + profile_.latency_ms_base + max_single;
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    cost_.num_prompts += static_cast<int64_t>(prompts.size());
+    cost_.prompt_tokens += prompt_tokens;
+    cost_.completion_tokens += completion_tokens;
+    cost_.simulated_latency_ms += profile_.latency_ms_base + max_single;
     ++cost_.num_batches;
   }
+  SimulateRoundTripWait();
   return out;
 }
 
+CostMeter SimulatedLlm::cost() const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  return cost_;
+}
+
+void SimulatedLlm::ResetCost() {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  cost_.Reset();
+}
+
 Result<Completion> SimulatedLlm::CompleteKeyScan(
-    const KeyScanIntent& intent) {
+    const KeyScanIntent& intent) const {
   GALOIS_ASSIGN_OR_RETURN(const EntitySet* set,
                           kb_->GetConcept(intent.concept_name));
   (void)set;
@@ -476,7 +503,7 @@ Result<Completion> SimulatedLlm::CompleteKeyScan(
 }
 
 Result<Completion> SimulatedLlm::CompleteAttributeGet(
-    const AttributeGetIntent& intent) {
+    const AttributeGetIntent& intent) const {
   GALOIS_ASSIGN_OR_RETURN(
       Value noisy, NoisyAttribute(intent.concept_name, intent.key,
                                   intent.attribute));
@@ -495,7 +522,7 @@ Result<Completion> SimulatedLlm::CompleteAttributeGet(
 }
 
 Result<Completion> SimulatedLlm::CompleteFilterCheck(
-    const FilterCheckIntent& intent) {
+    const FilterCheckIntent& intent) const {
   GALOIS_ASSIGN_OR_RETURN(
       int holds,
       NoisyFilterHolds(intent.concept_name, intent.key, intent.filter,
@@ -504,7 +531,8 @@ Result<Completion> SimulatedLlm::CompleteFilterCheck(
   return Completion{holds == 1 ? "Yes." : "No."};
 }
 
-Result<Completion> SimulatedLlm::CompleteVerify(const VerifyIntent& intent) {
+Result<Completion> SimulatedLlm::CompleteVerify(
+    const VerifyIntent& intent) const {
   // An entity that does not exist in the world at all (a hallucinated
   // scan key like "New Italy") is recognised as bogus by a competent
   // critic; an entity that exists but that this model has no reliable
@@ -578,7 +606,7 @@ Result<Completion> SimulatedLlm::CompleteVerify(const VerifyIntent& intent) {
 }
 
 Result<Completion> SimulatedLlm::CompleteFreeform(
-    const FreeformIntent& intent) {
+    const FreeformIntent& intent) const {
   if (ground_catalog_ == nullptr) {
     return Status::LlmError(
         "free-form QA requires a ground catalog for answer grounding");

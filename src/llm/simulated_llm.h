@@ -1,6 +1,7 @@
 #ifndef GALOIS_LLM_SIMULATED_LLM_H_
 #define GALOIS_LLM_SIMULATED_LLM_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,15 @@ namespace galois::llm {
 ///
 /// Every draw is a pure function of (seed, model name, entity, attribute,
 /// purpose), so runs are reproducible and answers are self-consistent
-/// across prompts.
+/// across prompts. Simulated latency is likewise a pure function of the
+/// prompt text, so the CostMeter is identical however round trips are
+/// ordered or overlapped.
+///
+/// Thread-safety: Complete, CompleteBatch and cost() may be called
+/// concurrently (the batch scheduler overlaps round trips when
+/// parallel_batches > 1); the cost meter is updated atomically per round
+/// trip under an internal mutex and cost() returns a consistent
+/// by-value snapshot.
 class SimulatedLlm : public LanguageModel {
  public:
   /// `kb` must outlive the model. `ground_catalog` is optional and only
@@ -46,17 +55,32 @@ class SimulatedLlm : public LanguageModel {
                uint64_t seed = 7);
 
   const std::string& name() const override { return profile_.name; }
+
+  /// One round trip for one prompt. Safe to call concurrently.
   Result<Completion> Complete(const Prompt& prompt) override;
 
   /// Batched execution: prompts in one batch share a single round-trip
   /// overhead and their decode latencies overlap (the max, not the sum,
-  /// dominates), mirroring how API batching amortises cost.
+  /// dominates), mirroring how API batching amortises cost. One billing
+  /// update per call, so concurrent batches never interleave partial
+  /// meters.
   Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts) override;
-  const CostMeter& cost() const override { return cost_; }
-  void ResetCost() override { cost_.Reset(); }
+
+  /// Consistent snapshot of the accumulated usage; safe to call from any
+  /// thread.
+  CostMeter cost() const override;
+  void ResetCost() override;
 
   const ModelProfile& profile() const { return profile_; }
+
+  /// Makes every round trip (one Complete or CompleteBatch call) block
+  /// the calling thread for `ms` wall-clock milliseconds, so concurrency
+  /// benchmarks measure a real, deterministic per-round-trip latency
+  /// instead of the sub-microsecond simulated answer path. 0 (default)
+  /// disables the sleep. Does not affect the simulated_latency_ms meter.
+  void set_wall_latency_ms(double ms) { wall_latency_ms_ = ms; }
+  double wall_latency_ms() const { return wall_latency_ms_; }
 
   // --- noisy world view (used by the QA baseline and by tests) -----------
 
@@ -96,11 +120,18 @@ class SimulatedLlm : public LanguageModel {
   double Draw(const std::string& purpose, const std::string& a,
               const std::string& b = "", const std::string& c = "") const;
 
-  Result<Completion> CompleteKeyScan(const KeyScanIntent& intent);
-  Result<Completion> CompleteAttributeGet(const AttributeGetIntent& intent);
-  Result<Completion> CompleteFilterCheck(const FilterCheckIntent& intent);
-  Result<Completion> CompleteFreeform(const FreeformIntent& intent);
-  Result<Completion> CompleteVerify(const VerifyIntent& intent);
+  /// Computes the completion text for `prompt` without billing. Pure in
+  /// the prompt (plus the fixed seed/profile), hence safe to run from any
+  /// thread.
+  Result<Completion> Answer(const Prompt& prompt) const;
+
+  Result<Completion> CompleteKeyScan(const KeyScanIntent& intent) const;
+  Result<Completion> CompleteAttributeGet(
+      const AttributeGetIntent& intent) const;
+  Result<Completion> CompleteFilterCheck(
+      const FilterCheckIntent& intent) const;
+  Result<Completion> CompleteFreeform(const FreeformIntent& intent) const;
+  Result<Completion> CompleteVerify(const VerifyIntent& intent) const;
 
   /// Applies filter semantics on the model's noisy value. Returns 1 (holds),
   /// 0 (does not hold) or -1 (model would answer "Unknown").
@@ -110,14 +141,23 @@ class SimulatedLlm : public LanguageModel {
                                double extra_error,
                                const std::string& purpose) const;
 
-  /// Books cost for (prompt, completion) and returns the completion.
-  Completion Billed(const Prompt& prompt, std::string completion_text);
+  /// Per-prompt simulated latency (base + decode, with deterministic
+  /// jitter seeded by the prompt text only, so it is order-independent).
+  double PromptLatencyMs(const Prompt& prompt,
+                         const std::string& completion_text) const;
+
+  /// Blocks for wall_latency_ms_ when the knob is set (one call per round
+  /// trip). Never holds cost_mu_.
+  void SimulateRoundTripWait() const;
 
   const knowledge::WorldKb* kb_;
   ModelProfile profile_;
   const catalog::Catalog* ground_catalog_;
   uint64_t seed_;
-  CostMeter cost_;
+  double wall_latency_ms_ = 0.0;
+
+  mutable std::mutex cost_mu_;
+  CostMeter cost_;  // guarded by cost_mu_
 };
 
 }  // namespace galois::llm

@@ -1,0 +1,488 @@
+// Tests for concurrent batch dispatch: the common::ThreadPool, the
+// BatchScheduler's parallel_batches path (Add-order preservation,
+// sequential/parallel equivalence, the drop-on-error queue contract and
+// phase/chunk error attribution), thread-safe CostMeter accounting in
+// SimulatedLlm, and a PromptCache::CompleteBatch hammer intended to run
+// under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/galois_executor.h"
+#include "knowledge/workload.h"
+#include "llm/batch_scheduler.h"
+#include "llm/prompt_cache.h"
+#include "llm/simulated_llm.h"
+
+namespace galois::llm {
+namespace {
+
+Prompt MakePrompt(const std::string& text) {
+  Prompt p;
+  p.text = text;
+  p.intent = FreeformIntent{};
+  return p;
+}
+
+std::vector<Prompt> MakePrompts(const std::vector<std::string>& texts) {
+  std::vector<Prompt> out;
+  out.reserve(texts.size());
+  for (const std::string& t : texts) out.push_back(MakePrompt(t));
+  return out;
+}
+
+/// Thread-safe echo model whose CompleteBatch sleeps a per-chunk duration
+/// derived from the first prompt, so concurrent chunks finish out of
+/// dispatch order and order-preservation is actually exercised.
+class ConcurrentEchoModel : public LanguageModel {
+ public:
+  explicit ConcurrentEchoModel(double sleep_scale_ms = 0.0)
+      : sleep_scale_ms_(sleep_scale_ms) {}
+
+  const std::string& name() const override { return name_; }
+
+  Result<Completion> Complete(const Prompt& prompt) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cost_.num_prompts;
+    return Completion{"echo:" + prompt.text};
+  }
+
+  Result<std::vector<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts) override {
+    int in_flight = in_flight_.fetch_add(1) + 1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      int prev = max_in_flight_;
+      max_in_flight_ = in_flight > prev ? in_flight : prev;
+    }
+    if (sleep_scale_ms_ > 0.0 && !prompts.empty()) {
+      // Later chunks sleep less: chunk completion order inverts dispatch
+      // order.
+      double ms =
+          sleep_scale_ms_ *
+          static_cast<double>(10 - (prompts[0].text.back() - '0') % 10);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+    std::vector<Completion> out;
+    out.reserve(prompts.size());
+    for (const Prompt& p : prompts) out.push_back({"echo:" + p.text});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cost_.num_prompts += static_cast<int64_t>(prompts.size());
+      ++cost_.num_batches;
+      batch_sizes_.push_back(prompts.size());
+    }
+    in_flight_.fetch_sub(1);
+    return out;
+  }
+
+  CostMeter cost() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cost_;
+  }
+  void ResetCost() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    cost_.Reset();
+  }
+
+  int max_in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_in_flight_;
+  }
+  std::vector<size_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+
+ private:
+  std::string name_ = "concurrent-echo";
+  double sleep_scale_ms_;
+  std::atomic<int> in_flight_{0};
+  mutable std::mutex mu_;
+  CostMeter cost_;
+  int max_in_flight_ = 0;
+  std::vector<size_t> batch_sizes_;
+};
+
+/// Fails any chunk containing the prompt text "boom".
+class BoomModel : public ConcurrentEchoModel {
+ public:
+  Result<std::vector<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts) override {
+    for (const Prompt& p : prompts) {
+      if (p.text == "boom") return Status::LlmError("backend exploded");
+    }
+    return ConcurrentEchoModel::CompleteBatch(prompts);
+  }
+};
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksOverlapInTime) {
+  ThreadPool pool(4);
+  // Four tasks that each wait until all four have started can only finish
+  // if they run concurrently.
+  std::atomic<int> started{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.Submit([&started] {
+      started.fetch_add(1);
+      while (started.load() < 4) std::this_thread::yield();
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(started.load(), 4);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] {});
+  f.wait();
+}
+
+// --- BatchScheduler: parallel dispatch -------------------------------------
+
+TEST(ConcurrentDispatchTest, PreservesAddOrderWhenChunksFinishOutOfOrder) {
+  ConcurrentEchoModel model(/*sleep_scale_ms=*/2.0);
+  BatchPolicy policy;
+  policy.batch = true;
+  policy.max_batch_size = 2;
+  policy.parallel_batches = 8;
+  BatchScheduler scheduler(&model, policy, "test-phase");
+  std::vector<std::string> texts;
+  for (int i = 0; i < 16; ++i) texts.push_back("p" + std::to_string(i));
+  auto out = scheduler.Run(MakePrompts(texts));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ((*out)[i].text, "echo:p" + std::to_string(i)) << i;
+  }
+  EXPECT_EQ(model.cost().num_batches, 8);
+  // At least two round trips genuinely overlapped.
+  EXPECT_GE(model.max_in_flight(), 2);
+}
+
+TEST(ConcurrentDispatchTest, InFlightNeverExceedsParallelBatches) {
+  ConcurrentEchoModel model(/*sleep_scale_ms=*/1.0);
+  BatchPolicy policy;
+  policy.batch = true;
+  policy.max_batch_size = 1;
+  policy.parallel_batches = 3;
+  BatchScheduler scheduler(&model, policy);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 24; ++i) texts.push_back("q" + std::to_string(i));
+  ASSERT_TRUE(scheduler.Run(MakePrompts(texts)).ok());
+  EXPECT_LE(model.max_in_flight(), 3);
+}
+
+TEST(ConcurrentDispatchTest, DedupesAcrossConcurrentChunks) {
+  ConcurrentEchoModel model;
+  BatchPolicy policy;
+  policy.batch = true;
+  policy.max_batch_size = 2;
+  policy.parallel_batches = 4;
+  BatchScheduler scheduler(&model, policy);
+  auto out = scheduler.Run(
+      MakePrompts({"a", "b", "a", "c", "b", "d", "a", "e", "f"}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 9u);
+  EXPECT_EQ((*out)[0].text, "echo:a");
+  EXPECT_EQ((*out)[2].text, "echo:a");
+  EXPECT_EQ((*out)[6].text, "echo:a");
+  EXPECT_EQ((*out)[4].text, "echo:b");
+  // Six distinct prompts -> 3 chunks of 2, never the duplicates.
+  EXPECT_EQ(model.cost().num_prompts, 6);
+  EXPECT_EQ(model.cost().num_batches, 3);
+}
+
+TEST(ConcurrentDispatchTest, WallClockBeatsSequentialDispatch) {
+  // 8 chunks x 20 ms of backend latency: sequential dispatch is bounded
+  // below by 160 ms of sleeping; 4-way dispatch needs only 2 rounds.
+  auto run = [](int parallel) {
+    ConcurrentEchoModel model(/*sleep_scale_ms=*/2.0);
+    BatchPolicy policy;
+    policy.batch = true;
+    policy.max_batch_size = 1;
+    policy.parallel_batches = parallel;
+    BatchScheduler scheduler(&model, policy);
+    std::vector<Prompt> prompts;
+    // All prompts end in the same digit so every chunk sleeps ~20 ms.
+    for (int i = 0; i < 8; ++i) {
+      prompts.push_back(MakePrompt("w" + std::to_string(i) + "-0"));
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto out = scheduler.Run(std::move(prompts));
+    EXPECT_TRUE(out.ok());
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  double sequential_ms = run(1);
+  double parallel_ms = run(4);
+  // Generous margin: the parallel run must recover at least a quarter of
+  // the sequential sleep time even on a loaded CI machine.
+  EXPECT_LT(parallel_ms, sequential_ms * 0.75)
+      << "sequential=" << sequential_ms << "ms parallel=" << parallel_ms
+      << "ms";
+}
+
+// --- error contract --------------------------------------------------------
+
+TEST(ConcurrentDispatchTest, ErrorNamesPhaseAndChunkAndDropsQueue) {
+  for (int parallel : {1, 4}) {
+    BoomModel model;
+    BatchPolicy policy;
+    policy.batch = true;
+    policy.max_batch_size = 2;
+    policy.parallel_batches = parallel;
+    BatchScheduler scheduler(&model, policy, "filter-check:population");
+    // "boom" lands in chunk 3 of 4.
+    scheduler.Add(MakePrompt("a"));
+    scheduler.Add(MakePrompt("b"));
+    scheduler.Add(MakePrompt("c"));
+    scheduler.Add(MakePrompt("d"));
+    scheduler.Add(MakePrompt("e"));
+    scheduler.Add(MakePrompt("boom"));
+    scheduler.Add(MakePrompt("g"));
+    EXPECT_EQ(scheduler.pending(), 7u);
+    auto out = scheduler.Flush();
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kLlmError);
+    EXPECT_NE(out.status().message().find("filter-check:population"),
+              std::string::npos)
+        << out.status().message();
+    EXPECT_NE(out.status().message().find("chunk 3/4"), std::string::npos)
+        << out.status().message();
+    EXPECT_NE(out.status().message().find("backend exploded"),
+              std::string::npos);
+    // Contract: the queue is emptied even on error; nothing is retried
+    // implicitly on the next Flush.
+    EXPECT_EQ(scheduler.pending(), 0u);
+    auto next = scheduler.Flush();
+    ASSERT_TRUE(next.ok());
+    EXPECT_TRUE(next->empty());
+  }
+}
+
+TEST(ConcurrentDispatchTest, SequentialModeErrorNamesPhaseAndPrompt) {
+  BatchPolicy policy;
+  policy.batch = false;
+  class BoomOnComplete : public ConcurrentEchoModel {
+   public:
+    Result<Completion> Complete(const Prompt& prompt) override {
+      if (prompt.text == "boom") return Status::LlmError("no answer");
+      return ConcurrentEchoModel::Complete(prompt);
+    }
+  } seq_model;
+  BatchScheduler seq(&seq_model, policy, "attribute:capital");
+  auto out = seq.Run(MakePrompts({"a", "boom", "c"}));
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("attribute:capital"),
+            std::string::npos);
+  EXPECT_NE(out.status().message().find("prompt 2/3"), std::string::npos)
+      << out.status().message();
+  EXPECT_EQ(seq.pending(), 0u);
+}
+
+// --- thread-safe accounting -------------------------------------------------
+
+TEST(ConcurrentDispatchTest, SimulatedLlmMeterIsExactUnderConcurrency) {
+  auto workload = knowledge::SpiderLikeWorkload::Create();
+  ASSERT_TRUE(workload.ok());
+  SimulatedLlm model(&workload->kb(), ModelProfile::ChatGpt(),
+                     &workload->catalog(), 7);
+
+  std::vector<Prompt> prompts;
+  for (const char* key : {"Italy", "France", "Germany", "Spain", "Japan",
+                          "Brazil", "Canada", "Egypt"}) {
+    AttributeGetIntent intent;
+    intent.concept_name = "country";
+    intent.key = key;
+    intent.attribute = "population";
+    Prompt p;
+    p.text = std::string("population of ") + key;
+    p.intent = intent;
+    prompts.push_back(std::move(p));
+  }
+
+  BatchPolicy policy;
+  policy.batch = true;
+  policy.max_batch_size = 2;
+  policy.parallel_batches = 4;
+  BatchScheduler parallel_scheduler(&model, policy, "meter");
+  auto parallel_out = parallel_scheduler.Run(prompts);
+  ASSERT_TRUE(parallel_out.ok());
+  CostMeter parallel_cost = model.cost();
+
+  SimulatedLlm sequential_model(&workload->kb(), ModelProfile::ChatGpt(),
+                                &workload->catalog(), 7);
+  policy.parallel_batches = 1;
+  BatchScheduler sequential_scheduler(&sequential_model, policy, "meter");
+  auto sequential_out = sequential_scheduler.Run(prompts);
+  ASSERT_TRUE(sequential_out.ok());
+  CostMeter sequential_cost = sequential_model.cost();
+
+  ASSERT_EQ(parallel_out->size(), sequential_out->size());
+  for (size_t i = 0; i < parallel_out->size(); ++i) {
+    EXPECT_EQ((*parallel_out)[i].text, (*sequential_out)[i].text) << i;
+  }
+  EXPECT_EQ(parallel_cost.num_prompts, sequential_cost.num_prompts);
+  EXPECT_EQ(parallel_cost.num_batches, sequential_cost.num_batches);
+  EXPECT_EQ(parallel_cost.prompt_tokens, sequential_cost.prompt_tokens);
+  EXPECT_EQ(parallel_cost.completion_tokens,
+            sequential_cost.completion_tokens);
+  // Simulated latency is a pure function of the round trips, independent
+  // of completion order (summation order may differ by float ulps).
+  EXPECT_NEAR(parallel_cost.simulated_latency_ms,
+              sequential_cost.simulated_latency_ms, 1e-6);
+}
+
+// --- PromptCache hammer (ThreadSanitizer target) ----------------------------
+
+TEST(ConcurrentDispatchTest, PromptCacheSurvivesConcurrentFlushes) {
+  // Several independent flushes with overlapping prompt sets hammer
+  // PromptCache::CompleteBatch from scheduler worker threads and from
+  // plain std::threads at once. Run under -fsanitize=thread in CI.
+  ConcurrentEchoModel inner(/*sleep_scale_ms=*/0.5);
+  PromptCache cache(&inner);
+
+  auto flush_some = [&cache](int salt) {
+    BatchPolicy policy;
+    policy.batch = true;
+    policy.max_batch_size = 3;
+    policy.parallel_batches = 4;
+    BatchScheduler scheduler(&cache, policy,
+                             "hammer:" + std::to_string(salt));
+    std::vector<Prompt> prompts;
+    for (int i = 0; i < 30; ++i) {
+      // Half the texts are shared across threads, half are unique, so
+      // both cache hits and misses happen concurrently.
+      std::string text = i % 2 == 0
+                             ? "shared-" + std::to_string(i)
+                             : "t" + std::to_string(salt) + "-" +
+                                   std::to_string(i);
+      prompts.push_back(Prompt{text, FreeformIntent{}});
+    }
+    auto out = scheduler.Run(std::move(prompts));
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), 30u);
+    for (int i = 0; i < 30; ++i) {
+      std::string text = i % 2 == 0
+                             ? "shared-" + std::to_string(i)
+                             : "t" + std::to_string(salt) + "-" +
+                                   std::to_string(i);
+      EXPECT_EQ((*out)[static_cast<size_t>(i)].text, "echo:" + text);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&flush_some, t] {
+      for (int round = 0; round < 3; ++round) flush_some(t);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every distinct prompt is cached exactly once.
+  // 15 shared + 4 threads * 15 unique = 75 distinct texts.
+  EXPECT_EQ(cache.size(), 75u);
+}
+
+}  // namespace
+}  // namespace galois::llm
+
+// --- end-to-end: concurrent executor equivalence ----------------------------
+
+namespace galois::core {
+namespace {
+
+TEST(ConcurrentExecutorTest, ParallelBatchesReturnsIdenticalRelations) {
+  auto workload = knowledge::SpiderLikeWorkload::Create();
+  ASSERT_TRUE(workload.ok());
+  int checked = 0;
+  for (const knowledge::QuerySpec& q : workload->queries()) {
+    if (q.id % 5 != 0) continue;  // sample every 5th query
+    llm::SimulatedLlm seq_model(&workload->kb(),
+                                llm::ModelProfile::ChatGpt(),
+                                &workload->catalog(), 7);
+    ExecutionOptions opts;
+    opts.batch_prompts = true;
+    opts.max_batch_size = 3;
+    opts.parallel_batches = 1;
+    GaloisExecutor sequential(&seq_model, &workload->catalog(), opts);
+    auto rm_seq = sequential.ExecuteSql(q.sql);
+    ASSERT_TRUE(rm_seq.ok()) << "q" << q.id;
+
+    llm::SimulatedLlm par_model(&workload->kb(),
+                                llm::ModelProfile::ChatGpt(),
+                                &workload->catalog(), 7);
+    opts.parallel_batches = 4;
+    GaloisExecutor parallel(&par_model, &workload->catalog(), opts);
+    auto rm_par = parallel.ExecuteSql(q.sql);
+    ASSERT_TRUE(rm_par.ok()) << "q" << q.id;
+
+    // Byte-identical relations and identical accounting: concurrency
+    // moves wall-clock time, never answers or billing.
+    EXPECT_TRUE(rm_seq->SameContents(*rm_par)) << "q" << q.id;
+    EXPECT_EQ(sequential.last_cost().num_prompts,
+              parallel.last_cost().num_prompts)
+        << "q" << q.id;
+    EXPECT_EQ(sequential.last_cost().num_batches,
+              parallel.last_cost().num_batches)
+        << "q" << q.id;
+    EXPECT_EQ(sequential.last_cost().cache_hits,
+              parallel.last_cost().cache_hits)
+        << "q" << q.id;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(ConcurrentExecutorTest, CachedParallelRunStaysEquivalentAndWarm) {
+  auto workload = knowledge::SpiderLikeWorkload::Create();
+  ASSERT_TRUE(workload.ok());
+  llm::SimulatedLlm inner(&workload->kb(), llm::ModelProfile::ChatGpt(),
+                          &workload->catalog(), 7);
+  llm::PromptCache cache(&inner);
+  ExecutionOptions opts;
+  opts.batch_prompts = true;
+  opts.max_batch_size = 4;
+  opts.parallel_batches = 4;
+  opts.verify_cells = true;
+  GaloisExecutor galois(&cache, &workload->catalog(), opts);
+  const char* sql =
+      "SELECT name, capital FROM country WHERE continent = 'Europe'";
+
+  auto cold = galois.ExecuteSql(sql);
+  ASSERT_TRUE(cold.ok());
+  auto warm = galois.ExecuteSql(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(cold->SameContents(*warm));
+  // The warm rerun answers every fan-out prompt from cache.
+  EXPECT_GT(galois.last_cost().cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace galois::core

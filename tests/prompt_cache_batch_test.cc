@@ -43,7 +43,7 @@ class EchoModel : public LanguageModel {
     return out;
   }
 
-  const CostMeter& cost() const override { return cost_; }
+  CostMeter cost() const override { return cost_; }
   void ResetCost() override { cost_.Reset(); }
 
   std::vector<std::string> complete_calls;
