@@ -20,6 +20,7 @@
 
 #include "common/strings.h"
 #include "core/galois_executor.h"
+#include "core/materialisation_cache.h"
 #include "engine/executor.h"
 #include "knowledge/workload.h"
 #include "llm/model_profile.h"
@@ -35,6 +36,10 @@ struct ShellState {
   galois::core::ExecutionOptions options;
   bool explain = false;
   bool ground_truth = false;  // run on the DB instead of the LLM
+  // Cross-query table reuse: survives across statements (that is the
+  // point), cleared with `.cache clear`.
+  galois::core::MaterialisationCache table_cache;
+  bool cache_enabled = false;
 
   void LoadModel(const galois::llm::ModelProfile& profile) {
     model = std::make_unique<galois::llm::SimulatedLlm>(
@@ -54,6 +59,9 @@ void PrintHelp() {
       "  .batch <on|off>          batched prompt round trips\n"
       "  .parallel <n> [chunk]    round trips in flight per phase (needs\n"
       "                           .batch on); chunk sets max_batch_size\n"
+      "  .pipeline <on|off>       overlap independent phases (tables,\n"
+      "                           columns, critic passes)\n"
+      "  .cache <on|off|clear|stats>  cross-query materialisation cache\n"
       "  .tables                  list catalog tables\n"
       "  .options                 show executor options\n"
       "  .help | .quit\n");
@@ -97,6 +105,27 @@ bool HandleCommand(ShellState* state, const std::string& line) {
                state->options.max_batch_size == 0) {
       // Whole-phase batches leave nothing to overlap; pick a sane chunk.
       state->options.max_batch_size = 8;
+    }
+  } else if (cmd == ".pipeline") {
+    state->options.pipeline_phases = arg() != "off";
+  } else if (cmd == ".cache") {
+    if (arg() == "clear") {
+      state->table_cache.Clear();
+      std::printf("materialisation cache cleared\n");
+    } else if (arg() == "stats") {
+      auto stats = state->table_cache.stats();
+      std::printf(
+          "materialisation cache: %s, %zu entries, %lld hits / %lld "
+          "lookups (%lld by subsumption), %lld insertions, %lld "
+          "evictions\n",
+          state->cache_enabled ? "on" : "off", state->table_cache.size(),
+          static_cast<long long>(stats.hits),
+          static_cast<long long>(stats.lookups),
+          static_cast<long long>(stats.subsumption_hits),
+          static_cast<long long>(stats.insertions),
+          static_cast<long long>(stats.evictions));
+    } else {
+      state->cache_enabled = arg() != "off";
     }
   } else if (cmd == ".pushdown") {
     if (arg() == "always") {
@@ -156,15 +185,27 @@ void RunSql(ShellState* state, const std::string& sql) {
   galois::core::GaloisExecutor galois(state->model.get(),
                                       &state->workload->catalog(),
                                       state->options);
+  if (state->cache_enabled) {
+    galois.set_materialisation_cache(&state->table_cache);
+  }
   auto rm = galois.Execute(stmt.value());
   if (!rm.ok()) {
     std::printf("%s\n", rm.status().ToString().c_str());
     return;
   }
   std::printf("%s", rm->ToPrettyString(30).c_str());
-  std::printf("(%lld prompts, %.1f s simulated)\n",
-              static_cast<long long>(galois.last_cost().num_prompts),
-              galois.last_cost().simulated_latency_ms / 1000.0);
+  if (galois.last_table_cache_hits() > 0) {
+    std::printf("(%lld prompts, %.1f s simulated, %lld/%lld tables from "
+                "cache)\n",
+                static_cast<long long>(galois.last_cost().num_prompts),
+                galois.last_cost().simulated_latency_ms / 1000.0,
+                static_cast<long long>(galois.last_table_cache_hits()),
+                static_cast<long long>(galois.last_table_cache_lookups()));
+  } else {
+    std::printf("(%lld prompts, %.1f s simulated)\n",
+                static_cast<long long>(galois.last_cost().num_prompts),
+                galois.last_cost().simulated_latency_ms / 1000.0);
+  }
 }
 
 }  // namespace

@@ -51,4 +51,9 @@ ThreadPool& ThreadPool::Shared() {
   return *pool;
 }
 
+ThreadPool& ThreadPool::SharedPhase() {
+  static ThreadPool* pool = new ThreadPool(kSharedPhaseThreads);
+  return *pool;
+}
+
 }  // namespace galois

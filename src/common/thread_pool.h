@@ -1,13 +1,16 @@
 #ifndef GALOIS_COMMON_THREAD_POOL_H_
 #define GALOIS_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace galois {
@@ -52,16 +55,31 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// The process-wide shared pool used by the batch scheduler. Created
-  /// lazily on first use with kSharedThreads workers and intentionally
-  /// never destroyed (avoids static-destruction-order races with worker
-  /// threads at exit).
+  /// The process-wide shared pool used by the batch scheduler for
+  /// CompleteBatch round trips. Created lazily on first use with
+  /// kSharedThreads workers and intentionally never destroyed (avoids
+  /// static-destruction-order races with worker threads at exit).
   static ThreadPool& Shared();
 
   /// Size of the shared pool. Sized for overlapped round-trip latency,
   /// not CPU parallelism; a `parallel_batches` above this still works but
   /// keeps at most this many round trips in flight.
   static constexpr size_t kSharedThreads = 16;
+
+  /// The process-wide pool for *phase-level* tasks: whole scheduler
+  /// flushes dispatched via BatchScheduler::FlushAsync and the per-table
+  /// materialisation tasks of the pipelined Galois executor. Kept
+  /// separate from Shared() because a phase task blocks on round-trip
+  /// futures: the two-tier split guarantees a waiting phase can never
+  /// occupy a worker the round trips underneath it need. Same lifetime
+  /// rules as Shared().
+  static ThreadPool& SharedPhase();
+
+  /// Size of the phase pool: bounds how many phases (table tasks, column
+  /// retrievals, critic passes) overlap. TaskHandle's claim-on-join makes
+  /// saturation safe — a joiner runs unstarted work inline — so this is a
+  /// throughput knob, not a correctness bound.
+  static constexpr size_t kSharedPhaseThreads = 8;
 
  private:
   void WorkerLoop();
@@ -71,6 +89,62 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+};
+
+/// A joinable handle to one task launched on a ThreadPool, with
+/// claim-on-join semantics: the task body runs exactly once, either on a
+/// pool worker or — when no worker has picked it up by the time the owner
+/// joins — inline on the joining thread. This makes nested fan-out
+/// (a pool task launching and joining further tasks on the same pool)
+/// deadlock-free: a saturated pool degrades to inline execution instead
+/// of a cyclic wait.
+///
+/// A handle is a move-only-in-spirit shared wrapper: copying shares the
+/// underlying task, but Join must be called at most once across all
+/// copies. A handle abandoned without Join is safe — the pool still runs
+/// the task (it owns all captured state by value), the result is simply
+/// dropped.
+template <typename T>
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  /// Launches `fn` on `pool` and returns the joinable handle.
+  static TaskHandle Launch(ThreadPool& pool, std::function<T()> fn) {
+    auto state = std::make_shared<State>();
+    state->run = std::move(fn);
+    state->result = state->promise.get_future();
+    pool.Submit([state] {
+      if (!state->claimed.exchange(true)) {
+        state->promise.set_value(state->run());
+      }
+    });
+    TaskHandle handle;
+    handle.state_ = std::move(state);
+    return handle;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Returns the task's result, running it inline first when no pool
+  /// worker has claimed it yet. Blocks when a worker is mid-run. Resets
+  /// the handle to invalid.
+  T Join() {
+    auto state = std::move(state_);
+    if (!state->claimed.exchange(true)) {
+      state->promise.set_value(state->run());
+    }
+    return state->result.get();
+  }
+
+ private:
+  struct State {
+    std::function<T()> run;
+    std::atomic<bool> claimed{false};
+    std::promise<T> promise;
+    std::future<T> result;
+  };
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace galois

@@ -2,9 +2,12 @@
 
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/llm_operators.h"
+#include "core/materialisation_cache.h"
 #include "sql/parser.h"
 
 namespace galois::core {
@@ -93,6 +96,47 @@ SelectStatement CloneWithWhere(const SelectStatement& stmt,
   return out;
 }
 
+/// The non-NULL cells of one retrieved column, in row order — the input
+/// of that column's critic-verification phase.
+struct CellSelection {
+  std::vector<size_t> idx;        // row indices into the column
+  std::vector<std::string> keys;  // surviving key per cell
+  std::vector<Value> values;      // claimed value per cell
+};
+
+CellSelection SelectNonNullCells(
+    const std::vector<Value>& values,
+    const std::vector<std::string>& surviving) {
+  CellSelection sel;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    sel.idx.push_back(i);
+    sel.keys.push_back(surviving[i]);
+    sel.values.push_back(values[i]);
+  }
+  return sel;
+}
+
+/// Applies one column's critic verdicts (shared by the sequential ladder
+/// and the pipelined path, so their rejection/provenance semantics cannot
+/// diverge): rejected cells become NULL — the critic treats them as
+/// hallucinations — and the provenance records, when kept, are tagged.
+void ApplyVerdicts(const std::vector<int>& verdicts,
+                   const CellSelection& cells, std::vector<Value>* values,
+                   std::vector<CellProvenance>* provenances) {
+  for (size_t v = 0; v < cells.idx.size(); ++v) {
+    size_t i = cells.idx[v];
+    if (provenances != nullptr) (*provenances)[i].verified = true;
+    if (verdicts[v] == 0) {
+      (*values)[i] = Value::Null();
+      if (provenances != nullptr) {
+        (*provenances)[i].rejected = true;
+        (*provenances)[i].value = Value::Null();
+      }
+    }
+  }
+}
+
 }  // namespace
 
 GaloisExecutor::GaloisExecutor(llm::LanguageModel* model,
@@ -105,9 +149,10 @@ Result<Relation> GaloisExecutor::ExecuteSql(const std::string& sql) {
   return Execute(stmt);
 }
 
-Result<std::vector<GaloisExecutor::TableContext>>
-GaloisExecutor::PlanTables(const SelectStatement& stmt) const {
-  std::vector<TableContext> ctxs;
+Result<GaloisExecutor::TablePlan> GaloisExecutor::PlanTables(
+    const SelectStatement& stmt) const {
+  TablePlan plan;
+  std::vector<TableContext>& ctxs = plan.tables;
   auto add_ref = [&](const sql::TableRef& ref) -> Status {
     TableContext ctx;
     ctx.ref = ref;
@@ -156,7 +201,7 @@ GaloisExecutor::PlanTables(const SelectStatement& stmt) const {
   // --- split WHERE into LLM-executed filters and engine-side residue ----
   std::vector<const Expr*> conjuncts;
   if (stmt.where) FlattenConjuncts(stmt.where.get(), &conjuncts);
-  std::set<const Expr*> consumed;
+  std::set<const Expr*>& consumed = plan.consumed;
   if (options_.llm_filter_checks) {
     for (const Expr* c : conjuncts) {
       if (c->kind != ExprKind::kBinary) continue;
@@ -252,26 +297,105 @@ GaloisExecutor::PlanTables(const SelectStatement& stmt) const {
     }
     ctx.needed_columns = std::move(ordered);
   }
-  return ctxs;
+  return plan;
+}
+
+bool GaloisExecutor::ShouldPushFirstFilter(const TableContext& ctx) const {
+  // The pushdown decision follows the configured policy; kAuto merges
+  // only when the scan is expected to be large enough that the saved
+  // per-key prompts outweigh the merged prompt's accuracy penalty.
+  PushdownPolicy policy = options_.EffectivePushdown();
+  bool push = policy == PushdownPolicy::kAlways ||
+              (policy == PushdownPolicy::kAuto &&
+               ctx.def->expected_rows >= options_.auto_pushdown_min_rows);
+  return push && !ctx.llm_filters.empty();
+}
+
+Result<std::vector<std::vector<Value>>>
+GaloisExecutor::RetrieveColumnsPipelined(
+    const TableContext& ctx, const std::vector<std::string>& surviving,
+    ExecutionTrace* trace) const {
+  const catalog::TableDef& def = *ctx.def;
+  const size_t n = ctx.needed_columns.size();
+  const bool prov = options_.record_provenance;
+
+  // Dispatch every column's attribute phase up front; they all run
+  // concurrently on the phase pool.
+  std::vector<AttributePhase> attr_phases(n);
+  for (size_t i = 0; i < n; ++i) {
+    attr_phases[i] = LlmGetAttributeBatchStart(
+        model_, def, surviving, *ctx.needed_columns[i], options_);
+  }
+
+  // Join columns in order; each column's critic-verify follow-up is
+  // dispatched as soon as its values are in, overlapping later columns'
+  // retrievals. The error reported is the one with the lowest rank in
+  // the sequential ladder's op order (attr_0, verify_0, attr_1, ...), so
+  // the pipelined and sequential paths fail identically — though, as
+  // with concurrent chunk dispatch, phases already in flight when an
+  // error surfaces still complete and bill. On error, this table's
+  // per-cell provenance is dropped rather than partially recorded.
+  std::vector<std::vector<Value>> columns(n);
+  std::vector<std::vector<CellProvenance>> provenances(n);
+  std::vector<VerdictPhase> verify_phases(n);
+  std::vector<CellSelection> cells(n);
+  Status first_error = Status::OK();
+  size_t first_error_rank = 2 * n;  // past every op
+  for (size_t i = 0; i < n; ++i) {
+    Result<std::vector<Value>> values =
+        attr_phases[i].Join(prov ? &provenances[i] : nullptr);
+    if (!values.ok()) {
+      if (2 * i < first_error_rank) {
+        first_error = values.status();
+        first_error_rank = 2 * i;
+      }
+      continue;
+    }
+    columns[i] = std::move(values).value();
+    if (!options_.verify_cells || !first_error.ok()) continue;
+    cells[i] = SelectNonNullCells(columns[i], surviving);
+    if (!cells[i].idx.empty()) {
+      verify_phases[i] = LlmVerifyCellBatchStart(
+          model_, def, cells[i].keys, *ctx.needed_columns[i],
+          cells[i].values, options_);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!verify_phases[i].valid()) continue;
+    Result<std::vector<int>> verdicts = verify_phases[i].Join();
+    if (!verdicts.ok()) {
+      if (2 * i + 1 < first_error_rank) {
+        first_error = verdicts.status();
+        first_error_rank = 2 * i + 1;
+      }
+      continue;
+    }
+    ApplyVerdicts(*verdicts, cells[i], &columns[i],
+                  prov ? &provenances[i] : nullptr);
+  }
+  GALOIS_RETURN_IF_ERROR(first_error);
+  if (prov) {
+    for (size_t i = 0; i < n; ++i) {
+      for (CellProvenance& p : provenances[i]) {
+        p.table_alias = ctx.alias;
+        trace->cells.push_back(std::move(p));
+      }
+    }
+  }
+  return columns;
 }
 
 Result<Relation> GaloisExecutor::MaterialiseLlmTable(
-    const TableContext& ctx) {
+    const TableContext& ctx, ExecutionTrace* trace) const {
   const catalog::TableDef& def = *ctx.def;
   GALOIS_ASSIGN_OR_RETURN(size_t key_idx, def.KeyIndex());
   const catalog::ColumnDef& key_col = def.columns[key_idx];
 
-  // 1. Leaf access: key scan, optionally with one pushed-down filter.
-  // The pushdown decision follows the configured policy; kAuto merges
-  // only when the scan is expected to be large enough that the saved
-  // per-key prompts outweigh the merged prompt's accuracy penalty.
+  // 1. Leaf access: key scan, optionally with one pushed-down filter
+  // (see ShouldPushFirstFilter for the policy).
   std::optional<llm::PromptFilter> scan_filter;
   size_t first_check = 0;
-  PushdownPolicy policy = options_.EffectivePushdown();
-  bool push = policy == PushdownPolicy::kAlways ||
-              (policy == PushdownPolicy::kAuto &&
-               def.expected_rows >= options_.auto_pushdown_min_rows);
-  if (push && !ctx.llm_filters.empty()) {
+  if (ShouldPushFirstFilter(ctx)) {
     scan_filter = ctx.llm_filters[0];
     first_check = 1;
   }
@@ -306,7 +430,8 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
   // set as the paper prototype's per-key short-circuiting loop, just
   // grouped so the scheduler can dispatch each phase as a batch. Batched
   // and sequential dispatch return identical keys: the model's verdicts
-  // are stable per (key, filter).
+  // are stable per (key, filter). Filter phases chain on each other's
+  // survivors, so they stay sequential even under pipeline_phases.
   std::vector<std::string> surviving = keys;
   for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
     if (surviving.empty()) break;
@@ -327,12 +452,14 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
     scan.pages = scan_pages;
     scan.keys = keys.size();
     scan.filtered = keys.size() - surviving.size();
-    last_trace_.scans.push_back(std::move(scan));
+    trace->scans.push_back(std::move(scan));
   }
 
   // 3. Attribute completion: one scheduler phase per needed column
   // retrieves the whole column, optionally followed by a critic
   // verification phase over its non-NULL cells (Section 6 extensions).
+  // With pipeline_phases the per-column phase chains run concurrently;
+  // the sequential ladder below is the paper prototype's order.
   Schema schema;
   schema.AddColumn(Column(key_col.name, key_col.type, ctx.alias));
   for (const catalog::ColumnDef* col : ctx.needed_columns) {
@@ -340,58 +467,46 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
   }
   Relation rel(schema);
   std::vector<std::vector<Value>> columns;
-  columns.reserve(ctx.needed_columns.size());
-  for (const catalog::ColumnDef* col : ctx.needed_columns) {
-    std::vector<CellProvenance> provenances;
-    std::vector<CellProvenance>* prov_ptr =
-        options_.record_provenance ? &provenances : nullptr;
+  if (options_.pipeline_phases && ctx.needed_columns.size() > 1) {
     GALOIS_ASSIGN_OR_RETURN(
-        std::vector<Value> values,
-        LlmGetAttributeBatch(model_, def, surviving, *col, options_,
-                             prov_ptr));
-    if (options_.verify_cells) {
-      // Verify the column's non-NULL cells in one phase.
-      std::vector<size_t> cell_idx;
-      std::vector<std::string> cell_keys;
-      std::vector<Value> cell_values;
-      for (size_t i = 0; i < values.size(); ++i) {
-        if (values[i].is_null()) continue;
-        cell_idx.push_back(i);
-        cell_keys.push_back(surviving[i]);
-        cell_values.push_back(values[i]);
-      }
-      if (!cell_idx.empty()) {
-        GALOIS_ASSIGN_OR_RETURN(
-            std::vector<int> verdicts,
-            LlmVerifyCellBatch(model_, def, cell_keys, *col, cell_values,
-                               options_));
-        for (size_t v = 0; v < cell_idx.size(); ++v) {
-          size_t i = cell_idx[v];
-          if (prov_ptr != nullptr) provenances[i].verified = true;
-          if (verdicts[v] == 0) {
-            // The critic rejected the value: treat it as a hallucination.
-            values[i] = Value::Null();
-            if (prov_ptr != nullptr) {
-              provenances[i].rejected = true;
-              provenances[i].value = Value::Null();
-            }
-          }
+        columns, RetrieveColumnsPipelined(ctx, surviving, trace));
+  } else {
+    columns.reserve(ctx.needed_columns.size());
+    for (const catalog::ColumnDef* col : ctx.needed_columns) {
+      std::vector<CellProvenance> provenances;
+      std::vector<CellProvenance>* prov_ptr =
+          options_.record_provenance ? &provenances : nullptr;
+      GALOIS_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          LlmGetAttributeBatch(model_, def, surviving, *col, options_,
+                               prov_ptr));
+      if (options_.verify_cells) {
+        // Verify the column's non-NULL cells in one phase.
+        CellSelection cells = SelectNonNullCells(values, surviving);
+        if (!cells.idx.empty()) {
+          GALOIS_ASSIGN_OR_RETURN(
+              std::vector<int> verdicts,
+              LlmVerifyCellBatch(model_, def, cells.keys, *col,
+                                 cells.values, options_));
+          ApplyVerdicts(verdicts, cells, &values, prov_ptr);
         }
       }
-    }
-    if (prov_ptr != nullptr) {
-      for (CellProvenance& p : provenances) {
-        p.table_alias = ctx.alias;
-        last_trace_.cells.push_back(std::move(p));
+      if (prov_ptr != nullptr) {
+        for (CellProvenance& p : provenances) {
+          p.table_alias = ctx.alias;
+          trace->cells.push_back(std::move(p));
+        }
       }
+      columns.push_back(std::move(values));
     }
-    columns.push_back(std::move(values));
   }
   for (size_t r = 0; r < surviving.size(); ++r) {
     Tuple row;
     row.reserve(1 + columns.size());
     row.push_back(Value::String(surviving[r]));
-    for (auto& column : columns) row.push_back(column[r]);
+    // Move the cells out of the column vectors: each value is consumed
+    // exactly once, and completions can be long strings.
+    for (auto& column : columns) row.push_back(std::move(column[r]));
     rel.AddRowUnchecked(std::move(row));
   }
   return rel;
@@ -404,85 +519,125 @@ Result<Relation> GaloisExecutor::MaterialiseDbTable(
   return Relation(ctx.def->ToSchema(ctx.alias), instance->rows());
 }
 
-Result<Relation> GaloisExecutor::Execute(const SelectStatement& stmt) {
-  llm::CostMeter before = model_->cost();
-  last_trace_.Clear();
-  GALOIS_ASSIGN_OR_RETURN(std::vector<TableContext> ctxs,
-                          PlanTables(stmt));
+Result<std::vector<engine::BoundRelation>>
+GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs) {
+  // Provenance runs bypass the cache: a hit cannot replay the per-cell
+  // prompt/completion trace the caller asked for.
+  const bool use_cache =
+      materialisation_cache_ != nullptr && !options_.record_provenance;
 
-  std::vector<engine::BoundRelation> bases;
-  bases.reserve(ctxs.size());
-  for (TableContext& ctx : ctxs) {
-    if (ctx.from_llm) {
-      GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseLlmTable(ctx));
-      bases.emplace_back(ctx.alias, std::move(rel));
-    } else {
+  std::vector<std::optional<Relation>> materialised(ctxs.size());
+  std::vector<std::string> fingerprints(ctxs.size());
+  std::vector<size_t> pending;  // LLM tables not served from cache
+  for (size_t i = 0; i < ctxs.size(); ++i) {
+    const TableContext& ctx = ctxs[i];
+    if (!ctx.from_llm) {
       GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseDbTable(ctx));
-      bases.emplace_back(ctx.alias, std::move(rel));
+      materialised[i] = std::move(rel);
+      continue;
+    }
+    if (use_cache) {
+      fingerprints[i] = MaterialisationCache::Fingerprint(
+          *ctx.def, ctx.llm_filters, ShouldPushFirstFilter(ctx), options_,
+          model_->name());
+      ++last_table_cache_lookups_;
+      std::optional<Relation> hit = materialisation_cache_->Lookup(
+          fingerprints[i], *ctx.def, ctx.needed_columns, ctx.alias);
+      if (hit.has_value()) {
+        ++last_table_cache_hits_;
+        materialised[i] = std::move(*hit);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  if (options_.pipeline_phases && pending.size() > 1) {
+    // Independent tables materialise concurrently, one task per table on
+    // the phase pool. Each task records provenance into its own trace;
+    // the traces merge in FROM order afterwards, so the combined trace is
+    // identical to the sequential ladder's. On error every task is still
+    // joined (abandoning one would leave prompts in flight) and the
+    // error of the first table in FROM order is reported —
+    // deterministically the one the sequential path reports.
+    std::vector<ExecutionTrace> traces(pending.size());
+    std::vector<TaskHandle<Result<Relation>>> tasks;
+    tasks.reserve(pending.size());
+    for (size_t t = 0; t < pending.size(); ++t) {
+      const TableContext* ctx = &ctxs[pending[t]];
+      ExecutionTrace* trace = &traces[t];
+      tasks.push_back(TaskHandle<Result<Relation>>::Launch(
+          ThreadPool::SharedPhase(),
+          [this, ctx, trace] { return MaterialiseLlmTable(*ctx, trace); }));
+    }
+    Status first_error = Status::OK();
+    for (size_t t = 0; t < pending.size(); ++t) {
+      Result<Relation> rel = tasks[t].Join();
+      if (!rel.ok()) {
+        if (first_error.ok()) first_error = rel.status();
+        continue;
+      }
+      materialised[pending[t]] = std::move(rel).value();
+    }
+    GALOIS_RETURN_IF_ERROR(first_error);
+    for (ExecutionTrace& trace : traces) {
+      for (ScanProvenance& s : trace.scans) {
+        last_trace_.scans.push_back(std::move(s));
+      }
+      for (CellProvenance& c : trace.cells) {
+        last_trace_.cells.push_back(std::move(c));
+      }
+    }
+  } else {
+    for (size_t i : pending) {
+      GALOIS_ASSIGN_OR_RETURN(Relation rel,
+                              MaterialiseLlmTable(ctxs[i], &last_trace_));
+      materialised[i] = std::move(rel);
     }
   }
 
+  if (use_cache) {
+    for (size_t i : pending) {
+      materialisation_cache_->Insert(fingerprints[i],
+                                     ctxs[i].needed_columns,
+                                     *materialised[i]);
+    }
+  }
+
+  std::vector<engine::BoundRelation> bases;
+  bases.reserve(ctxs.size());
+  for (size_t i = 0; i < ctxs.size(); ++i) {
+    bases.emplace_back(ctxs[i].alias, std::move(*materialised[i]));
+  }
+  return bases;
+}
+
+Result<Relation> GaloisExecutor::Execute(const SelectStatement& stmt) {
+  llm::CostMeter before = model_->cost();
+  last_trace_.Clear();
+  last_table_cache_lookups_ = 0;
+  last_table_cache_hits_ = 0;
+  GALOIS_ASSIGN_OR_RETURN(TablePlan plan, PlanTables(stmt));
+
+  GALOIS_ASSIGN_OR_RETURN(std::vector<engine::BoundRelation> bases,
+                          MaterialiseTables(plan.tables));
+
   // Rebuild WHERE from the conjuncts that were not executed via the LLM.
+  // The consumed set comes straight from PlanTables — the one place that
+  // decides what is pushed — so a conjunct is dropped here iff a prompt
+  // filter was actually planned for it.
   sql::ExprPtr residual;
   if (stmt.where) {
     std::vector<const Expr*> conjuncts;
     FlattenConjuncts(stmt.where.get(), &conjuncts);
-    // Recompute which conjuncts were consumed: a conjunct is consumed iff
-    // it matches one of the planned llm_filters (same rendering).
-    std::set<std::string> llm_filter_keys;
-    for (const TableContext& ctx : ctxs) {
-      for (const llm::PromptFilter& f : ctx.llm_filters) {
-        llm_filter_keys.insert(ctx.alias + "|" + f.attribute + f.op +
-                               f.value.ToString());
-      }
-    }
     for (const Expr* c : conjuncts) {
-      bool is_consumed = false;
-      if (c->kind == ExprKind::kBinary) {
-        std::string op = ComparisonSymbol(c->binary_op);
-        const Expr* col = nullptr;
-        const Expr* lit = nullptr;
-        if (!op.empty()) {
-          const Expr* lhs = c->children[0].get();
-          const Expr* rhs = c->children[1].get();
-          if (lhs->kind == ExprKind::kColumnRef &&
-              rhs->kind == ExprKind::kLiteral) {
-            col = lhs;
-            lit = rhs;
-          } else if (rhs->kind == ExprKind::kColumnRef &&
-                     lhs->kind == ExprKind::kLiteral) {
-            col = rhs;
-            lit = lhs;
-            op = MirrorSymbol(op);
-          }
-        }
-        if (col != nullptr && lit != nullptr && !op.empty()) {
-          for (const TableContext& ctx : ctxs) {
-            // Match alias (or unqualified ref against a unique table).
-            bool alias_match =
-                col->table.empty()
-                    ? ctx.def->FindColumn(col->column).ok()
-                    : EqualsIgnoreCase(ctx.alias, col->table);
-            if (!alias_match) continue;
-            auto coldef = ctx.def->FindColumn(col->column);
-            if (!coldef.ok()) continue;
-            std::string key = ctx.alias + "|" + coldef.value()->name + op +
-                              lit->literal.ToString();
-            if (llm_filter_keys.count(key) > 0) {
-              is_consumed = true;
-              break;
-            }
-          }
-        }
-      }
-      if (!is_consumed) {
-        sql::ExprPtr clone = c->Clone();
-        residual = residual
-                       ? Expr::MakeBinary(BinaryOp::kAnd,
-                                          std::move(residual),
-                                          std::move(clone))
-                       : std::move(clone);
-      }
+      if (plan.consumed.count(c) > 0) continue;
+      sql::ExprPtr clone = c->Clone();
+      residual = residual
+                     ? Expr::MakeBinary(BinaryOp::kAnd,
+                                        std::move(residual),
+                                        std::move(clone))
+                     : std::move(clone);
     }
   }
   SelectStatement residual_stmt = CloneWithWhere(stmt, std::move(residual));

@@ -1,7 +1,9 @@
 #ifndef GALOIS_CORE_GALOIS_EXECUTOR_H_
 #define GALOIS_CORE_GALOIS_EXECUTOR_H_
 
+#include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,8 @@
 #include "types/relation.h"
 
 namespace galois::core {
+
+class MaterialisationCache;
 
 /// The Galois executor (the paper's primary contribution, Section 4).
 ///
@@ -37,6 +41,18 @@ namespace galois::core {
 /// Hybrid queries mix `LLM.` and `DB.` tables: DB tables are read from the
 /// catalog instances, exactly like the intro's
 /// `SELECT c.GDP, AVG(e.salary) FROM LLM.country c, DB.Employees e ...`.
+///
+/// With ExecutionOptions::pipeline_phases the plan above executes as a
+/// pipeline instead of a ladder of barriers: independent LLM tables
+/// materialise concurrently, and within one table the needed-column
+/// attribute phases (and their critic-verify follow-ups) are dispatched
+/// as async phase futures. Results, provenance order and cost accounting
+/// are identical to the sequential plan. A MaterialisationCache attached
+/// via set_materialisation_cache adds cross-query reuse on top: a table
+/// whose fingerprint (definition, pushed filters, needed columns, result-
+/// affecting options, model) was already materialised is served with zero
+/// LLM round trips, including by projection from a wider cached
+/// materialisation.
 class GaloisExecutor {
  public:
   /// `model` and `catalog` must outlive the executor.
@@ -60,6 +76,25 @@ class GaloisExecutor {
   const ExecutionOptions& options() const { return options_; }
   void set_options(ExecutionOptions options) { options_ = options; }
 
+  /// Attaches a cross-query materialisation cache (nullptr detaches).
+  /// Non-owning; the cache is thread-safe and may be shared by several
+  /// executors. Bypassed while options().record_provenance is on (a
+  /// cache hit cannot replay per-cell prompt traces).
+  void set_materialisation_cache(MaterialisationCache* cache) {
+    materialisation_cache_ = cache;
+  }
+  MaterialisationCache* materialisation_cache() const {
+    return materialisation_cache_;
+  }
+
+  /// Materialisation-cache traffic of the most recent Execute call: how
+  /// many LLM tables were looked up, and how many were served from the
+  /// cache without any LLM round trip. Both 0 when no cache is attached.
+  int64_t last_table_cache_lookups() const {
+    return last_table_cache_lookups_;
+  }
+  int64_t last_table_cache_hits() const { return last_table_cache_hits_; }
+
  private:
   /// Per-table execution context assembled during planning.
   struct TableContext {
@@ -74,20 +109,53 @@ class GaloisExecutor {
     bool needs_all_columns = false;
   };
 
-  Result<std::vector<TableContext>> PlanTables(
-      const sql::SelectStatement& stmt) const;
+  /// The bound plan of one statement: the table contexts plus the WHERE
+  /// conjuncts consumed as LLM filters (pointers into the statement's
+  /// expression tree). Execute builds the residual WHERE from exactly
+  /// this set, so the "was it pushed?" decision is made once, here —
+  /// re-deriving it with a different column-resolution rule used to drop
+  /// ambiguous conjuncts that were never pushed.
+  struct TablePlan {
+    std::vector<TableContext> tables;
+    std::set<const sql::Expr*> consumed;
+  };
+
+  Result<TablePlan> PlanTables(const sql::SelectStatement& stmt) const;
+
+  /// Whether ctx's first LLM filter is merged into the scan prompt under
+  /// the configured pushdown policy (shared by the materialisation path
+  /// and the cache fingerprint).
+  bool ShouldPushFirstFilter(const TableContext& ctx) const;
 
   /// Materialises one LLM-backed base relation (steps 1-3 above).
-  Result<Relation> MaterialiseLlmTable(const TableContext& ctx);
+  /// Provenance is recorded into `trace` (never into members), so
+  /// independent tables may materialise on different threads.
+  Result<Relation> MaterialiseLlmTable(const TableContext& ctx,
+                                       ExecutionTrace* trace) const;
+
+  /// Attribute completion + critic verification for one table, pipelined:
+  /// all column phases dispatched concurrently as phase futures.
+  Result<std::vector<std::vector<Value>>> RetrieveColumnsPipelined(
+      const TableContext& ctx, const std::vector<std::string>& surviving,
+      ExecutionTrace* trace) const;
 
   /// Materialises a DB-backed base relation from the catalog instance.
   Result<Relation> MaterialiseDbTable(const TableContext& ctx) const;
 
+  /// Materialises every base relation of the plan, in FROM order:
+  /// DB reads and cache hits inline, LLM tables sequentially or — with
+  /// pipeline_phases — as concurrent table tasks.
+  Result<std::vector<engine::BoundRelation>> MaterialiseTables(
+      const std::vector<TableContext>& ctxs);
+
   llm::LanguageModel* model_;
   const catalog::Catalog* catalog_;
   ExecutionOptions options_;
+  MaterialisationCache* materialisation_cache_ = nullptr;
   llm::CostMeter last_cost_;
   ExecutionTrace last_trace_;
+  int64_t last_table_cache_lookups_ = 0;
+  int64_t last_table_cache_hits_ = 0;
 };
 
 }  // namespace galois::core

@@ -42,6 +42,83 @@ Result<Value> CleanAttributeCompletion(const std::string& completion,
                               options.enforce_domains ? &domain : nullptr);
 }
 
+/// The prompt set of one attribute-retrieval phase (shared by the sync
+/// and async dispatch paths, so both issue byte-identical prompts).
+std::vector<llm::Prompt> BuildAttributePrompts(
+    const catalog::TableDef& table, const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column) {
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(keys.size());
+  for (const std::string& key : keys) {
+    llm::AttributeGetIntent intent;
+    intent.concept_name = table.entity_type;
+    intent.key = key;
+    intent.attribute = column.name;
+    intent.attribute_description = column.description;
+    intent.expected_type = column.type;
+    prompts.push_back(llm::BuildAttributePrompt(intent));
+  }
+  return prompts;
+}
+
+/// The prompt set of one critic-verification phase.
+std::vector<llm::Prompt> BuildVerifyPrompts(
+    const catalog::TableDef& table, const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const std::vector<Value>& claimed) {
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    llm::VerifyIntent intent;
+    intent.concept_name = table.entity_type;
+    intent.key = keys[i];
+    intent.attribute = column.name;
+    intent.attribute_description = column.description;
+    intent.claimed = claimed[i];
+    prompts.push_back(llm::BuildVerifyPrompt(intent));
+  }
+  return prompts;
+}
+
+/// Cleans one attribute phase's completions into typed cells and optional
+/// provenance records (shared post-processing of the sync and async
+/// paths).
+Result<std::vector<Value>> CleanAttributeCompletions(
+    const std::vector<llm::Completion>& completions,
+    const std::vector<std::string>& prompt_texts,
+    const catalog::TableDef& table, const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const ExecutionOptions& options,
+    std::vector<CellProvenance>* provenances) {
+  std::vector<Value> values;
+  values.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    GALOIS_ASSIGN_OR_RETURN(
+        Value v,
+        CleanAttributeCompletion(completions[i].text, column, options));
+    if (provenances != nullptr) {
+      CellProvenance p;
+      p.table_alias = table.name;
+      p.key = keys[i];
+      p.column = column.name;
+      p.prompt = prompt_texts[i];
+      p.completion = completions[i].text;
+      p.value = v;
+      provenances->push_back(std::move(p));
+    }
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+std::vector<int> ParseVerdicts(
+    const std::vector<llm::Completion>& completions) {
+  std::vector<int> verdicts;
+  verdicts.reserve(completions.size());
+  for (const llm::Completion& c : completions) {
+    verdicts.push_back(ParseVerdict(c.text));
+  }
+  return verdicts;
+}
+
 }  // namespace
 
 Result<std::vector<std::string>> LlmKeyScan(
@@ -125,40 +202,56 @@ Result<std::vector<Value>> LlmGetAttributeBatch(
     const std::vector<std::string>& keys,
     const catalog::ColumnDef& column, const ExecutionOptions& options,
     std::vector<CellProvenance>* provenances) {
-  std::vector<llm::Prompt> prompts;
-  prompts.reserve(keys.size());
-  for (const std::string& key : keys) {
-    llm::AttributeGetIntent intent;
-    intent.concept_name = table.entity_type;
-    intent.key = key;
-    intent.attribute = column.name;
-    intent.attribute_description = column.description;
-    intent.expected_type = column.type;
-    prompts.push_back(llm::BuildAttributePrompt(intent));
+  std::vector<llm::Prompt> prompts =
+      BuildAttributePrompts(table, keys, column);
+  std::vector<std::string> prompt_texts;
+  if (provenances != nullptr) {
+    prompt_texts.reserve(prompts.size());
+    for (const llm::Prompt& p : prompts) prompt_texts.push_back(p.text);
   }
   llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
                                 "attribute:" + column.name);
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
-                          scheduler.Run(prompts));
-  std::vector<Value> values;
-  values.reserve(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    GALOIS_ASSIGN_OR_RETURN(
-        Value v,
-        CleanAttributeCompletion(completions[i].text, column, options));
-    if (provenances != nullptr) {
-      CellProvenance p;
-      p.table_alias = table.name;
-      p.key = keys[i];
-      p.column = column.name;
-      p.prompt = prompts[i].text;
-      p.completion = completions[i].text;
-      p.value = v;
-      provenances->push_back(std::move(p));
+                          scheduler.Run(std::move(prompts)));
+  return CleanAttributeCompletions(completions, prompt_texts, table, keys,
+                                   column, options, provenances);
+}
+
+AttributePhase LlmGetAttributeBatchStart(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const ExecutionOptions& options) {
+  std::vector<llm::Prompt> prompts =
+      BuildAttributePrompts(table, keys, column);
+  AttributePhase phase;
+  phase.table_ = &table;
+  phase.column_ = &column;
+  phase.keys_ = keys;
+  if (options.record_provenance) {
+    // Only provenance reads the prompt texts; don't duplicate one long
+    // string per key on ordinary runs.
+    phase.prompt_texts_.reserve(prompts.size());
+    for (const llm::Prompt& p : prompts) {
+      phase.prompt_texts_.push_back(p.text);
     }
-    values.push_back(std::move(v));
   }
-  return values;
+  phase.options_ = options;
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                "attribute:" + column.name);
+  phase.handle_ = scheduler.RunAsync(std::move(prompts));
+  return phase;
+}
+
+Result<std::vector<Value>> AttributePhase::Join(
+    std::vector<CellProvenance>* provenances) {
+  GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
+                          handle_.Join());
+  // Prompt texts are only captured when the phase was started with
+  // record_provenance on; without them there is nothing to record.
+  std::vector<CellProvenance>* prov =
+      options_.record_provenance ? provenances : nullptr;
+  return CleanAttributeCompletions(completions, prompt_texts_, *table_,
+                                   keys_, *column_, options_, prov);
 }
 
 Result<std::vector<int>> LlmFilterCheckBatch(
@@ -178,12 +271,7 @@ Result<std::vector<int>> LlmFilterCheckBatch(
                                 "filter-check:" + filter.attribute);
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
                           scheduler.Run(std::move(prompts)));
-  std::vector<int> verdicts;
-  verdicts.reserve(keys.size());
-  for (const llm::Completion& c : completions) {
-    verdicts.push_back(ParseVerdict(c.text));
-  }
-  return verdicts;
+  return ParseVerdicts(completions);
 }
 
 Result<std::vector<int>> LlmVerifyCellBatch(
@@ -195,27 +283,38 @@ Result<std::vector<int>> LlmVerifyCellBatch(
     return Status::InvalidArgument(
         "LlmVerifyCellBatch: keys/claimed size mismatch");
   }
-  std::vector<llm::Prompt> prompts;
-  prompts.reserve(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    llm::VerifyIntent intent;
-    intent.concept_name = table.entity_type;
-    intent.key = keys[i];
-    intent.attribute = column.name;
-    intent.attribute_description = column.description;
-    intent.claimed = claimed[i];
-    prompts.push_back(llm::BuildVerifyPrompt(intent));
-  }
+  std::vector<llm::Prompt> prompts =
+      BuildVerifyPrompts(table, keys, column, claimed);
   llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
                                 "verify:" + column.name);
   GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
                           scheduler.Run(std::move(prompts)));
-  std::vector<int> verdicts;
-  verdicts.reserve(keys.size());
-  for (const llm::Completion& c : completions) {
-    verdicts.push_back(ParseVerdict(c.text));
+  return ParseVerdicts(completions);
+}
+
+VerdictPhase LlmVerifyCellBatchStart(
+    llm::LanguageModel* model, const catalog::TableDef& table,
+    const std::vector<std::string>& keys,
+    const catalog::ColumnDef& column, const std::vector<Value>& claimed,
+    const ExecutionOptions& options) {
+  VerdictPhase phase;
+  if (keys.size() != claimed.size()) {
+    phase.error_ = Status::InvalidArgument(
+        "LlmVerifyCellBatch: keys/claimed size mismatch");
+    return phase;
   }
-  return verdicts;
+  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                "verify:" + column.name);
+  phase.handle_ =
+      scheduler.RunAsync(BuildVerifyPrompts(table, keys, column, claimed));
+  return phase;
+}
+
+Result<std::vector<int>> VerdictPhase::Join() {
+  GALOIS_RETURN_IF_ERROR(error_);
+  GALOIS_ASSIGN_OR_RETURN(std::vector<llm::Completion> completions,
+                          handle_.Join());
+  return ParseVerdicts(completions);
 }
 
 Result<int> LlmVerifyCell(llm::LanguageModel* model,

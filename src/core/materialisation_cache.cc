@@ -1,0 +1,171 @@
+#include "core/materialisation_cache.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace galois::core {
+
+namespace {
+
+/// '\x1f' (unit separator) keeps field boundaries unambiguous even when
+/// names or literals contain the usual punctuation.
+constexpr char kSep = '\x1f';
+
+}  // namespace
+
+std::string MaterialisationCache::Fingerprint(
+    const catalog::TableDef& def,
+    const std::vector<llm::PromptFilter>& filters,
+    bool first_filter_pushed, const ExecutionOptions& options,
+    const std::string& model_name) {
+  std::ostringstream os;
+  os << "table=" << def.name << kSep << "key=" << def.key_column << kSep
+     << "entity=" << def.entity_type << kSep << "model=" << model_name
+     << kSep << "push=" << (first_filter_pushed ? 1 : 0) << kSep;
+  // Column definitions feed the prompts (descriptions) and the cleaning
+  // layer (types), so a redefined catalog must land in a new entry.
+  os << "cols=";
+  for (const catalog::ColumnDef& c : def.columns) {
+    os << c.name << kSep << static_cast<int>(c.type) << kSep
+       << c.description << kSep;
+  }
+  // Every filter field is length-prefixed: a literal containing the
+  // rendering of another filter can never collide with a longer filter
+  // list.
+  os << "filters=";
+  for (const llm::PromptFilter& f : filters) {
+    const std::string value = f.value.ToString();
+    os << f.attribute.size() << ':' << f.attribute << kSep << f.op << kSep
+       << value.size() << ':' << value << kSep;
+  }
+  os << "verify=" << (options.verify_cells ? 1 : 0) << kSep
+     << "clean=" << (options.enable_cleaning ? 1 : 0) << kSep
+     << "domains=" << (options.enforce_domains ? 1 : 0) << kSep
+     << "pages=" << options.max_scan_pages;
+  return os.str();
+}
+
+std::optional<Relation> MaterialisationCache::Lookup(
+    const std::string& fingerprint, const catalog::TableDef& def,
+    const std::vector<const catalog::ColumnDef*>& needed_columns,
+    const std::string& alias) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  for (Entry& entry : entries_) {
+    if (entry.fingerprint != fingerprint) continue;
+    // Map each needed column onto the entry's layout (key at 0, then
+    // entry.columns); a missing column disqualifies the entry.
+    std::vector<size_t> source_index;
+    source_index.reserve(needed_columns.size());
+    bool subsumes = true;
+    for (const catalog::ColumnDef* col : needed_columns) {
+      auto it =
+          std::find(entry.columns.begin(), entry.columns.end(), col->name);
+      if (it == entry.columns.end()) {
+        subsumes = false;
+        break;
+      }
+      source_index.push_back(
+          1 + static_cast<size_t>(it - entry.columns.begin()));
+    }
+    if (!subsumes) continue;
+    entry.last_used = ++tick_;
+    ++stats_.hits;
+    if (needed_columns.size() < entry.columns.size()) {
+      ++stats_.subsumption_hits;
+    }
+    // Rebuild the relation in the requester's shape: key + needed
+    // columns, qualified with its alias.
+    auto key_def = def.FindColumn(def.key_column);
+    Schema schema;
+    schema.AddColumn(Column(
+        def.key_column,
+        key_def.ok() ? key_def.value()->type : DataType::kString, alias));
+    for (const catalog::ColumnDef* col : needed_columns) {
+      schema.AddColumn(Column(col->name, col->type, alias));
+    }
+    Relation rel(std::move(schema));
+    for (const Tuple& row : entry.rows) {
+      Tuple out;
+      out.reserve(1 + source_index.size());
+      out.push_back(row[0]);
+      for (size_t idx : source_index) out.push_back(row[idx]);
+      rel.AddRowUnchecked(std::move(out));
+    }
+    return rel;
+  }
+  return std::nullopt;
+}
+
+void MaterialisationCache::Insert(
+    const std::string& fingerprint,
+    const std::vector<const catalog::ColumnDef*>& columns,
+    const Relation& rel) {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (const catalog::ColumnDef* col : columns) names.push_back(col->name);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (entry.fingerprint != fingerprint) continue;
+    bool entry_subsumes_new =
+        std::all_of(names.begin(), names.end(), [&](const std::string& n) {
+          return std::find(entry.columns.begin(), entry.columns.end(), n) !=
+                 entry.columns.end();
+        });
+    if (entry_subsumes_new) {
+      // Already covered by an equal or wider entry: just refresh it.
+      entry.last_used = ++tick_;
+      return;
+    }
+    bool new_subsumes_entry = std::all_of(
+        entry.columns.begin(), entry.columns.end(),
+        [&](const std::string& n) {
+          return std::find(names.begin(), names.end(), n) != names.end();
+        });
+    if (new_subsumes_entry) {
+      // Widest materialisation wins: replace in place.
+      entry.columns = std::move(names);
+      entry.rows = rel.rows();
+      entry.last_used = ++tick_;
+      ++stats_.insertions;
+      return;
+    }
+    // Overlapping but incomparable column sets coexist as separate
+    // entries (each can still serve its own subsets).
+  }
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.columns = std::move(names);
+  entry.rows = rel.rows();
+  entry.last_used = ++tick_;
+  entries_.push_back(std::move(entry));
+  ++stats_.insertions;
+  while (entries_.size() > max_entries_) {
+    auto lru = std::min_element(entries_.begin(), entries_.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    entries_.erase(lru);
+    ++stats_.evictions;
+  }
+}
+
+void MaterialisationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t MaterialisationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MaterialisationCacheStats MaterialisationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace galois::core

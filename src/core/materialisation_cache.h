@@ -1,0 +1,121 @@
+#ifndef GALOIS_CORE_MATERIALISATION_CACHE_H_
+#define GALOIS_CORE_MATERIALISATION_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/options.h"
+#include "llm/prompt.h"
+#include "types/relation.h"
+
+namespace galois::core {
+
+/// Counters exposed by MaterialisationCache::stats(); plain data, taken
+/// as a consistent snapshot under the cache mutex.
+struct MaterialisationCacheStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;              // total table-level hits (incl. below)
+  int64_t subsumption_hits = 0;  // served by projecting a wider entry
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+};
+
+/// Cross-query cache of materialised LLM base relations — the reuse layer
+/// between queries that PromptCache provides between prompts (both are
+/// Section 6 "physical plan optimisation" instances). Where PromptCache
+/// saves one round trip per repeated prompt text, this cache saves the
+/// *entire* scan / filter / attribute / critic phase tree of a table
+/// whose materialisation was already computed: a warm hit performs zero
+/// LLM round trips.
+///
+/// Entries are keyed by a fingerprint of everything that can change the
+/// materialised bytes: the table definition identity, the filters pushed
+/// to the LLM (in plan order), whether the first filter was merged into
+/// the scan prompt, the result-affecting ExecutionOptions (verify_cells,
+/// cleaning, domains, max_scan_pages) and the model name. Dispatch-only
+/// knobs (batch_prompts, max_batch_size, parallel_batches,
+/// pipeline_phases) are deliberately excluded — they never change
+/// results, so a sequential run can serve a pipelined one and vice
+/// versa.
+///
+/// Column subsumption: an entry also records *which* non-key columns it
+/// materialised. A lookup needing a subset of a cached entry's columns is
+/// served by projection — the wider materialisation subsumes the narrower
+/// one because surviving keys depend only on the scan and filters, and
+/// cell values are pure per (key, attribute) for deterministic models.
+/// That determinism assumption is the same one PromptCache relies on; a
+/// deployment over a sampling model would scope the cache to one session
+/// the same way it would scope the prompt cache.
+///
+/// Invalidation rules (see also docs/ARCHITECTURE.md):
+///  * provenance runs bypass the cache entirely (a hit could not replay
+///    per-cell prompt/completion traces), so record_provenance acts as a
+///    per-query off switch;
+///  * entries are evicted least-recently-used beyond `max_entries`;
+///  * Clear() drops everything (the shell's `.cache clear`);
+///  * a model/catalog change shows up in the fingerprint, so stale
+///    entries are never served, only orphaned until evicted.
+///
+/// Thread-safe: all operations take an internal mutex, so one cache may
+/// be shared by executors running on different threads.
+class MaterialisationCache {
+ public:
+  explicit MaterialisationCache(size_t max_entries = 64)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// Fingerprint of one table materialisation under `options` against
+  /// `model_name`. `filters` are the predicates executed via the LLM in
+  /// plan order; `first_filter_pushed` records whether filters[0] was
+  /// merged into the scan prompt (pushed and checked-per-key scans
+  /// answer differently on noisy models).
+  static std::string Fingerprint(
+      const catalog::TableDef& def,
+      const std::vector<llm::PromptFilter>& filters,
+      bool first_filter_pushed, const ExecutionOptions& options,
+      const std::string& model_name);
+
+  /// Returns the cached materialisation for `fingerprint` projected to
+  /// key + `needed_columns` (def order) and qualified with `alias`, or
+  /// nullopt. Serves exact matches and wider entries (subsumption).
+  std::optional<Relation> Lookup(
+      const std::string& fingerprint, const catalog::TableDef& def,
+      const std::vector<const catalog::ColumnDef*>& needed_columns,
+      const std::string& alias);
+
+  /// Memoises `rel`, a relation of key + `columns` (in that order) as
+  /// materialised for `fingerprint`. An existing entry that already
+  /// subsumes `columns` is refreshed instead; an existing narrower entry
+  /// is replaced (widest wins). Evicts LRU entries beyond max_entries.
+  void Insert(const std::string& fingerprint,
+              const std::vector<const catalog::ColumnDef*>& columns,
+              const Relation& rel);
+
+  /// Drops every entry; stats are untouched.
+  void Clear();
+
+  size_t size() const;
+  MaterialisationCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    std::vector<std::string> columns;  // non-key column names, def order
+    std::vector<Tuple> rows;           // key first, then `columns`
+    uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu_;
+  const size_t max_entries_;
+  uint64_t tick_ = 0;     // guarded by mu_
+  std::vector<Entry> entries_;  // guarded by mu_; linear scan is fine at
+                                // the default cap
+  MaterialisationCacheStats stats_;  // guarded by mu_
+};
+
+}  // namespace galois::core
+
+#endif  // GALOIS_CORE_MATERIALISATION_CACHE_H_

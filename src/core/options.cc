@@ -26,6 +26,7 @@ std::string ExecutionOptions::ToString() const {
      << " batching=" << (batch_prompts ? "on" : "off")
      << " max_batch=" << max_batch_size
      << " parallel_batches=" << parallel_batches
+     << " pipeline=" << (pipeline_phases ? "on" : "off")
      << " provenance=" << (record_provenance ? "on" : "off")
      << " max_pages=" << max_scan_pages;
   return os.str();

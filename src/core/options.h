@@ -77,6 +77,20 @@ struct ExecutionOptions {
   /// (SimulatedLlm and PromptCache do). Values < 1 are treated as 1.
   int parallel_batches = 1;
 
+  /// Pipeline independent retrieval phases instead of running them as a
+  /// ladder of blocking barriers: the LLM tables of a join materialise
+  /// concurrently, and within one table every needed-column attribute
+  /// phase (plus its critic-verify follow-up) is dispatched as an async
+  /// phase future (BatchScheduler::FlushAsync) instead of column by
+  /// column. Results, provenance order and the CostMeter are identical to
+  /// the sequential ladder — only wall-clock time changes, roughly from
+  /// the *sum* of the phase latencies to the *max* along the longest
+  /// dependency chain. Off by default to mirror the paper prototype's
+  /// strictly sequential plan. Orthogonal to batch_prompts /
+  /// parallel_batches, which act *within* one phase; the combination
+  /// multiplies.
+  bool pipeline_phases = false;
+
   /// Run the cleaning step (Section 4, workflow step 3): normalise numeric
   /// formats, parse dates, coerce types. When off, raw completion strings
   /// are stored as-is — the ablation shows how much accuracy this loses.

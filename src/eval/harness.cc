@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/materialisation_cache.h"
 #include "engine/executor.h"
 #include "llm/simulated_llm.h"
 #include "qa/qa_baseline.h"
@@ -15,6 +16,10 @@ Result<std::vector<QueryOutcome>> RunExperiment(
   llm::SimulatedLlm model(&workload.kb(), profile, &workload.catalog(),
                           config.llm_seed);
   core::GaloisExecutor galois(&model, &workload.catalog(), config.options);
+  core::MaterialisationCache table_cache;
+  if (config.use_materialisation_cache) {
+    galois.set_materialisation_cache(&table_cache);
+  }
 
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(workload.queries().size());
@@ -40,6 +45,8 @@ Result<std::vector<QueryOutcome>> RunExperiment(
           CardinalityDiffPercent(rd.NumRows(), rm.NumRows());
       outcome.galois_match = MatchCells(rd, rm);
       outcome.galois_cost = galois.last_cost();
+      outcome.table_cache_lookups = galois.last_table_cache_lookups();
+      outcome.table_cache_hits = galois.last_table_cache_hits();
     }
     if (config.run_nl_qa) {
       GALOIS_ASSIGN_OR_RETURN(

@@ -20,6 +20,13 @@ struct ExperimentConfig {
   bool run_cot_qa = false;       // T^C_M
   core::ExecutionOptions options;
   uint64_t llm_seed = 7;
+
+  /// Share one core::MaterialisationCache across the workload's queries:
+  /// a table materialisation computed for one query serves every later
+  /// query with the same fingerprint (incl. narrower column sets), with
+  /// zero LLM round trips. Per-query traffic lands in
+  /// QueryOutcome::table_cache_{lookups,hits}.
+  bool use_materialisation_cache = false;
 };
 
 /// Per-query measurements.
@@ -39,6 +46,11 @@ struct QueryOutcome {
   /// overlap — the pair shows how much of the simulated budget
   /// concurrency actually recovers.
   double galois_wall_ms = 0.0;
+  /// Materialisation-cache traffic of this query (0/0 when the cache is
+  /// disabled): LLM tables looked up, and tables served without any LLM
+  /// round trip.
+  int64_t table_cache_lookups = 0;
+  int64_t table_cache_hits = 0;
 
   // Baselines.
   std::optional<CellMatchResult> nl_match;

@@ -120,6 +120,24 @@ std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes) {
                 static_cast<long long>(batching.cache_hits),
                 100.0 * batching.CacheHitRate());
   os << buf;
+  int64_t table_lookups = 0;
+  int64_t table_hits = 0;
+  for (const QueryOutcome& o : outcomes) {
+    table_lookups += o.table_cache_lookups;
+    table_hits += o.table_cache_hits;
+  }
+  if (table_lookups > 0) {
+    // Table-level reuse: whole materialisations served without any LLM
+    // round trip (cross-query MaterialisationCache).
+    std::snprintf(buf, sizeof(buf),
+                  "Materialisation cache: %lld table hits / %lld lookups "
+                  "(%.0f%%)\n",
+                  static_cast<long long>(table_hits),
+                  static_cast<long long>(table_lookups),
+                  100.0 * static_cast<double>(table_hits) /
+                      static_cast<double>(table_lookups));
+    os << buf;
+  }
   return os.str();
 }
 

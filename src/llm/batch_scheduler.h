@@ -7,9 +7,16 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "llm/language_model.h"
 
 namespace galois::llm {
+
+/// A joinable handle to one asynchronously dispatched phase (see
+/// BatchScheduler::FlushAsync). Join returns exactly what the equivalent
+/// synchronous Flush would have returned — same completions, same Add
+/// order, same error contract — and must be called at most once.
+using PhaseHandle = TaskHandle<Result<std::vector<Completion>>>;
 
 /// How one retrieval phase dispatches its prompts to the model.
 struct BatchPolicy {
@@ -51,7 +58,11 @@ struct BatchPolicy {
 /// a per-phase, single-owner object (Add/Flush from one thread). The
 /// concurrency introduced by parallel_batches is internal to Flush, which
 /// joins every in-flight round trip before returning. Flush must not be
-/// called from inside a ThreadPool task (the wait could starve the pool).
+/// called from inside a task of the *round-trip* pool (ThreadPool::
+/// Shared(); the wait could starve that pool). Running a Flush on the
+/// phase pool is fine and is exactly what FlushAsync does: phase tasks
+/// wait on round-trip futures, never the converse (the two-tier rule in
+/// common/thread_pool.h).
 class BatchScheduler {
  public:
   /// `model` must outlive the scheduler. `phase` is a human-readable
@@ -87,8 +98,28 @@ class BatchScheduler {
   /// first failure.
   Result<std::vector<Completion>> Flush();
 
+  /// Future-returning dispatch: moves the queued prompts into a
+  /// self-contained task on ThreadPool::SharedPhase() and returns a
+  /// handle the caller joins later. Several phases launched this way run
+  /// their Flushes concurrently — the pipelined executor uses this to
+  /// overlap independent column retrievals and table materialisations.
+  ///
+  /// The task owns copies of the model pointer, policy and phase label,
+  /// so the scheduler itself may be reused (its queue is empty again) or
+  /// destroyed before Join; only the model must outlive the handle.
+  /// Semantics are identical to Flush — same dedupe, chunking,
+  /// parallel_batches fan-out, Add-order results, accounting and error
+  /// contract; only the thread that executes the dispatch differs. Thanks
+  /// to TaskHandle's claim-on-join, launching more phases than the phase
+  /// pool has workers degrades to inline execution at Join, never to
+  /// deadlock.
+  PhaseHandle FlushAsync();
+
   /// Convenience: queue `prompts` and flush in one call.
   Result<std::vector<Completion>> Run(std::vector<Prompt> prompts);
+
+  /// Convenience: queue `prompts` and dispatch them asynchronously.
+  PhaseHandle RunAsync(std::vector<Prompt> prompts);
 
   /// Dispatches one dependent prompt immediately, outside any batch
   /// (scan paging: page k+1 cannot be built until page k's answer is

@@ -4,31 +4,41 @@
 
 namespace galois::llm {
 
-bool PromptCache::Lookup(const std::string& text,
+bool PromptCache::Lookup(const std::string& text, size_t hash,
                          std::string* completion) const {
-  const Shard& shard = ShardFor(text);
+  const Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(text);
+  auto it = shard.map.find(hash);
   if (it == shard.map.end()) return false;
-  *completion = it->second;
-  return true;
+  for (const auto& [key, value] : it->second) {
+    if (key == text) {
+      *completion = value;
+      return true;
+    }
+  }
+  return false;
 }
 
-void PromptCache::Insert(const std::string& text,
+void PromptCache::Insert(const std::string& text, size_t hash,
                          const std::string& completion) {
-  Shard& shard = ShardFor(text);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(text, completion);
+  auto& chain = shard.map[hash];
+  for (const auto& [key, value] : chain) {
+    if (key == text) return;  // first insert wins, like emplace did
+  }
+  chain.emplace_back(text, completion);
 }
 
 Result<Completion> PromptCache::Complete(const Prompt& prompt) {
+  const size_t hash = HashOf(prompt.text);
   std::string cached;
-  if (Lookup(prompt.text, &cached)) {
+  if (Lookup(prompt.text, hash, &cached)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return Completion{std::move(cached)};
   }
   GALOIS_ASSIGN_OR_RETURN(Completion c, inner_->Complete(prompt));
-  Insert(prompt.text, c.text);
+  Insert(prompt.text, hash, c.text);
   return c;
 }
 
@@ -43,10 +53,12 @@ Result<std::vector<Completion>> PromptCache::CompleteBatch(
   std::vector<Prompt> miss_prompts;
   std::unordered_map<std::string, size_t> miss_slot;
   std::vector<std::vector<size_t>> miss_positions;
+  std::vector<size_t> miss_hashes;
   int64_t hits = 0;
   for (size_t i = 0; i < prompts.size(); ++i) {
+    const size_t hash = HashOf(prompts[i].text);
     std::string cached;
-    if (Lookup(prompts[i].text, &cached)) {
+    if (Lookup(prompts[i].text, hash, &cached)) {
       out[i].text = std::move(cached);
       ++hits;
       continue;
@@ -55,6 +67,7 @@ Result<std::vector<Completion>> PromptCache::CompleteBatch(
         miss_slot.try_emplace(prompts[i].text, miss_prompts.size());
     if (inserted) {
       miss_prompts.push_back(prompts[i]);
+      miss_hashes.push_back(hash);
       miss_positions.emplace_back();
     } else {
       ++hits;  // in-batch duplicate: billed once
@@ -80,7 +93,7 @@ Result<std::vector<Completion>> PromptCache::CompleteBatch(
                             " prompts");
   }
   for (size_t m = 0; m < miss_prompts.size(); ++m) {
-    Insert(miss_prompts[m].text, completions[m].text);
+    Insert(miss_prompts[m].text, miss_hashes[m], completions[m].text);
     for (size_t pos : miss_positions[m]) out[pos] = completions[m];
   }
   return out;
@@ -104,7 +117,7 @@ size_t PromptCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.map.size();
+    for (const auto& [hash, chain] : shard.map) total += chain.size();
   }
   return total;
 }

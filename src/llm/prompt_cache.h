@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "llm/language_model.h"
@@ -74,22 +75,34 @@ class PromptCache : public LanguageModel {
 
  private:
   static constexpr size_t kNumShards = 16;
+
+  /// Entries bucket by the *precomputed* full hash of the prompt text:
+  /// the hash is taken exactly once per operation and reused for both
+  /// shard selection and bucket lookup (hashing a size_t key is
+  /// identity-cheap), instead of hashing the — often multi-hundred-byte —
+  /// prompt twice. Same-hash collisions chain in a small vector and are
+  /// resolved by full text comparison.
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, std::string> map;
+    std::unordered_map<size_t,
+                       std::vector<std::pair<std::string, std::string>>>
+        map;
   };
 
-  const Shard& ShardFor(const std::string& text) const {
-    return shards_[std::hash<std::string>{}(text) % kNumShards];
+  static size_t HashOf(const std::string& text) {
+    return std::hash<std::string>{}(text);
   }
-  Shard& ShardFor(const std::string& text) {
-    return shards_[std::hash<std::string>{}(text) % kNumShards];
+  const Shard& ShardFor(size_t hash) const {
+    return shards_[hash % kNumShards];
   }
+  Shard& ShardFor(size_t hash) { return shards_[hash % kNumShards]; }
 
-  /// Copies the cached completion for `text` into `*completion`; false on
-  /// miss.
-  bool Lookup(const std::string& text, std::string* completion) const;
-  void Insert(const std::string& text, const std::string& completion);
+  /// Copies the cached completion for `text` (with `hash == HashOf(text)`)
+  /// into `*completion`; false on miss.
+  bool Lookup(const std::string& text, size_t hash,
+              std::string* completion) const;
+  void Insert(const std::string& text, size_t hash,
+              const std::string& completion);
 
   LanguageModel* inner_;
   std::array<Shard, kNumShards> shards_;

@@ -260,6 +260,40 @@ TEST_F(GaloisExecutorTest, DeterministicAcrossRuns) {
   EXPECT_TRUE(ra->SameContents(*rb));
 }
 
+TEST_F(GaloisExecutorTest, AmbiguousConjunctIsNeverSilentlyDropped) {
+  // Regression: city and country both define a `population` column, so
+  // the unqualified ref below is ambiguous and PlanTables never pushes
+  // it as an LLM filter. The residual-WHERE pass used to re-derive the
+  // consumed set with a laxer per-table resolution rule that matched the
+  // conjunct against country's *qualified* pushed filter and silently
+  // dropped it — executing neither via the LLM nor via the engine. Now
+  // the consumed set flows out of PlanTables, the conjunct reaches the
+  // engine, and the binding problem surfaces as an error instead.
+  GaloisExecutor galois(&perfect_, &W().catalog());
+  auto rm = galois.ExecuteSql(
+      "SELECT ci.name FROM city ci, country co "
+      "WHERE co.population > 1000000 AND population > 1000000");
+  EXPECT_FALSE(rm.ok());
+  EXPECT_NE(rm.status().ToString().find("population"), std::string::npos)
+      << rm.status().ToString();
+}
+
+TEST_F(GaloisExecutorTest, QualifiedTwinConjunctsOnSharedColumnNameWork) {
+  // Control for the regression above: qualifying both refs resolves the
+  // ambiguity, both predicates execute via the LLM, and the perfect
+  // model matches the ground truth.
+  GaloisExecutor galois(&perfect_, &W().catalog());
+  const char* sql =
+      "SELECT ci.name FROM city ci, country co "
+      "WHERE ci.country = co.name AND co.population > 50000000 "
+      "AND ci.population > 1000000";
+  auto rm = galois.ExecuteSql(sql);
+  ASSERT_TRUE(rm.ok()) << rm.status().ToString();
+  auto rd = engine::ExecuteSql(sql, W().catalog());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_TRUE(rm->SameContents(*rd));
+}
+
 // Property over all 46 queries: Galois executes them with the expected
 // schema and the perfect model reproduces the ground truth exactly.
 class GaloisWorkloadTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,260 @@
+// MaterialisationCache: fingerprinting, column subsumption, LRU
+// eviction, and the executor integration (warm reruns with zero LLM
+// round trips, provenance bypass, alias requalification).
+
+#include <gtest/gtest.h>
+
+#include "core/galois_executor.h"
+#include "core/materialisation_cache.h"
+#include "knowledge/workload.h"
+#include "llm/simulated_llm.h"
+
+namespace galois::core {
+namespace {
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+const catalog::TableDef& CountryDef() {
+  auto def = W().catalog().GetTable("country");
+  EXPECT_TRUE(def.ok());
+  return *def.value();
+}
+
+/// Pointers to the named non-key columns of `def`, in the given order.
+std::vector<const catalog::ColumnDef*> Cols(
+    const catalog::TableDef& def, const std::vector<std::string>& names) {
+  std::vector<const catalog::ColumnDef*> out;
+  for (const std::string& n : names) {
+    auto col = def.FindColumn(n);
+    EXPECT_TRUE(col.ok()) << n;
+    out.push_back(col.value());
+  }
+  return out;
+}
+
+/// A little key+columns relation ("country" shaped) for unit tests.
+Relation MakeRelation(const catalog::TableDef& def,
+                      const std::vector<std::string>& columns,
+                      size_t rows) {
+  Schema schema;
+  schema.AddColumn(Column(def.key_column, DataType::kString, "t"));
+  for (const std::string& c : columns) {
+    schema.AddColumn(Column(c, DataType::kString, "t"));
+  }
+  Relation rel(std::move(schema));
+  for (size_t r = 0; r < rows; ++r) {
+    Tuple row;
+    row.push_back(Value::String("key" + std::to_string(r)));
+    for (const std::string& c : columns) {
+      row.push_back(Value::String(c + std::to_string(r)));
+    }
+    rel.AddRowUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+TEST(MaterialisationCacheTest, FingerprintSeparatesResultAffectingState) {
+  const catalog::TableDef& def = CountryDef();
+  ExecutionOptions opts;
+  std::string base = MaterialisationCache::Fingerprint(
+      def, {}, false, opts, "chatgpt");
+
+  EXPECT_EQ(base, MaterialisationCache::Fingerprint(def, {}, false, opts,
+                                                    "chatgpt"));
+  // A different model, filter set, pushdown decision or result-affecting
+  // option must change the fingerprint.
+  EXPECT_NE(base, MaterialisationCache::Fingerprint(def, {}, false, opts,
+                                                    "flan"));
+  llm::PromptFilter filter;
+  filter.attribute = "continent";
+  filter.op = "=";
+  filter.value = Value::String("Europe");
+  EXPECT_NE(base, MaterialisationCache::Fingerprint(def, {filter}, false,
+                                                    opts, "chatgpt"));
+  EXPECT_NE(MaterialisationCache::Fingerprint(def, {filter}, false, opts,
+                                              "chatgpt"),
+            MaterialisationCache::Fingerprint(def, {filter}, true, opts,
+                                              "chatgpt"));
+  ExecutionOptions verify = opts;
+  verify.verify_cells = true;
+  EXPECT_NE(base, MaterialisationCache::Fingerprint(def, {}, false, verify,
+                                                    "chatgpt"));
+  // Dispatch-only knobs never change results, so they share entries.
+  ExecutionOptions dispatch = opts;
+  dispatch.batch_prompts = true;
+  dispatch.max_batch_size = 4;
+  dispatch.parallel_batches = 8;
+  dispatch.pipeline_phases = true;
+  EXPECT_EQ(base, MaterialisationCache::Fingerprint(def, {}, false,
+                                                    dispatch, "chatgpt"));
+}
+
+TEST(MaterialisationCacheTest, ExactHitRoundTripsAndRequalifies) {
+  const catalog::TableDef& def = CountryDef();
+  MaterialisationCache cache;
+  auto cols = Cols(def, {"capital", "population"});
+  cache.Insert("fp", cols, MakeRelation(def, {"capital", "population"}, 3));
+
+  auto hit = cache.Lookup("fp", def, cols, "co");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->NumRows(), 3u);
+  ASSERT_EQ(hit->NumColumns(), 3u);
+  EXPECT_EQ(hit->schema().column(0).table, "co");
+  EXPECT_EQ(hit->schema().column(1).name, "capital");
+  EXPECT_EQ(hit->At(1, 1).ToString(), "capital1");
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().subsumption_hits, 0);
+
+  EXPECT_FALSE(cache.Lookup("other-fp", def, cols, "co").has_value());
+}
+
+TEST(MaterialisationCacheTest, WiderEntryServesNarrowerByProjection) {
+  const catalog::TableDef& def = CountryDef();
+  MaterialisationCache cache;
+  cache.Insert("fp", Cols(def, {"capital", "population", "continent"}),
+               MakeRelation(def, {"capital", "population", "continent"},
+                            2));
+
+  // Narrower, differently-ordered subset: served by projection.
+  auto hit = cache.Lookup("fp", def, Cols(def, {"continent"}), "x");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->NumColumns(), 2u);
+  EXPECT_EQ(hit->schema().column(1).name, "continent");
+  EXPECT_EQ(hit->At(0, 1).ToString(), "continent0");
+  EXPECT_EQ(cache.stats().subsumption_hits, 1);
+
+  // A wider need than any entry misses.
+  EXPECT_FALSE(
+      cache.Lookup("fp", def, Cols(def, {"capital", "gdp"}), "x")
+          .has_value());
+}
+
+TEST(MaterialisationCacheTest, WidestEntryWinsAndNarrowInsertRefreshes) {
+  const catalog::TableDef& def = CountryDef();
+  MaterialisationCache cache;
+  cache.Insert("fp", Cols(def, {"capital"}),
+               MakeRelation(def, {"capital"}, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  // Wider insert replaces in place (still one entry)...
+  cache.Insert("fp", Cols(def, {"capital", "population"}),
+               MakeRelation(def, {"capital", "population"}, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup("fp", def, Cols(def, {"population"}), "t")
+                  .has_value());
+  // ...and a narrower re-insert is a refresh, not a downgrade.
+  cache.Insert("fp", Cols(def, {"capital"}),
+               MakeRelation(def, {"capital"}, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup("fp", def, Cols(def, {"population"}), "t")
+                  .has_value());
+}
+
+TEST(MaterialisationCacheTest, EvictsLeastRecentlyUsed) {
+  const catalog::TableDef& def = CountryDef();
+  MaterialisationCache cache(/*max_entries=*/2);
+  auto cols = Cols(def, {"capital"});
+  Relation rel = MakeRelation(def, {"capital"}, 1);
+  cache.Insert("a", cols, rel);
+  cache.Insert("b", cols, rel);
+  EXPECT_TRUE(cache.Lookup("a", def, cols, "t").has_value());  // a is MRU
+  cache.Insert("c", cols, rel);                                // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.Lookup("a", def, cols, "t").has_value());
+  EXPECT_FALSE(cache.Lookup("b", def, cols, "t").has_value());
+  EXPECT_TRUE(cache.Lookup("c", def, cols, "t").has_value());
+}
+
+class MaterialisationCacheExecutorTest : public ::testing::Test {
+ protected:
+  MaterialisationCacheExecutorTest()
+      : model_(&W().kb(), llm::ModelProfile::ChatGpt(), &W().catalog(),
+               7) {}
+  llm::SimulatedLlm model_;
+  MaterialisationCache cache_;
+};
+
+TEST_F(MaterialisationCacheExecutorTest, WarmRerunIsFreeAndIdentical) {
+  GaloisExecutor galois(&model_, &W().catalog());
+  galois.set_materialisation_cache(&cache_);
+  const char* sql =
+      "SELECT name, capital FROM country WHERE continent = 'Europe'";
+  auto cold = galois.ExecuteSql(sql);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(galois.last_table_cache_lookups(), 1);
+  EXPECT_EQ(galois.last_table_cache_hits(), 0);
+
+  auto warm = galois.ExecuteSql(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(cold->SameContents(*warm));
+  EXPECT_EQ(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(galois.last_table_cache_hits(), 1);
+}
+
+TEST_F(MaterialisationCacheExecutorTest,
+       NarrowerQueryAndNewAliasServedBySubsumption) {
+  GaloisExecutor galois(&model_, &W().catalog());
+  galois.set_materialisation_cache(&cache_);
+  auto wide = galois.ExecuteSql(
+      "SELECT name, capital, population FROM country "
+      "WHERE continent = 'Europe'");
+  ASSERT_TRUE(wide.ok());
+
+  // Same fingerprint, subset of the columns, different alias: zero
+  // prompts, correctly requalified schema.
+  auto narrow = galois.ExecuteSql(
+      "SELECT c.capital FROM country c WHERE c.continent = 'Europe'");
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(galois.last_table_cache_hits(), 1);
+  EXPECT_EQ(narrow->NumRows(), wide->NumRows());
+  EXPECT_EQ(cache_.stats().subsumption_hits, 1);
+
+  // The cached projection equals a fresh materialisation.
+  llm::SimulatedLlm fresh(&W().kb(), llm::ModelProfile::ChatGpt(),
+                          &W().catalog(), 7);
+  GaloisExecutor uncached(&fresh, &W().catalog());
+  auto expect = uncached.ExecuteSql(
+      "SELECT c.capital FROM country c WHERE c.continent = 'Europe'");
+  ASSERT_TRUE(expect.ok());
+  EXPECT_TRUE(narrow->SameContents(*expect));
+}
+
+TEST_F(MaterialisationCacheExecutorTest, DifferentFilterMisses) {
+  GaloisExecutor galois(&model_, &W().catalog());
+  galois.set_materialisation_cache(&cache_);
+  ASSERT_TRUE(galois
+                  .ExecuteSql("SELECT name, capital FROM country "
+                              "WHERE continent = 'Europe'")
+                  .ok());
+  auto other = galois.ExecuteSql(
+      "SELECT name, capital FROM country WHERE continent = 'Asia'");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(galois.last_table_cache_hits(), 0);
+  EXPECT_GT(galois.last_cost().num_prompts, 0);
+}
+
+TEST_F(MaterialisationCacheExecutorTest, ProvenanceRunsBypassTheCache) {
+  ExecutionOptions opts;
+  opts.record_provenance = true;
+  GaloisExecutor galois(&model_, &W().catalog(), opts);
+  galois.set_materialisation_cache(&cache_);
+  const char* sql = "SELECT name, capital FROM country";
+  ASSERT_TRUE(galois.ExecuteSql(sql).ok());
+  ASSERT_TRUE(galois.ExecuteSql(sql).ok());
+  EXPECT_EQ(galois.last_table_cache_lookups(), 0);
+  EXPECT_EQ(cache_.size(), 0u);
+  // The trace is populated on every run — nothing was served from cache.
+  EXPECT_FALSE(galois.last_trace().cells.empty());
+}
+
+}  // namespace
+}  // namespace galois::core

@@ -1,0 +1,190 @@
+// Pipelined-vs-sequential equivalence: ExecutionOptions::pipeline_phases
+// overlaps independent tables and column phases but must return the same
+// relations, the same CostMeter and the same provenance trace (ordering
+// included — per table in FROM order, per column in def order) as the
+// PR 2 sequential-phase ladder. Runs under the TSan CI job: the suite
+// doubles as a race hammer for the phase pool, the async operators and
+// the concurrent table tasks.
+
+#include <gtest/gtest.h>
+
+#include "core/galois_executor.h"
+#include "core/materialisation_cache.h"
+#include "knowledge/workload.h"
+#include "llm/prompt_cache.h"
+#include "llm/simulated_llm.h"
+
+namespace galois::core {
+namespace {
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+ExecutionOptions PipelineOptions(bool pipelined) {
+  ExecutionOptions opts;
+  opts.batch_prompts = true;
+  opts.max_batch_size = 4;
+  opts.parallel_batches = 4;
+  opts.verify_cells = true;
+  opts.record_provenance = true;
+  opts.pipeline_phases = pipelined;
+  return opts;
+}
+
+/// Runs `sql` sequentially and pipelined on fresh same-seed models and
+/// checks relations, accounting and trace for equality.
+void ExpectEquivalent(const std::string& sql) {
+  llm::SimulatedLlm seq_model(&W().kb(), llm::ModelProfile::ChatGpt(),
+                              &W().catalog(), 7);
+  GaloisExecutor sequential(&seq_model, &W().catalog(),
+                            PipelineOptions(false));
+  auto rm_seq = sequential.ExecuteSql(sql);
+  ASSERT_TRUE(rm_seq.ok()) << sql << ": " << rm_seq.status().ToString();
+
+  llm::SimulatedLlm pipe_model(&W().kb(), llm::ModelProfile::ChatGpt(),
+                               &W().catalog(), 7);
+  GaloisExecutor pipelined(&pipe_model, &W().catalog(),
+                           PipelineOptions(true));
+  auto rm_pipe = pipelined.ExecuteSql(sql);
+  ASSERT_TRUE(rm_pipe.ok()) << sql << ": " << rm_pipe.status().ToString();
+
+  EXPECT_TRUE(rm_seq->SameContents(*rm_pipe)) << sql;
+
+  // Identical accounting: pipelining moves wall-clock time only. The
+  // latency meter is a sum of per-round-trip doubles accumulated in
+  // completion order, so it is compared with a tolerance for FP
+  // reassociation; every count is exact.
+  const llm::CostMeter& seq = sequential.last_cost();
+  const llm::CostMeter& pipe = pipelined.last_cost();
+  EXPECT_EQ(seq.num_prompts, pipe.num_prompts) << sql;
+  EXPECT_EQ(seq.num_batches, pipe.num_batches) << sql;
+  EXPECT_EQ(seq.cache_hits, pipe.cache_hits) << sql;
+  EXPECT_EQ(seq.prompt_tokens, pipe.prompt_tokens) << sql;
+  EXPECT_EQ(seq.completion_tokens, pipe.completion_tokens) << sql;
+  EXPECT_NEAR(seq.simulated_latency_ms, pipe.simulated_latency_ms,
+              1e-6 * (1.0 + seq.simulated_latency_ms))
+      << sql;
+
+  // Identical provenance, ordering included.
+  const ExecutionTrace& ts = sequential.last_trace();
+  const ExecutionTrace& tp = pipelined.last_trace();
+  ASSERT_EQ(ts.scans.size(), tp.scans.size()) << sql;
+  for (size_t i = 0; i < ts.scans.size(); ++i) {
+    EXPECT_EQ(ts.scans[i].table_alias, tp.scans[i].table_alias) << sql;
+    EXPECT_EQ(ts.scans[i].pages, tp.scans[i].pages) << sql;
+    EXPECT_EQ(ts.scans[i].keys, tp.scans[i].keys) << sql;
+    EXPECT_EQ(ts.scans[i].filtered, tp.scans[i].filtered) << sql;
+  }
+  ASSERT_EQ(ts.cells.size(), tp.cells.size()) << sql;
+  for (size_t i = 0; i < ts.cells.size(); ++i) {
+    EXPECT_EQ(ts.cells[i].table_alias, tp.cells[i].table_alias) << sql;
+    EXPECT_EQ(ts.cells[i].key, tp.cells[i].key) << sql;
+    EXPECT_EQ(ts.cells[i].column, tp.cells[i].column) << sql;
+    EXPECT_EQ(ts.cells[i].prompt, tp.cells[i].prompt) << sql;
+    EXPECT_EQ(ts.cells[i].completion, tp.cells[i].completion) << sql;
+    EXPECT_EQ(ts.cells[i].value.ToString(), tp.cells[i].value.ToString())
+        << sql;
+    EXPECT_EQ(ts.cells[i].verified, tp.cells[i].verified) << sql;
+    EXPECT_EQ(ts.cells[i].rejected, tp.cells[i].rejected) << sql;
+  }
+}
+
+TEST(PipelineEquivalenceTest, MultiColumnSelection) {
+  ExpectEquivalent(
+      "SELECT name, capital, population, continent FROM country "
+      "WHERE continent = 'Europe'");
+}
+
+TEST(PipelineEquivalenceTest, TwoTableJoinMultiColumn) {
+  ExpectEquivalent(
+      "SELECT ci.name, ci.population, ci.mayor, co.capital, co.population "
+      "FROM city ci, country co WHERE ci.country = co.name");
+}
+
+TEST(PipelineEquivalenceTest, JoinAggregateWithLlmFilter) {
+  ExpectEquivalent(
+      "SELECT co.continent, COUNT(*) FROM city ci, country co "
+      "WHERE ci.country = co.name AND co.population > 10000000 "
+      "GROUP BY co.continent");
+}
+
+TEST(PipelineEquivalenceTest, HybridLlmDbJoin) {
+  ExpectEquivalent(
+      "SELECT co.name, co.gdp, e.salary FROM LLM.country co, "
+      "DB.Employees e WHERE e.countryCode = co.code");
+}
+
+TEST(PipelineEquivalenceTest, WholeWorkloadJoinsStayEquivalent) {
+  // Every multi-table workload query, pipelined vs sequential — the
+  // broad net that catches ordering assumptions the targeted cases miss.
+  int checked = 0;
+  for (const knowledge::QuerySpec& q : W().queries()) {
+    if (q.query_class != knowledge::QueryClass::kJoin &&
+        q.query_class != knowledge::QueryClass::kJoinAggregate) {
+      continue;
+    }
+    ExpectEquivalent(q.sql);
+    if (++checked == 8) break;  // bounded for TSan runtime
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(PipelineEquivalenceTest, PipelinedPromptCacheStaysWarm) {
+  // The pipelined path through a shared PromptCache: concurrent phases
+  // fill it cold and serve every fan-out prompt warm (exercised under
+  // TSan to hammer cross-phase cache access).
+  llm::SimulatedLlm inner(&W().kb(), llm::ModelProfile::ChatGpt(),
+                          &W().catalog(), 7);
+  llm::PromptCache cache(&inner);
+  ExecutionOptions opts = PipelineOptions(true);
+  opts.record_provenance = false;
+  GaloisExecutor galois(&cache, &W().catalog(), opts);
+  const char* sql =
+      "SELECT ci.name, ci.population, co.capital, co.continent "
+      "FROM city ci, country co WHERE ci.country = co.name";
+  auto cold = galois.ExecuteSql(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = galois.ExecuteSql(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(cold->SameContents(*warm));
+  EXPECT_GT(galois.last_cost().cache_hits, 0);
+}
+
+TEST(PipelineEquivalenceTest, PipelinedMaterialisationCacheWarmRerun) {
+  // Acceptance shape: a warm MaterialisationCache rerun of the same
+  // multi-table query performs zero LLM round trips.
+  llm::SimulatedLlm model(&W().kb(), llm::ModelProfile::ChatGpt(),
+                          &W().catalog(), 7);
+  ExecutionOptions opts = PipelineOptions(true);
+  opts.record_provenance = false;
+  GaloisExecutor galois(&model, &W().catalog(), opts);
+  MaterialisationCache table_cache;
+  galois.set_materialisation_cache(&table_cache);
+  const char* sql =
+      "SELECT ci.name, ci.population, co.capital FROM city ci, country co "
+      "WHERE ci.country = co.name";
+  auto cold = galois.ExecuteSql(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(galois.last_table_cache_hits(), 0);
+  // The join itself may be empty under the noisy profile (surface-form
+  // join failures are the paper's point); what matters here is that the
+  // cold run paid prompts and the warm run pays none.
+  EXPECT_GT(galois.last_cost().num_prompts, 0);
+
+  auto warm = galois.ExecuteSql(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(cold->SameContents(*warm));
+  EXPECT_EQ(galois.last_table_cache_lookups(), 2);
+  EXPECT_EQ(galois.last_table_cache_hits(), 2);
+  EXPECT_EQ(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(galois.last_cost().num_batches, 0);
+}
+
+}  // namespace
+}  // namespace galois::core
