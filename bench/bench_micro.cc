@@ -10,10 +10,13 @@
 #include "core/materialisation_cache.h"
 #include "engine/executor.h"
 #include "knowledge/workload.h"
+#include "llm/http_llm.h"
+#include "llm/model_router.h"
 #include "llm/prompt_cache.h"
 #include "llm/prompt_templates.h"
 #include "llm/simulated_llm.h"
 #include "sql/parser.h"
+#include "tests/fake_llm_server.h"
 
 namespace {
 
@@ -291,6 +294,69 @@ void BM_WorkloadGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadGeneration);
+
+// --- multi-backend transport (PR 4) ----------------------------------------
+
+// Pure routing overhead: the ModelRouter in front of a SimulatedLlm adds
+// one intent dispatch + map lookup per prompt — this pins the price of
+// leaving the router in the stack even for single-backend runs.
+void BM_RouterDispatchOverhead(benchmark::State& state) {
+  galois::llm::SimulatedLlm model(&Workload().kb(),
+                                  galois::llm::ModelProfile::ChatGpt(),
+                                  &Workload().catalog());
+  galois::llm::ModelRouter router;
+  if (!router.AddBackend("chatgpt", &model).ok()) {
+    state.SkipWithError("router setup failed");
+    return;
+  }
+  galois::llm::AttributeGetIntent intent;
+  intent.concept_name = "country";
+  intent.key = "Italy";
+  intent.attribute = "capital";
+  intent.attribute_description = "capital city";
+  galois::llm::Prompt prompt = galois::llm::BuildAttributePrompt(intent);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.Complete(prompt));
+  }
+}
+BENCHMARK(BM_RouterDispatchOverhead);
+
+// Real loopback HTTP round trips through the full wire path (JSON
+// encode, socket, FakeLlmServer, JSON decode) — batched, at several
+// concurrency levels. Comparing against BM_GaloisConcurrentDispatch
+// shows what the physical transport costs over the in-process model.
+void BM_HttpLoopbackBatchedQuery(benchmark::State& state) {
+  galois::llm::SimulatedLlm backing(&Workload().kb(),
+                                    galois::llm::ModelProfile::ChatGpt(),
+                                    &Workload().catalog());
+  galois::tests::FakeLlmServer server(&backing);
+  if (!server.Start().ok()) {
+    state.SkipWithError("fake server failed to start");
+    return;
+  }
+  galois::llm::HttpLlm http(server.ClientOptions());
+  galois::core::ExecutionOptions options;
+  options.batch_prompts = true;
+  options.max_batch_size = 8;
+  options.parallel_batches = static_cast<int>(state.range(0));
+  galois::core::GaloisExecutor galois(&http, &Workload().catalog(),
+                                      options);
+  const std::string sql =
+      "SELECT name, capital, population FROM country "
+      "WHERE continent = 'Europe'";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+  }
+  state.counters["prompts"] =
+      static_cast<double>(galois.last_cost().num_prompts);
+  state.counters["batches"] =
+      static_cast<double>(galois.last_cost().num_batches);
+}
+BENCHMARK(BM_HttpLoopbackBatchedQuery)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,18 +12,23 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include <map>
+
 #include "common/strings.h"
 #include "core/galois_executor.h"
 #include "core/materialisation_cache.h"
 #include "engine/executor.h"
 #include "knowledge/workload.h"
+#include "llm/http_llm.h"
 #include "llm/model_profile.h"
+#include "llm/model_router.h"
 #include "llm/simulated_llm.h"
 #include "planner/planner.h"
 #include "sql/parser.h"
@@ -40,10 +45,70 @@ struct ShellState {
   // point), cleared with `.cache clear`.
   galois::core::MaterialisationCache table_cache;
   bool cache_enabled = false;
+  // Named backends for .route targets: simulated profiles materialise on
+  // demand, HTTP backends are added with `.backend http`. Persistent, so
+  // `.backend` can show accumulated per-backend spend.
+  std::map<std::string, std::unique_ptr<galois::llm::LanguageModel>>
+      backends;
+  // Router assembled from options.phase_models; non-null only while
+  // routes exist. The executor talks to it instead of `model`.
+  std::unique_ptr<galois::llm::ModelRouter> router;
 
   void LoadModel(const galois::llm::ModelProfile& profile) {
     model = std::make_unique<galois::llm::SimulatedLlm>(
         &workload->kb(), profile, &workload->catalog());
+    RebuildRouter();
+  }
+
+  /// Returns (creating if needed) the backend registered under `name`: an
+  /// existing .backend entry, or a simulated model when `name` is a
+  /// profile name. nullptr when neither resolves.
+  galois::llm::LanguageModel* GetOrCreateBackend(const std::string& name) {
+    auto it = backends.find(name);
+    if (it != backends.end()) return it->second.get();
+    auto profile = galois::llm::ModelProfile::ByName(name);
+    if (!profile.ok()) return nullptr;
+    auto created = std::make_unique<galois::llm::SimulatedLlm>(
+        &workload->kb(), profile.value(), &workload->catalog());
+    galois::llm::LanguageModel* raw = created.get();
+    backends[name] = std::move(created);
+    return raw;
+  }
+
+  /// Reassembles the router from options.phase_models: the current
+  /// `.model` stays the default backend for unrouted phases.
+  galois::Status RebuildRouter() {
+    if (options.phase_models.empty()) {
+      router.reset();
+      return galois::Status::OK();
+    }
+    auto rebuilt = std::make_unique<galois::llm::ModelRouter>();
+    GALOIS_RETURN_IF_ERROR(rebuilt->AddBackend("default", model.get()));
+    for (const auto& [phase, target] : options.phase_models) {
+      (void)phase;
+      if (target == "default") continue;
+      galois::llm::LanguageModel* backend = GetOrCreateBackend(target);
+      if (backend == nullptr) {
+        return galois::Status::NotFound(
+            "no backend or profile named '" + target +
+            "' (add HTTP backends with .backend http <host> <port> "
+            "[name])");
+      }
+      auto names = rebuilt->backend_names();
+      if (std::find(names.begin(), names.end(), target) == names.end()) {
+        GALOIS_RETURN_IF_ERROR(rebuilt->AddBackend(target, backend));
+      }
+    }
+    GALOIS_RETURN_IF_ERROR(
+        rebuilt->ConfigureRoutes(options.phase_models));
+    router = std::move(rebuilt);
+    return galois::Status::OK();
+  }
+
+  galois::llm::LanguageModel* ActiveModel() {
+    return router != nullptr
+               ? static_cast<galois::llm::LanguageModel*>(router.get())
+               : model.get();
   }
 };
 
@@ -62,6 +127,15 @@ void PrintHelp() {
       "  .pipeline <on|off>       overlap independent phases (tables,\n"
       "                           columns, critic passes)\n"
       "  .cache <on|off|clear|stats>  cross-query materialisation cache\n"
+      "  .route <phase> <backend> send a phase (key-scan, filter-check,\n"
+      "                           attribute, verify/critic, freeform) to a\n"
+      "                           backend: a profile name or a .backend\n"
+      "                           name; `.route clear` resets, `.route`\n"
+      "                           lists routes\n"
+      "  .backend                 list backends with per-backend spend\n"
+      "  .backend http <host> <port> [name]   register an HTTP backend\n"
+      "                           (OpenAI-compatible; name defaults to\n"
+      "                           'http')\n"
       "  .tables                  list catalog tables\n"
       "  .options                 show executor options\n"
       "  .help | .quit\n");
@@ -127,6 +201,66 @@ bool HandleCommand(ShellState* state, const std::string& line) {
     } else {
       state->cache_enabled = arg() != "off";
     }
+  } else if (cmd == ".route") {
+    if (words.size() == 1) {
+      if (state->options.phase_models.empty()) {
+        std::printf("no routes; every phase uses the default model %s\n",
+                    state->model->name().c_str());
+      }
+      for (const auto& [phase, backend] : state->options.phase_models) {
+        std::printf("  %-12s -> %s\n", phase.c_str(), backend.c_str());
+      }
+    } else if (arg() == "clear") {
+      state->options.phase_models.clear();
+      state->router.reset();
+      std::printf("routes cleared\n");
+    } else if (words.size() >= 3) {
+      std::string phase = galois::ToLower(words[1]);
+      std::string backend = words[2];
+      auto saved = state->options.phase_models;
+      state->options.phase_models[phase] = backend;
+      galois::Status s = state->RebuildRouter();
+      if (!s.ok()) {
+        state->options.phase_models = std::move(saved);
+        std::printf("%s\n", s.ToString().c_str());
+      } else {
+        std::printf("route: %s -> %s\n", phase.c_str(), backend.c_str());
+      }
+    } else {
+      std::printf("usage: .route <phase> <backend> | .route clear\n");
+    }
+  } else if (cmd == ".backend") {
+    if (words.size() >= 4 && arg() == "http") {
+      galois::llm::HttpLlmOptions http_options;
+      http_options.host = words[2];
+      http_options.port = std::atoi(words[3].c_str());
+      std::string name = words.size() > 4 ? words[4] : "http";
+      http_options.display_name = name;
+      if (http_options.port <= 0) {
+        std::printf("bad port '%s'\n", words[3].c_str());
+      } else if (state->backends.count(name) > 0) {
+        std::printf("backend '%s' already exists\n", name.c_str());
+      } else {
+        state->backends[name] =
+            std::make_unique<galois::llm::HttpLlm>(http_options);
+        std::printf("backend %s: http://%s:%d (route phases to it with "
+                    ".route <phase> %s)\n",
+                    name.c_str(), http_options.host.c_str(),
+                    http_options.port, name.c_str());
+      }
+    } else if (words.size() == 1) {
+      std::printf("  %-12s %s (default)\n", "default",
+                  state->model->name().c_str());
+      for (const auto& [name, backend] : state->backends) {
+        galois::llm::CostMeter cost = backend->cost();
+        std::printf("  %-12s %s — %lld prompts, %lld batches so far\n",
+                    name.c_str(), backend->name().c_str(),
+                    static_cast<long long>(cost.num_prompts),
+                    static_cast<long long>(cost.num_batches));
+      }
+    } else {
+      std::printf("usage: .backend | .backend http <host> <port> [name]\n");
+    }
   } else if (cmd == ".pushdown") {
     if (arg() == "always") {
       state->options.pushdown_policy =
@@ -182,7 +316,7 @@ void RunSql(ShellState* state, const std::string& sql) {
     std::printf("%s", rd->ToPrettyString(30).c_str());
     return;
   }
-  galois::core::GaloisExecutor galois(state->model.get(),
+  galois::core::GaloisExecutor galois(state->ActiveModel(),
                                       &state->workload->catalog(),
                                       state->options);
   if (state->cache_enabled) {
@@ -205,6 +339,17 @@ void RunSql(ShellState* state, const std::string& sql) {
     std::printf("(%lld prompts, %.1f s simulated)\n",
                 static_cast<long long>(galois.last_cost().num_prompts),
                 galois.last_cost().simulated_latency_ms / 1000.0);
+  }
+  if (galois.last_cost().by_model.size() > 1) {
+    // Routed query: show where the prompts went.
+    std::printf("(");
+    bool first = true;
+    for (const auto& [model, usage] : galois.last_cost().by_model) {
+      std::printf("%s%s: %lld", first ? "" : ", ", model.c_str(),
+                  static_cast<long long>(usage.num_prompts));
+      first = false;
+    }
+    std::printf(")\n");
   }
 }
 

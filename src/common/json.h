@@ -1,0 +1,95 @@
+#ifndef GALOIS_COMMON_JSON_H_
+#define GALOIS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace galois {
+
+/// A minimal JSON document model for the LLM wire protocol (requests,
+/// completions, usage accounting). Hand-rolled because the build bakes in
+/// no third-party JSON dependency; the subset implemented — null, bool,
+/// double, string, array, object, with full string escaping — is exactly
+/// what an OpenAI-style chat-completions payload needs. Numbers are stored
+/// as double; int64 values that must survive the wire losslessly (packed
+/// dates, populations) are transmitted as strings by the prompt codec.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Number(double v);
+  static Json Number(int64_t v) { return Number(static_cast<double>(v)); }
+  static Json String(std::string v);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors; wrong-type access returns a neutral default (0,
+  /// false, "") so callers validate with the predicates above.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Array access.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const;
+  void Append(Json v) { array_.push_back(std::move(v)); }
+
+  /// Object access. `Get` returns a shared null sentinel on absent keys,
+  /// so lookups chain without null checks: j["a"]["b"].is_string().
+  bool Has(const std::string& key) const;
+  const Json& operator[](const std::string& key) const;
+  void Set(const std::string& key, Json v);
+
+  /// Convenience typed getters with defaults, for tolerant decoding.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Serialises to compact JSON text (no insignificant whitespace).
+  /// Object keys are emitted in insertion order.
+  std::string Dump() const;
+
+  /// Parses `text`; trailing non-whitespace is an error, as is any syntax
+  /// violation (kParseError) — the transport maps that to kLlmError with
+  /// no partial completions.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  // Insertion-ordered object representation: lookup is linear, which is
+  // fine at wire-payload sizes (a handful of keys per object).
+  std::vector<std::pair<std::string, Json>> object_;
+
+  void DumpTo(std::string* out) const;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace galois
+
+#endif  // GALOIS_COMMON_JSON_H_

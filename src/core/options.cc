@@ -29,6 +29,14 @@ std::string ExecutionOptions::ToString() const {
      << " pipeline=" << (pipeline_phases ? "on" : "off")
      << " provenance=" << (record_provenance ? "on" : "off")
      << " max_pages=" << max_scan_pages;
+  if (!phase_models.empty()) {
+    os << " routes=";
+    bool first = true;
+    for (const auto& [phase, model] : phase_models) {
+      os << (first ? "" : ",") << phase << "->" << model;
+      first = false;
+    }
+  }
   return os.str();
 }
 

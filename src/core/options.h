@@ -2,6 +2,7 @@
 #define GALOIS_CORE_OPTIONS_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 
 namespace galois::core {
@@ -108,6 +109,19 @@ struct ExecutionOptions {
   /// operator). When false, the attribute is retrieved instead and the
   /// predicate is evaluated by the engine on the cleaned value.
   bool llm_filter_checks = true;
+
+  /// Per-phase model routing: maps a retrieval phase ("key-scan",
+  /// "filter-check", "attribute", "verify"/"critic", "freeform") to a
+  /// backend name. Consumed by whoever assembles the model stack (eval
+  /// harness, shell, examples): they register backends on an
+  /// llm::ModelRouter and feed this map to ConfigureRoutes, so e.g.
+  /// critic verification runs on a strong model while bulk retrieval
+  /// runs on a cheap one (the cascade configuration of Section 6's cost
+  /// discussion). Phases not listed use the router's default backend.
+  /// Empty (default) means no routing — a single model serves every
+  /// phase. In the eval harness, backend names are model profile names
+  /// ("flan", "chatgpt", ...).
+  std::map<std::string, std::string> phase_models;
 
   std::string ToString() const;
 };

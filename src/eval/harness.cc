@@ -1,9 +1,12 @@
 #include "eval/harness.h"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "core/materialisation_cache.h"
 #include "engine/executor.h"
+#include "llm/model_router.h"
 #include "llm/simulated_llm.h"
 #include "qa/qa_baseline.h"
 #include "sql/parser.h"
@@ -13,9 +16,42 @@ namespace galois::eval {
 Result<std::vector<QueryOutcome>> RunExperiment(
     const knowledge::SpiderLikeWorkload& workload,
     const llm::ModelProfile& profile, const ExperimentConfig& config) {
-  llm::SimulatedLlm model(&workload.kb(), profile, &workload.catalog(),
-                          config.llm_seed);
-  core::GaloisExecutor galois(&model, &workload.catalog(), config.options);
+  llm::SimulatedLlm base_model(&workload.kb(), profile, &workload.catalog(),
+                               config.llm_seed);
+  // Per-phase routing: options.phase_models names model profiles per
+  // retrieval phase ("verify" -> "chatgpt"); the run's own profile stays
+  // the default backend for unrouted phases. Routed profiles share the
+  // run's seed and world, so a route that points every phase at the base
+  // profile reproduces the single-model run exactly.
+  llm::ModelRouter router;
+  std::vector<std::unique_ptr<llm::SimulatedLlm>> routed_models;
+  llm::LanguageModel* model = &base_model;
+  if (!config.options.phase_models.empty()) {
+    GALOIS_RETURN_IF_ERROR(router.AddBackend(profile.name, &base_model));
+    for (const auto& [phase, target] : config.options.phase_models) {
+      (void)phase;
+      std::vector<std::string> names = router.backend_names();
+      if (std::find(names.begin(), names.end(), target) != names.end()) {
+        continue;  // already registered
+      }
+      GALOIS_ASSIGN_OR_RETURN(llm::ModelProfile routed,
+                              llm::ModelProfile::ByName(target));
+      if (routed.name == profile.name) {
+        // Alias of the base profile; share the instance so cost() never
+        // double-counts.
+        GALOIS_RETURN_IF_ERROR(router.AddBackend(target, &base_model));
+      } else {
+        routed_models.push_back(std::make_unique<llm::SimulatedLlm>(
+            &workload.kb(), routed, &workload.catalog(), config.llm_seed));
+        GALOIS_RETURN_IF_ERROR(
+            router.AddBackend(target, routed_models.back().get()));
+      }
+    }
+    GALOIS_RETURN_IF_ERROR(
+        router.ConfigureRoutes(config.options.phase_models));
+    model = &router;
+  }
+  core::GaloisExecutor galois(model, &workload.catalog(), config.options);
   core::MaterialisationCache table_cache;
   if (config.use_materialisation_cache) {
     galois.set_materialisation_cache(&table_cache);
@@ -50,13 +86,13 @@ Result<std::vector<QueryOutcome>> RunExperiment(
     }
     if (config.run_nl_qa) {
       GALOIS_ASSIGN_OR_RETURN(
-          qa::QaResult nl, qa::RunNlQuestion(&model, query, rd.schema()));
+          qa::QaResult nl, qa::RunNlQuestion(model, query, rd.schema()));
       outcome.nl_match = MatchCells(rd, nl.relation);
     }
     if (config.run_cot_qa) {
       GALOIS_ASSIGN_OR_RETURN(
           qa::QaResult cot,
-          qa::RunChainOfThought(&model, query, rd.schema()));
+          qa::RunChainOfThought(model, query, rd.schema()));
       outcome.cot_match = MatchCells(rd, cot.relation);
     }
     outcomes.push_back(std::move(outcome));

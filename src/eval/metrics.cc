@@ -149,6 +149,9 @@ llm::CostMeter TotalCost(const std::vector<llm::CostMeter>& costs) {
     total.simulated_latency_ms += c.simulated_latency_ms;
     total.cache_hits += c.cache_hits;
     total.num_batches += c.num_batches;
+    for (const auto& [name, usage] : c.by_model) {
+      total.by_model[name] += usage;
+    }
   }
   return total;
 }

@@ -138,6 +138,28 @@ std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes) {
                       static_cast<double>(table_lookups));
     os << buf;
   }
+  // Per-backend spend. One line per model keeps single-backend reports
+  // unchanged in shape while a cascade (critic on the strong model, bulk
+  // retrieval on the cheap one) shows where the tokens actually went.
+  if (totals.by_model.size() > 1) {
+    os << "Per-backend spend:\n";
+    for (const auto& [name, usage] : totals.by_model) {
+      double share =
+          totals.num_prompts > 0
+              ? 100.0 * static_cast<double>(usage.num_prompts) /
+                    static_cast<double>(totals.num_prompts)
+              : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "  %-24s %6lld prompts (%3.0f%%), %8lld prompt tok, "
+                    "%8lld completion tok, %lld batches\n",
+                    name.c_str(),
+                    static_cast<long long>(usage.num_prompts), share,
+                    static_cast<long long>(usage.prompt_tokens),
+                    static_cast<long long>(usage.completion_tokens),
+                    static_cast<long long>(usage.num_batches));
+      os << buf;
+    }
+  }
   return os.str();
 }
 

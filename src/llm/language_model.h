@@ -2,6 +2,7 @@
 #define GALOIS_LLM_LANGUAGE_MODEL_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,53 @@
 #include "llm/prompt.h"
 
 namespace galois::llm {
+
+/// Per-model slice of a CostMeter: the usage one named backend accrued.
+/// Cascade configurations (ModelRouter sending critic prompts to a strong
+/// model and everything else to a cheap one) report cheap-vs-strong spend
+/// through these slices; a single-model run has exactly one.
+struct ModelUsage {
+  int64_t num_prompts = 0;
+  int64_t prompt_tokens = 0;
+  int64_t completion_tokens = 0;
+  double simulated_latency_ms = 0.0;
+  int64_t num_batches = 0;
+
+  ModelUsage& operator+=(const ModelUsage& other) {
+    num_prompts += other.num_prompts;
+    prompt_tokens += other.prompt_tokens;
+    completion_tokens += other.completion_tokens;
+    simulated_latency_ms += other.simulated_latency_ms;
+    num_batches += other.num_batches;
+    return *this;
+  }
+
+  ModelUsage& operator-=(const ModelUsage& other) {
+    num_prompts -= other.num_prompts;
+    prompt_tokens -= other.prompt_tokens;
+    completion_tokens -= other.completion_tokens;
+    simulated_latency_ms -= other.simulated_latency_ms;
+    num_batches -= other.num_batches;
+    return *this;
+  }
+
+  bool IsZero() const {
+    return num_prompts == 0 && prompt_tokens == 0 &&
+           completion_tokens == 0 && simulated_latency_ms == 0.0 &&
+           num_batches == 0;
+  }
+
+  bool operator==(const ModelUsage& other) const {
+    return num_prompts == other.num_prompts &&
+           prompt_tokens == other.prompt_tokens &&
+           completion_tokens == other.completion_tokens &&
+           simulated_latency_ms == other.simulated_latency_ms &&
+           num_batches == other.num_batches;
+  }
+  bool operator!=(const ModelUsage& other) const {
+    return !(*this == other);
+  }
+};
 
 /// Accumulated usage statistics for a model (Section 5 reports ~110
 /// batched prompts and ~20 s per query; the cost meter regenerates those
@@ -27,8 +75,22 @@ struct CostMeter {
   int64_t cache_hits = 0;    // filled by PromptCache
   int64_t num_batches = 0;   // batched round trips (CompleteBatch calls)
 
+  /// Per-backend breakdown, keyed by model display name. Every shipped
+  /// LanguageModel fills its own slice; aggregators (ModelRouter) merge
+  /// the slices of their backends, so the aggregate fields above equal
+  /// the sum over by_model — except cache-level attribution (cache_hits,
+  /// and batch round trips a PromptCache answered entirely from cache),
+  /// which belongs to no backend. Ordered map: report lines and equality
+  /// checks are deterministic.
+  std::map<std::string, ModelUsage> by_model;
+
   void Reset() { *this = CostMeter(); }
 
+  /// Difference of two meters, including the per-backend slices (an
+  /// executor snapshots cost() before a query and subtracts after, so the
+  /// breakdown must subtract too or a cascade run would report the whole
+  /// session's spend on every query). Slices that cancel to zero are
+  /// dropped, so a query that never touched a backend does not list it.
   CostMeter operator-(const CostMeter& other) const {
     CostMeter out = *this;
     out.num_prompts -= other.num_prompts;
@@ -37,6 +99,16 @@ struct CostMeter {
     out.simulated_latency_ms -= other.simulated_latency_ms;
     out.cache_hits -= other.cache_hits;
     out.num_batches -= other.num_batches;
+    for (const auto& [name, usage] : other.by_model) {
+      out.by_model[name] -= usage;
+    }
+    for (auto it = out.by_model.begin(); it != out.by_model.end();) {
+      if (it->second.IsZero()) {
+        it = out.by_model.erase(it);
+      } else {
+        ++it;
+      }
+    }
     return out;
   }
 };
@@ -45,15 +117,20 @@ struct CostMeter {
 int64_t CountTokens(const std::string& text);
 
 /// Abstract language model client. Implementations: SimulatedLlm (the four
-/// paper profiles over the synthetic world) and PromptCache (a caching
-/// decorator). A production build would add an HTTP-API client here.
+/// paper profiles over the synthetic world), HttpLlm (an OpenAI-compatible
+/// chat-completions transport over blocking sockets), and the decorators
+/// PromptCache (caching), ResilientLlm (retry / rate limit / deadline /
+/// circuit breaker) and ModelRouter (per-phase backend routing). The
+/// recommended production stack composes them as
+/// router -> resilience -> cache -> transport (docs/ARCHITECTURE.md,
+/// "Backends & routing").
 ///
 /// Concurrency contract: BatchScheduler overlaps CompleteBatch round
 /// trips when ExecutionOptions::parallel_batches > 1, so any model that
 /// may sit behind a scheduler must tolerate concurrent Complete and
-/// CompleteBatch calls (both shipped implementations do). Single-threaded
-/// custom models remain valid as long as they are only used with
-/// parallel_batches == 1.
+/// CompleteBatch calls (every shipped implementation and decorator
+/// does). Single-threaded custom models remain valid as long as they
+/// are only used with parallel_batches == 1.
 class LanguageModel {
  public:
   virtual ~LanguageModel() = default;

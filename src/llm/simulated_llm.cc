@@ -445,7 +445,19 @@ Result<std::vector<Completion>> SimulatedLlm::CompleteBatch(
 
 CostMeter SimulatedLlm::cost() const {
   std::lock_guard<std::mutex> lock(cost_mu_);
-  return cost_;
+  CostMeter out = cost_;
+  // Every concrete model reports its own by_model slice so per-backend
+  // attribution works uniformly: a direct SimulatedLlm and a ModelRouter
+  // routing every phase to it produce byte-identical meters.
+  if (out.num_prompts != 0 || out.num_batches != 0) {
+    ModelUsage& mine = out.by_model[profile_.name];
+    mine.num_prompts = out.num_prompts;
+    mine.prompt_tokens = out.prompt_tokens;
+    mine.completion_tokens = out.completion_tokens;
+    mine.simulated_latency_ms = out.simulated_latency_ms;
+    mine.num_batches = out.num_batches;
+  }
+  return out;
 }
 
 void SimulatedLlm::ResetCost() {

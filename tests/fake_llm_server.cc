@@ -1,0 +1,390 @@
+#include "tests/fake_llm_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "common/json.h"
+#include "llm/prompt_json.h"
+
+namespace galois::tests {
+
+namespace {
+
+using llm::Completion;
+using llm::CostMeter;
+using llm::Prompt;
+using llm::WireUsage;
+
+/// Reads one HTTP request (headers + Content-Length body) from `fd`.
+/// Returns false on timeout/parse trouble — the connection is dropped,
+/// which the client classifies as a retryable transport fault.
+bool ReadRequest(int fd, std::string* method, std::string* path,
+                 std::string* body) {
+  std::string raw;
+  char buf[4096];
+  size_t header_end = std::string::npos;
+  int64_t content_length = 0;
+  const int kPollMs = 100;
+  const int kMaxIdlePolls = 100;  // 10 s hard ceiling per request
+  int idle = 0;
+  while (true) {
+    if (header_end != std::string::npos &&
+        raw.size() >= header_end + 4 + static_cast<size_t>(content_length)) {
+      break;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc == 0) {
+      if (++idle > kMaxIdlePolls) return false;
+      continue;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    idle = 0;
+    raw.append(buf, static_cast<size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Extract Content-Length (case-insensitive scan).
+        std::string headers = raw.substr(0, header_end);
+        for (char& c : headers) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        size_t pos = headers.find("content-length:");
+        if (pos != std::string::npos) {
+          content_length = std::strtoll(
+              headers.c_str() + pos + std::strlen("content-length:"),
+              nullptr, 10);
+        }
+      }
+    }
+  }
+  const std::string request_line = raw.substr(0, raw.find("\r\n"));
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  *method = request_line.substr(0, sp1);
+  *path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  *body = raw.substr(header_end + 4,
+                     static_cast<size_t>(content_length));
+  return true;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpMessage(int code, const std::string& reason,
+                        const std::string& body,
+                        const std::string& extra_headers = "",
+                        int64_t advertised_length = -1) {
+  const int64_t length =
+      advertised_length >= 0 ? advertised_length
+                             : static_cast<int64_t>(body.size());
+  return "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n" +
+         "Content-Type: application/json\r\n" + extra_headers +
+         "Content-Length: " + std::to_string(length) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+std::string ErrorBody(const std::string& message) {
+  Json error = Json::Object();
+  error.Set("message", Json::String(message));
+  Json j = Json::Object();
+  j.Set("error", std::move(error));
+  return j.Dump();
+}
+
+}  // namespace
+
+FakeLlmServer::FakeLlmServer(llm::LanguageModel* backing)
+    : FakeLlmServer(backing, Options()) {}
+
+FakeLlmServer::FakeLlmServer(llm::LanguageModel* backing, Options options)
+    : backing_(backing), options_(options) {}
+
+FakeLlmServer::~FakeLlmServer() { Stop(); }
+
+Status FakeLlmServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("fake server: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("fake server: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("fake server: listen() failed");
+  }
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FakeLlmServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  finished_.clear();
+}
+
+llm::HttpLlmOptions FakeLlmServer::ClientOptions(
+    std::string display_name) const {
+  llm::HttpLlmOptions options;
+  options.host = host();
+  options.port = port_;
+  options.wire_model = backing_->name();
+  options.display_name =
+      display_name.empty() ? backing_->name() : std::move(display_name);
+  return options;
+}
+
+void FakeLlmServer::PushFault(Fault fault) {
+  std::lock_guard<std::mutex> lock(faults_mu_);
+  faults_.push_back(fault);
+}
+
+void FakeLlmServer::PushFaults(Fault fault, int count) {
+  std::lock_guard<std::mutex> lock(faults_mu_);
+  for (int i = 0; i < count; ++i) faults_.push_back(fault);
+}
+
+size_t FakeLlmServer::pending_faults() const {
+  std::lock_guard<std::mutex> lock(faults_mu_);
+  return faults_.size();
+}
+
+bool FakeLlmServer::NextFault(Fault* fault, int64_t request_number) {
+  {
+    std::lock_guard<std::mutex> lock(faults_mu_);
+    if (!faults_.empty()) {
+      *fault = faults_.front();
+      faults_.pop_front();
+      return true;
+    }
+  }
+  if (options_.fault_every_n > 0 &&
+      request_number % options_.fault_every_n == 0) {
+    *fault = options_.periodic_fault;
+    return true;
+  }
+  return false;
+}
+
+void FakeLlmServer::ReapFinishedWorkers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (auto it = workers_.begin();
+         it != workers_.end() && !finished_.empty();) {
+      auto fin = std::find(finished_.begin(), finished_.end(),
+                           it->get_id());
+      if (fin != finished_.end()) {
+        finished_.erase(fin);
+        done.push_back(std::move(*it));
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : done) t.join();  // finished: joins immediately
+}
+
+void FakeLlmServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, 50);
+    ReapFinishedWorkers();
+    if (rc <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_.emplace_back([this, fd] {
+      HandleConnection(fd);
+      std::lock_guard<std::mutex> inner(workers_mu_);
+      finished_.push_back(std::this_thread::get_id());
+    });
+  }
+}
+
+Result<std::string> FakeLlmServer::Respond(const std::string& path,
+                                           const std::string& body) {
+  GALOIS_ASSIGN_OR_RETURN(Json request, Json::Parse(body));
+  if (path == "/v1/chat/completions") {
+    GALOIS_ASSIGN_OR_RETURN(Prompt prompt, llm::ParseChatRequest(request));
+    CostMeter before, after;
+    std::optional<Result<Completion>> completion;
+    {
+      // Serialised so the before/after delta is exactly this request's
+      // bill — that delta is what makes loopback CostMeters byte-equal
+      // to in-process ones.
+      std::lock_guard<std::mutex> lock(backing_mu_);
+      before = backing_->cost();
+      completion.emplace(backing_->Complete(prompt));
+      after = backing_->cost();
+    }
+    GALOIS_RETURN_IF_ERROR(completion->status());
+    const CostMeter delta = after - before;
+    WireUsage usage;
+    usage.prompt_tokens = delta.prompt_tokens;
+    usage.completion_tokens = delta.completion_tokens;
+    usage.latency_ms = delta.simulated_latency_ms;
+    completions_served_.fetch_add(1);
+    return llm::BuildChatResponse(backing_->name(), completion->value(),
+                                  usage)
+        .Dump();
+  }
+  if (path == "/v1/batch_completions") {
+    GALOIS_ASSIGN_OR_RETURN(std::vector<Prompt> prompts,
+                            llm::ParseBatchRequest(request));
+    CostMeter before, after;
+    std::optional<Result<std::vector<Completion>>> completions;
+    {
+      std::lock_guard<std::mutex> lock(backing_mu_);
+      before = backing_->cost();
+      completions.emplace(backing_->CompleteBatch(prompts));
+      after = backing_->cost();
+    }
+    GALOIS_RETURN_IF_ERROR(completions->status());
+    const CostMeter delta = after - before;
+    std::vector<WireUsage> per_prompt(prompts.size());
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      per_prompt[i].prompt_tokens = llm::CountTokens(prompts[i].text);
+      per_prompt[i].completion_tokens =
+          llm::CountTokens(completions->value()[i].text);
+    }
+    std::vector<size_t> emit_order(prompts.size());
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      emit_order[i] =
+          options_.shuffle_batch_replies ? prompts.size() - 1 - i : i;
+    }
+    completions_served_.fetch_add(static_cast<int64_t>(prompts.size()));
+    return llm::BuildBatchResponse(backing_->name(), completions->value(),
+                                   per_prompt, delta.simulated_latency_ms,
+                                   emit_order)
+        .Dump();
+  }
+  return Status::NotFound("fake server: no handler for " + path);
+}
+
+void FakeLlmServer::HandleConnection(int fd) {
+  std::string method, path, body;
+  if (!ReadRequest(fd, &method, &path, &body)) {
+    ::close(fd);
+    return;
+  }
+  const int64_t request_number = requests_seen_.fetch_add(1) + 1;
+
+  Fault fault;
+  if (NextFault(&fault, request_number)) {
+    faults_injected_.fetch_add(1);
+    switch (fault.kind) {
+      case FaultKind::k429: {
+        std::string extra;
+        if (fault.retry_after_ms >= 0) {
+          extra = "Retry-After-Ms: " + std::to_string(fault.retry_after_ms) +
+                  "\r\n";
+        }
+        SendAll(fd, HttpMessage(429, "Too Many Requests",
+                                ErrorBody("rate limit exceeded"), extra));
+        break;
+      }
+      case FaultKind::k500:
+        SendAll(fd, HttpMessage(500, "Internal Server Error",
+                                ErrorBody("backend exploded")));
+        break;
+      case FaultKind::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.stall_ms));
+        break;  // then close without a byte — client times out / sees EOF
+      case FaultKind::kMalformedJson:
+        SendAll(fd, HttpMessage(200, "OK", "{\"choices\":[{\"mess"));
+        break;
+      case FaultKind::kTruncatedBody: {
+        const std::string partial = "{\"choices\":[";
+        SendAll(fd, HttpMessage(200, "OK", partial, "",
+                                /*advertised_length=*/4096));
+        break;
+      }
+      case FaultKind::kCloseEarly:
+        break;  // just close
+    }
+    ::close(fd);
+    return;
+  }
+
+  if (method != "POST") {
+    SendAll(fd, HttpMessage(405, "Method Not Allowed",
+                            ErrorBody("POST only")));
+    ::close(fd);
+    return;
+  }
+  Result<std::string> response = Respond(path, body);
+  if (!response.ok()) {
+    SendAll(fd, HttpMessage(400, "Bad Request",
+                            ErrorBody(response.status().message())));
+  } else {
+    SendAll(fd, HttpMessage(200, "OK", response.value()));
+  }
+  ::close(fd);
+}
+
+}  // namespace galois::tests

@@ -1,0 +1,147 @@
+// End-to-end acceptance: the full 46-query workload executed with the
+// production transport stack — GaloisExecutor -> (ResilientLlm ->)
+// HttpLlm -> real loopback HTTP -> FakeLlmServer -> SimulatedLlm — must
+// produce byte-identical relations to the in-process model, with the
+// same CostMeter on the fault-free run, and *still* zero result diffs
+// when the server injects a sustained 429 burst that the resilience
+// layer has to retry through.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/galois_executor.h"
+#include "knowledge/workload.h"
+#include "llm/http_llm.h"
+#include "llm/resilience.h"
+#include "llm/simulated_llm.h"
+#include "tests/fake_llm_server.h"
+#include "types/relation.h"
+
+namespace galois::core {
+namespace {
+
+using galois::tests::FakeLlmServer;
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+ExecutionOptions SuiteOptions() {
+  ExecutionOptions opts;
+  opts.batch_prompts = true;
+  opts.max_batch_size = 8;
+  opts.parallel_batches = 4;
+  return opts;
+}
+
+struct SuiteRun {
+  std::vector<Relation> relations;
+  std::vector<llm::CostMeter> costs;
+};
+
+/// Runs every workload query through `model`, asserting success.
+SuiteRun RunSuite(llm::LanguageModel* model) {
+  SuiteRun run;
+  GaloisExecutor executor(model, &W().catalog(), SuiteOptions());
+  for (const knowledge::QuerySpec& query : W().queries()) {
+    auto rm = executor.ExecuteSql(query.sql);
+    EXPECT_TRUE(rm.ok()) << "query " << query.id << " (" << query.sql
+                         << "): " << rm.status().ToString();
+    if (!rm.ok()) {
+      run.relations.emplace_back();
+      run.costs.emplace_back();
+      continue;
+    }
+    run.relations.push_back(std::move(rm).value());
+    run.costs.push_back(executor.last_cost());
+  }
+  return run;
+}
+
+SuiteRun RunSuiteInProcess() {
+  llm::SimulatedLlm model(&W().kb(), llm::ModelProfile::ChatGpt(),
+                          &W().catalog(), 7);
+  return RunSuite(&model);
+}
+
+void ExpectZeroResultDiffs(const SuiteRun& expected, const SuiteRun& actual,
+                           const char* label) {
+  ASSERT_EQ(expected.relations.size(), actual.relations.size());
+  for (size_t i = 0; i < expected.relations.size(); ++i) {
+    EXPECT_TRUE(expected.relations[i].SameContents(actual.relations[i]))
+        << label << ": query " << W().queries()[i].id << " ("
+        << W().queries()[i].sql << ") diverged";
+  }
+}
+
+TEST(HttpEndToEndTest, FullSuiteOverLoopbackMatchesInProcess) {
+  llm::SimulatedLlm backing(&W().kb(), llm::ModelProfile::ChatGpt(),
+                            &W().catalog(), 7);
+  FakeLlmServer server(&backing);
+  ASSERT_TRUE(server.Start().ok());
+  llm::HttpLlm http(server.ClientOptions());
+
+  SuiteRun over_http = RunSuite(&http);
+  SuiteRun in_process = RunSuiteInProcess();
+  ExpectZeroResultDiffs(in_process, over_http, "loopback");
+
+  // Identical billing, query by query: real usage from the wire equals
+  // the in-process meter (latency is accumulated in completion order
+  // under parallel dispatch, hence the FP tolerance).
+  ASSERT_EQ(in_process.costs.size(), over_http.costs.size());
+  for (size_t i = 0; i < in_process.costs.size(); ++i) {
+    EXPECT_EQ(in_process.costs[i].num_prompts, over_http.costs[i].num_prompts)
+        << i;
+    EXPECT_EQ(in_process.costs[i].num_batches, over_http.costs[i].num_batches)
+        << i;
+    EXPECT_EQ(in_process.costs[i].prompt_tokens,
+              over_http.costs[i].prompt_tokens)
+        << i;
+    EXPECT_EQ(in_process.costs[i].completion_tokens,
+              over_http.costs[i].completion_tokens)
+        << i;
+    EXPECT_NEAR(in_process.costs[i].simulated_latency_ms,
+                over_http.costs[i].simulated_latency_ms,
+                1e-6 * (1.0 + in_process.costs[i].simulated_latency_ms))
+        << i;
+  }
+  EXPECT_GT(server.completions_served(), 0);
+}
+
+TEST(HttpEndToEndTest, FullSuiteSurvivesScripted429Burst) {
+  llm::SimulatedLlm backing(&W().kb(), llm::ModelProfile::ChatGpt(),
+                            &W().catalog(), 7);
+  FakeLlmServer::Options server_options;
+  // A sustained burst: every 6th request is rejected with 429 +
+  // Retry-After for the whole suite.
+  server_options.fault_every_n = 6;
+  server_options.periodic_fault = {FakeLlmServer::FaultKind::k429, 3, 0};
+  FakeLlmServer server(&backing, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  llm::HttpLlm http(server.ClientOptions());
+  llm::ResilienceOptions resilience;
+  resilience.max_retries = 5;
+  resilience.initial_backoff_ms = 2;
+  resilience.max_backoff_ms = 50;
+  llm::ResilientLlm resilient(&http, resilience);
+
+  SuiteRun under_burst = RunSuite(&resilient);
+  SuiteRun in_process = RunSuiteInProcess();
+  ExpectZeroResultDiffs(in_process, under_burst, "429 burst");
+
+  // The burst really happened and really was retried through.
+  EXPECT_GT(server.faults_injected(), 0);
+  EXPECT_GT(resilient.stats().retries, 0);
+  EXPECT_EQ(resilient.stats().deadline_exceeded, 0);
+}
+
+}  // namespace
+}  // namespace galois::core

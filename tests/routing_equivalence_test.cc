@@ -1,0 +1,299 @@
+// Routing-equivalence suite: a ModelRouter pointing every phase at the
+// same backend must be invisible — relations, provenance order and the
+// CostMeter byte-identical to handing the executor the model directly
+// (the pipeline_equivalence_test pattern, applied to the routing layer).
+// Plus the cascade configuration the router exists for: critic
+// verification billed to a strong model, everything else to a cheap one,
+// cleanly separated in the by_model breakdown.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/galois_executor.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+#include "knowledge/workload.h"
+#include "llm/model_router.h"
+#include "llm/prompt_templates.h"
+#include "llm/simulated_llm.h"
+
+namespace galois::core {
+namespace {
+
+using llm::ModelProfile;
+using llm::ModelRouter;
+using llm::SimulatedLlm;
+
+const knowledge::SpiderLikeWorkload& W() {
+  static const auto* w = []() {
+    auto r = knowledge::SpiderLikeWorkload::Create();
+    EXPECT_TRUE(r.ok());
+    return new knowledge::SpiderLikeWorkload(std::move(r).value());
+  }();
+  return *w;
+}
+
+ExecutionOptions FullOptions() {
+  ExecutionOptions opts;
+  opts.batch_prompts = true;
+  opts.max_batch_size = 4;
+  opts.parallel_batches = 2;
+  opts.verify_cells = true;
+  opts.record_provenance = true;
+  return opts;
+}
+
+void ExpectTraceEq(const ExecutionTrace& a, const ExecutionTrace& b,
+                   const std::string& sql) {
+  ASSERT_EQ(a.scans.size(), b.scans.size()) << sql;
+  for (size_t i = 0; i < a.scans.size(); ++i) {
+    EXPECT_EQ(a.scans[i].table_alias, b.scans[i].table_alias) << sql;
+    EXPECT_EQ(a.scans[i].pages, b.scans[i].pages) << sql;
+    EXPECT_EQ(a.scans[i].keys, b.scans[i].keys) << sql;
+  }
+  ASSERT_EQ(a.cells.size(), b.cells.size()) << sql;
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].key, b.cells[i].key) << sql;
+    EXPECT_EQ(a.cells[i].column, b.cells[i].column) << sql;
+    EXPECT_EQ(a.cells[i].prompt, b.cells[i].prompt) << sql;
+    EXPECT_EQ(a.cells[i].completion, b.cells[i].completion) << sql;
+    EXPECT_EQ(a.cells[i].verified, b.cells[i].verified) << sql;
+    EXPECT_EQ(a.cells[i].rejected, b.cells[i].rejected) << sql;
+  }
+}
+
+/// Executes `sql` against the model directly and against a router that
+/// sends every phase to the same model; everything observable must match
+/// byte for byte.
+void ExpectRoutingInvisible(const std::string& sql) {
+  SimulatedLlm direct_model(&W().kb(), ModelProfile::ChatGpt(),
+                            &W().catalog(), 7);
+  GaloisExecutor direct(&direct_model, &W().catalog(), FullOptions());
+  auto rm_direct = direct.ExecuteSql(sql);
+  ASSERT_TRUE(rm_direct.ok()) << sql << ": " << rm_direct.status().ToString();
+
+  SimulatedLlm routed_model(&W().kb(), ModelProfile::ChatGpt(),
+                            &W().catalog(), 7);
+  ModelRouter router;
+  ASSERT_TRUE(router.AddBackend("chatgpt", &routed_model).ok());
+  for (const std::string& phase : llm::RoutablePhases()) {
+    ASSERT_TRUE(router.SetRoute(phase, "chatgpt").ok());
+  }
+  GaloisExecutor routed(&router, &W().catalog(), FullOptions());
+  auto rm_routed = routed.ExecuteSql(sql);
+  ASSERT_TRUE(rm_routed.ok()) << sql << ": " << rm_routed.status().ToString();
+
+  EXPECT_TRUE(rm_direct->SameContents(*rm_routed)) << sql;
+
+  const llm::CostMeter& a = direct.last_cost();
+  const llm::CostMeter& b = routed.last_cost();
+  EXPECT_EQ(a.num_prompts, b.num_prompts) << sql;
+  EXPECT_EQ(a.num_batches, b.num_batches) << sql;
+  EXPECT_EQ(a.prompt_tokens, b.prompt_tokens) << sql;
+  EXPECT_EQ(a.completion_tokens, b.completion_tokens) << sql;
+  // parallel_batches == 2 reassociates the double accumulation.
+  EXPECT_NEAR(a.simulated_latency_ms, b.simulated_latency_ms,
+              1e-6 * (1.0 + a.simulated_latency_ms))
+      << sql;
+  ASSERT_EQ(a.by_model.size(), 1u) << sql;
+  ASSERT_EQ(b.by_model.size(), 1u) << sql;
+  EXPECT_EQ(a.by_model.begin()->first, b.by_model.begin()->first) << sql;
+  EXPECT_EQ(a.by_model.begin()->second.num_prompts,
+            b.by_model.begin()->second.num_prompts)
+      << sql;
+
+  ExpectTraceEq(direct.last_trace(), routed.last_trace(), sql);
+}
+
+TEST(RoutingEquivalenceTest, SelectionWithVerification) {
+  ExpectRoutingInvisible(
+      "SELECT name, capital, population FROM country "
+      "WHERE continent = 'Europe'");
+}
+
+TEST(RoutingEquivalenceTest, JoinAcrossTables) {
+  ExpectRoutingInvisible(
+      "SELECT ci.name, ci.mayor, co.capital "
+      "FROM city ci, country co WHERE ci.country = co.name");
+}
+
+TEST(RoutingEquivalenceTest, Aggregate) {
+  ExpectRoutingInvisible(
+      "SELECT continent, COUNT(*) FROM country GROUP BY continent");
+}
+
+// --- phase derivation ------------------------------------------------------
+
+TEST(ModelRouterTest, PhaseOfIntentMatchesSchedulerVocabulary) {
+  llm::KeyScanIntent scan;
+  EXPECT_EQ(llm::PhaseOfIntent(llm::PromptIntent(scan)), "key-scan");
+  llm::FilterCheckIntent check;
+  EXPECT_EQ(llm::PhaseOfIntent(llm::PromptIntent(check)), "filter-check");
+  llm::AttributeGetIntent get;
+  EXPECT_EQ(llm::PhaseOfIntent(llm::PromptIntent(get)), "attribute");
+  llm::VerifyIntent verify;
+  EXPECT_EQ(llm::PhaseOfIntent(llm::PromptIntent(verify)), "verify");
+  llm::FreeformIntent freeform;
+  EXPECT_EQ(llm::PhaseOfIntent(llm::PromptIntent(freeform)), "freeform");
+}
+
+TEST(ModelRouterTest, ValidatesPhasesAndBackends) {
+  SimulatedLlm model(&W().kb(), ModelProfile::Flan(), &W().catalog());
+  ModelRouter router;
+  EXPECT_TRUE(router.AddBackend("flan", &model).ok());
+  EXPECT_EQ(router.AddBackend("flan", &model).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(router.SetRoute("no-such-phase", "flan").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.SetRoute("verify", "no-such-backend").code(),
+            StatusCode::kNotFound);
+  // "critic" is an accepted alias for the verify phase.
+  EXPECT_TRUE(router.SetRoute("critic", "flan").ok());
+  auto routes = router.routes();
+  ASSERT_EQ(routes.count("verify"), 1u);
+  EXPECT_EQ(routes["verify"], "flan");
+
+  std::map<std::string, std::string> bad{{"verify", "missing"}};
+  EXPECT_FALSE(router.ConfigureRoutes(bad).ok());
+  // Failed wholesale config must not wipe the previous routes.
+  EXPECT_EQ(router.routes().count("verify"), 1u);
+}
+
+TEST(ModelRouterTest, MixedBatchPartitionsPerBackendAndKeepsOrder) {
+  SimulatedLlm cheap(&W().kb(), ModelProfile::Flan(), &W().catalog());
+  SimulatedLlm strong(&W().kb(), ModelProfile::ChatGpt(), &W().catalog());
+  ModelRouter router;
+  ASSERT_TRUE(router.AddBackend("flan", &cheap).ok());
+  ASSERT_TRUE(router.AddBackend("chatgpt", &strong).ok());
+  ASSERT_TRUE(router.SetRoute("verify", "chatgpt").ok());
+
+  auto attribute = [](const char* key) {
+    llm::AttributeGetIntent intent;
+    intent.concept_name = "country";
+    intent.key = key;
+    intent.attribute = "capital";
+    intent.attribute_description = "capital city";
+    return llm::BuildAttributePrompt(intent);
+  };
+  auto verify = [](const char* key) {
+    llm::VerifyIntent intent;
+    intent.concept_name = "country";
+    intent.key = key;
+    intent.attribute = "capital";
+    intent.attribute_description = "capital city";
+    intent.claimed = Value::String("Rome");
+    return llm::BuildVerifyPrompt(intent);
+  };
+
+  // Interleaved phases: attribute -> flan, verify -> chatgpt.
+  std::vector<llm::Prompt> batch{attribute("Italy"), verify("Italy"),
+                                 attribute("Japan"), verify("Japan")};
+  auto routed = router.CompleteBatch(batch);
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  ASSERT_EQ(routed.value().size(), 4u);
+
+  // Each position matches what the owning backend answers directly.
+  SimulatedLlm cheap_ref(&W().kb(), ModelProfile::Flan(), &W().catalog());
+  SimulatedLlm strong_ref(&W().kb(), ModelProfile::ChatGpt(),
+                          &W().catalog());
+  EXPECT_EQ(routed.value()[0].text,
+            cheap_ref.Complete(batch[0]).value().text);
+  EXPECT_EQ(routed.value()[1].text,
+            strong_ref.Complete(batch[1]).value().text);
+  EXPECT_EQ(routed.value()[2].text,
+            cheap_ref.Complete(batch[2]).value().text);
+  EXPECT_EQ(routed.value()[3].text,
+            strong_ref.Complete(batch[3]).value().text);
+
+  // One inner round trip per backend involved; spend split per model.
+  llm::CostMeter cost = router.cost();
+  EXPECT_EQ(cost.num_batches, 2);
+  EXPECT_EQ(cost.num_prompts, 4);
+  ASSERT_EQ(cost.by_model.size(), 2u);
+  EXPECT_EQ(cost.by_model.at(cheap.name()).num_prompts, 2);
+  EXPECT_EQ(cost.by_model.at(strong.name()).num_prompts, 2);
+}
+
+// --- the cascade the router exists for -------------------------------------
+
+TEST(RoutingCascadeTest, CriticPhaseBillsToStrongModelOnly) {
+  SimulatedLlm cheap(&W().kb(), ModelProfile::Flan(), &W().catalog(), 7);
+  SimulatedLlm strong(&W().kb(), ModelProfile::ChatGpt(), &W().catalog(), 7);
+  ModelRouter router;
+  ASSERT_TRUE(router.AddBackend("flan", &cheap).ok());
+  ASSERT_TRUE(router.AddBackend("chatgpt", &strong).ok());
+  ASSERT_TRUE(router.SetDefaultBackend("flan").ok());
+  ASSERT_TRUE(router.SetRoute("critic", "chatgpt").ok());
+
+  ExecutionOptions opts;
+  opts.batch_prompts = true;
+  opts.verify_cells = true;
+  GaloisExecutor executor(&router, &W().catalog(), opts);
+  auto rm = executor.ExecuteSql(
+      "SELECT name, capital FROM country WHERE continent = 'Oceania'");
+  ASSERT_TRUE(rm.ok()) << rm.status();
+
+  const llm::CostMeter& cost = executor.last_cost();
+  ASSERT_EQ(cost.by_model.size(), 2u) << "expected cheap + strong slices";
+  const llm::ModelUsage& cheap_usage = cost.by_model.at(cheap.name());
+  const llm::ModelUsage& strong_usage = cost.by_model.at(strong.name());
+
+  // The strong model saw exactly the critic prompts: one per verified
+  // cell, i.e. as many as the cheap model's retrieved attribute cells.
+  EXPECT_GT(strong_usage.num_prompts, 0);
+  EXPECT_GT(cheap_usage.num_prompts, strong_usage.num_prompts);
+  EXPECT_EQ(cheap_usage.num_prompts + strong_usage.num_prompts,
+            cost.num_prompts);
+  EXPECT_EQ(cheap_usage.num_batches + strong_usage.num_batches,
+            cost.num_batches);
+
+  // The strong model's own meter agrees: it answered only verify prompts.
+  EXPECT_EQ(strong.cost().num_prompts, strong_usage.num_prompts);
+}
+
+TEST(RoutingCascadeTest, HarnessBuildsRouterFromPhaseModels) {
+  // Routing every phase at the run's own profile reproduces the direct
+  // run, outcome for outcome.
+  eval::ExperimentConfig direct_config;
+  direct_config.options.batch_prompts = true;
+  direct_config.options.verify_cells = true;
+  auto direct = eval::RunExperiment(W(), ModelProfile::ChatGpt(),
+                                    direct_config);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  eval::ExperimentConfig routed_config = direct_config;
+  for (const std::string& phase : llm::RoutablePhases()) {
+    routed_config.options.phase_models[phase] = "chatgpt";
+  }
+  auto routed = eval::RunExperiment(W(), ModelProfile::ChatGpt(),
+                                    routed_config);
+  ASSERT_TRUE(routed.ok()) << routed.status();
+
+  ASSERT_EQ(direct->size(), routed->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*direct)[i].rm_rows, (*routed)[i].rm_rows) << i;
+    EXPECT_EQ((*direct)[i].galois_cost.num_prompts,
+              (*routed)[i].galois_cost.num_prompts)
+        << i;
+    EXPECT_EQ((*direct)[i].galois_cost.num_batches,
+              (*routed)[i].galois_cost.num_batches)
+        << i;
+  }
+
+  // And a real cascade reports both backends in the cost-stats breakdown.
+  eval::ExperimentConfig cascade_config = direct_config;
+  cascade_config.options.phase_models["critic"] = "chatgpt";
+  auto cascade = eval::RunExperiment(W(), ModelProfile::Flan(),
+                                     cascade_config);
+  ASSERT_TRUE(cascade.ok()) << cascade.status();
+  std::string stats = eval::FormatCostStats(*cascade);
+  EXPECT_NE(stats.find("Per-backend spend:"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("GPT-3.5-turbo"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(ModelProfile::Flan().name), std::string::npos)
+      << stats;
+}
+
+}  // namespace
+}  // namespace galois::core
