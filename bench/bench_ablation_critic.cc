@@ -51,13 +51,13 @@ int main() {
         continue;  // joins fail on surface forms regardless of the critic
       }
       auto rd = galois::engine::ExecuteSql(q.sql, workload->catalog());
-      auto rm = galois.ExecuteSql(q.sql);
-      if (!rd.ok() || !rm.ok()) {
+      auto out = galois.RunSql(q.sql);
+      if (!rd.ok() || !out.ok()) {
         std::fprintf(stderr, "q%d failed\n", q.id);
         return 1;
       }
-      total_prompts +=
-          static_cast<double>(galois.last_cost().num_prompts);
+      const galois::Relation* rm = &out->relation;
+      total_prompts += static_cast<double>(out->cost.num_prompts);
       total_match += galois::eval::MatchCells(*rd, *rm).Percent();
       // Count surviving value hallucinations: for rows whose first column
       // identifies a ground-truth row, non-NULL cells that contradict the

@@ -44,7 +44,9 @@ int main() {
                                     galois::llm::ModelProfile::ChatGpt(),
                                     &workload->catalog());
     galois::core::ExecutionOptions options;
-    options.pushdown_selections = config.pushdown;
+    options.pushdown_policy = config.pushdown
+                                  ? galois::core::PushdownPolicy::kAlways
+                                  : galois::core::PushdownPolicy::kNever;
     options.batch_prompts = config.batch;
     options.max_batch_size = config.max_batch;
     options.parallel_batches = config.parallel;
@@ -61,19 +63,17 @@ int main() {
         continue;
       }
       auto rd = galois::engine::ExecuteSql(q.sql, workload->catalog());
-      auto rm = galois.ExecuteSql(q.sql);
+      auto rm = galois.RunSql(q.sql);
       if (!rd.ok() || !rm.ok()) {
         std::fprintf(stderr, "q%d failed\n", q.id);
         return 1;
       }
-      total_prompts +=
-          static_cast<double>(galois.last_cost().num_prompts);
-      total_batches +=
-          static_cast<double>(galois.last_cost().num_batches);
-      total_latency_ms += galois.last_cost().simulated_latency_ms;
-      total_match += galois::eval::MatchCells(*rd, *rm).Percent();
-      total_card += galois::eval::CardinalityDiffPercent(rd->NumRows(),
-                                                         rm->NumRows());
+      total_prompts += static_cast<double>(rm->cost.num_prompts);
+      total_batches += static_cast<double>(rm->cost.num_batches);
+      total_latency_ms += rm->cost.simulated_latency_ms;
+      total_match += galois::eval::MatchCells(*rd, rm->relation).Percent();
+      total_card += galois::eval::CardinalityDiffPercent(
+          rd->NumRows(), rm->relation.NumRows());
       ++count;
     }
     std::printf("  %-28s %10.0f %10.0f %11.0f%% %+11.1f%% %10.1f\n",

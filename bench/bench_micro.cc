@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/database.h"
 #include "clean/normalize.h"
 #include "core/galois_executor.h"
 #include "core/materialisation_cache.h"
@@ -128,13 +129,15 @@ void BM_GaloisSelectionQueryBatched(benchmark::State& state) {
                                       options);
   const std::string sql =
       "SELECT name FROM country WHERE continent = 'Europe'";
+  galois::Result<galois::core::QueryOutput> last = galois.RunSql(sql);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+    last = galois.RunSql(sql);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["batches"] =
-      static_cast<double>(galois.last_cost().num_batches);
+      static_cast<double>(last->cost.num_batches);
   state.counters["prompts"] =
-      static_cast<double>(galois.last_cost().num_prompts);
+      static_cast<double>(last->cost.num_prompts);
 }
 BENCHMARK(BM_GaloisSelectionQueryBatched)->Arg(0)->Arg(8)->Arg(32);
 
@@ -157,13 +160,15 @@ void BM_GaloisConcurrentDispatch(benchmark::State& state) {
                                       options);
   const std::string sql =
       "SELECT name, capital, population FROM country";
+  galois::Result<galois::core::QueryOutput> last = galois.RunSql(sql);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+    last = galois.RunSql(sql);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["batches"] =
-      static_cast<double>(galois.last_cost().num_batches);
+      static_cast<double>(last->cost.num_batches);
   state.counters["prompts"] =
-      static_cast<double>(galois.last_cost().num_prompts);
+      static_cast<double>(last->cost.num_prompts);
 }
 BENCHMARK(BM_GaloisConcurrentDispatch)
     ->Arg(1)
@@ -200,15 +205,17 @@ void BM_GaloisPipelinedJoin(benchmark::State& state) {
       "SELECT ci.name, ci.population, ci.mayor, ci.country, "
       "co.capital, co.population, co.continent "
       "FROM city ci, country co WHERE ci.country = co.name";
+  galois::Result<galois::core::QueryOutput> last = galois.RunSql(sql);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+    last = galois.RunSql(sql);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["batches"] =
-      static_cast<double>(galois.last_cost().num_batches);
+      static_cast<double>(last->cost.num_batches);
   state.counters["prompts"] =
-      static_cast<double>(galois.last_cost().num_prompts);
+      static_cast<double>(last->cost.num_prompts);
   state.counters["cache_hits"] =
-      static_cast<double>(galois.last_cost().cache_hits);
+      static_cast<double>(last->cost.cache_hits);
 }
 BENCHMARK(BM_GaloisPipelinedJoin)
     ->Arg(0)
@@ -238,14 +245,16 @@ void BM_GaloisMaterialisationCacheWarm(benchmark::State& state) {
       "SELECT ci.name, ci.population, ci.mayor, ci.country, "
       "co.capital, co.population, co.continent "
       "FROM city ci, country co WHERE ci.country = co.name";
-  benchmark::DoNotOptimize(galois.ExecuteSql(sql));  // cold fill
+  galois::Result<galois::core::QueryOutput> last = galois.RunSql(sql);
+  benchmark::DoNotOptimize(last);  // cold fill
   for (auto _ : state) {
-    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+    last = galois.RunSql(sql);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["prompts_per_iter"] =
-      static_cast<double>(galois.last_cost().num_prompts);
+      static_cast<double>(last->cost.num_prompts);
   state.counters["table_hits"] =
-      static_cast<double>(galois.last_table_cache_hits());
+      static_cast<double>(last->table_cache_hits);
 }
 BENCHMARK(BM_GaloisMaterialisationCacheWarm)
     ->UseRealTime()
@@ -264,12 +273,14 @@ void BM_GaloisBatchedWarmCache(benchmark::State& state) {
                                       options);
   const std::string sql =
       "SELECT name, capital FROM country WHERE continent = 'Europe'";
-  benchmark::DoNotOptimize(galois.ExecuteSql(sql));  // cold fill
+  galois::Result<galois::core::QueryOutput> last = galois.RunSql(sql);
+  benchmark::DoNotOptimize(last);  // cold fill
   for (auto _ : state) {
-    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+    last = galois.RunSql(sql);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["cache_hits"] =
-      static_cast<double>(galois.last_cost().cache_hits);
+      static_cast<double>(last->cost.cache_hits);
 }
 BENCHMARK(BM_GaloisBatchedWarmCache);
 
@@ -344,17 +355,96 @@ void BM_HttpLoopbackBatchedQuery(benchmark::State& state) {
   const std::string sql =
       "SELECT name, capital, population FROM country "
       "WHERE continent = 'Europe'";
+  galois::Result<galois::core::QueryOutput> last = galois.RunSql(sql);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(galois.ExecuteSql(sql));
+    last = galois.RunSql(sql);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["prompts"] =
-      static_cast<double>(galois.last_cost().num_prompts);
+      static_cast<double>(last->cost.num_prompts);
   state.counters["batches"] =
-      static_cast<double>(galois.last_cost().num_batches);
+      static_cast<double>(last->cost.num_batches);
 }
 BENCHMARK(BM_HttpLoopbackBatchedQuery)
     ->Arg(1)
     ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- Database/Session façade (PR 5) ----------------------------------------
+
+// Throughput scaling of concurrent sessions against ONE galois::Database
+// over the loopback HTTP backend: range(0) sessions each run the same
+// query per iteration via QueryAsync, so an iteration completes
+// range(0) queries — items_per_second reports queries/sec. Per-query
+// round trips ride real sockets through the FakeLlmServer; scaling
+// beyond 1 shows the façade's whole-stack concurrency (phase pool,
+// batch scheduler, shared transport) rather than any single layer's.
+void BM_ConcurrentSessions(benchmark::State& state) {
+  static galois::llm::SimulatedLlm* backing =
+      new galois::llm::SimulatedLlm(&Workload().kb(),
+                                    galois::llm::ModelProfile::ChatGpt(),
+                                    &Workload().catalog());
+  static galois::tests::FakeLlmServer* server = [] {
+    auto* s = new galois::tests::FakeLlmServer(backing);
+    if (!s->Start().ok()) {
+      delete s;
+      s = nullptr;
+    }
+    return s;
+  }();
+  if (server == nullptr) {
+    state.SkipWithError("fake server failed to start");
+    return;
+  }
+  galois::DatabaseOptions options;
+  options.workload = &Workload();
+  galois::BackendSpec http;
+  http.name = "http";
+  http.http = server->ClientOptions();
+  options.backends.push_back(std::move(http));
+  options.execution.batch_prompts = true;
+  options.execution.max_batch_size = 8;
+  options.execution.parallel_batches = 2;
+  options.execution.pipeline_phases = true;
+  auto db = galois::Database::Open(std::move(options));
+  if (!db.ok()) {
+    state.SkipWithError("database open failed");
+    return;
+  }
+  const int num_sessions = static_cast<int>(state.range(0));
+  std::vector<galois::Session> sessions;
+  for (int s = 0; s < num_sessions; ++s) {
+    sessions.push_back((*db)->CreateSession());
+  }
+  const std::string sql =
+      "SELECT name, capital, population FROM country "
+      "WHERE continent = 'Europe'";
+  int64_t prompts_per_query = 0;
+  for (auto _ : state) {
+    std::vector<galois::AsyncQuery> in_flight;
+    in_flight.reserve(sessions.size());
+    for (galois::Session& session : sessions) {
+      in_flight.push_back(session.QueryAsync(sql));
+    }
+    for (galois::AsyncQuery& pending : in_flight) {
+      auto result = pending.Join();
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      prompts_per_query = result->cost.num_prompts;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * num_sessions);
+  state.counters["prompts_per_query"] =
+      static_cast<double>(prompts_per_query);
+}
+BENCHMARK(BM_ConcurrentSessions)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -4,15 +4,16 @@
 // pay the strong model only for the easy checking direction.
 //
 // The stack assembled here is the recommended production shape
-// (docs/ARCHITECTURE.md, "Backends & routing"):
+// (docs/ARCHITECTURE.md, "Backends & routing"), wired entirely by the
+// galois::Database builder:
 //
-//   GaloisExecutor -> ModelRouter -> { cheap backend, strong backend }
+//   Session -> Database { ModelRouter -> { cheap backend, strong backend } }
 //
-// with ExecutionOptions::phase_models declaring the routes. The run
+// with ExecutionOptions::phase_models declaring the routes. Every
+// QueryResult carries its own per-backend spend breakdown; the run
 // report shows every phase except "verify" billed to the cheap model and
-// the critic prompts billed to the strong one, separated in the
-// Per-backend spend breakdown (eval::FormatCostStats / CostMeter::
-// by_model).
+// the critic prompts billed to the strong one (eval::FormatCostStats /
+// CostMeter::by_model).
 //
 // Usage: cascade_routing [cheap-model] [strong-model]
 //        (profile names: flan, tk, gpt-3, chatgpt; default flan chatgpt)
@@ -21,23 +22,14 @@
 #include <string>
 #include <vector>
 
-#include "core/galois_executor.h"
+#include "api/database.h"
 #include "eval/harness.h"
 #include "eval/report.h"
-#include "knowledge/workload.h"
-#include "llm/model_router.h"
-#include "llm/simulated_llm.h"
 
 int main(int argc, char** argv) {
   const std::string cheap_name = argc > 1 ? argv[1] : "flan";
   const std::string strong_name = argc > 2 ? argv[2] : "chatgpt";
 
-  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
-    return 1;
-  }
   auto cheap_profile = galois::llm::ModelProfile::ByName(cheap_name);
   auto strong_profile = galois::llm::ModelProfile::ByName(strong_name);
   if (!cheap_profile.ok() || !strong_profile.ok()) {
@@ -45,38 +37,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Two backends over the same world, one router in front.
-  galois::llm::SimulatedLlm cheap(&workload->kb(), cheap_profile.value(),
-                                  &workload->catalog());
-  galois::llm::SimulatedLlm strong(&workload->kb(), strong_profile.value(),
-                                   &workload->catalog());
-  galois::llm::ModelRouter router;
-  galois::Status status = router.AddBackend(cheap_name, &cheap);
-  if (status.ok()) status = router.AddBackend(strong_name, &strong);
-  if (status.ok()) status = router.SetDefaultBackend(cheap_name);
-  if (!status.ok()) {
-    std::fprintf(stderr, "router: %s\n", status.ToString().c_str());
-    return 1;
-  }
-
-  // Declare the cascade in the options (the same map the eval harness and
-  // the shell's .route command consume), then apply it to the router.
-  galois::core::ExecutionOptions options;
-  options.batch_prompts = true;
-  options.verify_cells = true;  // the critic pass is what gets escalated
-  options.phase_models["critic"] = strong_name;
-  status = router.ConfigureRoutes(options.phase_models);
-  if (!status.ok()) {
-    std::fprintf(stderr, "routes: %s\n", status.ToString().c_str());
-    return 1;
-  }
+  // Two backends over the same world, the router assembled by the
+  // builder from the declared routes; the cascade is stated once, in the
+  // session-default options.
+  galois::DatabaseOptions options;
+  galois::BackendSpec cheap;
+  cheap.name = cheap_name;
+  cheap.simulated = cheap_profile.value();
+  galois::BackendSpec strong;
+  strong.name = strong_name;
+  strong.simulated = strong_profile.value();
+  options.backends.push_back(std::move(cheap));
+  options.backends.push_back(std::move(strong));
+  options.default_backend = cheap_name;
+  options.execution.batch_prompts = true;
+  options.execution.verify_cells = true;  // the escalated critic pass
+  options.execution.phase_models["critic"] = strong_name;
 
   std::printf("Cascade: default backend '%s', critic verification -> '%s'\n",
               cheap_name.c_str(), strong_name.c_str());
-  std::printf("options: %s\n\n", options.ToString().c_str());
+  std::printf("options: %s\n\n", options.execution.ToString().c_str());
 
-  galois::core::GaloisExecutor executor(&router, &workload->catalog(),
-                                        options);
+  auto db = galois::Database::Open(std::move(options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  galois::Session session = (*db)->CreateSession();
+
   const std::vector<std::string> queries = {
       "SELECT name, capital FROM country WHERE continent = 'Oceania'",
       "SELECT name, population FROM city WHERE country = 'Italy'",
@@ -86,14 +74,14 @@ int main(int argc, char** argv) {
   std::vector<galois::eval::QueryOutcome> outcomes;
   for (const std::string& sql : queries) {
     std::printf("galois> %s\n", sql.c_str());
-    auto rm = executor.ExecuteSql(sql);
-    if (!rm.ok()) {
-      std::fprintf(stderr, "  %s\n", rm.status().ToString().c_str());
+    auto result = session.Query(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "  %s\n", result.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s", rm->ToPrettyString(10).c_str());
+    std::printf("%s", result->relation.ToPrettyString(10).c_str());
 
-    const galois::llm::CostMeter& cost = executor.last_cost();
+    const galois::llm::CostMeter& cost = result->cost;
     std::printf("  -> %lld prompts", (long long)cost.num_prompts);
     for (const auto& [model, usage] : cost.by_model) {
       std::printf(", %s: %lld", model.c_str(),
@@ -111,9 +99,10 @@ int main(int argc, char** argv) {
   std::printf("%s", galois::eval::FormatCostStats(outcomes).c_str());
 
   // The demo's claim, checked: the strong model saw only critic prompts.
-  const galois::llm::CostMeter total = router.cost();
-  auto strong_slice = total.by_model.find(strong.name());
-  auto cheap_slice = total.by_model.find(cheap.name());
+  // The Database's stack-wide meter aggregates every session's spend.
+  const galois::llm::CostMeter total = (*db)->model()->cost();
+  auto strong_slice = total.by_model.find(strong_profile->name);
+  auto cheap_slice = total.by_model.find(cheap_profile->name);
   if (strong_slice == total.by_model.end() ||
       cheap_slice == total.by_model.end() ||
       strong_slice->second.num_prompts == 0 ||
@@ -125,7 +114,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\nCascade held: %lld bulk prompts on %s, %lld critic prompts on "
       "%s.\n",
-      (long long)cheap_slice->second.num_prompts, cheap.name().c_str(),
-      (long long)strong_slice->second.num_prompts, strong.name().c_str());
+      (long long)cheap_slice->second.num_prompts,
+      cheap_profile->name.c_str(),
+      (long long)strong_slice->second.num_prompts,
+      strong_profile->name.c_str());
   return 0;
 }

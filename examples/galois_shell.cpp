@@ -1,9 +1,15 @@
 // Interactive Galois shell: type SQL, get relations materialised from the
 // language model. Dot-commands switch models and toggle executor options.
+// The shell is a thin client of the public API: it owns its transports
+// (so spend persists across reconfiguration) and rebuilds a
+// galois::Database around them whenever the model, the routes or the
+// backends change; every statement runs through galois::Session and
+// prints from the self-contained QueryResult.
 //
 //   $ build/examples/galois_shell
 //   galois> SELECT name FROM country WHERE continent = 'Oceania';
 //   galois> .model gpt-3
+//   galois> .sessions 4
 //   galois> .explain on
 //   galois> .tables
 //   galois> .quit
@@ -16,19 +22,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include <map>
-
+#include "api/database.h"
 #include "common/strings.h"
-#include "core/galois_executor.h"
-#include "core/materialisation_cache.h"
 #include "engine/executor.h"
 #include "knowledge/workload.h"
 #include "llm/http_llm.h"
 #include "llm/model_profile.h"
-#include "llm/model_router.h"
 #include "llm/simulated_llm.h"
 #include "planner/planner.h"
 #include "sql/parser.h"
@@ -37,56 +41,55 @@ namespace {
 
 struct ShellState {
   const galois::knowledge::SpiderLikeWorkload* workload = nullptr;
-  std::unique_ptr<galois::llm::SimulatedLlm> model;
+  galois::llm::ModelProfile profile = galois::llm::ModelProfile::ChatGpt();
   galois::core::ExecutionOptions options;
   bool explain = false;
   bool ground_truth = false;  // run on the DB instead of the LLM
-  // Cross-query table reuse: survives across statements (that is the
-  // point), cleared with `.cache clear`.
+  int num_sessions = 1;       // .sessions N: concurrent async queries
+  // Cross-query table reuse: survives across statements AND across
+  // Database rebuilds (that is the point), cleared with `.cache clear`.
   galois::core::MaterialisationCache table_cache;
   bool cache_enabled = false;
-  // Named backends for .route targets: simulated profiles materialise on
-  // demand, HTTP backends are added with `.backend http`. Persistent, so
-  // `.backend` can show accumulated per-backend spend.
+  // Shell-owned backends for .route targets: simulated profiles
+  // materialise on demand, HTTP backends are added with `.backend http`.
+  // Owned here (not by the Database) so `.backend` can show accumulated
+  // per-backend spend across reconfigurations.
   std::map<std::string, std::unique_ptr<galois::llm::LanguageModel>>
       backends;
-  // Router assembled from options.phase_models; non-null only while
-  // routes exist. The executor talks to it instead of `model`.
-  std::unique_ptr<galois::llm::ModelRouter> router;
+  // The Database assembled around the current model + routes; rebuilt by
+  // Reopen() on every configuration change.
+  std::unique_ptr<galois::Database> db;
 
-  void LoadModel(const galois::llm::ModelProfile& profile) {
-    model = std::make_unique<galois::llm::SimulatedLlm>(
-        &workload->kb(), profile, &workload->catalog());
-    RebuildRouter();
-  }
-
-  /// Returns (creating if needed) the backend registered under `name`: an
-  /// existing .backend entry, or a simulated model when `name` is a
-  /// profile name. nullptr when neither resolves.
   galois::llm::LanguageModel* GetOrCreateBackend(const std::string& name) {
     auto it = backends.find(name);
     if (it != backends.end()) return it->second.get();
-    auto profile = galois::llm::ModelProfile::ByName(name);
-    if (!profile.ok()) return nullptr;
+    auto by_name = galois::llm::ModelProfile::ByName(name);
+    if (!by_name.ok()) return nullptr;
     auto created = std::make_unique<galois::llm::SimulatedLlm>(
-        &workload->kb(), profile.value(), &workload->catalog());
+        &workload->kb(), by_name.value(), &workload->catalog());
     galois::llm::LanguageModel* raw = created.get();
     backends[name] = std::move(created);
     return raw;
   }
 
-  /// Reassembles the router from options.phase_models: the current
-  /// `.model` stays the default backend for unrouted phases.
-  galois::Status RebuildRouter() {
-    if (options.phase_models.empty()) {
-      router.reset();
-      return galois::Status::OK();
-    }
-    auto rebuilt = std::make_unique<galois::llm::ModelRouter>();
-    GALOIS_RETURN_IF_ERROR(rebuilt->AddBackend("default", model.get()));
+  /// (Re)opens the Database: current default model plus one external
+  /// backend per .route target, routes from options.phase_models, the
+  /// shell's persistent materialisation cache borrowed in.
+  galois::Status Reopen() {
+    galois::DatabaseOptions db_options;
+    db_options.workload = workload;
+    db_options.execution = options;
+    db_options.materialisation_cache =
+        cache_enabled ? &table_cache : nullptr;
+
+    galois::BackendSpec default_spec;
+    default_spec.name = "default";
+    default_spec.simulated = profile;
+    db_options.backends.push_back(std::move(default_spec));
+    db_options.default_backend = "default";
     for (const auto& [phase, target] : options.phase_models) {
       (void)phase;
-      if (target == "default") continue;
+      if (target == "default" || db_options.HasBackend(target)) continue;
       galois::llm::LanguageModel* backend = GetOrCreateBackend(target);
       if (backend == nullptr) {
         return galois::Status::NotFound(
@@ -94,21 +97,15 @@ struct ShellState {
             "' (add HTTP backends with .backend http <host> <port> "
             "[name])");
       }
-      auto names = rebuilt->backend_names();
-      if (std::find(names.begin(), names.end(), target) == names.end()) {
-        GALOIS_RETURN_IF_ERROR(rebuilt->AddBackend(target, backend));
-      }
+      galois::BackendSpec spec;
+      spec.name = target;
+      spec.external = backend;
+      db_options.backends.push_back(std::move(spec));
     }
-    GALOIS_RETURN_IF_ERROR(
-        rebuilt->ConfigureRoutes(options.phase_models));
-    router = std::move(rebuilt);
+    auto reopened = galois::Database::Open(std::move(db_options));
+    if (!reopened.ok()) return reopened.status();
+    db = std::move(reopened).value();
     return galois::Status::OK();
-  }
-
-  galois::llm::LanguageModel* ActiveModel() {
-    return router != nullptr
-               ? static_cast<galois::llm::LanguageModel*>(router.get())
-               : model.get();
   }
 };
 
@@ -126,6 +123,9 @@ void PrintHelp() {
       "                           .batch on); chunk sets max_batch_size\n"
       "  .pipeline <on|off>       overlap independent phases (tables,\n"
       "                           columns, critic passes)\n"
+      "  .sessions <n>            run each statement as n concurrent\n"
+      "                           sessions (results verified identical)\n"
+      "  .deadline <ms>           per-query deadline; 0 disables\n"
       "  .cache <on|off|clear|stats>  cross-query materialisation cache\n"
       "  .route <phase> <backend> send a phase (key-scan, filter-check,\n"
       "                           attribute, verify/critic, freeform) to a\n"
@@ -148,6 +148,9 @@ bool HandleCommand(ShellState* state, const std::string& line) {
   auto arg = [&words]() -> std::string {
     return words.size() > 1 ? galois::ToLower(words[1]) : "";
   };
+  // Most commands mutate the configuration; they funnel through here so
+  // the Database is reassembled exactly once per change.
+  bool reopen = false;
   if (cmd == ".quit" || cmd == ".exit") return false;
   if (cmd == ".help") {
     PrintHelp();
@@ -157,8 +160,9 @@ bool HandleCommand(ShellState* state, const std::string& line) {
       std::printf("unknown model '%s' (try flan, tk, gpt-3, chatgpt)\n",
                   arg().c_str());
     } else {
-      state->LoadModel(profile.value());
-      std::printf("model: %s\n", state->model->name().c_str());
+      state->profile = profile.value();
+      std::printf("model: %s\n", state->profile.name.c_str());
+      reopen = true;
     }
   } else if (cmd == ".explain") {
     state->explain = arg() != "off";
@@ -166,8 +170,10 @@ bool HandleCommand(ShellState* state, const std::string& line) {
     state->ground_truth = arg() != "off";
   } else if (cmd == ".verify") {
     state->options.verify_cells = arg() != "off";
+    reopen = true;
   } else if (cmd == ".batch") {
     state->options.batch_prompts = arg() != "off";
+    reopen = true;
   } else if (cmd == ".parallel") {
     int n = std::atoi(arg().c_str());
     state->options.parallel_batches = n < 1 ? 1 : n;
@@ -180,8 +186,18 @@ bool HandleCommand(ShellState* state, const std::string& line) {
       // Whole-phase batches leave nothing to overlap; pick a sane chunk.
       state->options.max_batch_size = 8;
     }
+    reopen = true;
   } else if (cmd == ".pipeline") {
     state->options.pipeline_phases = arg() != "off";
+    reopen = true;
+  } else if (cmd == ".sessions") {
+    int n = std::atoi(arg().c_str());
+    state->num_sessions = n < 1 ? 1 : n;
+    std::printf("sessions: %d\n", state->num_sessions);
+  } else if (cmd == ".deadline") {
+    int64_t ms = std::atoll(arg().c_str());
+    state->options.query_deadline_ms = ms < 0 ? 0 : ms;
+    reopen = true;
   } else if (cmd == ".cache") {
     if (arg() == "clear") {
       state->table_cache.Clear();
@@ -200,28 +216,30 @@ bool HandleCommand(ShellState* state, const std::string& line) {
           static_cast<long long>(stats.evictions));
     } else {
       state->cache_enabled = arg() != "off";
+      reopen = true;
     }
   } else if (cmd == ".route") {
     if (words.size() == 1) {
       if (state->options.phase_models.empty()) {
         std::printf("no routes; every phase uses the default model %s\n",
-                    state->model->name().c_str());
+                    state->profile.name.c_str());
       }
       for (const auto& [phase, backend] : state->options.phase_models) {
         std::printf("  %-12s -> %s\n", phase.c_str(), backend.c_str());
       }
     } else if (arg() == "clear") {
       state->options.phase_models.clear();
-      state->router.reset();
       std::printf("routes cleared\n");
+      reopen = true;
     } else if (words.size() >= 3) {
       std::string phase = galois::ToLower(words[1]);
       std::string backend = words[2];
       auto saved = state->options.phase_models;
       state->options.phase_models[phase] = backend;
-      galois::Status s = state->RebuildRouter();
+      galois::Status s = state->Reopen();
       if (!s.ok()) {
         state->options.phase_models = std::move(saved);
+        (void)state->Reopen();  // restore the previous wiring
         std::printf("%s\n", s.ToString().c_str());
       } else {
         std::printf("route: %s -> %s\n", phase.c_str(), backend.c_str());
@@ -250,7 +268,7 @@ bool HandleCommand(ShellState* state, const std::string& line) {
       }
     } else if (words.size() == 1) {
       std::printf("  %-12s %s (default)\n", "default",
-                  state->model->name().c_str());
+                  state->profile.name.c_str());
       for (const auto& [name, backend] : state->backends) {
         galois::llm::CostMeter cost = backend->cost();
         std::printf("  %-12s %s — %lld prompts, %lld batches so far\n",
@@ -271,6 +289,7 @@ bool HandleCommand(ShellState* state, const std::string& line) {
       state->options.pushdown_policy =
           galois::core::PushdownPolicy::kNever;
     }
+    reopen = true;
   } else if (cmd == ".tables") {
     for (const std::string& name :
          state->workload->catalog().TableNames()) {
@@ -286,7 +305,38 @@ bool HandleCommand(ShellState* state, const std::string& line) {
   } else {
     std::printf("unknown command %s (try .help)\n", cmd.c_str());
   }
+  if (reopen) {
+    galois::Status s = state->Reopen();
+    if (!s.ok()) std::printf("%s\n", s.ToString().c_str());
+  }
   return true;
+}
+
+void PrintResult(const galois::QueryResult& result) {
+  std::printf("%s", result.relation.ToPrettyString(30).c_str());
+  if (result.table_cache_hits > 0) {
+    std::printf("(%lld prompts, %.1f s simulated, %lld/%lld tables from "
+                "cache)\n",
+                static_cast<long long>(result.cost.num_prompts),
+                result.cost.simulated_latency_ms / 1000.0,
+                static_cast<long long>(result.table_cache_hits),
+                static_cast<long long>(result.table_cache_lookups));
+  } else {
+    std::printf("(%lld prompts, %.1f s simulated)\n",
+                static_cast<long long>(result.cost.num_prompts),
+                result.cost.simulated_latency_ms / 1000.0);
+  }
+  if (result.cost.by_model.size() > 1) {
+    // Routed query: show where the prompts went.
+    std::printf("(");
+    bool first = true;
+    for (const auto& [model, usage] : result.cost.by_model) {
+      std::printf("%s%s: %lld", first ? "" : ", ", model.c_str(),
+                  static_cast<long long>(usage.num_prompts));
+      first = false;
+    }
+    std::printf(")\n");
+  }
 }
 
 void RunSql(ShellState* state, const std::string& sql) {
@@ -316,41 +366,52 @@ void RunSql(ShellState* state, const std::string& sql) {
     std::printf("%s", rd->ToPrettyString(30).c_str());
     return;
   }
-  galois::core::GaloisExecutor galois(state->ActiveModel(),
-                                      &state->workload->catalog(),
-                                      state->options);
-  if (state->cache_enabled) {
-    galois.set_materialisation_cache(&state->table_cache);
-  }
-  auto rm = galois.Execute(stmt.value());
-  if (!rm.ok()) {
-    std::printf("%s\n", rm.status().ToString().c_str());
+
+  if (state->num_sessions <= 1) {
+    auto result = state->db->CreateSession().Query(sql);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(*result);
     return;
   }
-  std::printf("%s", rm->ToPrettyString(30).c_str());
-  if (galois.last_table_cache_hits() > 0) {
-    std::printf("(%lld prompts, %.1f s simulated, %lld/%lld tables from "
-                "cache)\n",
-                static_cast<long long>(galois.last_cost().num_prompts),
-                galois.last_cost().simulated_latency_ms / 1000.0,
-                static_cast<long long>(galois.last_table_cache_hits()),
-                static_cast<long long>(galois.last_table_cache_lookups()));
-  } else {
-    std::printf("(%lld prompts, %.1f s simulated)\n",
-                static_cast<long long>(galois.last_cost().num_prompts),
-                galois.last_cost().simulated_latency_ms / 1000.0);
+
+  // .sessions N: the same statement dispatched as N concurrent sessions
+  // against the one Database — the demo of the concurrency contract.
+  // Results must be byte-identical; per-session meters are printed so
+  // exact per-query attribution is visible.
+  std::vector<galois::Session> sessions;
+  std::vector<galois::AsyncQuery> in_flight;
+  for (int s = 0; s < state->num_sessions; ++s) {
+    sessions.push_back(state->db->CreateSession());
+    in_flight.push_back(sessions.back().QueryAsync(sql));
   }
-  if (galois.last_cost().by_model.size() > 1) {
-    // Routed query: show where the prompts went.
-    std::printf("(");
-    bool first = true;
-    for (const auto& [model, usage] : galois.last_cost().by_model) {
-      std::printf("%s%s: %lld", first ? "" : ", ", model.c_str(),
-                  static_cast<long long>(usage.num_prompts));
-      first = false;
+  std::vector<galois::QueryResult> results;
+  for (int s = 0; s < state->num_sessions; ++s) {
+    auto result = in_flight[s].Join();
+    if (!result.ok()) {
+      std::printf("session %d: %s\n", s,
+                  result.status().ToString().c_str());
+      return;
     }
-    std::printf(")\n");
+    results.push_back(std::move(result).value());
   }
+  PrintResult(results[0]);
+  bool identical = true;
+  for (int s = 1; s < state->num_sessions; ++s) {
+    if (!results[s].relation.SameContents(results[0].relation)) {
+      identical = false;
+    }
+  }
+  std::printf("%d concurrent sessions: results %s;", state->num_sessions,
+              identical ? "identical" : "DIVERGED");
+  for (int s = 0; s < state->num_sessions; ++s) {
+    std::printf(" s%d=%lldp/%.0fms", s,
+                static_cast<long long>(results[s].cost.num_prompts),
+                results[s].wall_ms);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -364,13 +425,17 @@ int main() {
   }
   ShellState state;
   state.workload = &workload.value();
-  state.LoadModel(galois::llm::ModelProfile::ChatGpt());
+  galois::Status opened = state.Reopen();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open: %s\n", opened.ToString().c_str());
+    return 1;
+  }
 
   bool tty = isatty(0);
   if (tty) {
     std::printf("Galois shell — SQL over a (simulated) LLM. .help for "
                 "commands.\nmodel: %s\n",
-                state.model->name().c_str());
+                state.profile.name.c_str());
   }
   std::string buffer;
   std::string line;

@@ -12,21 +12,15 @@
 
 #include <cstdio>
 
-#include "core/galois_executor.h"
-#include "knowledge/workload.h"
-#include "llm/simulated_llm.h"
+#include "api/database.h"
 
 int main() {
-  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
+  auto db = galois::Database::Open(galois::DatabaseOptions());
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  galois::llm::SimulatedLlm model(&workload->kb(),
-                                  galois::llm::ModelProfile::ChatGpt(),
-                                  &workload->catalog());
-  galois::core::GaloisExecutor galois(&model, &workload->catalog());
+  galois::Session session = (*db)->CreateSession();
 
   const char* sql =
       "SELECT c.name, c.gdp, AVG(e.salary) AS avgSalary "
@@ -35,17 +29,17 @@ int main() {
       "ORDER BY avgSalary DESC";
   std::printf("Hybrid query:\n  %s\n\n", sql);
 
-  auto result = galois.ExecuteSql(sql);
+  auto result = session.Query(sql);
   if (!result.ok()) {
     std::fprintf(stderr, "execute: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", result->ToPrettyString(20).c_str());
+  std::printf("%s\n", result->relation.ToPrettyString(20).c_str());
   std::printf(
       "The Employees side cost 0 prompts; the country side cost %lld "
       "prompts.\n",
-      static_cast<long long>(galois.last_cost().num_prompts));
+      static_cast<long long>(result->cost.num_prompts));
   std::printf(
       "Note: GDP cells come from the model and can be hallucinated — "
       "re-run with\nModelProfile::Gpt3() or a perfect profile to see the "

@@ -1,17 +1,16 @@
 // Portability (Section 6): SQL scripts are portable across DB engines, so
 // the same script executes on different LLMs — but, unlike DB engines, two
 // models trained differently return different relations for the same
-// query. This example runs one query on all four paper models and diffs
-// the outputs against the ground truth.
+// query. This example opens one galois::Database per paper model over a
+// shared workload and runs the same query through each, diffing the
+// outputs against the ground truth.
 
 #include <cstdio>
 
-#include "core/galois_executor.h"
+#include "api/database.h"
 #include "engine/executor.h"
 #include "eval/metrics.h"
 #include "knowledge/workload.h"
-#include "llm/model_profile.h"
-#include "llm/simulated_llm.h"
 
 int main() {
   auto workload = galois::knowledge::SpiderLikeWorkload::Create();
@@ -34,23 +33,32 @@ int main() {
 
   for (const galois::llm::ModelProfile& profile :
        galois::llm::ModelProfile::AllPaperModels()) {
-    galois::llm::SimulatedLlm model(&workload->kb(), profile,
-                                    &workload->catalog());
-    galois::core::GaloisExecutor galois(&model, &workload->catalog());
-    auto result = galois.ExecuteSql(sql);
+    galois::DatabaseOptions options;
+    options.workload = &workload.value();
+    galois::BackendSpec spec;
+    spec.name = profile.name;
+    spec.simulated = profile;
+    options.backends.push_back(std::move(spec));
+    auto db = galois::Database::Open(std::move(options));
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s: %s\n", profile.name.c_str(),
+                   db.status().ToString().c_str());
+      continue;
+    }
+    auto result = (*db)->CreateSession().Query(sql);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", profile.name.c_str(),
                    result.status().ToString().c_str());
       continue;
     }
     galois::eval::CellMatchResult match =
-        galois::eval::MatchCells(*truth, *result);
+        galois::eval::MatchCells(*truth, result->relation);
     std::printf(
         "%-20s rows=%-3zu cell match=%3.0f%%  prompts=%-4lld rows: ",
-        profile.name.c_str(), result->NumRows(), match.Percent(),
-        static_cast<long long>(galois.last_cost().num_prompts));
+        profile.name.c_str(), result->relation.NumRows(), match.Percent(),
+        static_cast<long long>(result->cost.num_prompts));
     size_t shown = 0;
-    for (const galois::Tuple& row : result->rows()) {
+    for (const galois::Tuple& row : result->relation.rows()) {
       if (shown++ == 4) {
         std::printf("...");
         break;

@@ -2,43 +2,37 @@
 // without the origin of the information". Galois can record, for every
 // cell it materialises from the model, the prompt and completion that
 // produced it — and, with the critic enabled, whether a second model
-// confirmed the value. This example prints the full lineage of a query.
+// confirmed the value. This example prints the full lineage of a query,
+// carried back inside the QueryResult.
 
 #include <cstdio>
 
-#include "core/galois_executor.h"
-#include "knowledge/workload.h"
-#include "llm/simulated_llm.h"
+#include "api/database.h"
 
 int main() {
-  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
+  galois::DatabaseOptions options;
+  options.execution.record_provenance = true;
+  options.execution.verify_cells = true;  // critic pass, Section 6
+  auto db = galois::Database::Open(std::move(options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  galois::llm::SimulatedLlm model(&workload->kb(),
-                                  galois::llm::ModelProfile::ChatGpt(),
-                                  &workload->catalog());
-  galois::core::ExecutionOptions options;
-  options.record_provenance = true;
-  options.verify_cells = true;  // critic pass, Section 6
-  galois::core::GaloisExecutor galois(&model, &workload->catalog(),
-                                      options);
+  galois::Session session = (*db)->CreateSession();
 
   const char* sql =
       "SELECT name, capital, population FROM country "
       "WHERE continent = 'Oceania'";
   std::printf("Query: %s\n\n", sql);
-  auto result = galois.ExecuteSql(sql);
+  auto result = session.Query(sql);
   if (!result.ok()) {
     std::fprintf(stderr, "execute: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", result->ToPrettyString().c_str());
+  std::printf("%s\n", result->relation.ToPrettyString().c_str());
 
-  const galois::core::ExecutionTrace& trace = galois.last_trace();
+  const galois::core::ExecutionTrace& trace = result->trace;
   std::printf("Provenance (%zu cells, %zu rejected by the critic):\n%s\n",
               trace.cells.size(), trace.NumRejectedCells(),
               trace.ToString(/*max_cells=*/12).c_str());

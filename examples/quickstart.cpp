@@ -1,22 +1,20 @@
 // Quickstart: run one SQL query against a language model with Galois.
 //
-// This walks the full public API surface:
-//   1. build the world + workload catalog (stand-in for "the facts the LLM
-//      absorbed in pre-training" plus the user-provided schema),
-//   2. construct a model client (a simulated GPT-3.5-turbo profile),
-//   3. show the logical plan with its LLM-specific physical operators,
-//   4. execute the query with GaloisExecutor and print the relation plus
-//      the prompt bill.
+// This walks the public API surface:
+//   1. open a galois::Database (world + catalog + a simulated
+//      GPT-3.5-turbo backend, all wired by the builder),
+//   2. show the logical plan with its LLM-specific physical operators,
+//   3. create a Session and execute the query — the returned QueryResult
+//      carries the relation plus the query's own prompt bill,
+//   4. compare against a classic DBMS run over the ground truth.
 //
 // Usage: quickstart ["SQL query"]
 
 #include <cstdio>
 #include <string>
 
-#include "core/galois_executor.h"
+#include "api/database.h"
 #include "engine/executor.h"
-#include "knowledge/workload.h"
-#include "llm/simulated_llm.h"
 #include "planner/planner.h"
 #include "sql/parser.h"
 
@@ -25,27 +23,23 @@ int main(int argc, char** argv) {
       "SELECT name, capital FROM country WHERE continent = 'Europe'";
   if (argc > 1) sql = argv[1];
 
-  // 1. World + catalog.
-  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
+  // 1. Database: defaults give the builtin workload and one simulated
+  // ChatGpt backend (swap in BackendSpec{.simulated = ModelProfile::
+  // Flan()} etc. to compare models).
+  auto db = galois::Database::Open(galois::DatabaseOptions());
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
     return 1;
   }
 
-  // 2. Model client (swap the profile to Flan()/Tk()/Gpt3() to compare).
-  galois::llm::SimulatedLlm model(&workload->kb(),
-                                  galois::llm::ModelProfile::ChatGpt(),
-                                  &workload->catalog());
-
-  // 3. Logical plan, annotated with the LLM physical operators.
+  // 2. Logical plan, annotated with the LLM physical operators.
   auto stmt = galois::sql::ParseSelect(sql);
   if (!stmt.ok()) {
     std::fprintf(stderr, "parse: %s\n", stmt.status().ToString().c_str());
     return 1;
   }
   auto plan =
-      galois::planner::BuildLogicalPlan(stmt.value(), workload->catalog());
+      galois::planner::BuildLogicalPlan(stmt.value(), (*db)->catalog());
   if (plan.ok()) {
     galois::planner::OptimizeLlmFilters(plan.value().get(),
                                         /*merge_into_scan=*/false);
@@ -54,24 +48,26 @@ int main(int argc, char** argv) {
                 galois::planner::Explain(*plan.value()).c_str());
   }
 
-  // 4. Execute on the LLM, then compare against a classic DBMS run.
-  galois::core::GaloisExecutor galois(&model, &workload->catalog());
-  auto result = galois.ExecuteSql(sql);
+  // 3. Execute on the LLM through a Session; the QueryResult is
+  // self-contained (relation + this query's cost meter).
+  galois::Session session = (*db)->CreateSession();
+  auto result = session.Query(sql);
   if (!result.ok()) {
     std::fprintf(stderr, "execute: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
   std::printf("Galois result (R_M, retrieved from the LLM):\n%s\n",
-              result->ToPrettyString(12).c_str());
+              result->relation.ToPrettyString(12).c_str());
   std::printf(
       "Prompt bill: %lld prompts, %lld prompt tokens, %.1f s simulated "
-      "latency\n\n",
-      static_cast<long long>(galois.last_cost().num_prompts),
-      static_cast<long long>(galois.last_cost().prompt_tokens),
-      galois.last_cost().simulated_latency_ms / 1000.0);
+      "latency (%.0f ms wall)\n\n",
+      static_cast<long long>(result->cost.num_prompts),
+      static_cast<long long>(result->cost.prompt_tokens),
+      result->cost.simulated_latency_ms / 1000.0, result->wall_ms);
 
-  auto truth = galois::engine::ExecuteSql(sql, workload->catalog());
+  // 4. Ground truth from the classic engine.
+  auto truth = galois::engine::ExecuteSql(sql, (*db)->catalog());
   if (truth.ok()) {
     std::printf("Ground truth (R_D, classic DBMS execution):\n%s\n",
                 truth->ToPrettyString(12).c_str());

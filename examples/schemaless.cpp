@@ -7,16 +7,16 @@
 //   Q2: SELECT name, mayorBirthDate FROM cityWithMayor
 //
 // We register a denormalised virtual table (cityWithMayor) whose
-// attributes map onto the same KB facts, run both queries, and measure how
-// far the outputs diverge — quantifying the paper's open challenge.
+// attributes map onto the same KB facts — a catalog override on the
+// galois::Database — run both queries, and measure how far the outputs
+// diverge, quantifying the paper's open challenge.
 
 #include <cstdio>
 
+#include "api/database.h"
 #include "catalog/catalog.h"
-#include "core/galois_executor.h"
 #include "eval/metrics.h"
 #include "knowledge/workload.h"
-#include "llm/simulated_llm.h"
 
 namespace {
 
@@ -71,30 +71,40 @@ int main() {
     return 1;
   }
 
-  galois::llm::SimulatedLlm model(&workload->kb(),
-                                  galois::llm::ModelProfile::ChatGpt(),
-                                  &workload->catalog());
-  galois::core::GaloisExecutor galois(&model, &catalog);
+  // The Database grounds its simulated model on the workload but binds
+  // queries against the extended catalog.
+  galois::DatabaseOptions options;
+  options.workload = &workload.value();
+  options.catalog = &catalog;
+  auto db = galois::Database::Open(std::move(options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  galois::Session session = (*db)->CreateSession();
 
-  auto r1 = galois.ExecuteSql(q1);
-  auto r2 = galois.ExecuteSql(q2);
+  auto r1 = session.Query(q1);
+  auto r2 = session.Query(q2);
   if (!r1.ok() || !r2.ok()) {
     std::fprintf(stderr, "execute failed: %s / %s\n",
                  r1.status().ToString().c_str(),
                  r2.status().ToString().c_str());
     return 1;
   }
-  std::printf("Q1 (join formulation):     %zu rows\n", r1->NumRows());
+  std::printf("Q1 (join formulation):     %zu rows\n",
+              r1->relation.NumRows());
   std::printf("Q2 (denormalised ");
-  std::printf("formulation): %zu rows\n", r2->NumRows());
+  std::printf("formulation): %zu rows\n", r2->relation.NumRows());
 
   // How equivalent are the two answers? Score each against the other with
   // the evaluation machinery (the larger one as reference avoids the
   // degenerate 0-cell case when a join collapses).
   const galois::Relation& reference =
-      r1->NumRows() >= r2->NumRows() ? *r1 : *r2;
+      r1->relation.NumRows() >= r2->relation.NumRows() ? r1->relation
+                                                       : r2->relation;
   const galois::Relation& other =
-      r1->NumRows() >= r2->NumRows() ? *r2 : *r1;
+      r1->relation.NumRows() >= r2->relation.NumRows() ? r2->relation
+                                                       : r1->relation;
   galois::eval::CellMatchResult overlap =
       galois::eval::MatchCells(reference, other);
   std::printf("Cell overlap between the two answers: %.0f%% (%zu of %zu "

@@ -1,0 +1,229 @@
+#include "api/database.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "llm/model_router.h"
+#include "llm/prompt_cache.h"
+#include "llm/resilience.h"
+#include "llm/simulated_llm.h"
+
+namespace galois {
+
+namespace {
+
+/// The implicit single-backend configuration of a DatabaseOptions with no
+/// backends: the ChatGpt profile, undecorated.
+BackendSpec DefaultBackend() {
+  BackendSpec spec;
+  spec.simulated = llm::ModelProfile::ChatGpt();
+  spec.name = spec.simulated->name;
+  return spec;
+}
+
+}  // namespace
+
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  // unique_ptr from the start: backends capture pointers into the
+  // Database (workload KB, inner chains), so its address must be final
+  // before any of them is constructed.
+  std::unique_ptr<Database> db(new Database());
+
+  std::vector<BackendSpec> specs = std::move(options.backends);
+  if (specs.empty()) specs.push_back(DefaultBackend());
+
+  // --- world + catalog ------------------------------------------------
+  // The builtin workload is only built when something needs it: a
+  // simulated backend grounds on its world, and queries need its
+  // catalog unless the caller supplied one. A Database over external/
+  // HTTP backends with its own catalog keeps workload() null.
+  bool needs_workload = options.catalog == nullptr;
+  for (const BackendSpec& spec : specs) {
+    if (spec.simulated.has_value()) needs_workload = true;
+  }
+  if (options.workload != nullptr) {
+    db->workload_ = options.workload;
+  } else if (needs_workload) {
+    GALOIS_ASSIGN_OR_RETURN(knowledge::SpiderLikeWorkload workload,
+                            knowledge::SpiderLikeWorkload::Create());
+    db->owned_workload_ = std::make_unique<knowledge::SpiderLikeWorkload>(
+        std::move(workload));
+    db->workload_ = db->owned_workload_.get();
+  }
+  db->catalog_ = options.catalog != nullptr ? options.catalog
+                                            : &db->workload_->catalog();
+
+  // --- backends: transport + per-backend decorators --------------------
+  for (const BackendSpec& spec : specs) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("backend with empty name");
+    }
+    for (const auto& [existing, chain] : db->backends_) {
+      (void)chain;
+      if (existing == spec.name) {
+        return Status::InvalidArgument("duplicate backend name '" +
+                                       spec.name + "'");
+      }
+    }
+    const int sources = (spec.simulated.has_value() ? 1 : 0) +
+                        (spec.http.has_value() ? 1 : 0) +
+                        (spec.external != nullptr ? 1 : 0);
+    if (sources != 1) {
+      return Status::InvalidArgument(
+          "backend '" + spec.name +
+          "' must set exactly one of simulated/http/external");
+    }
+    llm::LanguageModel* chain = nullptr;
+    if (spec.simulated.has_value()) {
+      db->owned_models_.push_back(std::make_unique<llm::SimulatedLlm>(
+          &db->workload_->kb(), *spec.simulated, &db->workload_->catalog(),
+          options.llm_seed));
+      chain = db->owned_models_.back().get();
+    } else if (spec.http.has_value()) {
+      db->owned_models_.push_back(
+          std::make_unique<llm::HttpLlm>(*spec.http));
+      chain = db->owned_models_.back().get();
+    } else {
+      chain = spec.external;
+    }
+    if (spec.prompt_cache) {
+      db->owned_models_.push_back(
+          std::make_unique<llm::PromptCache>(chain));
+      chain = db->owned_models_.back().get();
+    }
+    if (spec.resilience.has_value()) {
+      db->owned_models_.push_back(
+          std::make_unique<llm::ResilientLlm>(chain, *spec.resilience));
+      chain = db->owned_models_.back().get();
+    }
+    db->backends_.emplace_back(spec.name, chain);
+  }
+
+  // --- default backend + router ----------------------------------------
+  std::string default_name = options.default_backend.empty()
+                                 ? db->backends_.front().first
+                                 : options.default_backend;
+  if (db->backend(default_name) == nullptr) {
+    return Status::NotFound("default_backend '" + default_name +
+                            "' is not a registered backend");
+  }
+  const bool need_router = db->backends_.size() > 1 ||
+                           !options.execution.phase_models.empty();
+  if (need_router) {
+    auto router = std::make_unique<llm::ModelRouter>();
+    for (const auto& [name, chain] : db->backends_) {
+      GALOIS_RETURN_IF_ERROR(router->AddBackend(name, chain));
+    }
+    GALOIS_RETURN_IF_ERROR(router->SetDefaultBackend(default_name));
+    GALOIS_RETURN_IF_ERROR(
+        router->ConfigureRoutes(options.execution.phase_models));
+    db->router_ = std::move(router);
+    db->model_ = db->router_.get();
+  } else {
+    db->model_ = db->backends_.front().second;
+  }
+
+  // --- shared caches + session defaults --------------------------------
+  if (options.materialisation_cache != nullptr) {
+    db->table_cache_ = options.materialisation_cache;
+  } else if (options.enable_materialisation_cache) {
+    db->owned_table_cache_ = std::make_unique<core::MaterialisationCache>(
+        options.materialisation_cache_entries);
+    db->table_cache_ = db->owned_table_cache_.get();
+  }
+  db->execution_defaults_ = std::move(options.execution);
+
+  return db;
+}
+
+llm::LanguageModel* Database::backend(const std::string& name) const {
+  for (const auto& [backend_name, chain] : backends_) {
+    if (backend_name == name) return chain;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Database::backend_names() const {
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& [name, chain] : backends_) {
+    (void)chain;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Session Database::CreateSession() const {
+  return Session(this, execution_defaults_);
+}
+
+Session Database::CreateSession(core::ExecutionOptions options) const {
+  return Session(this, std::move(options));
+}
+
+Result<QueryResult> Session::RunSnapshot(const Database* db,
+                                         core::ExecutionOptions snapshot,
+                                         const std::string& sql) {
+  const auto start = std::chrono::steady_clock::now();
+  core::GaloisExecutor executor(db->model_, db->catalog_, snapshot);
+  executor.set_materialisation_cache(db->table_cache_);
+  GALOIS_ASSIGN_OR_RETURN(core::QueryOutput out, executor.RunSql(sql));
+  QueryResult result;
+  result.relation = std::move(out.relation);
+  result.cost = std::move(out.cost);
+  result.trace = std::move(out.trace);
+  result.table_cache_lookups = out.table_cache_lookups;
+  result.table_cache_hits = out.table_cache_hits;
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+Result<QueryResult> Session::Query(const std::string& sql,
+                                   CancelToken control) const {
+  core::ExecutionOptions snapshot = options_;  // per-query immutability
+  if (snapshot.query_deadline_ms > 0) {
+    // The deadline is armed on a fresh token chained onto the caller's
+    // (if any): a caller-supplied token may already be shared with
+    // other in-flight queries, so it is never mutated here.
+    auto armed = std::make_shared<CancelState>(std::move(control));
+    armed->ArmDeadline(snapshot.query_deadline_ms);
+    control = std::move(armed);
+  }
+  if (control != nullptr) snapshot.control = control;
+  return RunSnapshot(db_, std::move(snapshot), sql);
+}
+
+AsyncQuery Session::QueryAsync(const std::string& sql,
+                               CancelToken control) const {
+  // Snapshot options and arm the token on the *calling* thread: whatever
+  // the caller does to the session afterwards, this query's behaviour is
+  // sealed here.
+  core::ExecutionOptions snapshot = options_;
+  if (control == nullptr) control = std::make_shared<CancelState>();
+  if (snapshot.query_deadline_ms > 0) {
+    // As in Query: arm a private chained token, never the caller's.
+    auto armed = std::make_shared<CancelState>(std::move(control));
+    armed->ArmDeadline(snapshot.query_deadline_ms);
+    control = std::move(armed);
+  }
+  snapshot.control = control;
+
+  AsyncQuery pending;
+  pending.control = control;
+  // The phase pool hosts the query task; nested fan-out (table tasks,
+  // phase flushes) is deadlock-free by TaskHandle's claim-on-join, so
+  // arbitrarily many queries may be in flight against a bounded pool.
+  pending.handle = TaskHandle<Result<QueryResult>>::Launch(
+      ThreadPool::SharedPhase(),
+      [db = db_, snapshot = std::move(snapshot), sql]() mutable {
+        return RunSnapshot(db, std::move(snapshot), sql);
+      });
+  return pending;
+}
+
+}  // namespace galois

@@ -1,0 +1,283 @@
+#ifndef GALOIS_API_DATABASE_H_
+#define GALOIS_API_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/galois_executor.h"
+#include "core/materialisation_cache.h"
+#include "core/options.h"
+#include "knowledge/workload.h"
+#include "llm/http_llm.h"
+#include "llm/language_model.h"
+#include "llm/model_profile.h"
+#include "llm/resilience.h"
+
+namespace galois {
+
+namespace llm {
+class ModelRouter;
+}
+
+/// The result of one query, as one self-contained value: the relation
+/// plus this query's own measurements. Nothing here aliases shared
+/// state, so results from concurrent sessions never interfere — the
+/// replacement for the old per-executor `last_cost()/last_trace()/
+/// last_table_cache_*` side-channels, which allowed one in-flight query
+/// per executor and no safe sharing.
+struct QueryResult {
+  Relation relation;
+
+  /// Exactly this query's LLM spend (per-backend breakdown included),
+  /// attributed per round trip — correct under any number of concurrent
+  /// queries against the same Database.
+  llm::CostMeter cost;
+
+  /// Per-cell provenance; populated only when the session's options set
+  /// record_provenance.
+  core::ExecutionTrace trace;
+
+  /// Materialisation-cache traffic of this query (0/0 when the Database
+  /// has no cache).
+  int64_t table_cache_lookups = 0;
+  int64_t table_cache_hits = 0;
+
+  /// Measured wall-clock time of the query.
+  double wall_ms = 0.0;
+};
+
+/// A query dispatched with Session::QueryAsync: a joinable handle plus
+/// the query's cancellation token. Join at most once; an abandoned
+/// handle is safe (the query still runs to completion, its result is
+/// dropped). Cancel() requests cooperative cancellation — the scheduler
+/// stops issuing LLM round trips at the next dispatch boundary and Join
+/// returns StatusCode::kCancelled.
+struct AsyncQuery {
+  CancelToken control;
+  TaskHandle<Result<QueryResult>> handle;
+
+  Result<QueryResult> Join() { return handle.Join(); }
+  void Cancel() {
+    if (control != nullptr) control->RequestCancel();
+  }
+};
+
+/// One named model backend of a Database. Exactly one of `simulated`,
+/// `http` or `external` must be set:
+///  * simulated — the Database owns a SimulatedLlm with this profile over
+///    its workload's world (requires the Database to have a workload);
+///  * http      — the Database owns an HttpLlm transport;
+///  * external  — a caller-owned LanguageModel (or stack) registered
+///    as-is; it must outlive the Database.
+/// The optional decorators wrap the transport in the recommended order
+/// (resilience outside, prompt cache inside — the router, when routing
+/// is configured, sits above all backends):
+///   router -> resilience -> prompt cache -> transport.
+struct BackendSpec {
+  std::string name;
+  std::optional<llm::ModelProfile> simulated;
+  std::optional<llm::HttpLlmOptions> http;
+  llm::LanguageModel* external = nullptr;
+
+  /// Wrap the transport in a ResilientLlm with these knobs.
+  std::optional<llm::ResilienceOptions> resilience;
+  /// Wrap in a PromptCache (memoised completions shared by every query
+  /// routed to this backend).
+  bool prompt_cache = false;
+};
+
+/// Everything needed to open a Database — the one place that subsumes
+/// the wiring every consumer used to hand-roll (model + catalog + caches
+/// + router).
+struct DatabaseOptions {
+  /// The world + catalog + ground-truth instances. Borrowed when set
+  /// (must outlive the Database); when null, the Database creates and
+  /// owns the builtin SpiderLikeWorkload.
+  const knowledge::SpiderLikeWorkload* workload = nullptr;
+
+  /// Catalog override (borrowed): queries bind against this catalog
+  /// instead of the workload's — e.g. a catalog with extra virtual
+  /// tables. Simulated backends still ground on the workload.
+  const catalog::Catalog* catalog = nullptr;
+
+  /// Seed shared by every simulated backend.
+  uint64_t llm_seed = 7;
+
+  /// The model backends. Empty means one simulated backend with the
+  /// ChatGpt profile. The first entry is the default backend unless
+  /// `default_backend` names another.
+  std::vector<BackendSpec> backends;
+  std::string default_backend;
+
+  /// Session defaults; every CreateSession() starts from this snapshot.
+  /// `execution.phase_models` configures per-phase routing across the
+  /// named backends (a ModelRouter is assembled iff routes exist or more
+  /// than one backend is registered).
+  core::ExecutionOptions execution;
+
+  /// Cross-query materialisation cache: borrowed when
+  /// `materialisation_cache` is set, owned when `enable_materialisation_
+  /// cache` is true, absent otherwise.
+  core::MaterialisationCache* materialisation_cache = nullptr;
+  bool enable_materialisation_cache = false;
+  size_t materialisation_cache_entries = 64;
+
+  /// Whether a backend named `name` is already declared (builders adding
+  /// route targets use this to skip duplicates).
+  bool HasBackend(const std::string& name) const {
+    for (const BackendSpec& spec : backends) {
+      if (spec.name == name) return true;
+    }
+    return false;
+  }
+};
+
+class Session;
+
+/// The top-level entry point: a process-wide handle that owns (or
+/// borrows) the catalog, the LanguageModel stack and the shared caches,
+/// and mints Sessions. One Database serves any number of concurrent
+/// sessions; everything it exposes is immutable after Open, so no
+/// locking is needed above the (internally synchronised) caches and
+/// models.
+///
+/// Ownership/lifetime (see docs/ARCHITECTURE.md, "API layer"):
+///
+///   Database ──owns──> backends (transport + decorators), router,
+///   │                  materialisation cache, workload (when builtin)
+///   └─mints──> Session (borrows the Database; must not outlive it)
+///        └─returns──> QueryResult (self-contained value, no aliasing)
+class Database {
+ public:
+  /// Validates and wires everything up. kInvalidArgument on misconfigured
+  /// backends (duplicate names, simulated backend without a workload,
+  /// none-or-several of simulated/http/external set), kNotFound on routes
+  /// or default_backend naming an unknown backend.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// A new session with the Database's default execution options, or
+  /// with session-specific options.
+  Session CreateSession() const;
+  Session CreateSession(core::ExecutionOptions options) const;
+
+  /// The catalog queries bind against.
+  const catalog::Catalog& catalog() const { return *catalog_; }
+
+  /// The workload backing simulated backends; null for a Database opened
+  /// over external backends with a bare catalog.
+  const knowledge::SpiderLikeWorkload* workload() const {
+    return workload_;
+  }
+
+  /// The top of the model stack (the router when one was assembled, else
+  /// the single backend chain). Its cost() is the stack-wide meter over
+  /// all sessions; per-query meters come from QueryResult::cost. Useful
+  /// for the freeform QA baselines and spend dashboards.
+  llm::LanguageModel* model() const { return model_; }
+
+  /// The chain registered under `name` (for per-backend spend displays);
+  /// null when unknown.
+  llm::LanguageModel* backend(const std::string& name) const;
+  std::vector<std::string> backend_names() const;
+
+  /// The shared cross-query cache; null when disabled.
+  core::MaterialisationCache* materialisation_cache() const {
+    return table_cache_;
+  }
+
+  const core::ExecutionOptions& default_options() const {
+    return execution_defaults_;
+  }
+
+ private:
+  friend class Session;
+
+  Database() = default;
+
+  const knowledge::SpiderLikeWorkload* workload_ = nullptr;
+  const catalog::Catalog* catalog_ = nullptr;
+  std::unique_ptr<knowledge::SpiderLikeWorkload> owned_workload_;
+
+  /// Transports and decorators, in construction order (inner before
+  /// outer, so destruction unwinds outer-first).
+  std::vector<std::unique_ptr<llm::LanguageModel>> owned_models_;
+  /// name -> top of that backend's decorator chain.
+  std::vector<std::pair<std::string, llm::LanguageModel*>> backends_;
+  std::unique_ptr<llm::ModelRouter> router_;
+  llm::LanguageModel* model_ = nullptr;
+
+  std::unique_ptr<core::MaterialisationCache> owned_table_cache_;
+  core::MaterialisationCache* table_cache_ = nullptr;
+
+  core::ExecutionOptions execution_defaults_;
+};
+
+/// A per-client handle on a Database: a bundle of execution options plus
+/// the Query entry points. Sessions are cheap values — create one per
+/// client, per tenant, per experiment arm; all of them share the
+/// Database's model stack and caches, and each query gets its own
+/// exactly-attributed QueryResult.
+///
+/// Options rule (the `set_options` foot-gun, fixed): a session's options
+/// are snapshotted at Query()/QueryAsync() entry, on the calling thread.
+/// set_options between queries affects subsequent queries only; a query
+/// already dispatched is never affected. A Session itself is not
+/// thread-safe (set_options vs Query race on options_) — share the
+/// Database across threads and give each thread its own Session, which
+/// is the intended shape anyway.
+class Session {
+ public:
+  /// Executes `sql` synchronously. `control` optionally carries a
+  /// caller-held cancellation token; options().query_deadline_ms, when
+  /// set, arms the deadline on it (or on an internal token).
+  Result<QueryResult> Query(const std::string& sql,
+                            CancelToken control = nullptr) const;
+
+  /// Dispatches `sql` on the shared phase pool and returns immediately;
+  /// many async queries — from one session or many — run concurrently
+  /// against the same Database with byte-identical results and exact
+  /// per-query cost meters. The options snapshot is taken *now*, on the
+  /// calling thread, so a subsequent set_options cannot leak into the
+  /// dispatched query.
+  AsyncQuery QueryAsync(const std::string& sql,
+                        CancelToken control = nullptr) const;
+
+  const core::ExecutionOptions& options() const { return options_; }
+
+  /// Replaces the options used by *subsequent* queries (see class
+  /// comment for the snapshot rule).
+  void set_options(core::ExecutionOptions options) {
+    options_ = std::move(options);
+  }
+
+  const Database& database() const { return *db_; }
+
+ private:
+  friend class Database;
+  Session(const Database* db, core::ExecutionOptions options)
+      : db_(db), options_(std::move(options)) {}
+
+  /// Runs one query under an already-snapshotted options value.
+  static Result<QueryResult> RunSnapshot(const Database* db,
+                                         core::ExecutionOptions snapshot,
+                                         const std::string& sql);
+
+  const Database* db_;
+  core::ExecutionOptions options_;
+};
+
+}  // namespace galois
+
+#endif  // GALOIS_API_DATABASE_H_

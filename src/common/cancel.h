@@ -1,0 +1,84 @@
+#ifndef GALOIS_COMMON_CANCEL_H_
+#define GALOIS_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace galois {
+
+/// Shared cancellation + deadline token for one logical operation (one
+/// query, in practice). The owner hands copies of the shared_ptr to
+/// whoever executes on its behalf; any holder may RequestCancel(), and
+/// the executing layers poll Check() at natural stopping points — the
+/// batch scheduler checks before every LLM round trip, the executor
+/// between phases. Work already in flight when the token fires still
+/// completes (and bills); nothing new is started.
+///
+/// Thread-safe: the flag is atomic and the deadline is immutable after
+/// Arm(), so Check() may be called from any number of threads while
+/// another cancels.
+class CancelState {
+ public:
+  CancelState() = default;
+
+  /// A token chained onto `parent`: it fires when the parent fires OR
+  /// when its own flag/deadline fires. Used to arm a per-query deadline
+  /// on a private token without mutating a caller-supplied one (which
+  /// may already be shared with other in-flight queries).
+  explicit CancelState(std::shared_ptr<const CancelState> parent)
+      : parent_(std::move(parent)) {}
+
+  /// Requests cooperative cancellation; idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+  /// Arms a deadline `budget_ms` from now. Call once, before sharing the
+  /// token (the deadline is not synchronised against concurrent Check).
+  void ArmDeadline(int64_t budget_ms) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(budget_ms);
+    has_deadline_ = true;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// OK while the operation may proceed; Cancelled / DeadlineExceeded
+  /// once it must stop.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    if (parent_ != nullptr) return parent_->Check();
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::shared_ptr<const CancelState> parent_;
+};
+
+/// The shared handle form in which tokens travel (options snapshots,
+/// scheduler policies, async query handles). A null token means
+/// "never cancelled, no deadline".
+using CancelToken = std::shared_ptr<CancelState>;
+
+/// Check() that treats a null token as always-OK.
+inline Status CheckCancel(const CancelToken& token) {
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+}  // namespace galois
+
+#endif  // GALOIS_COMMON_CANCEL_H_

@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kLlmError:
       return "LlmError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kTypeError,
   kExecutionError,
   kLlmError,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "ParseError").
@@ -75,6 +77,12 @@ class Status {
   }
   static Status LlmError(std::string msg) {
     return Status(StatusCode::kLlmError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

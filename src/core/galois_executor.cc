@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/llm_operators.h"
 #include "core/materialisation_cache.h"
+#include "llm/metering.h"
 #include "sql/parser.h"
 
 namespace galois::core {
@@ -144,9 +145,20 @@ GaloisExecutor::GaloisExecutor(llm::LanguageModel* model,
                                ExecutionOptions options)
     : model_(model), catalog_(catalog), options_(options) {}
 
-Result<Relation> GaloisExecutor::ExecuteSql(const std::string& sql) {
+Result<QueryOutput> GaloisExecutor::RunSql(const std::string& sql) const {
   GALOIS_ASSIGN_OR_RETURN(SelectStatement stmt, sql::ParseSelect(sql));
-  return Execute(stmt);
+  return Run(stmt);
+}
+
+Result<Relation> GaloisExecutor::ExecuteSql(const std::string& sql) const {
+  GALOIS_ASSIGN_OR_RETURN(QueryOutput out, RunSql(sql));
+  return std::move(out).relation;
+}
+
+Result<Relation> GaloisExecutor::Execute(
+    const SelectStatement& stmt) const {
+  GALOIS_ASSIGN_OR_RETURN(QueryOutput out, Run(stmt));
+  return std::move(out).relation;
 }
 
 Result<GaloisExecutor::TablePlan> GaloisExecutor::PlanTables(
@@ -313,7 +325,8 @@ bool GaloisExecutor::ShouldPushFirstFilter(const TableContext& ctx) const {
 
 Result<std::vector<std::vector<Value>>>
 GaloisExecutor::RetrieveColumnsPipelined(
-    const TableContext& ctx, const std::vector<std::string>& surviving,
+    llm::LanguageModel* model, const TableContext& ctx,
+    const std::vector<std::string>& surviving,
     ExecutionTrace* trace) const {
   const catalog::TableDef& def = *ctx.def;
   const size_t n = ctx.needed_columns.size();
@@ -324,7 +337,7 @@ GaloisExecutor::RetrieveColumnsPipelined(
   std::vector<AttributePhase> attr_phases(n);
   for (size_t i = 0; i < n; ++i) {
     attr_phases[i] = LlmGetAttributeBatchStart(
-        model_, def, surviving, *ctx.needed_columns[i], options_);
+        model, def, surviving, *ctx.needed_columns[i], options_);
   }
 
   // Join columns in order; each column's critic-verify follow-up is
@@ -356,7 +369,7 @@ GaloisExecutor::RetrieveColumnsPipelined(
     cells[i] = SelectNonNullCells(columns[i], surviving);
     if (!cells[i].idx.empty()) {
       verify_phases[i] = LlmVerifyCellBatchStart(
-          model_, def, cells[i].keys, *ctx.needed_columns[i],
+          model, def, cells[i].keys, *ctx.needed_columns[i],
           cells[i].values, options_);
     }
   }
@@ -386,7 +399,8 @@ GaloisExecutor::RetrieveColumnsPipelined(
 }
 
 Result<Relation> GaloisExecutor::MaterialiseLlmTable(
-    const TableContext& ctx, ExecutionTrace* trace) const {
+    llm::LanguageModel* model, const TableContext& ctx,
+    ExecutionTrace* trace) const {
   const catalog::TableDef& def = *ctx.def;
   GALOIS_ASSIGN_OR_RETURN(size_t key_idx, def.KeyIndex());
   const catalog::ColumnDef& key_col = def.columns[key_idx];
@@ -402,7 +416,7 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
   int scan_pages = 0;
   GALOIS_ASSIGN_OR_RETURN(
       std::vector<std::string> keys,
-      LlmKeyScan(model_, def, options_, scan_filter, &scan_pages));
+      LlmKeyScan(model, def, options_, scan_filter, &scan_pages));
 
   // 2a. Optional critic pass over the scanned keys: "Is it true that the
   // name of the country New Italy is New Italy?" rejects hallucinated
@@ -416,7 +430,7 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
     }
     GALOIS_ASSIGN_OR_RETURN(
         std::vector<int> verdicts,
-        LlmVerifyCellBatch(model_, def, keys, key_col, claimed, options_));
+        LlmVerifyCellBatch(model, def, keys, key_col, claimed, options_));
     std::vector<std::string> confirmed;
     confirmed.reserve(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
@@ -437,7 +451,7 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
     if (surviving.empty()) break;
     GALOIS_ASSIGN_OR_RETURN(
         std::vector<int> verdicts,
-        LlmFilterCheckBatch(model_, def, surviving, ctx.llm_filters[f],
+        LlmFilterCheckBatch(model, def, surviving, ctx.llm_filters[f],
                             options_));
     std::vector<std::string> kept;
     kept.reserve(surviving.size());
@@ -469,7 +483,7 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
   std::vector<std::vector<Value>> columns;
   if (options_.pipeline_phases && ctx.needed_columns.size() > 1) {
     GALOIS_ASSIGN_OR_RETURN(
-        columns, RetrieveColumnsPipelined(ctx, surviving, trace));
+        columns, RetrieveColumnsPipelined(model, ctx, surviving, trace));
   } else {
     columns.reserve(ctx.needed_columns.size());
     for (const catalog::ColumnDef* col : ctx.needed_columns) {
@@ -478,7 +492,7 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
           options_.record_provenance ? &provenances : nullptr;
       GALOIS_ASSIGN_OR_RETURN(
           std::vector<Value> values,
-          LlmGetAttributeBatch(model_, def, surviving, *col, options_,
+          LlmGetAttributeBatch(model, def, surviving, *col, options_,
                                prov_ptr));
       if (options_.verify_cells) {
         // Verify the column's non-NULL cells in one phase.
@@ -486,7 +500,7 @@ Result<Relation> GaloisExecutor::MaterialiseLlmTable(
         if (!cells.idx.empty()) {
           GALOIS_ASSIGN_OR_RETURN(
               std::vector<int> verdicts,
-              LlmVerifyCellBatch(model_, def, cells.keys, *col,
+              LlmVerifyCellBatch(model, def, cells.keys, *col,
                                  cells.values, options_));
           ApplyVerdicts(verdicts, cells, &values, prov_ptr);
         }
@@ -520,7 +534,8 @@ Result<Relation> GaloisExecutor::MaterialiseDbTable(
 }
 
 Result<std::vector<engine::BoundRelation>>
-GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs) {
+GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs,
+                                  QueryContext* qctx) const {
   // Provenance runs bypass the cache: a hit cannot replay the per-cell
   // prompt/completion trace the caller asked for.
   const bool use_cache =
@@ -540,11 +555,11 @@ GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs) {
       fingerprints[i] = MaterialisationCache::Fingerprint(
           *ctx.def, ctx.llm_filters, ShouldPushFirstFilter(ctx), options_,
           model_->name());
-      ++last_table_cache_lookups_;
+      ++qctx->table_cache_lookups;
       std::optional<Relation> hit = materialisation_cache_->Lookup(
           fingerprints[i], *ctx.def, ctx.needed_columns, ctx.alias);
       if (hit.has_value()) {
-        ++last_table_cache_hits_;
+        ++qctx->table_cache_hits;
         materialised[i] = std::move(*hit);
         continue;
       }
@@ -566,9 +581,11 @@ GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs) {
     for (size_t t = 0; t < pending.size(); ++t) {
       const TableContext* ctx = &ctxs[pending[t]];
       ExecutionTrace* trace = &traces[t];
+      llm::LanguageModel* model = qctx->model;
       tasks.push_back(TaskHandle<Result<Relation>>::Launch(
-          ThreadPool::SharedPhase(),
-          [this, ctx, trace] { return MaterialiseLlmTable(*ctx, trace); }));
+          ThreadPool::SharedPhase(), [this, model, ctx, trace] {
+            return MaterialiseLlmTable(model, *ctx, trace);
+          }));
     }
     Status first_error = Status::OK();
     for (size_t t = 0; t < pending.size(); ++t) {
@@ -582,16 +599,17 @@ GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs) {
     GALOIS_RETURN_IF_ERROR(first_error);
     for (ExecutionTrace& trace : traces) {
       for (ScanProvenance& s : trace.scans) {
-        last_trace_.scans.push_back(std::move(s));
+        qctx->trace.scans.push_back(std::move(s));
       }
       for (CellProvenance& c : trace.cells) {
-        last_trace_.cells.push_back(std::move(c));
+        qctx->trace.cells.push_back(std::move(c));
       }
     }
   } else {
     for (size_t i : pending) {
-      GALOIS_ASSIGN_OR_RETURN(Relation rel,
-                              MaterialiseLlmTable(ctxs[i], &last_trace_));
+      GALOIS_ASSIGN_OR_RETURN(
+          Relation rel,
+          MaterialiseLlmTable(qctx->model, ctxs[i], &qctx->trace));
       materialised[i] = std::move(rel);
     }
   }
@@ -612,15 +630,21 @@ GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs) {
   return bases;
 }
 
-Result<Relation> GaloisExecutor::Execute(const SelectStatement& stmt) {
-  llm::CostMeter before = model_->cost();
-  last_trace_.Clear();
-  last_table_cache_lookups_ = 0;
-  last_table_cache_hits_ = 0;
+Result<QueryOutput> GaloisExecutor::Run(const SelectStatement& stmt) const {
+  // Per-query cost attribution: every round trip goes through this tap,
+  // so the meter below is exactly this query's spend even when other
+  // queries bill the same shared model stack concurrently (the old
+  // snapshot-and-diff of the shared meter was racy).
+  llm::CostTap tap(model_);
+  QueryContext qctx;
+  qctx.model = &tap;
+
+  GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
   GALOIS_ASSIGN_OR_RETURN(TablePlan plan, PlanTables(stmt));
 
   GALOIS_ASSIGN_OR_RETURN(std::vector<engine::BoundRelation> bases,
-                          MaterialiseTables(plan.tables));
+                          MaterialiseTables(plan.tables, &qctx));
+  GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
 
   // Rebuild WHERE from the conjuncts that were not executed via the LLM.
   // The consumed set comes straight from PlanTables — the one place that
@@ -641,10 +665,15 @@ Result<Relation> GaloisExecutor::Execute(const SelectStatement& stmt) {
     }
   }
   SelectStatement residual_stmt = CloneWithWhere(stmt, std::move(residual));
-  Result<Relation> result =
-      engine::ExecuteOnRelations(residual_stmt, bases);
-  last_cost_ = model_->cost() - before;
-  return result;
+  GALOIS_ASSIGN_OR_RETURN(Relation relation,
+                          engine::ExecuteOnRelations(residual_stmt, bases));
+  QueryOutput out;
+  out.relation = std::move(relation);
+  out.cost = tap.cost();
+  out.trace = std::move(qctx.trace);
+  out.table_cache_lookups = qctx.table_cache_lookups;
+  out.table_cache_hits = qctx.table_cache_hits;
+  return out;
 }
 
 }  // namespace galois::core

@@ -20,6 +20,31 @@ namespace galois::core {
 
 class MaterialisationCache;
 
+/// Everything one query execution produced, as a self-contained value:
+/// the relation plus the query's own cost meter, provenance trace and
+/// materialisation-cache traffic. Returned by GaloisExecutor::Run, and
+/// the engine-level half of the public galois::QueryResult. Because the
+/// result is a value (not accessors on the executor), concurrent queries
+/// against one executor can never read each other's measurements.
+struct QueryOutput {
+  Relation relation;
+
+  /// Exactly this query's LLM spend, attributed per round trip through a
+  /// per-query llm::CostTap — correct even when other queries bill the
+  /// same shared model stack concurrently.
+  llm::CostMeter cost;
+
+  /// Per-cell provenance; populated only when
+  /// ExecutionOptions::record_provenance is set.
+  ExecutionTrace trace;
+
+  /// Materialisation-cache traffic of this query: LLM tables looked up,
+  /// and tables served without any LLM round trip. Both 0 when no cache
+  /// is attached.
+  int64_t table_cache_lookups = 0;
+  int64_t table_cache_hits = 0;
+};
+
 /// The Galois executor (the paper's primary contribution, Section 4).
 ///
 /// Executes SPJA SQL where some or all base relations live in a language
@@ -53,33 +78,42 @@ class MaterialisationCache;
 /// affecting options, model) was already materialised is served with zero
 /// LLM round trips, including by projection from a wider cached
 /// materialisation.
+///
+/// Threading model: the executor is immutable after setup (construction
+/// plus an optional set_materialisation_cache). Run/Execute are const and
+/// keep all per-query state — meter, trace, cache counters — in the
+/// returned QueryOutput, so one executor instance may run any number of
+/// queries concurrently from different threads. This is the engine
+/// beneath galois::Database / galois::Session (src/api/database.h), which
+/// is the intended public entry point; the executor remains available for
+/// tests and benches that drive the engine directly.
 class GaloisExecutor {
  public:
-  /// `model` and `catalog` must outlive the executor.
+  /// `model` and `catalog` must outlive the executor. `options` are fixed
+  /// for the executor's lifetime — per-query variation is the Session's
+  /// job (it snapshots its options into a fresh executor per query).
   GaloisExecutor(llm::LanguageModel* model,
                  const catalog::Catalog* catalog,
                  ExecutionOptions options = ExecutionOptions());
 
-  /// Parses and executes `sql`.
-  Result<Relation> ExecuteSql(const std::string& sql);
+  /// Parses and executes `sql`, returning the self-contained result.
+  /// Thread-safe: may be called concurrently with itself.
+  Result<QueryOutput> RunSql(const std::string& sql) const;
 
   /// Executes a parsed statement.
-  Result<Relation> Execute(const sql::SelectStatement& stmt);
+  Result<QueryOutput> Run(const sql::SelectStatement& stmt) const;
 
-  /// Cost incurred by the most recent Execute call.
-  const llm::CostMeter& last_cost() const { return last_cost_; }
-
-  /// Provenance of the most recent Execute call; populated only when
-  /// options().record_provenance is set (Section 6, "Provenance").
-  const ExecutionTrace& last_trace() const { return last_trace_; }
+  /// Relation-only conveniences for callers that need no measurements.
+  Result<Relation> ExecuteSql(const std::string& sql) const;
+  Result<Relation> Execute(const sql::SelectStatement& stmt) const;
 
   const ExecutionOptions& options() const { return options_; }
-  void set_options(ExecutionOptions options) { options_ = options; }
 
   /// Attaches a cross-query materialisation cache (nullptr detaches).
   /// Non-owning; the cache is thread-safe and may be shared by several
-  /// executors. Bypassed while options().record_provenance is on (a
-  /// cache hit cannot replay per-cell prompt traces).
+  /// executors. Setup-time only: do not call with queries in flight.
+  /// Bypassed while options().record_provenance is on (a cache hit
+  /// cannot replay per-cell prompt traces).
   void set_materialisation_cache(MaterialisationCache* cache) {
     materialisation_cache_ = cache;
   }
@@ -87,15 +121,17 @@ class GaloisExecutor {
     return materialisation_cache_;
   }
 
-  /// Materialisation-cache traffic of the most recent Execute call: how
-  /// many LLM tables were looked up, and how many were served from the
-  /// cache without any LLM round trip. Both 0 when no cache is attached.
-  int64_t last_table_cache_lookups() const {
-    return last_table_cache_lookups_;
-  }
-  int64_t last_table_cache_hits() const { return last_table_cache_hits_; }
-
  private:
+  /// Per-query mutable state, owned by one Run call: the per-query cost
+  /// tap standing in for the shared model, the trace under construction
+  /// and the cache counters. Never stored on the executor.
+  struct QueryContext {
+    llm::LanguageModel* model = nullptr;  // the query's CostTap
+    ExecutionTrace trace;
+    int64_t table_cache_lookups = 0;
+    int64_t table_cache_hits = 0;
+  };
+
   /// Per-table execution context assembled during planning.
   struct TableContext {
     sql::TableRef ref;
@@ -111,7 +147,7 @@ class GaloisExecutor {
 
   /// The bound plan of one statement: the table contexts plus the WHERE
   /// conjuncts consumed as LLM filters (pointers into the statement's
-  /// expression tree). Execute builds the residual WHERE from exactly
+  /// expression tree). Run builds the residual WHERE from exactly
   /// this set, so the "was it pushed?" decision is made once, here —
   /// re-deriving it with a different column-resolution rule used to drop
   /// ambiguous conjuncts that were never pushed.
@@ -127,16 +163,19 @@ class GaloisExecutor {
   /// and the cache fingerprint).
   bool ShouldPushFirstFilter(const TableContext& ctx) const;
 
-  /// Materialises one LLM-backed base relation (steps 1-3 above).
-  /// Provenance is recorded into `trace` (never into members), so
-  /// independent tables may materialise on different threads.
-  Result<Relation> MaterialiseLlmTable(const TableContext& ctx,
+  /// Materialises one LLM-backed base relation (steps 1-3 above) through
+  /// `model` (the query's cost tap). Provenance is recorded into `trace`
+  /// (never into members), so independent tables may materialise on
+  /// different threads.
+  Result<Relation> MaterialiseLlmTable(llm::LanguageModel* model,
+                                       const TableContext& ctx,
                                        ExecutionTrace* trace) const;
 
   /// Attribute completion + critic verification for one table, pipelined:
   /// all column phases dispatched concurrently as phase futures.
   Result<std::vector<std::vector<Value>>> RetrieveColumnsPipelined(
-      const TableContext& ctx, const std::vector<std::string>& surviving,
+      llm::LanguageModel* model, const TableContext& ctx,
+      const std::vector<std::string>& surviving,
       ExecutionTrace* trace) const;
 
   /// Materialises a DB-backed base relation from the catalog instance.
@@ -144,18 +183,15 @@ class GaloisExecutor {
 
   /// Materialises every base relation of the plan, in FROM order:
   /// DB reads and cache hits inline, LLM tables sequentially or — with
-  /// pipeline_phases — as concurrent table tasks.
+  /// pipeline_phases — as concurrent table tasks. Cache counters and
+  /// provenance land in `qctx`.
   Result<std::vector<engine::BoundRelation>> MaterialiseTables(
-      const std::vector<TableContext>& ctxs);
+      const std::vector<TableContext>& ctxs, QueryContext* qctx) const;
 
   llm::LanguageModel* model_;
   const catalog::Catalog* catalog_;
   ExecutionOptions options_;
   MaterialisationCache* materialisation_cache_ = nullptr;
-  llm::CostMeter last_cost_;
-  ExecutionTrace last_trace_;
-  int64_t last_table_cache_lookups_ = 0;
-  int64_t last_table_cache_hits_ = 0;
 };
 
 }  // namespace galois::core

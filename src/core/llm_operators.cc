@@ -13,6 +13,7 @@ llm::BatchPolicy BatchPolicyFor(const ExecutionOptions& options) {
   policy.max_batch_size = options.max_batch_size;
   policy.parallel_batches =
       options.parallel_batches < 1 ? 1 : options.parallel_batches;
+  policy.control = options.control;
   return policy;
 }
 

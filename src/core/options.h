@@ -2,8 +2,11 @@
 #define GALOIS_CORE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/cancel.h"
 
 namespace galois::core {
 
@@ -31,15 +34,10 @@ struct ExecutionOptions {
   /// large scans, while the accuracy penalty is per-prompt).
   size_t auto_pushdown_min_rows = 60;
 
-  /// Back-compat convenience used by older call sites and the ablation
-  /// benches: true behaves like PushdownPolicy::kAlways.
-  bool pushdown_selections = false;
-
-  /// Effective policy combining the enum and the legacy flag.
-  PushdownPolicy EffectivePushdown() const {
-    if (pushdown_selections) return PushdownPolicy::kAlways;
-    return pushdown_policy;
-  }
+  /// The single source of truth for the pushdown decision. (The legacy
+  /// `pushdown_selections` bool is retired; set `pushdown_policy =
+  /// PushdownPolicy::kAlways` instead.)
+  PushdownPolicy EffectivePushdown() const { return pushdown_policy; }
 
   /// Verify every retrieved non-NULL cell with a second critic prompt and
   /// null the cells the critic rejects (Section 6, "Knowledge of the
@@ -47,7 +45,7 @@ struct ExecutionOptions {
   bool verify_cells = false;
 
   /// Record per-cell provenance (prompt, completion, critic verdict) in
-  /// GaloisExecutor::last_trace() (Section 6, "Provenance").
+  /// QueryOutput::trace / QueryResult::trace (Section 6, "Provenance").
   bool record_provenance = false;
 
   /// Issue per-key prompts (filter checks, attribute retrievals, critic
@@ -122,6 +120,20 @@ struct ExecutionOptions {
   /// phase. In the eval harness, backend names are model profile names
   /// ("flan", "chatgpt", ...).
   std::map<std::string, std::string> phase_models;
+
+  /// Per-query wall-clock budget in milliseconds; 0 disables. Enforced
+  /// cooperatively: `Session::Query` arms a CancelState with this budget
+  /// at query entry, the batch scheduler refuses to start new round
+  /// trips once it fires, and the executor stops between phases. Work
+  /// already in flight completes (and bills).
+  int64_t query_deadline_ms = 0;
+
+  /// Runtime cancellation/deadline token for the query this options
+  /// snapshot executes. Not a tuning knob: Session::Query fills it from
+  /// query_deadline_ms (or the caller's token) per query; it is excluded
+  /// from ToString and from the materialisation-cache fingerprint. Null
+  /// means not cancellable.
+  CancelToken control;
 
   std::string ToString() const;
 };

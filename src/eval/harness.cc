@@ -1,13 +1,11 @@
 #include "eval/harness.h"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
+#include <utility>
 
-#include "core/materialisation_cache.h"
+#include "api/database.h"
 #include "engine/executor.h"
-#include "llm/model_router.h"
-#include "llm/simulated_llm.h"
 #include "qa/qa_baseline.h"
 #include "sql/parser.h"
 
@@ -16,46 +14,36 @@ namespace galois::eval {
 Result<std::vector<QueryOutcome>> RunExperiment(
     const knowledge::SpiderLikeWorkload& workload,
     const llm::ModelProfile& profile, const ExperimentConfig& config) {
-  llm::SimulatedLlm base_model(&workload.kb(), profile, &workload.catalog(),
-                               config.llm_seed);
-  // Per-phase routing: options.phase_models names model profiles per
-  // retrieval phase ("verify" -> "chatgpt"); the run's own profile stays
-  // the default backend for unrouted phases. Routed profiles share the
-  // run's seed and world, so a route that points every phase at the base
-  // profile reproduces the single-model run exactly.
-  llm::ModelRouter router;
-  std::vector<std::unique_ptr<llm::SimulatedLlm>> routed_models;
-  llm::LanguageModel* model = &base_model;
-  if (!config.options.phase_models.empty()) {
-    GALOIS_RETURN_IF_ERROR(router.AddBackend(profile.name, &base_model));
-    for (const auto& [phase, target] : config.options.phase_models) {
-      (void)phase;
-      std::vector<std::string> names = router.backend_names();
-      if (std::find(names.begin(), names.end(), target) != names.end()) {
-        continue;  // already registered
-      }
-      GALOIS_ASSIGN_OR_RETURN(llm::ModelProfile routed,
-                              llm::ModelProfile::ByName(target));
-      if (routed.name == profile.name) {
-        // Alias of the base profile; share the instance so cost() never
-        // double-counts.
-        GALOIS_RETURN_IF_ERROR(router.AddBackend(target, &base_model));
-      } else {
-        routed_models.push_back(std::make_unique<llm::SimulatedLlm>(
-            &workload.kb(), routed, &workload.catalog(), config.llm_seed));
-        GALOIS_RETURN_IF_ERROR(
-            router.AddBackend(target, routed_models.back().get()));
-      }
-    }
-    GALOIS_RETURN_IF_ERROR(
-        router.ConfigureRoutes(config.options.phase_models));
-    model = &router;
+  // The whole wiring — base model, per-phase routed models sharing the
+  // run's seed and world, materialisation cache — is the Database
+  // builder's job now. Routed profiles are resolved here (backend names
+  // in phase_models are model profile names); a route that points at the
+  // base profile aliases the base backend, so cost() never double-counts.
+  DatabaseOptions db_options;
+  db_options.workload = &workload;
+  db_options.llm_seed = config.llm_seed;
+  db_options.execution = config.options;
+  db_options.enable_materialisation_cache = config.use_materialisation_cache;
+
+  BackendSpec base;
+  base.name = profile.name;
+  base.simulated = profile;
+  db_options.backends.push_back(std::move(base));
+  db_options.default_backend = profile.name;
+  for (const auto& [phase, target] : config.options.phase_models) {
+    (void)phase;
+    if (db_options.HasBackend(target)) continue;
+    GALOIS_ASSIGN_OR_RETURN(llm::ModelProfile routed,
+                            llm::ModelProfile::ByName(target));
+    BackendSpec spec;
+    spec.name = target;
+    spec.simulated = std::move(routed);
+    db_options.backends.push_back(std::move(spec));
   }
-  core::GaloisExecutor galois(model, &workload.catalog(), config.options);
-  core::MaterialisationCache table_cache;
-  if (config.use_materialisation_cache) {
-    galois.set_materialisation_cache(&table_cache);
-  }
+
+  GALOIS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(std::move(db_options)));
+  Session session = db->CreateSession();
 
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(workload.queries().size());
@@ -70,29 +58,26 @@ Result<std::vector<QueryOutcome>> RunExperiment(
     outcome.rd_rows = rd.NumRows();
 
     if (config.run_galois) {
-      auto start = std::chrono::steady_clock::now();
-      GALOIS_ASSIGN_OR_RETURN(Relation rm, galois.ExecuteSql(query.sql));
-      outcome.galois_wall_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start)
-              .count();
-      outcome.rm_rows = rm.NumRows();
+      GALOIS_ASSIGN_OR_RETURN(QueryResult rm, session.Query(query.sql));
+      outcome.galois_wall_ms = rm.wall_ms;
+      outcome.rm_rows = rm.relation.NumRows();
       outcome.cardinality_diff_percent =
-          CardinalityDiffPercent(rd.NumRows(), rm.NumRows());
-      outcome.galois_match = MatchCells(rd, rm);
-      outcome.galois_cost = galois.last_cost();
-      outcome.table_cache_lookups = galois.last_table_cache_lookups();
-      outcome.table_cache_hits = galois.last_table_cache_hits();
+          CardinalityDiffPercent(rd.NumRows(), rm.relation.NumRows());
+      outcome.galois_match = MatchCells(rd, rm.relation);
+      outcome.galois_cost = std::move(rm.cost);
+      outcome.table_cache_lookups = rm.table_cache_lookups;
+      outcome.table_cache_hits = rm.table_cache_hits;
     }
     if (config.run_nl_qa) {
       GALOIS_ASSIGN_OR_RETURN(
-          qa::QaResult nl, qa::RunNlQuestion(model, query, rd.schema()));
+          qa::QaResult nl,
+          qa::RunNlQuestion(db->model(), query, rd.schema()));
       outcome.nl_match = MatchCells(rd, nl.relation);
     }
     if (config.run_cot_qa) {
       GALOIS_ASSIGN_OR_RETURN(
           qa::QaResult cot,
-          qa::RunChainOfThought(model, query, rd.schema()));
+          qa::RunChainOfThought(db->model(), query, rd.schema()));
       outcome.cot_match = MatchCells(rd, cot.relation);
     }
     outcomes.push_back(std::move(outcome));

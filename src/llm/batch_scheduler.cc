@@ -36,6 +36,11 @@ Result<std::vector<Completion>> BatchScheduler::DispatchSequential(
   std::vector<Completion> out;
   out.reserve(unique.size());
   for (size_t j = 0; j < unique.size(); ++j) {
+    Status cancel = CheckCancel(policy_.control);
+    if (!cancel.ok()) {
+      return Annotate(cancel, "prompt " + std::to_string(j + 1) + "/" +
+                                  std::to_string(unique.size()));
+    }
     Result<Completion> c = model_->Complete(pending[unique[j]]);
     if (!c.ok()) {
       return Annotate(c.status(), "prompt " + std::to_string(j + 1) + "/" +
@@ -81,6 +86,8 @@ Result<std::vector<Completion>> BatchScheduler::DispatchBatched(
   if (workers <= 1) {
     // Sequential chunk dispatch: stop at the first failing round trip.
     for (size_t i = 0; i < num_chunks; ++i) {
+      Status cancel = CheckCancel(policy_.control);
+      if (!cancel.ok()) return Annotate(cancel, chunk_context(i));
       Result<std::vector<Completion>> completions =
           model_->CompleteBatch(chunks[i]);
       if (!completions.ok()) {
@@ -101,6 +108,11 @@ Result<std::vector<Completion>> BatchScheduler::DispatchBatched(
     auto run_chunks = [&]() {
       for (size_t i = next.fetch_add(1); i < num_chunks;
            i = next.fetch_add(1)) {
+        Status cancel = CheckCancel(policy_.control);
+        if (!cancel.ok()) {
+          chunk_status[i] = cancel;
+          continue;
+        }
         Result<std::vector<Completion>> completions =
             model_->CompleteBatch(chunks[i]);
         if (completions.ok()) {

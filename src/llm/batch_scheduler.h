@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "llm/language_model.h"
@@ -38,6 +39,13 @@ struct BatchPolicy {
   /// fully sequential dispatch. Effective concurrency is additionally
   /// capped by ThreadPool::kSharedThreads.
   int parallel_batches = 1;
+
+  /// Per-query cancellation/deadline token (null = not cancellable).
+  /// Checked before every round trip this scheduler starts — sequential
+  /// prompts, batched chunks and CompleteOne alike — so a cancelled or
+  /// expired query stops issuing new LLM traffic at the next dispatch
+  /// boundary. Round trips already in flight complete (and bill).
+  CancelToken control;
 };
 
 /// Collects the pending prompts of one executor phase (a filter-check
@@ -125,6 +133,7 @@ class BatchScheduler {
   /// (scan paging: page k+1 cannot be built until page k's answer is
   /// seen). Never billed as a batch round trip.
   Result<Completion> CompleteOne(const Prompt& prompt) {
+    GALOIS_RETURN_IF_ERROR(CheckCancel(policy_.control));
     return model_->Complete(prompt);
   }
 

@@ -302,16 +302,38 @@ Status HttpLlm::HttpError(const std::string& path,
 
 void HttpLlm::Bill(int64_t prompts, int64_t prompt_tokens,
                    int64_t completion_tokens, double latency_ms,
-                   bool as_batch) {
-  std::lock_guard<std::mutex> lock(cost_mu_);
-  cost_.num_prompts += prompts;
-  cost_.prompt_tokens += prompt_tokens;
-  cost_.completion_tokens += completion_tokens;
-  cost_.simulated_latency_ms += latency_ms;
-  if (as_batch) ++cost_.num_batches;
+                   bool as_batch, CostMeter* usage) {
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    cost_.num_prompts += prompts;
+    cost_.prompt_tokens += prompt_tokens;
+    cost_.completion_tokens += completion_tokens;
+    cost_.simulated_latency_ms += latency_ms;
+    if (as_batch) ++cost_.num_batches;
+  }
+  if (usage != nullptr) {
+    CostMeter delta;
+    delta.num_prompts = prompts;
+    delta.prompt_tokens = prompt_tokens;
+    delta.completion_tokens = completion_tokens;
+    delta.simulated_latency_ms = latency_ms;
+    delta.num_batches = as_batch ? 1 : 0;
+    delta.FillSelfSlice(name_);
+    *usage += delta;
+  }
 }
 
 Result<Completion> HttpLlm::Complete(const Prompt& prompt) {
+  return CompleteMetered(prompt, nullptr);
+}
+
+Result<std::vector<Completion>> HttpLlm::CompleteBatch(
+    const std::vector<Prompt>& prompts) {
+  return CompleteBatchMetered(prompts, nullptr);
+}
+
+Result<Completion> HttpLlm::CompleteMetered(const Prompt& prompt,
+                                            CostMeter* usage) {
   const int64_t start_ms = NowMs();
   const std::string body =
       BuildChatRequest(options_.wire_model, prompt).Dump();
@@ -339,12 +361,12 @@ Result<Completion> HttpLlm::Complete(const Prompt& prompt) {
        wire.usage.latency_ms > 0.0
            ? wire.usage.latency_ms
            : static_cast<double>(NowMs() - start_ms),
-       /*as_batch=*/false);
+       /*as_batch=*/false, usage);
   return wire.completion;
 }
 
-Result<std::vector<Completion>> HttpLlm::CompleteBatch(
-    const std::vector<Prompt>& prompts) {
+Result<std::vector<Completion>> HttpLlm::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
   if (prompts.empty()) return std::vector<Completion>{};
   const int64_t start_ms = NowMs();
   const std::string body =
@@ -364,36 +386,30 @@ Result<std::vector<Completion>> HttpLlm::CompleteBatch(
   // (no partial completions), per the CompleteBatch contract.
   GALOIS_ASSIGN_OR_RETURN(auto reassembled,
                           ParseBatchResponse(parsed.value(), prompts.size()));
-  auto& [completions, usage] = reassembled;
-  if (usage.prompt_tokens == 0) {
+  auto& [completions, wire_usage] = reassembled;
+  if (wire_usage.prompt_tokens == 0) {
     for (const Prompt& p : prompts) {
-      usage.prompt_tokens += CountTokens(p.text);
+      wire_usage.prompt_tokens += CountTokens(p.text);
     }
   }
-  if (usage.completion_tokens == 0) {
+  if (wire_usage.completion_tokens == 0) {
     for (const Completion& c : completions) {
-      usage.completion_tokens += CountTokens(c.text);
+      wire_usage.completion_tokens += CountTokens(c.text);
     }
   }
-  Bill(static_cast<int64_t>(prompts.size()), usage.prompt_tokens,
-       usage.completion_tokens,
-       usage.latency_ms > 0.0 ? usage.latency_ms
-                              : static_cast<double>(NowMs() - start_ms),
-       /*as_batch=*/true);
+  Bill(static_cast<int64_t>(prompts.size()), wire_usage.prompt_tokens,
+       wire_usage.completion_tokens,
+       wire_usage.latency_ms > 0.0
+           ? wire_usage.latency_ms
+           : static_cast<double>(NowMs() - start_ms),
+       /*as_batch=*/true, usage);
   return std::move(completions);
 }
 
 CostMeter HttpLlm::cost() const {
   std::lock_guard<std::mutex> lock(cost_mu_);
   CostMeter out = cost_;
-  if (out.num_prompts != 0 || out.num_batches != 0) {
-    ModelUsage& mine = out.by_model[name_];
-    mine.num_prompts = out.num_prompts;
-    mine.prompt_tokens = out.prompt_tokens;
-    mine.completion_tokens = out.completion_tokens;
-    mine.simulated_latency_ms = out.simulated_latency_ms;
-    mine.num_batches = out.num_batches;
-  }
+  out.FillSelfSlice(name_);
   return out;
 }
 

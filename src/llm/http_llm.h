@@ -85,6 +85,13 @@ class HttpLlm : public LanguageModel {
   Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts) override;
 
+  /// Exact per-call usage reports: the wire-derived billing applied to
+  /// the meter is also handed to `usage` (with the by_model slice).
+  Result<Completion> CompleteMetered(const Prompt& prompt,
+                                     CostMeter* usage) override;
+  Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage) override;
+
   CostMeter cost() const override;
   void ResetCost() override;
 
@@ -105,8 +112,10 @@ class HttpLlm : public LanguageModel {
   /// Maps a non-200 response to the classified error Status.
   Status HttpError(const std::string& path, const HttpResponse& resp) const;
 
+  /// Applies the round trip to the meter and, when `usage` is non-null,
+  /// reports the same delta (with the by_model slice) to the caller.
   void Bill(int64_t prompts, int64_t prompt_tokens, int64_t completion_tokens,
-            double latency_ms, bool as_batch);
+            double latency_ms, bool as_batch, CostMeter* usage);
 
   HttpLlmOptions options_;
   std::string name_;

@@ -15,6 +15,24 @@ Result<std::vector<Completion>> LanguageModel::CompleteBatch(
   return out;
 }
 
+Result<Completion> LanguageModel::CompleteMetered(const Prompt& prompt,
+                                                  CostMeter* usage) {
+  if (usage == nullptr) return Complete(prompt);
+  CostMeter before = cost();
+  Result<Completion> out = Complete(prompt);
+  if (out.ok()) *usage += cost() - before;
+  return out;
+}
+
+Result<std::vector<Completion>> LanguageModel::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
+  if (usage == nullptr) return CompleteBatch(prompts);
+  CostMeter before = cost();
+  Result<std::vector<Completion>> out = CompleteBatch(prompts);
+  if (out.ok()) *usage += cost() - before;
+  return out;
+}
+
 int64_t CountTokens(const std::string& text) {
   std::istringstream is(text);
   std::string word;

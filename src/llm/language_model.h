@@ -86,8 +86,40 @@ struct CostMeter {
 
   void Reset() { *this = CostMeter(); }
 
-  /// Difference of two meters, including the per-backend slices (an
-  /// executor snapshots cost() before a query and subtracts after, so the
+  /// Copies the aggregate transport fields into by_model[name] — the
+  /// self-slice a concrete transport (SimulatedLlm, HttpLlm) reports
+  /// for its own spend, both in cost() snapshots and in per-call usage
+  /// deltas. Cache-level attribution (cache_hits) belongs to no backend
+  /// and is deliberately excluded. No-op on an all-zero meter, so an
+  /// idle backend lists no slice.
+  void FillSelfSlice(const std::string& name) {
+    if (num_prompts == 0 && num_batches == 0) return;
+    ModelUsage& mine = by_model[name];
+    mine.num_prompts = num_prompts;
+    mine.prompt_tokens = prompt_tokens;
+    mine.completion_tokens = completion_tokens;
+    mine.simulated_latency_ms = simulated_latency_ms;
+    mine.num_batches = num_batches;
+  }
+
+  /// Merge of two meters, including the per-backend slices. This is how
+  /// per-call usage reports (CompleteMetered / CompleteBatchMetered)
+  /// accumulate into a per-query meter.
+  CostMeter& operator+=(const CostMeter& other) {
+    num_prompts += other.num_prompts;
+    prompt_tokens += other.prompt_tokens;
+    completion_tokens += other.completion_tokens;
+    simulated_latency_ms += other.simulated_latency_ms;
+    cache_hits += other.cache_hits;
+    num_batches += other.num_batches;
+    for (const auto& [name, usage] : other.by_model) {
+      by_model[name] += usage;
+    }
+    return *this;
+  }
+
+  /// Difference of two meters, including the per-backend slices (a
+  /// caller may snapshot cost() before a run and subtract after, so the
   /// breakdown must subtract too or a cascade run would report the whole
   /// session's spend on every query). Slices that cancel to zero are
   /// dropped, so a query that never touched a backend does not list it.
@@ -151,6 +183,30 @@ class LanguageModel {
   /// round trip may already have been billed.
   virtual Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts);
+
+  /// Metered variants: identical semantics to Complete / CompleteBatch,
+  /// but additionally *accumulate* into `*usage` (when non-null) exactly
+  /// what this call billed into cost(). They exist so a caller can
+  /// attribute spend to one logical query while many queries share one
+  /// model stack concurrently — diffing cost() around a call is racy the
+  /// moment another thread bills in between, per-call usage reports are
+  /// not. Decorators forward the pointer down the stack, adding their own
+  /// attribution (PromptCache adds cache_hits, ModelRouter merges
+  /// per-backend slices).
+  ///
+  /// On error nothing is added to `*usage`; a failed round trip that the
+  /// stack billed anyway (SimulatedLlm bills per answered prompt, HTTP
+  /// retries bill server-side) shows up only in the stack-wide cost().
+  ///
+  /// The default implementations fall back to diffing cost() around the
+  /// unmetered call — exact only while no other thread bills the same
+  /// model. Every shipped model and decorator overrides them with exact
+  /// per-call attribution; custom single-threaded models can rely on the
+  /// default.
+  virtual Result<Completion> CompleteMetered(const Prompt& prompt,
+                                             CostMeter* usage);
+  virtual Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage);
 
   /// Usage since construction / last reset, returned as a consistent
   /// snapshot. Safe to call concurrently with in-flight round trips (the

@@ -1,0 +1,41 @@
+#include "llm/metering.h"
+
+namespace galois::llm {
+
+void CostTap::Record(const CostMeter& delta, CostMeter* usage) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tapped_ += delta;
+  }
+  if (usage != nullptr) *usage += delta;
+}
+
+Result<Completion> CostTap::CompleteMetered(const Prompt& prompt,
+                                            CostMeter* usage) {
+  CostMeter delta;
+  GALOIS_ASSIGN_OR_RETURN(Completion c,
+                          inner_->CompleteMetered(prompt, &delta));
+  Record(delta, usage);
+  return c;
+}
+
+Result<std::vector<Completion>> CostTap::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
+  CostMeter delta;
+  GALOIS_ASSIGN_OR_RETURN(std::vector<Completion> out,
+                          inner_->CompleteBatchMetered(prompts, &delta));
+  Record(delta, usage);
+  return out;
+}
+
+CostMeter CostTap::cost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tapped_;
+}
+
+void CostTap::ResetCost() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tapped_.Reset();
+}
+
+}  // namespace galois::llm

@@ -1,0 +1,75 @@
+#ifndef GALOIS_LLM_METERING_H_
+#define GALOIS_LLM_METERING_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llm/language_model.h"
+
+namespace galois::llm {
+
+/// Per-query cost attribution decorator.
+///
+/// A CostTap sits on top of a (usually shared) model stack for the
+/// duration of one logical query: every round trip issued through it is
+/// forwarded to the inner stack via the metered API, and the usage the
+/// stack reports for that call — and only that call — is accumulated
+/// into the tap's own meter. cost() therefore returns exactly what
+/// flowed through *this tap*, however many other taps (other concurrent
+/// queries, other sessions) are billing the same stack at the same
+/// moment. This is what makes `QueryResult::cost` exact under
+/// concurrency, where the old snapshot-and-diff of the shared stack's
+/// meter was racy.
+///
+/// The tap is transparent to identification (name() forwards) and adds
+/// no caching, routing or policy — attribution only. ResetCost() clears
+/// the tap's meter and leaves the inner stack untouched.
+///
+/// Thread-safety: Complete/CompleteBatch/cost may be called concurrently
+/// (the pipelined executor bills one query from several phase threads);
+/// the meter is guarded by a mutex and updated once per round trip.
+///
+/// Failed round trips add nothing to the tap even when the stack billed
+/// them internally (see LanguageModel::CompleteMetered); the stack-wide
+/// meter remains the source of truth for total spend.
+class CostTap : public LanguageModel {
+ public:
+  /// `inner` must outlive the tap.
+  explicit CostTap(LanguageModel* inner) : inner_(inner) {}
+
+  const std::string& name() const override { return inner_->name(); }
+
+  Result<Completion> Complete(const Prompt& prompt) override {
+    return CompleteMetered(prompt, nullptr);
+  }
+  Result<std::vector<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts) override {
+    return CompleteBatchMetered(prompts, nullptr);
+  }
+
+  /// Forwards to the inner stack's metered call; the reported usage is
+  /// added to the tap's meter and, when `usage` is non-null, to the
+  /// caller's meter too (taps compose).
+  Result<Completion> CompleteMetered(const Prompt& prompt,
+                                     CostMeter* usage) override;
+  Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage) override;
+
+  /// Usage accumulated through this tap only.
+  CostMeter cost() const override;
+
+  /// Clears the tap's meter; the inner stack's meter is untouched.
+  void ResetCost() override;
+
+ private:
+  void Record(const CostMeter& delta, CostMeter* usage);
+
+  LanguageModel* inner_;
+  mutable std::mutex mu_;
+  CostMeter tapped_;  // guarded by mu_
+};
+
+}  // namespace galois::llm
+
+#endif  // GALOIS_LLM_METERING_H_

@@ -153,15 +153,25 @@ const std::string& ModelRouter::name() const {
 }
 
 Result<Completion> ModelRouter::Complete(const Prompt& prompt) {
-  LanguageModel* backend = BackendFor(prompt.intent);
-  if (backend == nullptr) {
-    return Status::LlmError("router: no backends registered");
-  }
-  return backend->Complete(prompt);
+  return CompleteMetered(prompt, nullptr);
 }
 
 Result<std::vector<Completion>> ModelRouter::CompleteBatch(
     const std::vector<Prompt>& prompts) {
+  return CompleteBatchMetered(prompts, nullptr);
+}
+
+Result<Completion> ModelRouter::CompleteMetered(const Prompt& prompt,
+                                                CostMeter* usage) {
+  LanguageModel* backend = BackendFor(prompt.intent);
+  if (backend == nullptr) {
+    return Status::LlmError("router: no backends registered");
+  }
+  return backend->CompleteMetered(prompt, usage);
+}
+
+Result<std::vector<Completion>> ModelRouter::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
   if (prompts.empty()) return std::vector<Completion>{};
   // Partition by target backend, preserving input positions. Executor
   // phases are intent-homogeneous, so the common case is one group and
@@ -185,7 +195,7 @@ Result<std::vector<Completion>> ModelRouter::CompleteBatch(
       break;
     }
   }
-  if (homogeneous) return target[0]->CompleteBatch(prompts);
+  if (homogeneous) return target[0]->CompleteBatchMetered(prompts, usage);
 
   std::vector<Completion> out(prompts.size());
   std::vector<LanguageModel*> done;  // backends already dispatched
@@ -203,9 +213,11 @@ Result<std::vector<Completion>> ModelRouter::CompleteBatch(
     }
     // One inner round trip per backend involved. On failure the whole
     // batch fails — completions filled for an earlier backend are
-    // discarded with `out`, never returned partially.
+    // discarded with `out`, never returned partially (though an earlier
+    // backend's usage may already be reported; the executor discards the
+    // query's meter on error anyway).
     GALOIS_ASSIGN_OR_RETURN(std::vector<Completion> group_out,
-                            backend->CompleteBatch(group));
+                            backend->CompleteBatchMetered(group, usage));
     for (size_t k = 0; k < positions.size(); ++k) {
       out[positions[k]] = std::move(group_out[k]);
     }

@@ -95,6 +95,14 @@ class ModelRouter : public LanguageModel {
   Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts) override;
 
+  /// Metered variants forward the usage pointer to the routed backend(s);
+  /// a mixed batch accumulates one slice per backend involved, so a
+  /// per-query meter shows the same per-backend breakdown as cost().
+  Result<Completion> CompleteMetered(const Prompt& prompt,
+                                     CostMeter* usage) override;
+  Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage) override;
+
   CostMeter cost() const override;
   void ResetCost() override;
 

@@ -31,19 +31,31 @@ void PromptCache::Insert(const std::string& text, size_t hash,
 }
 
 Result<Completion> PromptCache::Complete(const Prompt& prompt) {
-  const size_t hash = HashOf(prompt.text);
-  std::string cached;
-  if (Lookup(prompt.text, hash, &cached)) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return Completion{std::move(cached)};
-  }
-  GALOIS_ASSIGN_OR_RETURN(Completion c, inner_->Complete(prompt));
-  Insert(prompt.text, hash, c.text);
-  return c;
+  return CompleteMetered(prompt, nullptr);
 }
 
 Result<std::vector<Completion>> PromptCache::CompleteBatch(
     const std::vector<Prompt>& prompts) {
+  return CompleteBatchMetered(prompts, nullptr);
+}
+
+Result<Completion> PromptCache::CompleteMetered(const Prompt& prompt,
+                                                CostMeter* usage) {
+  const size_t hash = HashOf(prompt.text);
+  std::string cached;
+  if (Lookup(prompt.text, hash, &cached)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (usage != nullptr) ++usage->cache_hits;
+    return Completion{std::move(cached)};
+  }
+  GALOIS_ASSIGN_OR_RETURN(Completion c,
+                          inner_->CompleteMetered(prompt, usage));
+  Insert(prompt.text, hash, c.text);
+  return c;
+}
+
+Result<std::vector<Completion>> PromptCache::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
   if (prompts.empty()) return std::vector<Completion>{};
 
   // Partition hits from misses; repeated miss texts within the batch map
@@ -80,11 +92,18 @@ Result<std::vector<Completion>> PromptCache::CompleteBatch(
     // Entirely served from cache: no inner round trip, but keep the batch
     // attribution (see header).
     batches_from_cache_.fetch_add(1, std::memory_order_relaxed);
+    if (usage != nullptr) {
+      usage->cache_hits += hits;
+      ++usage->num_batches;
+    }
     return out;
   }
 
   GALOIS_ASSIGN_OR_RETURN(std::vector<Completion> completions,
-                          inner_->CompleteBatch(miss_prompts));
+                          inner_->CompleteBatchMetered(miss_prompts, usage));
+  // The hits are reported only once the whole call succeeds, keeping the
+  // nothing-on-error contract of the metered API.
+  if (usage != nullptr) usage->cache_hits += hits;
   if (completions.size() != miss_prompts.size()) {
     return Status::LlmError("inner CompleteBatch returned " +
                             std::to_string(completions.size()) +

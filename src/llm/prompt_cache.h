@@ -60,6 +60,15 @@ class PromptCache : public LanguageModel {
   Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts) override;
 
+  /// Exact per-call usage: forwards the pointer to the inner model for
+  /// the misses and adds this call's cache hits (and, for a batch served
+  /// entirely from cache, the saved batch round trip) on top — so a
+  /// per-query meter attributes hits exactly like the combined cost().
+  Result<Completion> CompleteMetered(const Prompt& prompt,
+                                     CostMeter* usage) override;
+  Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage) override;
+
   /// Combined meter: inner usage, plus our cache hit count, plus the batch
   /// calls served entirely from cache. Returned by value, so concurrent
   /// cost() readers are safe.

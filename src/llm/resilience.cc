@@ -223,18 +223,29 @@ Result<T> ResilientLlm::Guarded(
 }
 
 Result<Completion> ResilientLlm::Complete(const Prompt& prompt) {
-  return Guarded<Completion>(
-      "resilient " + inner_->name(),
-      [&]() -> Result<Completion> { return inner_->Complete(prompt); });
+  return CompleteMetered(prompt, nullptr);
 }
 
 Result<std::vector<Completion>> ResilientLlm::CompleteBatch(
     const std::vector<Prompt>& prompts) {
+  return CompleteBatchMetered(prompts, nullptr);
+}
+
+Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
+                                                 CostMeter* usage) {
+  return Guarded<Completion>(
+      "resilient " + inner_->name(), [&]() -> Result<Completion> {
+        return inner_->CompleteMetered(prompt, usage);
+      });
+}
+
+Result<std::vector<Completion>> ResilientLlm::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
   return Guarded<std::vector<Completion>>(
       "resilient " + inner_->name() + " batch[" +
           std::to_string(prompts.size()) + "]",
       [&]() -> Result<std::vector<Completion>> {
-        return inner_->CompleteBatch(prompts);
+        return inner_->CompleteBatchMetered(prompts, usage);
       });
 }
 

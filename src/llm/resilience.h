@@ -105,6 +105,15 @@ class ResilientLlm : public LanguageModel {
   Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts) override;
 
+  /// Metered variants run the same policy; the usage pointer rides the
+  /// round trip into the inner stack, so a successful (possibly retried)
+  /// call reports exactly the usage of the attempt that succeeded.
+  /// Failed attempts report nothing (per the metered-API contract).
+  Result<Completion> CompleteMetered(const Prompt& prompt,
+                                     CostMeter* usage) override;
+  Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage) override;
+
   /// Forwards to the inner model: the decorator adds policy, not spend.
   /// Failed retried round trips are billed by whoever billed them inside
   /// (the transport bills only successes; SimulatedLlm bills each call).

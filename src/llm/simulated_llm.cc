@@ -399,20 +399,29 @@ Result<Completion> SimulatedLlm::Answer(const Prompt& prompt) const {
 }
 
 Result<Completion> SimulatedLlm::Complete(const Prompt& prompt) {
-  GALOIS_ASSIGN_OR_RETURN(Completion c, Answer(prompt));
-  {
-    std::lock_guard<std::mutex> lock(cost_mu_);
-    ++cost_.num_prompts;
-    cost_.prompt_tokens += CountTokens(prompt.text);
-    cost_.completion_tokens += CountTokens(c.text);
-    cost_.simulated_latency_ms += PromptLatencyMs(prompt, c.text);
-  }
-  SimulateRoundTripWait();
-  return c;
+  return CompleteMetered(prompt, nullptr);
 }
 
 Result<std::vector<Completion>> SimulatedLlm::CompleteBatch(
     const std::vector<Prompt>& prompts) {
+  return CompleteBatchMetered(prompts, nullptr);
+}
+
+Result<Completion> SimulatedLlm::CompleteMetered(const Prompt& prompt,
+                                                 CostMeter* usage) {
+  GALOIS_ASSIGN_OR_RETURN(Completion c, Answer(prompt));
+  CostMeter delta;
+  delta.num_prompts = 1;
+  delta.prompt_tokens = CountTokens(prompt.text);
+  delta.completion_tokens = CountTokens(c.text);
+  delta.simulated_latency_ms = PromptLatencyMs(prompt, c.text);
+  Bill(delta, usage);
+  SimulateRoundTripWait();
+  return c;
+}
+
+Result<std::vector<Completion>> SimulatedLlm::CompleteBatchMetered(
+    const std::vector<Prompt>& prompts, CostMeter* usage) {
   if (prompts.empty()) return std::vector<Completion>{};
   // Answer the prompts individually (same completions, full token
   // billing), but charge the overlapped latency of one round trip: a
@@ -421,26 +430,39 @@ Result<std::vector<Completion>> SimulatedLlm::CompleteBatch(
   // concurrent batches never observe a half-billed round trip.
   std::vector<Completion> out;
   out.reserve(prompts.size());
-  int64_t prompt_tokens = 0;
-  int64_t completion_tokens = 0;
+  CostMeter delta;
   double max_single = 0.0;
   for (const Prompt& p : prompts) {
     GALOIS_ASSIGN_OR_RETURN(Completion c, Answer(p));
-    prompt_tokens += CountTokens(p.text);
-    completion_tokens += CountTokens(c.text);
+    delta.prompt_tokens += CountTokens(p.text);
+    delta.completion_tokens += CountTokens(c.text);
     max_single = std::max(max_single, PromptLatencyMs(p, c.text));
     out.push_back(std::move(c));
   }
-  {
-    std::lock_guard<std::mutex> lock(cost_mu_);
-    cost_.num_prompts += static_cast<int64_t>(prompts.size());
-    cost_.prompt_tokens += prompt_tokens;
-    cost_.completion_tokens += completion_tokens;
-    cost_.simulated_latency_ms += profile_.latency_ms_base + max_single;
-    ++cost_.num_batches;
-  }
+  delta.num_prompts = static_cast<int64_t>(prompts.size());
+  delta.simulated_latency_ms = profile_.latency_ms_base + max_single;
+  delta.num_batches = 1;
+  Bill(delta, usage);
   SimulateRoundTripWait();
   return out;
+}
+
+void SimulatedLlm::Bill(const CostMeter& delta, CostMeter* usage) {
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    cost_.num_prompts += delta.num_prompts;
+    cost_.prompt_tokens += delta.prompt_tokens;
+    cost_.completion_tokens += delta.completion_tokens;
+    cost_.simulated_latency_ms += delta.simulated_latency_ms;
+    cost_.num_batches += delta.num_batches;
+  }
+  if (usage != nullptr) {
+    // The caller's meter gets the per-backend slice too, so routed and
+    // direct paths attribute identically (mirrors cost()).
+    CostMeter reported = delta;
+    reported.FillSelfSlice(profile_.name);
+    *usage += reported;
+  }
 }
 
 CostMeter SimulatedLlm::cost() const {
@@ -449,14 +471,7 @@ CostMeter SimulatedLlm::cost() const {
   // Every concrete model reports its own by_model slice so per-backend
   // attribution works uniformly: a direct SimulatedLlm and a ModelRouter
   // routing every phase to it produce byte-identical meters.
-  if (out.num_prompts != 0 || out.num_batches != 0) {
-    ModelUsage& mine = out.by_model[profile_.name];
-    mine.num_prompts = out.num_prompts;
-    mine.prompt_tokens = out.prompt_tokens;
-    mine.completion_tokens = out.completion_tokens;
-    mine.simulated_latency_ms = out.simulated_latency_ms;
-    mine.num_batches = out.num_batches;
-  }
+  out.FillSelfSlice(profile_.name);
   return out;
 }
 

@@ -67,6 +67,14 @@ class SimulatedLlm : public LanguageModel {
   Result<std::vector<Completion>> CompleteBatch(
       const std::vector<Prompt>& prompts) override;
 
+  /// Exact per-call usage reports (the billing is computed per round trip
+  /// anyway, so the delta handed to `usage` is the one applied to the
+  /// meter — including the by_model slice).
+  Result<Completion> CompleteMetered(const Prompt& prompt,
+                                     CostMeter* usage) override;
+  Result<std::vector<Completion>> CompleteBatchMetered(
+      const std::vector<Prompt>& prompts, CostMeter* usage) override;
+
   /// Consistent snapshot of the accumulated usage; safe to call from any
   /// thread.
   CostMeter cost() const override;
@@ -149,6 +157,10 @@ class SimulatedLlm : public LanguageModel {
   /// Blocks for wall_latency_ms_ when the knob is set (one call per round
   /// trip). Never holds cost_mu_.
   void SimulateRoundTripWait() const;
+
+  /// Applies `delta` to the meter in one locked update and, when `usage`
+  /// is non-null, reports it (with the by_model slice) to the caller.
+  void Bill(const CostMeter& delta, CostMeter* usage);
 
   const knowledge::WorldKb* kb_;
   ModelProfile profile_;

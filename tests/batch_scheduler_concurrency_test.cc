@@ -432,7 +432,7 @@ TEST(ConcurrentExecutorTest, ParallelBatchesReturnsIdenticalRelations) {
     opts.max_batch_size = 3;
     opts.parallel_batches = 1;
     GaloisExecutor sequential(&seq_model, &workload->catalog(), opts);
-    auto rm_seq = sequential.ExecuteSql(q.sql);
+    auto rm_seq = sequential.RunSql(q.sql);
     ASSERT_TRUE(rm_seq.ok()) << "q" << q.id;
 
     llm::SimulatedLlm par_model(&workload->kb(),
@@ -440,20 +440,18 @@ TEST(ConcurrentExecutorTest, ParallelBatchesReturnsIdenticalRelations) {
                                 &workload->catalog(), 7);
     opts.parallel_batches = 4;
     GaloisExecutor parallel(&par_model, &workload->catalog(), opts);
-    auto rm_par = parallel.ExecuteSql(q.sql);
+    auto rm_par = parallel.RunSql(q.sql);
     ASSERT_TRUE(rm_par.ok()) << "q" << q.id;
 
     // Byte-identical relations and identical accounting: concurrency
     // moves wall-clock time, never answers or billing.
-    EXPECT_TRUE(rm_seq->SameContents(*rm_par)) << "q" << q.id;
-    EXPECT_EQ(sequential.last_cost().num_prompts,
-              parallel.last_cost().num_prompts)
+    EXPECT_TRUE(rm_seq->relation.SameContents(rm_par->relation))
         << "q" << q.id;
-    EXPECT_EQ(sequential.last_cost().num_batches,
-              parallel.last_cost().num_batches)
+    EXPECT_EQ(rm_seq->cost.num_prompts, rm_par->cost.num_prompts)
         << "q" << q.id;
-    EXPECT_EQ(sequential.last_cost().cache_hits,
-              parallel.last_cost().cache_hits)
+    EXPECT_EQ(rm_seq->cost.num_batches, rm_par->cost.num_batches)
+        << "q" << q.id;
+    EXPECT_EQ(rm_seq->cost.cache_hits, rm_par->cost.cache_hits)
         << "q" << q.id;
     ++checked;
   }
@@ -475,13 +473,13 @@ TEST(ConcurrentExecutorTest, CachedParallelRunStaysEquivalentAndWarm) {
   const char* sql =
       "SELECT name, capital FROM country WHERE continent = 'Europe'";
 
-  auto cold = galois.ExecuteSql(sql);
+  auto cold = galois.RunSql(sql);
   ASSERT_TRUE(cold.ok());
-  auto warm = galois.ExecuteSql(sql);
+  auto warm = galois.RunSql(sql);
   ASSERT_TRUE(warm.ok());
-  EXPECT_TRUE(cold->SameContents(*warm));
+  EXPECT_TRUE(cold->relation.SameContents(warm->relation));
   // The warm rerun answers every fan-out prompt from cache.
-  EXPECT_GT(galois.last_cost().cache_hits, 0);
+  EXPECT_GT(warm->cost.cache_hits, 0);
 }
 
 }  // namespace

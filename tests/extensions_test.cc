@@ -107,8 +107,9 @@ TEST(VerifyCellTest, ImprovesContentAccuracy) {
   llm::SimulatedLlm plain_model(&W().kb(), llm::ModelProfile::ChatGpt(),
                                 &W().catalog(), 7);
   GaloisExecutor plain(&plain_model, &W().catalog());
-  auto rm_plain = plain.ExecuteSql(sql);
-  ASSERT_TRUE(rm_plain.ok());
+  auto out_plain = plain.RunSql(sql);
+  ASSERT_TRUE(out_plain.ok());
+  const Relation* rm_plain = &out_plain->relation;
 
   llm::SimulatedLlm verified_model(&W().kb(),
                                    llm::ModelProfile::ChatGpt(),
@@ -116,8 +117,9 @@ TEST(VerifyCellTest, ImprovesContentAccuracy) {
   ExecutionOptions opts;
   opts.verify_cells = true;
   GaloisExecutor verified(&verified_model, &W().catalog(), opts);
-  auto rm_verified = verified.ExecuteSql(sql);
-  ASSERT_TRUE(rm_verified.ok());
+  auto out_verified = verified.RunSql(sql);
+  ASSERT_TRUE(out_verified.ok());
+  const Relation* rm_verified = &out_verified->relation;
 
   // Wrong cells become NULL, so wrong-cell count must not increase; and
   // verification costs extra prompts.
@@ -142,8 +144,7 @@ TEST(VerifyCellTest, ImprovesContentAccuracy) {
   wrong_plain = count_wrong(*rm_plain);
   wrong_verified = count_wrong(*rm_verified);
   EXPECT_LE(wrong_verified, wrong_plain);
-  EXPECT_GT(verified.last_cost().num_prompts,
-            plain.last_cost().num_prompts);
+  EXPECT_GT(out_verified->cost.num_prompts, out_plain->cost.num_prompts);
 }
 
 // --- provenance -----------------------------------------------------------
@@ -152,10 +153,10 @@ TEST(ProvenanceTest, DisabledByDefault) {
   llm::SimulatedLlm model(&W().kb(), llm::ModelProfile::ChatGpt(),
                           &W().catalog(), 7);
   GaloisExecutor galois(&model, &W().catalog());
-  ASSERT_TRUE(
-      galois.ExecuteSql("SELECT name, capital FROM country").ok());
-  EXPECT_TRUE(galois.last_trace().cells.empty());
-  EXPECT_TRUE(galois.last_trace().scans.empty());
+  auto out = galois.RunSql("SELECT name, capital FROM country");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->trace.cells.empty());
+  EXPECT_TRUE(out->trace.scans.empty());
 }
 
 TEST(ProvenanceTest, RecordsScanAndCells) {
@@ -164,16 +165,16 @@ TEST(ProvenanceTest, RecordsScanAndCells) {
   ExecutionOptions opts;
   opts.record_provenance = true;
   GaloisExecutor galois(&model, &W().catalog(), opts);
-  auto rm = galois.ExecuteSql(
+  auto rm = galois.RunSql(
       "SELECT name, capital FROM country WHERE continent = 'Europe'");
   ASSERT_TRUE(rm.ok());
-  const ExecutionTrace& trace = galois.last_trace();
+  const ExecutionTrace& trace = rm->trace;
   ASSERT_EQ(trace.scans.size(), 1u);
   EXPECT_GT(trace.scans[0].pages, 0);
   EXPECT_GT(trace.scans[0].keys, 0u);
   EXPECT_GT(trace.scans[0].filtered, 0u);
   // One cell record per (row, retrieved attribute).
-  EXPECT_EQ(trace.cells.size(), rm->NumRows());  // only 'capital'
+  EXPECT_EQ(trace.cells.size(), rm->relation.NumRows());  // only 'capital'
   for (const CellProvenance& cell : trace.cells) {
     EXPECT_EQ(cell.column, "capital");
     EXPECT_NE(cell.prompt.find("What is the capital"), std::string::npos);
@@ -187,10 +188,12 @@ TEST(ProvenanceTest, TraceClearedBetweenQueries) {
   ExecutionOptions opts;
   opts.record_provenance = true;
   GaloisExecutor galois(&model, &W().catalog(), opts);
-  ASSERT_TRUE(galois.ExecuteSql("SELECT name, capital FROM country").ok());
-  size_t first = galois.last_trace().cells.size();
-  ASSERT_TRUE(galois.ExecuteSql("SELECT name FROM language").ok());
-  EXPECT_LT(galois.last_trace().cells.size(), first);
+  auto first_out = galois.RunSql("SELECT name, capital FROM country");
+  ASSERT_TRUE(first_out.ok());
+  size_t first = first_out->trace.cells.size();
+  auto second_out = galois.RunSql("SELECT name FROM language");
+  ASSERT_TRUE(second_out.ok());
+  EXPECT_LT(second_out->trace.cells.size(), first);
 }
 
 TEST(ProvenanceTest, VerifiedAndRejectedFlagsRecorded) {
@@ -200,9 +203,9 @@ TEST(ProvenanceTest, VerifiedAndRejectedFlagsRecorded) {
   opts.record_provenance = true;
   opts.verify_cells = true;
   GaloisExecutor galois(&model, &W().catalog(), opts);
-  ASSERT_TRUE(
-      galois.ExecuteSql("SELECT name, population FROM country").ok());
-  const ExecutionTrace& trace = galois.last_trace();
+  auto out = galois.RunSql("SELECT name, population FROM country");
+  ASSERT_TRUE(out.ok());
+  const ExecutionTrace& trace = out->trace;
   size_t verified = 0;
   for (const CellProvenance& c : trace.cells) {
     if (c.verified) ++verified;
@@ -221,10 +224,10 @@ TEST(ProvenanceTest, ToStringRendersReport) {
   ExecutionOptions opts;
   opts.record_provenance = true;
   GaloisExecutor galois(&model, &W().catalog(), opts);
-  ASSERT_TRUE(galois.ExecuteSql("SELECT name, capital FROM country "
-                                "WHERE continent = 'Oceania'")
-                  .ok());
-  std::string report = galois.last_trace().ToString(5);
+  auto out = galois.RunSql("SELECT name, capital FROM country "
+                           "WHERE continent = 'Oceania'");
+  ASSERT_TRUE(out.ok());
+  std::string report = out->trace.ToString(5);
   EXPECT_NE(report.find("scan country"), std::string::npos);
   EXPECT_NE(report.find("capital"), std::string::npos);
 }
@@ -237,9 +240,8 @@ TEST(PushdownPolicyTest, NamesAndEffectivePolicy) {
   EXPECT_STREQ(PushdownPolicyName(PushdownPolicy::kAuto), "auto");
   ExecutionOptions opts;
   EXPECT_EQ(opts.EffectivePushdown(), PushdownPolicy::kNever);
-  opts.pushdown_selections = true;  // legacy flag
+  opts.pushdown_policy = PushdownPolicy::kAlways;
   EXPECT_EQ(opts.EffectivePushdown(), PushdownPolicy::kAlways);
-  opts.pushdown_selections = false;
   opts.pushdown_policy = PushdownPolicy::kAuto;
   EXPECT_EQ(opts.EffectivePushdown(), PushdownPolicy::kAuto);
 }
@@ -254,8 +256,9 @@ TEST(PushdownPolicyTest, AutoPushesLargeScansOnly) {
     ExecutionOptions opts;
     opts.pushdown_policy = policy;
     GaloisExecutor galois(&model, &W().catalog(), opts);
-    EXPECT_TRUE(galois.ExecuteSql(sql).ok());
-    return galois.last_cost().num_prompts;
+    auto out = galois.RunSql(sql);
+    EXPECT_TRUE(out.ok());
+    return out.ok() ? out->cost.num_prompts : 0;
   };
   const char* city_sql =
       "SELECT name FROM city WHERE population > 5000000";
@@ -289,7 +292,7 @@ TEST(BatchingTest, SameAnswersFewerSimulatedSeconds) {
   llm::SimulatedLlm seq_model(&W().kb(), llm::ModelProfile::ChatGpt(),
                               &W().catalog(), 7);
   GaloisExecutor sequential(&seq_model, &W().catalog());
-  auto rm_seq = sequential.ExecuteSql(sql);
+  auto rm_seq = sequential.RunSql(sql);
   ASSERT_TRUE(rm_seq.ok());
 
   llm::SimulatedLlm batch_model(&W().kb(), llm::ModelProfile::ChatGpt(),
@@ -297,18 +300,17 @@ TEST(BatchingTest, SameAnswersFewerSimulatedSeconds) {
   ExecutionOptions opts;
   opts.batch_prompts = true;
   GaloisExecutor batched(&batch_model, &W().catalog(), opts);
-  auto rm_batch = batched.ExecuteSql(sql);
+  auto rm_batch = batched.RunSql(sql);
   ASSERT_TRUE(rm_batch.ok());
 
   // Identical relation, same prompt count, strictly lower latency, and
   // batch round trips recorded.
-  EXPECT_TRUE(rm_seq->SameContents(*rm_batch));
-  EXPECT_EQ(sequential.last_cost().num_prompts,
-            batched.last_cost().num_prompts);
-  EXPECT_LT(batched.last_cost().simulated_latency_ms,
-            sequential.last_cost().simulated_latency_ms / 2);
-  EXPECT_GT(batched.last_cost().num_batches, 0);
-  EXPECT_EQ(sequential.last_cost().num_batches, 0);
+  EXPECT_TRUE(rm_seq->relation.SameContents(rm_batch->relation));
+  EXPECT_EQ(rm_seq->cost.num_prompts, rm_batch->cost.num_prompts);
+  EXPECT_LT(rm_batch->cost.simulated_latency_ms,
+            rm_seq->cost.simulated_latency_ms / 2);
+  EXPECT_GT(rm_batch->cost.num_batches, 0);
+  EXPECT_EQ(rm_seq->cost.num_batches, 0);
 }
 
 TEST(BatchingTest, DefaultBatchLoopsOverComplete) {
@@ -350,10 +352,10 @@ TEST(BatchingTest, ProvenanceStillRecordedColumnWise) {
   opts.batch_prompts = true;
   opts.record_provenance = true;
   GaloisExecutor galois(&model, &W().catalog(), opts);
-  auto rm = galois.ExecuteSql(
+  auto rm = galois.RunSql(
       "SELECT name, capital FROM country WHERE continent = 'Oceania'");
   ASSERT_TRUE(rm.ok());
-  EXPECT_EQ(galois.last_trace().cells.size(), rm->NumRows());
+  EXPECT_EQ(rm->trace.cells.size(), rm->relation.NumRows());
 }
 
 TEST(PushdownPolicyTest, WorkloadTablesCarryExpectedRows) {

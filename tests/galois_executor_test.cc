@@ -115,31 +115,31 @@ TEST_F(GaloisExecutorTest, OutputSchemaMatchesGroundTruthByConstruction) {
 
 TEST_F(GaloisExecutorTest, CostTrackedPerQuery) {
   GaloisExecutor galois(&noisy_, &W().catalog());
-  ASSERT_TRUE(
-      galois.ExecuteSql("SELECT name FROM country WHERE continent = "
-                        "'Europe'")
-          .ok());
-  llm::CostMeter first = galois.last_cost();
-  EXPECT_GT(first.num_prompts, 10);  // scan pages + per-key checks
-  ASSERT_TRUE(galois.ExecuteSql("SELECT capital FROM country WHERE name "
-                                "= 'France'")
-                  .ok());
-  EXPECT_GT(galois.last_cost().num_prompts, 0);
-  EXPECT_LT(galois.last_cost().num_prompts, first.num_prompts * 3);
+  auto first = galois.RunSql(
+      "SELECT name FROM country WHERE continent = 'Europe'");
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->cost.num_prompts, 10);  // scan pages + per-key checks
+  auto second = galois.RunSql(
+      "SELECT capital FROM country WHERE name = 'France'");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->cost.num_prompts, 0);
+  EXPECT_LT(second->cost.num_prompts, first->cost.num_prompts * 3);
 }
 
 TEST_F(GaloisExecutorTest, PushdownReducesPrompts) {
   ExecutionOptions plain;
   GaloisExecutor galois_plain(&noisy_, &W().catalog(), plain);
   const char* sql = "SELECT name FROM city WHERE population > 5000000";
-  ASSERT_TRUE(galois_plain.ExecuteSql(sql).ok());
-  int64_t prompts_plain = galois_plain.last_cost().num_prompts;
+  auto plain_out = galois_plain.RunSql(sql);
+  ASSERT_TRUE(plain_out.ok());
+  int64_t prompts_plain = plain_out->cost.num_prompts;
 
   ExecutionOptions pushdown;
-  pushdown.pushdown_selections = true;
+  pushdown.pushdown_policy = PushdownPolicy::kAlways;
   GaloisExecutor galois_push(&noisy_, &W().catalog(), pushdown);
-  ASSERT_TRUE(galois_push.ExecuteSql(sql).ok());
-  int64_t prompts_push = galois_push.last_cost().num_prompts;
+  auto push_out = galois_push.RunSql(sql);
+  ASSERT_TRUE(push_out.ok());
+  int64_t prompts_push = push_out->cost.num_prompts;
 
   // Pushing the selection into the scan removes the per-key filter
   // prompts (Section 6).
@@ -195,7 +195,7 @@ TEST_F(GaloisExecutorTest, EngineSideFiltersWhenLlmChecksDisabled) {
 
 TEST_F(GaloisExecutorTest, HybridLlmDbJoin) {
   GaloisExecutor galois(&perfect_, &W().catalog());
-  auto rm = galois.ExecuteSql(
+  auto rm = galois.RunSql(
       "SELECT c.gdp, AVG(e.salary) FROM LLM.country c, DB.Employees e "
       "WHERE c.code = e.countryCode GROUP BY c.name");
   ASSERT_TRUE(rm.ok()) << rm.status();
@@ -204,17 +204,17 @@ TEST_F(GaloisExecutorTest, HybridLlmDbJoin) {
       "WHERE c.code = e.countryCode GROUP BY c.name",
       W().catalog());
   ASSERT_TRUE(rd.ok());
-  EXPECT_TRUE(rm->SameContents(*rd));
+  EXPECT_TRUE(rm->relation.SameContents(*rd));
   // The DB side must not consume prompts: only country attrs prompted.
-  EXPECT_GT(galois.last_cost().num_prompts, 0);
+  EXPECT_GT(rm->cost.num_prompts, 0);
 }
 
 TEST_F(GaloisExecutorTest, DbOnlyQueryIssuesNoPrompts) {
   GaloisExecutor galois(&noisy_, &W().catalog());
-  auto rm = galois.ExecuteSql(
+  auto rm = galois.RunSql(
       "SELECT COUNT(*) FROM DB.Employees e WHERE e.salary > 0");
   ASSERT_TRUE(rm.ok()) << rm.status();
-  EXPECT_EQ(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(rm->cost.num_prompts, 0);
 }
 
 TEST_F(GaloisExecutorTest, ExplicitLlmSourceOverridesDefault) {

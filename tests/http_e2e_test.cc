@@ -51,7 +51,7 @@ SuiteRun RunSuite(llm::LanguageModel* model) {
   SuiteRun run;
   GaloisExecutor executor(model, &W().catalog(), SuiteOptions());
   for (const knowledge::QuerySpec& query : W().queries()) {
-    auto rm = executor.ExecuteSql(query.sql);
+    auto rm = executor.RunSql(query.sql);
     EXPECT_TRUE(rm.ok()) << "query " << query.id << " (" << query.sql
                          << "): " << rm.status().ToString();
     if (!rm.ok()) {
@@ -59,8 +59,8 @@ SuiteRun RunSuite(llm::LanguageModel* model) {
       run.costs.emplace_back();
       continue;
     }
-    run.relations.push_back(std::move(rm).value());
-    run.costs.push_back(executor.last_cost());
+    run.relations.push_back(std::move(rm->relation));
+    run.costs.push_back(std::move(rm->cost));
   }
   return run;
 }

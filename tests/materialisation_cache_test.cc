@@ -186,36 +186,36 @@ TEST_F(MaterialisationCacheExecutorTest, WarmRerunIsFreeAndIdentical) {
   galois.set_materialisation_cache(&cache_);
   const char* sql =
       "SELECT name, capital FROM country WHERE continent = 'Europe'";
-  auto cold = galois.ExecuteSql(sql);
+  auto cold = galois.RunSql(sql);
   ASSERT_TRUE(cold.ok());
-  EXPECT_GT(galois.last_cost().num_prompts, 0);
-  EXPECT_EQ(galois.last_table_cache_lookups(), 1);
-  EXPECT_EQ(galois.last_table_cache_hits(), 0);
+  EXPECT_GT(cold->cost.num_prompts, 0);
+  EXPECT_EQ(cold->table_cache_lookups, 1);
+  EXPECT_EQ(cold->table_cache_hits, 0);
 
-  auto warm = galois.ExecuteSql(sql);
+  auto warm = galois.RunSql(sql);
   ASSERT_TRUE(warm.ok());
-  EXPECT_TRUE(cold->SameContents(*warm));
-  EXPECT_EQ(galois.last_cost().num_prompts, 0);
-  EXPECT_EQ(galois.last_table_cache_hits(), 1);
+  EXPECT_TRUE(cold->relation.SameContents(warm->relation));
+  EXPECT_EQ(warm->cost.num_prompts, 0);
+  EXPECT_EQ(warm->table_cache_hits, 1);
 }
 
 TEST_F(MaterialisationCacheExecutorTest,
        NarrowerQueryAndNewAliasServedBySubsumption) {
   GaloisExecutor galois(&model_, &W().catalog());
   galois.set_materialisation_cache(&cache_);
-  auto wide = galois.ExecuteSql(
+  auto wide = galois.RunSql(
       "SELECT name, capital, population FROM country "
       "WHERE continent = 'Europe'");
   ASSERT_TRUE(wide.ok());
 
   // Same fingerprint, subset of the columns, different alias: zero
   // prompts, correctly requalified schema.
-  auto narrow = galois.ExecuteSql(
+  auto narrow = galois.RunSql(
       "SELECT c.capital FROM country c WHERE c.continent = 'Europe'");
   ASSERT_TRUE(narrow.ok());
-  EXPECT_EQ(galois.last_cost().num_prompts, 0);
-  EXPECT_EQ(galois.last_table_cache_hits(), 1);
-  EXPECT_EQ(narrow->NumRows(), wide->NumRows());
+  EXPECT_EQ(narrow->cost.num_prompts, 0);
+  EXPECT_EQ(narrow->table_cache_hits, 1);
+  EXPECT_EQ(narrow->relation.NumRows(), wide->relation.NumRows());
   EXPECT_EQ(cache_.stats().subsumption_hits, 1);
 
   // The cached projection equals a fresh materialisation.
@@ -225,7 +225,7 @@ TEST_F(MaterialisationCacheExecutorTest,
   auto expect = uncached.ExecuteSql(
       "SELECT c.capital FROM country c WHERE c.continent = 'Europe'");
   ASSERT_TRUE(expect.ok());
-  EXPECT_TRUE(narrow->SameContents(*expect));
+  EXPECT_TRUE(narrow->relation.SameContents(*expect));
 }
 
 TEST_F(MaterialisationCacheExecutorTest, DifferentFilterMisses) {
@@ -235,11 +235,11 @@ TEST_F(MaterialisationCacheExecutorTest, DifferentFilterMisses) {
                   .ExecuteSql("SELECT name, capital FROM country "
                               "WHERE continent = 'Europe'")
                   .ok());
-  auto other = galois.ExecuteSql(
+  auto other = galois.RunSql(
       "SELECT name, capital FROM country WHERE continent = 'Asia'");
   ASSERT_TRUE(other.ok());
-  EXPECT_EQ(galois.last_table_cache_hits(), 0);
-  EXPECT_GT(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(other->table_cache_hits, 0);
+  EXPECT_GT(other->cost.num_prompts, 0);
 }
 
 TEST_F(MaterialisationCacheExecutorTest, ProvenanceRunsBypassTheCache) {
@@ -248,12 +248,13 @@ TEST_F(MaterialisationCacheExecutorTest, ProvenanceRunsBypassTheCache) {
   GaloisExecutor galois(&model_, &W().catalog(), opts);
   galois.set_materialisation_cache(&cache_);
   const char* sql = "SELECT name, capital FROM country";
-  ASSERT_TRUE(galois.ExecuteSql(sql).ok());
-  ASSERT_TRUE(galois.ExecuteSql(sql).ok());
-  EXPECT_EQ(galois.last_table_cache_lookups(), 0);
+  ASSERT_TRUE(galois.RunSql(sql).ok());
+  auto second = galois.RunSql(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->table_cache_lookups, 0);
   EXPECT_EQ(cache_.size(), 0u);
   // The trace is populated on every run — nothing was served from cache.
-  EXPECT_FALSE(galois.last_trace().cells.empty());
+  EXPECT_FALSE(second->trace.cells.empty());
 }
 
 }  // namespace

@@ -44,24 +44,24 @@ void ExpectEquivalent(const std::string& sql) {
                               &W().catalog(), 7);
   GaloisExecutor sequential(&seq_model, &W().catalog(),
                             PipelineOptions(false));
-  auto rm_seq = sequential.ExecuteSql(sql);
+  auto rm_seq = sequential.RunSql(sql);
   ASSERT_TRUE(rm_seq.ok()) << sql << ": " << rm_seq.status().ToString();
 
   llm::SimulatedLlm pipe_model(&W().kb(), llm::ModelProfile::ChatGpt(),
                                &W().catalog(), 7);
   GaloisExecutor pipelined(&pipe_model, &W().catalog(),
                            PipelineOptions(true));
-  auto rm_pipe = pipelined.ExecuteSql(sql);
+  auto rm_pipe = pipelined.RunSql(sql);
   ASSERT_TRUE(rm_pipe.ok()) << sql << ": " << rm_pipe.status().ToString();
 
-  EXPECT_TRUE(rm_seq->SameContents(*rm_pipe)) << sql;
+  EXPECT_TRUE(rm_seq->relation.SameContents(rm_pipe->relation)) << sql;
 
   // Identical accounting: pipelining moves wall-clock time only. The
   // latency meter is a sum of per-round-trip doubles accumulated in
   // completion order, so it is compared with a tolerance for FP
   // reassociation; every count is exact.
-  const llm::CostMeter& seq = sequential.last_cost();
-  const llm::CostMeter& pipe = pipelined.last_cost();
+  const llm::CostMeter& seq = rm_seq->cost;
+  const llm::CostMeter& pipe = rm_pipe->cost;
   EXPECT_EQ(seq.num_prompts, pipe.num_prompts) << sql;
   EXPECT_EQ(seq.num_batches, pipe.num_batches) << sql;
   EXPECT_EQ(seq.cache_hits, pipe.cache_hits) << sql;
@@ -72,8 +72,8 @@ void ExpectEquivalent(const std::string& sql) {
       << sql;
 
   // Identical provenance, ordering included.
-  const ExecutionTrace& ts = sequential.last_trace();
-  const ExecutionTrace& tp = pipelined.last_trace();
+  const ExecutionTrace& ts = rm_seq->trace;
+  const ExecutionTrace& tp = rm_pipe->trace;
   ASSERT_EQ(ts.scans.size(), tp.scans.size()) << sql;
   for (size_t i = 0; i < ts.scans.size(); ++i) {
     EXPECT_EQ(ts.scans[i].table_alias, tp.scans[i].table_alias) << sql;
@@ -148,12 +148,12 @@ TEST(PipelineEquivalenceTest, PipelinedPromptCacheStaysWarm) {
   const char* sql =
       "SELECT ci.name, ci.population, co.capital, co.continent "
       "FROM city ci, country co WHERE ci.country = co.name";
-  auto cold = galois.ExecuteSql(sql);
+  auto cold = galois.RunSql(sql);
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
-  auto warm = galois.ExecuteSql(sql);
+  auto warm = galois.RunSql(sql);
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
-  EXPECT_TRUE(cold->SameContents(*warm));
-  EXPECT_GT(galois.last_cost().cache_hits, 0);
+  EXPECT_TRUE(cold->relation.SameContents(warm->relation));
+  EXPECT_GT(warm->cost.cache_hits, 0);
 }
 
 TEST(PipelineEquivalenceTest, PipelinedMaterialisationCacheWarmRerun) {
@@ -169,21 +169,21 @@ TEST(PipelineEquivalenceTest, PipelinedMaterialisationCacheWarmRerun) {
   const char* sql =
       "SELECT ci.name, ci.population, co.capital FROM city ci, country co "
       "WHERE ci.country = co.name";
-  auto cold = galois.ExecuteSql(sql);
+  auto cold = galois.RunSql(sql);
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
-  EXPECT_EQ(galois.last_table_cache_hits(), 0);
+  EXPECT_EQ(cold->table_cache_hits, 0);
   // The join itself may be empty under the noisy profile (surface-form
   // join failures are the paper's point); what matters here is that the
   // cold run paid prompts and the warm run pays none.
-  EXPECT_GT(galois.last_cost().num_prompts, 0);
+  EXPECT_GT(cold->cost.num_prompts, 0);
 
-  auto warm = galois.ExecuteSql(sql);
+  auto warm = galois.RunSql(sql);
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
-  EXPECT_TRUE(cold->SameContents(*warm));
-  EXPECT_EQ(galois.last_table_cache_lookups(), 2);
-  EXPECT_EQ(galois.last_table_cache_hits(), 2);
-  EXPECT_EQ(galois.last_cost().num_prompts, 0);
-  EXPECT_EQ(galois.last_cost().num_batches, 0);
+  EXPECT_TRUE(cold->relation.SameContents(warm->relation));
+  EXPECT_EQ(warm->table_cache_lookups, 2);
+  EXPECT_EQ(warm->table_cache_hits, 2);
+  EXPECT_EQ(warm->cost.num_prompts, 0);
+  EXPECT_EQ(warm->cost.num_batches, 0);
 }
 
 }  // namespace

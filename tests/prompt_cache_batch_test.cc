@@ -249,17 +249,17 @@ TEST(CachedBatchedExecutorTest, ColdRunBatchesWarmRunHitsCache) {
   const char* sql =
       "SELECT name, capital FROM country WHERE continent = 'Europe'";
 
-  auto cold = galois.ExecuteSql(sql);
+  auto cold = galois.RunSql(sql);
   ASSERT_TRUE(cold.ok());
-  EXPECT_GE(galois.last_cost().num_batches, 1);
-  const int64_t cold_prompts = galois.last_cost().num_prompts;
+  EXPECT_GE(cold->cost.num_batches, 1);
+  const int64_t cold_prompts = cold->cost.num_prompts;
 
-  auto warm = galois.ExecuteSql(sql);
+  auto warm = galois.RunSql(sql);
   ASSERT_TRUE(warm.ok());
-  EXPECT_TRUE(cold->SameContents(*warm));
-  EXPECT_GT(galois.last_cost().cache_hits, 0);
+  EXPECT_TRUE(cold->relation.SameContents(warm->relation));
+  EXPECT_GT(warm->cost.cache_hits, 0);
   // The warm rerun answers every prompt from cache.
-  EXPECT_EQ(galois.last_cost().num_prompts, 0);
+  EXPECT_EQ(warm->cost.num_prompts, 0);
   EXPECT_GT(cold_prompts, 0);
 }
 
@@ -272,21 +272,19 @@ TEST(CachedBatchedExecutorTest, MaxBatchSizeSplitsWithoutChangingAnswers) {
   ExecutionOptions opts;
   opts.batch_prompts = true;
   GaloisExecutor one_batch(&one_batch_model, &W().catalog(), opts);
-  auto rm_whole = one_batch.ExecuteSql(sql);
+  auto rm_whole = one_batch.RunSql(sql);
   ASSERT_TRUE(rm_whole.ok());
 
   llm::SimulatedLlm split_model(&W().kb(), llm::ModelProfile::ChatGpt(),
                                 &W().catalog(), 7);
   opts.max_batch_size = 4;
   GaloisExecutor split(&split_model, &W().catalog(), opts);
-  auto rm_split = split.ExecuteSql(sql);
+  auto rm_split = split.RunSql(sql);
   ASSERT_TRUE(rm_split.ok());
 
-  EXPECT_TRUE(rm_whole->SameContents(*rm_split));
-  EXPECT_EQ(one_batch.last_cost().num_prompts,
-            split.last_cost().num_prompts);
-  EXPECT_GT(split.last_cost().num_batches,
-            one_batch.last_cost().num_batches);
+  EXPECT_TRUE(rm_whole->relation.SameContents(rm_split->relation));
+  EXPECT_EQ(rm_whole->cost.num_prompts, rm_split->cost.num_prompts);
+  EXPECT_GT(rm_split->cost.num_batches, rm_whole->cost.num_batches);
 }
 
 TEST(CachedBatchedExecutorTest, BatchedMatchesUnbatchedAcrossWorkload) {
@@ -299,7 +297,7 @@ TEST(CachedBatchedExecutorTest, BatchedMatchesUnbatchedAcrossWorkload) {
     llm::SimulatedLlm seq_model(&W().kb(), llm::ModelProfile::ChatGpt(),
                                 &W().catalog(), 7);
     GaloisExecutor sequential(&seq_model, &W().catalog());
-    auto rm_seq = sequential.ExecuteSql(q.sql);
+    auto rm_seq = sequential.RunSql(q.sql);
     ASSERT_TRUE(rm_seq.ok()) << "q" << q.id << ": "
                              << rm_seq.status().ToString();
 
@@ -308,13 +306,13 @@ TEST(CachedBatchedExecutorTest, BatchedMatchesUnbatchedAcrossWorkload) {
     ExecutionOptions opts;
     opts.batch_prompts = true;
     GaloisExecutor batched(&batch_model, &W().catalog(), opts);
-    auto rm_batch = batched.ExecuteSql(q.sql);
+    auto rm_batch = batched.RunSql(q.sql);
     ASSERT_TRUE(rm_batch.ok()) << "q" << q.id << ": "
                                << rm_batch.status().ToString();
 
-    EXPECT_TRUE(rm_seq->SameContents(*rm_batch)) << "q" << q.id;
-    EXPECT_EQ(sequential.last_cost().num_prompts,
-              batched.last_cost().num_prompts)
+    EXPECT_TRUE(rm_seq->relation.SameContents(rm_batch->relation))
+        << "q" << q.id;
+    EXPECT_EQ(rm_seq->cost.num_prompts, rm_batch->cost.num_prompts)
         << "q" << q.id;
     ++checked;
   }

@@ -71,7 +71,7 @@ void ExpectRoutingInvisible(const std::string& sql) {
   SimulatedLlm direct_model(&W().kb(), ModelProfile::ChatGpt(),
                             &W().catalog(), 7);
   GaloisExecutor direct(&direct_model, &W().catalog(), FullOptions());
-  auto rm_direct = direct.ExecuteSql(sql);
+  auto rm_direct = direct.RunSql(sql);
   ASSERT_TRUE(rm_direct.ok()) << sql << ": " << rm_direct.status().ToString();
 
   SimulatedLlm routed_model(&W().kb(), ModelProfile::ChatGpt(),
@@ -82,13 +82,13 @@ void ExpectRoutingInvisible(const std::string& sql) {
     ASSERT_TRUE(router.SetRoute(phase, "chatgpt").ok());
   }
   GaloisExecutor routed(&router, &W().catalog(), FullOptions());
-  auto rm_routed = routed.ExecuteSql(sql);
+  auto rm_routed = routed.RunSql(sql);
   ASSERT_TRUE(rm_routed.ok()) << sql << ": " << rm_routed.status().ToString();
 
-  EXPECT_TRUE(rm_direct->SameContents(*rm_routed)) << sql;
+  EXPECT_TRUE(rm_direct->relation.SameContents(rm_routed->relation)) << sql;
 
-  const llm::CostMeter& a = direct.last_cost();
-  const llm::CostMeter& b = routed.last_cost();
+  const llm::CostMeter& a = rm_direct->cost;
+  const llm::CostMeter& b = rm_routed->cost;
   EXPECT_EQ(a.num_prompts, b.num_prompts) << sql;
   EXPECT_EQ(a.num_batches, b.num_batches) << sql;
   EXPECT_EQ(a.prompt_tokens, b.prompt_tokens) << sql;
@@ -104,7 +104,7 @@ void ExpectRoutingInvisible(const std::string& sql) {
             b.by_model.begin()->second.num_prompts)
       << sql;
 
-  ExpectTraceEq(direct.last_trace(), routed.last_trace(), sql);
+  ExpectTraceEq(rm_direct->trace, rm_routed->trace, sql);
 }
 
 TEST(RoutingEquivalenceTest, SelectionWithVerification) {
@@ -231,11 +231,11 @@ TEST(RoutingCascadeTest, CriticPhaseBillsToStrongModelOnly) {
   opts.batch_prompts = true;
   opts.verify_cells = true;
   GaloisExecutor executor(&router, &W().catalog(), opts);
-  auto rm = executor.ExecuteSql(
+  auto rm = executor.RunSql(
       "SELECT name, capital FROM country WHERE continent = 'Oceania'");
   ASSERT_TRUE(rm.ok()) << rm.status();
 
-  const llm::CostMeter& cost = executor.last_cost();
+  const llm::CostMeter& cost = rm->cost;
   ASSERT_EQ(cost.by_model.size(), 2u) << "expected cheap + strong slices";
   const llm::ModelUsage& cheap_usage = cost.by_model.at(cheap.name());
   const llm::ModelUsage& strong_usage = cost.by_model.at(strong.name());
