@@ -24,6 +24,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,11 @@ struct ShellState {
   // The Database assembled around the current model + routes; rebuilt by
   // Reopen() on every configuration change.
   std::unique_ptr<galois::Database> db;
+  // The shell's session on that Database. Statements run through it so a
+  // bare `.explain` can show the physical operator DAG of the last
+  // query (Session::Explain); `.sessions N` fans out copies of it, which
+  // share the same last-explain slot.
+  std::optional<galois::Session> session;
 
   galois::llm::LanguageModel* GetOrCreateBackend(const std::string& name) {
     auto it = backends.find(name);
@@ -105,6 +111,7 @@ struct ShellState {
     auto reopened = galois::Database::Open(std::move(db_options));
     if (!reopened.ok()) return reopened.status();
     db = std::move(reopened).value();
+    session.emplace(db->CreateSession());
     return galois::Status::OK();
   }
 };
@@ -114,6 +121,8 @@ void PrintHelp() {
       "commands:\n"
       "  <SQL statement>;         execute on the current model\n"
       "  .model <flan|tk|gpt-3|chatgpt>   switch model profile\n"
+      "  .explain                 physical operator DAG of the last query\n"
+      "                           with per-operator rows/round trips/cost\n"
       "  .explain <on|off>        print the logical plan before running\n"
       "  .truth <on|off>          run on the ground-truth DB instead\n"
       "  .pushdown <never|always|auto>    selection pushdown policy\n"
@@ -165,7 +174,18 @@ bool HandleCommand(ShellState* state, const std::string& line) {
       reopen = true;
     }
   } else if (cmd == ".explain") {
-    state->explain = arg() != "off";
+    if (words.size() == 1) {
+      // Bare `.explain`: the physical operator DAG the last query
+      // actually executed, with per-operator statistics.
+      std::string report = state->session->Explain();
+      if (report.empty()) {
+        std::printf("no query yet (run a statement, then .explain)\n");
+      } else {
+        std::printf("%s", report.c_str());
+      }
+    } else {
+      state->explain = arg() != "off";
+    }
   } else if (cmd == ".truth") {
     state->ground_truth = arg() != "off";
   } else if (cmd == ".verify") {
@@ -368,7 +388,7 @@ void RunSql(ShellState* state, const std::string& sql) {
   }
 
   if (state->num_sessions <= 1) {
-    auto result = state->db->CreateSession().Query(sql);
+    auto result = state->session->Query(sql);
     if (!result.ok()) {
       std::printf("%s\n", result.status().ToString().c_str());
       return;
@@ -384,7 +404,9 @@ void RunSql(ShellState* state, const std::string& sql) {
   std::vector<galois::Session> sessions;
   std::vector<galois::AsyncQuery> in_flight;
   for (int s = 0; s < state->num_sessions; ++s) {
-    sessions.push_back(state->db->CreateSession());
+    // Copies of the shell session: independent queries, shared
+    // last-explain slot (whichever finishes last is what .explain shows).
+    sessions.push_back(*state->session);
     in_flight.push_back(sessions.back().QueryAsync(sql));
   }
   std::vector<galois::QueryResult> results;

@@ -164,9 +164,9 @@ Session Database::CreateSession(core::ExecutionOptions options) const {
   return Session(this, std::move(options));
 }
 
-Result<QueryResult> Session::RunSnapshot(const Database* db,
-                                         core::ExecutionOptions snapshot,
-                                         const std::string& sql) {
+Result<QueryResult> Session::RunSnapshot(
+    const Database* db, core::ExecutionOptions snapshot,
+    const std::string& sql, std::shared_ptr<ExplainState> explain) {
   const auto start = std::chrono::steady_clock::now();
   core::GaloisExecutor executor(db->model_, db->catalog_, snapshot);
   executor.set_materialisation_cache(db->table_cache_);
@@ -177,10 +177,20 @@ Result<QueryResult> Session::RunSnapshot(const Database* db,
   result.trace = std::move(out.trace);
   result.table_cache_lookups = out.table_cache_lookups;
   result.table_cache_hits = out.table_cache_hits;
+  result.physical_plan = std::move(out.physical_plan);
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  if (explain != nullptr) {
+    std::lock_guard<std::mutex> lock(explain->mu);
+    explain->text = result.physical_plan;
+  }
   return result;
+}
+
+std::string Session::Explain() const {
+  std::lock_guard<std::mutex> lock(explain_->mu);
+  return explain_->text;
 }
 
 Result<QueryResult> Session::Query(const std::string& sql,
@@ -195,7 +205,7 @@ Result<QueryResult> Session::Query(const std::string& sql,
     control = std::move(armed);
   }
   if (control != nullptr) snapshot.control = control;
-  return RunSnapshot(db_, std::move(snapshot), sql);
+  return RunSnapshot(db_, std::move(snapshot), sql, explain_);
 }
 
 AsyncQuery Session::QueryAsync(const std::string& sql,
@@ -220,8 +230,10 @@ AsyncQuery Session::QueryAsync(const std::string& sql,
   // arbitrarily many queries may be in flight against a bounded pool.
   pending.handle = TaskHandle<Result<QueryResult>>::Launch(
       ThreadPool::SharedPhase(),
-      [db = db_, snapshot = std::move(snapshot), sql]() mutable {
-        return RunSnapshot(db, std::move(snapshot), sql);
+      [db = db_, snapshot = std::move(snapshot), sql,
+       explain = explain_]() mutable {
+        return RunSnapshot(db, std::move(snapshot), sql,
+                           std::move(explain));
       });
   return pending;
 }

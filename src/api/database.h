@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,6 +50,10 @@ struct QueryResult {
   /// has no cache).
   int64_t table_cache_lookups = 0;
   int64_t table_cache_hits = 0;
+
+  /// Rendering of the executed physical operator DAG with per-operator
+  /// rows / round trips / cost (the shell's `.explain` output).
+  std::string physical_plan;
 
   /// Measured wall-clock time of the query.
   double wall_ms = 0.0;
@@ -262,20 +267,40 @@ class Session {
     options_ = std::move(options);
   }
 
+  /// The physical-plan report of this session's most recent successful
+  /// query (QueryResult::physical_plan, kept so interactive callers can
+  /// ask "what did that query just do?" after the fact — the shell's
+  /// bare `.explain`). Empty before the first query. Guarded by a mutex
+  /// shared across copies of the session: an async query completing on a
+  /// pool thread publishes here safely.
+  std::string Explain() const;
+
   const Database& database() const { return *db_; }
 
  private:
   friend class Database;
-  Session(const Database* db, core::ExecutionOptions options)
-      : db_(db), options_(std::move(options)) {}
 
-  /// Runs one query under an already-snapshotted options value.
-  static Result<QueryResult> RunSnapshot(const Database* db,
-                                         core::ExecutionOptions snapshot,
-                                         const std::string& sql);
+  /// Last-explain slot, shared (and synchronised) across session copies
+  /// and async query tasks.
+  struct ExplainState {
+    std::mutex mu;
+    std::string text;
+  };
+
+  Session(const Database* db, core::ExecutionOptions options)
+      : db_(db),
+        options_(std::move(options)),
+        explain_(std::make_shared<ExplainState>()) {}
+
+  /// Runs one query under an already-snapshotted options value,
+  /// publishing the physical-plan report into `explain` on success.
+  static Result<QueryResult> RunSnapshot(
+      const Database* db, core::ExecutionOptions snapshot,
+      const std::string& sql, std::shared_ptr<ExplainState> explain);
 
   const Database* db_;
   core::ExecutionOptions options_;
+  std::shared_ptr<ExplainState> explain_;
 };
 
 }  // namespace galois

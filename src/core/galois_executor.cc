@@ -1,144 +1,12 @@
 #include "core/galois_executor.h"
 
-#include <map>
-#include <set>
 #include <utility>
 
-#include "common/strings.h"
-#include "common/thread_pool.h"
-#include "core/llm_operators.h"
-#include "core/materialisation_cache.h"
-#include "llm/metering.h"
+#include "core/physical_plan.h"
+#include "planner/planner.h"
 #include "sql/parser.h"
 
 namespace galois::core {
-
-namespace {
-
-using sql::BinaryOp;
-using sql::Expr;
-using sql::ExprKind;
-using sql::SelectStatement;
-
-/// Flattens an AND tree into conjuncts.
-void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
-    FlattenConjuncts(e->children[0].get(), out);
-    FlattenConjuncts(e->children[1].get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-/// SQL symbol for a comparison operator usable in prompt filters; empty
-/// when the operator is not a simple comparison.
-std::string ComparisonSymbol(BinaryOp op) {
-  switch (op) {
-    case BinaryOp::kEq:
-      return "=";
-    case BinaryOp::kNotEq:
-      return "!=";
-    case BinaryOp::kLt:
-      return "<";
-    case BinaryOp::kLtEq:
-      return "<=";
-    case BinaryOp::kGt:
-      return ">";
-    case BinaryOp::kGtEq:
-      return ">=";
-    case BinaryOp::kLike:
-      return "LIKE";
-    default:
-      return "";
-  }
-}
-
-/// Mirror of a comparison when operands are swapped (lit op col ->
-/// col op' lit).
-std::string MirrorSymbol(const std::string& op) {
-  if (op == "<") return ">";
-  if (op == "<=") return ">=";
-  if (op == ">") return "<";
-  if (op == ">=") return "<=";
-  if (op == "=" || op == "!=") return op;
-  return "";  // LIKE cannot be mirrored
-}
-
-/// Deep-copies a statement, replacing WHERE with `new_where` (may be
-/// null).
-SelectStatement CloneWithWhere(const SelectStatement& stmt,
-                               sql::ExprPtr new_where) {
-  SelectStatement out;
-  out.distinct = stmt.distinct;
-  for (const auto& item : stmt.select_list) {
-    sql::SelectItem copy;
-    copy.expr = item.expr->Clone();
-    copy.alias = item.alias;
-    out.select_list.push_back(std::move(copy));
-  }
-  out.from = stmt.from;
-  for (const auto& j : stmt.joins) {
-    sql::JoinClause copy;
-    copy.type = j.type;
-    copy.table = j.table;
-    copy.condition = j.condition ? j.condition->Clone() : nullptr;
-    out.joins.push_back(std::move(copy));
-  }
-  out.where = std::move(new_where);
-  for (const auto& g : stmt.group_by) out.group_by.push_back(g->Clone());
-  out.having = stmt.having ? stmt.having->Clone() : nullptr;
-  for (const auto& o : stmt.order_by) {
-    sql::OrderItem copy;
-    copy.expr = o.expr->Clone();
-    copy.descending = o.descending;
-    out.order_by.push_back(std::move(copy));
-  }
-  out.limit = stmt.limit;
-  return out;
-}
-
-/// The non-NULL cells of one retrieved column, in row order — the input
-/// of that column's critic-verification phase.
-struct CellSelection {
-  std::vector<size_t> idx;        // row indices into the column
-  std::vector<std::string> keys;  // surviving key per cell
-  std::vector<Value> values;      // claimed value per cell
-};
-
-CellSelection SelectNonNullCells(
-    const std::vector<Value>& values,
-    const std::vector<std::string>& surviving) {
-  CellSelection sel;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i].is_null()) continue;
-    sel.idx.push_back(i);
-    sel.keys.push_back(surviving[i]);
-    sel.values.push_back(values[i]);
-  }
-  return sel;
-}
-
-/// Applies one column's critic verdicts (shared by the sequential ladder
-/// and the pipelined path, so their rejection/provenance semantics cannot
-/// diverge): rejected cells become NULL — the critic treats them as
-/// hallucinations — and the provenance records, when kept, are tagged.
-void ApplyVerdicts(const std::vector<int>& verdicts,
-                   const CellSelection& cells, std::vector<Value>* values,
-                   std::vector<CellProvenance>* provenances) {
-  for (size_t v = 0; v < cells.idx.size(); ++v) {
-    size_t i = cells.idx[v];
-    if (provenances != nullptr) (*provenances)[i].verified = true;
-    if (verdicts[v] == 0) {
-      (*values)[i] = Value::Null();
-      if (provenances != nullptr) {
-        (*provenances)[i].rejected = true;
-        (*provenances)[i].value = Value::Null();
-      }
-    }
-  }
-}
-
-}  // namespace
 
 GaloisExecutor::GaloisExecutor(llm::LanguageModel* model,
                                const catalog::Catalog* catalog,
@@ -146,7 +14,7 @@ GaloisExecutor::GaloisExecutor(llm::LanguageModel* model,
     : model_(model), catalog_(catalog), options_(options) {}
 
 Result<QueryOutput> GaloisExecutor::RunSql(const std::string& sql) const {
-  GALOIS_ASSIGN_OR_RETURN(SelectStatement stmt, sql::ParseSelect(sql));
+  GALOIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::ParseSelect(sql));
   return Run(stmt);
 }
 
@@ -156,523 +24,38 @@ Result<Relation> GaloisExecutor::ExecuteSql(const std::string& sql) const {
 }
 
 Result<Relation> GaloisExecutor::Execute(
-    const SelectStatement& stmt) const {
+    const sql::SelectStatement& stmt) const {
   GALOIS_ASSIGN_OR_RETURN(QueryOutput out, Run(stmt));
   return std::move(out).relation;
 }
 
-Result<GaloisExecutor::TablePlan> GaloisExecutor::PlanTables(
-    const SelectStatement& stmt) const {
-  TablePlan plan;
-  std::vector<TableContext>& ctxs = plan.tables;
-  auto add_ref = [&](const sql::TableRef& ref) -> Status {
-    TableContext ctx;
-    ctx.ref = ref;
-    GALOIS_ASSIGN_OR_RETURN(ctx.def, catalog_->GetTable(ref.table));
-    ctx.alias = ref.EffectiveAlias();
-    if (ref.source == "LLM") {
-      ctx.from_llm = true;
-    } else if (ref.source == "DB") {
-      ctx.from_llm = false;
-    } else if (!ref.source.empty()) {
-      return Status::BindError("unknown source qualifier '" + ref.source +
-                               "' (expected LLM or DB)");
-    } else {
-      ctx.from_llm =
-          ctx.def->default_source == catalog::SourceKind::kLlm;
-    }
-    ctxs.push_back(std::move(ctx));
-    return Status::OK();
-  };
-  for (const sql::TableRef& ref : stmt.from) {
-    GALOIS_RETURN_IF_ERROR(add_ref(ref));
-  }
-  for (const sql::JoinClause& j : stmt.joins) {
-    GALOIS_RETURN_IF_ERROR(add_ref(j.table));
-  }
-
-  // Resolve a column reference to one of the table contexts: by alias when
-  // qualified, otherwise by unique column-name lookup across the defs.
-  auto resolve = [&ctxs](const Expr& ref) -> TableContext* {
-    if (!ref.table.empty()) {
-      for (TableContext& ctx : ctxs) {
-        if (EqualsIgnoreCase(ctx.alias, ref.table)) return &ctx;
-      }
-      return nullptr;
-    }
-    TableContext* found = nullptr;
-    for (TableContext& ctx : ctxs) {
-      if (ctx.def->FindColumn(ref.column).ok()) {
-        if (found != nullptr) return nullptr;  // ambiguous
-        found = &ctx;
-      }
-    }
-    return found;
-  };
-
-  // --- split WHERE into LLM-executed filters and engine-side residue ----
-  std::vector<const Expr*> conjuncts;
-  if (stmt.where) FlattenConjuncts(stmt.where.get(), &conjuncts);
-  std::set<const Expr*>& consumed = plan.consumed;
-  if (options_.llm_filter_checks) {
-    for (const Expr* c : conjuncts) {
-      if (c->kind != ExprKind::kBinary) continue;
-      std::string op = ComparisonSymbol(c->binary_op);
-      if (op.empty()) continue;
-      const Expr* lhs = c->children[0].get();
-      const Expr* rhs = c->children[1].get();
-      const Expr* col = nullptr;
-      const Expr* lit = nullptr;
-      if (lhs->kind == ExprKind::kColumnRef &&
-          rhs->kind == ExprKind::kLiteral) {
-        col = lhs;
-        lit = rhs;
-      } else if (rhs->kind == ExprKind::kColumnRef &&
-                 lhs->kind == ExprKind::kLiteral) {
-        col = rhs;
-        lit = lhs;
-        op = MirrorSymbol(op);
-        if (op.empty()) continue;
-      } else {
-        continue;
-      }
-      TableContext* ctx = resolve(*col);
-      if (ctx == nullptr || !ctx->from_llm) continue;
-      auto coldef = ctx->def->FindColumn(col->column);
-      if (!coldef.ok()) continue;
-      llm::PromptFilter filter;
-      filter.attribute = coldef.value()->name;
-      filter.attribute_description = coldef.value()->description;
-      filter.op = op;
-      filter.value = lit->literal;
-      ctx->llm_filters.push_back(std::move(filter));
-      consumed.insert(c);
-    }
-  }
-
-  // --- collect the columns each table must materialise ------------------
-  auto mark_needed = [&](const Expr& e) {
-    sql::VisitExpr(e, [&](const Expr& node) {
-      if (node.kind == ExprKind::kStar) {
-        for (TableContext& ctx : ctxs) {
-          if (node.table.empty() ||
-              EqualsIgnoreCase(ctx.alias, node.table)) {
-            ctx.needs_all_columns = true;
-          }
-        }
-        return;
-      }
-      if (node.kind != ExprKind::kColumnRef) return;
-      TableContext* ctx = resolve(node);
-      if (ctx == nullptr) return;  // select-alias refs etc.; engine binds
-      auto coldef = ctx->def->FindColumn(node.column);
-      if (!coldef.ok()) return;
-      if (EqualsIgnoreCase(coldef.value()->name, ctx->def->key_column)) {
-        return;  // the key is always retrieved
-      }
-      for (const catalog::ColumnDef* existing : ctx->needed_columns) {
-        if (existing == coldef.value()) return;
-      }
-      ctx->needed_columns.push_back(coldef.value());
-    });
-  };
-  for (const auto& item : stmt.select_list) mark_needed(*item.expr);
-  for (const auto& j : stmt.joins) {
-    if (j.condition) mark_needed(*j.condition);
-  }
-  for (const Expr* c : conjuncts) {
-    if (consumed.count(c) == 0) mark_needed(*c);
-  }
-  for (const auto& g : stmt.group_by) mark_needed(*g);
-  if (stmt.having) mark_needed(*stmt.having);
-  for (const auto& o : stmt.order_by) mark_needed(*o.expr);
-
-  // Keep needed_columns in definition order for stable schemas.
-  for (TableContext& ctx : ctxs) {
-    if (ctx.needs_all_columns) {
-      ctx.needed_columns.clear();
-      GALOIS_ASSIGN_OR_RETURN(size_t key_idx, ctx.def->KeyIndex());
-      for (size_t i = 0; i < ctx.def->columns.size(); ++i) {
-        if (i == key_idx) continue;
-        ctx.needed_columns.push_back(&ctx.def->columns[i]);
-      }
-      continue;
-    }
-    std::vector<const catalog::ColumnDef*> ordered;
-    for (const catalog::ColumnDef& col : ctx.def->columns) {
-      for (const catalog::ColumnDef* needed : ctx.needed_columns) {
-        if (needed == &col) {
-          ordered.push_back(needed);
-          break;
-        }
-      }
-    }
-    ctx.needed_columns = std::move(ordered);
-  }
-  return plan;
-}
-
-bool GaloisExecutor::ShouldPushFirstFilter(const TableContext& ctx) const {
-  // The pushdown decision follows the configured policy; kAuto merges
-  // only when the scan is expected to be large enough that the saved
-  // per-key prompts outweigh the merged prompt's accuracy penalty.
-  PushdownPolicy policy = options_.EffectivePushdown();
-  bool push = policy == PushdownPolicy::kAlways ||
-              (policy == PushdownPolicy::kAuto &&
-               ctx.def->expected_rows >= options_.auto_pushdown_min_rows);
-  return push && !ctx.llm_filters.empty();
-}
-
-Result<std::vector<std::vector<Value>>>
-GaloisExecutor::RetrieveColumnsPipelined(
-    llm::LanguageModel* model, const TableContext& ctx,
-    const std::vector<std::string>& surviving,
-    ExecutionTrace* trace) const {
-  const catalog::TableDef& def = *ctx.def;
-  const size_t n = ctx.needed_columns.size();
-  const bool prov = options_.record_provenance;
-
-  // Dispatch every column's attribute phase up front; they all run
-  // concurrently on the phase pool.
-  std::vector<AttributePhase> attr_phases(n);
-  for (size_t i = 0; i < n; ++i) {
-    attr_phases[i] = LlmGetAttributeBatchStart(
-        model, def, surviving, *ctx.needed_columns[i], options_);
-  }
-
-  // Join columns in order; each column's critic-verify follow-up is
-  // dispatched as soon as its values are in, overlapping later columns'
-  // retrievals. The error reported is the one with the lowest rank in
-  // the sequential ladder's op order (attr_0, verify_0, attr_1, ...), so
-  // the pipelined and sequential paths fail identically — though, as
-  // with concurrent chunk dispatch, phases already in flight when an
-  // error surfaces still complete and bill. On error, this table's
-  // per-cell provenance is dropped rather than partially recorded.
-  std::vector<std::vector<Value>> columns(n);
-  std::vector<std::vector<CellProvenance>> provenances(n);
-  std::vector<VerdictPhase> verify_phases(n);
-  std::vector<CellSelection> cells(n);
-  Status first_error = Status::OK();
-  size_t first_error_rank = 2 * n;  // past every op
-  for (size_t i = 0; i < n; ++i) {
-    Result<std::vector<Value>> values =
-        attr_phases[i].Join(prov ? &provenances[i] : nullptr);
-    if (!values.ok()) {
-      if (2 * i < first_error_rank) {
-        first_error = values.status();
-        first_error_rank = 2 * i;
-      }
-      continue;
-    }
-    columns[i] = std::move(values).value();
-    if (!options_.verify_cells || !first_error.ok()) continue;
-    cells[i] = SelectNonNullCells(columns[i], surviving);
-    if (!cells[i].idx.empty()) {
-      verify_phases[i] = LlmVerifyCellBatchStart(
-          model, def, cells[i].keys, *ctx.needed_columns[i],
-          cells[i].values, options_);
-    }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    if (!verify_phases[i].valid()) continue;
-    Result<std::vector<int>> verdicts = verify_phases[i].Join();
-    if (!verdicts.ok()) {
-      if (2 * i + 1 < first_error_rank) {
-        first_error = verdicts.status();
-        first_error_rank = 2 * i + 1;
-      }
-      continue;
-    }
-    ApplyVerdicts(*verdicts, cells[i], &columns[i],
-                  prov ? &provenances[i] : nullptr);
-  }
-  GALOIS_RETURN_IF_ERROR(first_error);
-  if (prov) {
-    for (size_t i = 0; i < n; ++i) {
-      for (CellProvenance& p : provenances[i]) {
-        p.table_alias = ctx.alias;
-        trace->cells.push_back(std::move(p));
-      }
-    }
-  }
-  return columns;
-}
-
-Result<Relation> GaloisExecutor::MaterialiseLlmTable(
-    llm::LanguageModel* model, const TableContext& ctx,
-    ExecutionTrace* trace) const {
-  const catalog::TableDef& def = *ctx.def;
-  GALOIS_ASSIGN_OR_RETURN(size_t key_idx, def.KeyIndex());
-  const catalog::ColumnDef& key_col = def.columns[key_idx];
-
-  // 1. Leaf access: key scan, optionally with one pushed-down filter
-  // (see ShouldPushFirstFilter for the policy).
-  std::optional<llm::PromptFilter> scan_filter;
-  size_t first_check = 0;
-  if (ShouldPushFirstFilter(ctx)) {
-    scan_filter = ctx.llm_filters[0];
-    first_check = 1;
-  }
-  int scan_pages = 0;
-  GALOIS_ASSIGN_OR_RETURN(
-      std::vector<std::string> keys,
-      LlmKeyScan(model, def, options_, scan_filter, &scan_pages));
-
-  // 2a. Optional critic pass over the scanned keys: "Is it true that the
-  // name of the country New Italy is New Italy?" rejects hallucinated
-  // entities before any further prompt is spent on them. One scheduler
-  // phase over all scanned keys.
-  if (options_.verify_cells && !keys.empty()) {
-    std::vector<Value> claimed;
-    claimed.reserve(keys.size());
-    for (const std::string& key : keys) {
-      claimed.push_back(Value::String(key));
-    }
-    GALOIS_ASSIGN_OR_RETURN(
-        std::vector<int> verdicts,
-        LlmVerifyCellBatch(model, def, keys, key_col, claimed, options_));
-    std::vector<std::string> confirmed;
-    confirmed.reserve(keys.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      if (verdicts[i] != 0) confirmed.push_back(std::move(keys[i]));
-    }
-    keys = std::move(confirmed);
-  }
-
-  // 2b. Selection: one filter-check phase per remaining predicate, each
-  // over the keys that survived the previous predicates — the same prompt
-  // set as the paper prototype's per-key short-circuiting loop, just
-  // grouped so the scheduler can dispatch each phase as a batch. Batched
-  // and sequential dispatch return identical keys: the model's verdicts
-  // are stable per (key, filter). Filter phases chain on each other's
-  // survivors, so they stay sequential even under pipeline_phases.
-  std::vector<std::string> surviving = keys;
-  for (size_t f = first_check; f < ctx.llm_filters.size(); ++f) {
-    if (surviving.empty()) break;
-    GALOIS_ASSIGN_OR_RETURN(
-        std::vector<int> verdicts,
-        LlmFilterCheckBatch(model, def, surviving, ctx.llm_filters[f],
-                            options_));
-    std::vector<std::string> kept;
-    kept.reserve(surviving.size());
-    for (size_t i = 0; i < surviving.size(); ++i) {
-      if (verdicts[i] == 1) kept.push_back(std::move(surviving[i]));
-    }
-    surviving = std::move(kept);
-  }
-  if (options_.record_provenance) {
-    ScanProvenance scan;
-    scan.table_alias = ctx.alias;
-    scan.pages = scan_pages;
-    scan.keys = keys.size();
-    scan.filtered = keys.size() - surviving.size();
-    trace->scans.push_back(std::move(scan));
-  }
-
-  // 3. Attribute completion: one scheduler phase per needed column
-  // retrieves the whole column, optionally followed by a critic
-  // verification phase over its non-NULL cells (Section 6 extensions).
-  // With pipeline_phases the per-column phase chains run concurrently;
-  // the sequential ladder below is the paper prototype's order.
-  Schema schema;
-  schema.AddColumn(Column(key_col.name, key_col.type, ctx.alias));
-  for (const catalog::ColumnDef* col : ctx.needed_columns) {
-    schema.AddColumn(Column(col->name, col->type, ctx.alias));
-  }
-  Relation rel(schema);
-  std::vector<std::vector<Value>> columns;
-  if (options_.pipeline_phases && ctx.needed_columns.size() > 1) {
-    GALOIS_ASSIGN_OR_RETURN(
-        columns, RetrieveColumnsPipelined(model, ctx, surviving, trace));
-  } else {
-    columns.reserve(ctx.needed_columns.size());
-    for (const catalog::ColumnDef* col : ctx.needed_columns) {
-      std::vector<CellProvenance> provenances;
-      std::vector<CellProvenance>* prov_ptr =
-          options_.record_provenance ? &provenances : nullptr;
-      GALOIS_ASSIGN_OR_RETURN(
-          std::vector<Value> values,
-          LlmGetAttributeBatch(model, def, surviving, *col, options_,
-                               prov_ptr));
-      if (options_.verify_cells) {
-        // Verify the column's non-NULL cells in one phase.
-        CellSelection cells = SelectNonNullCells(values, surviving);
-        if (!cells.idx.empty()) {
-          GALOIS_ASSIGN_OR_RETURN(
-              std::vector<int> verdicts,
-              LlmVerifyCellBatch(model, def, cells.keys, *col,
-                                 cells.values, options_));
-          ApplyVerdicts(verdicts, cells, &values, prov_ptr);
-        }
-      }
-      if (prov_ptr != nullptr) {
-        for (CellProvenance& p : provenances) {
-          p.table_alias = ctx.alias;
-          trace->cells.push_back(std::move(p));
-        }
-      }
-      columns.push_back(std::move(values));
-    }
-  }
-  for (size_t r = 0; r < surviving.size(); ++r) {
-    Tuple row;
-    row.reserve(1 + columns.size());
-    row.push_back(Value::String(surviving[r]));
-    // Move the cells out of the column vectors: each value is consumed
-    // exactly once, and completions can be long strings.
-    for (auto& column : columns) row.push_back(std::move(column[r]));
-    rel.AddRowUnchecked(std::move(row));
-  }
-  return rel;
-}
-
-Result<Relation> GaloisExecutor::MaterialiseDbTable(
-    const TableContext& ctx) const {
-  GALOIS_ASSIGN_OR_RETURN(const Relation* instance,
-                          catalog_->GetInstance(ctx.def->name));
-  return Relation(ctx.def->ToSchema(ctx.alias), instance->rows());
-}
-
-Result<std::vector<engine::BoundRelation>>
-GaloisExecutor::MaterialiseTables(const std::vector<TableContext>& ctxs,
-                                  QueryContext* qctx) const {
-  // Provenance runs bypass the cache: a hit cannot replay the per-cell
-  // prompt/completion trace the caller asked for.
-  const bool use_cache =
-      materialisation_cache_ != nullptr && !options_.record_provenance;
-
-  std::vector<std::optional<Relation>> materialised(ctxs.size());
-  std::vector<std::string> fingerprints(ctxs.size());
-  std::vector<size_t> pending;  // LLM tables not served from cache
-  for (size_t i = 0; i < ctxs.size(); ++i) {
-    const TableContext& ctx = ctxs[i];
-    if (!ctx.from_llm) {
-      GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseDbTable(ctx));
-      materialised[i] = std::move(rel);
-      continue;
-    }
-    if (use_cache) {
-      fingerprints[i] = MaterialisationCache::Fingerprint(
-          *ctx.def, ctx.llm_filters, ShouldPushFirstFilter(ctx), options_,
-          model_->name());
-      ++qctx->table_cache_lookups;
-      std::optional<Relation> hit = materialisation_cache_->Lookup(
-          fingerprints[i], *ctx.def, ctx.needed_columns, ctx.alias);
-      if (hit.has_value()) {
-        ++qctx->table_cache_hits;
-        materialised[i] = std::move(*hit);
-        continue;
-      }
-    }
-    pending.push_back(i);
-  }
-
-  if (options_.pipeline_phases && pending.size() > 1) {
-    // Independent tables materialise concurrently, one task per table on
-    // the phase pool. Each task records provenance into its own trace;
-    // the traces merge in FROM order afterwards, so the combined trace is
-    // identical to the sequential ladder's. On error every task is still
-    // joined (abandoning one would leave prompts in flight) and the
-    // error of the first table in FROM order is reported —
-    // deterministically the one the sequential path reports.
-    std::vector<ExecutionTrace> traces(pending.size());
-    std::vector<TaskHandle<Result<Relation>>> tasks;
-    tasks.reserve(pending.size());
-    for (size_t t = 0; t < pending.size(); ++t) {
-      const TableContext* ctx = &ctxs[pending[t]];
-      ExecutionTrace* trace = &traces[t];
-      llm::LanguageModel* model = qctx->model;
-      tasks.push_back(TaskHandle<Result<Relation>>::Launch(
-          ThreadPool::SharedPhase(), [this, model, ctx, trace] {
-            return MaterialiseLlmTable(model, *ctx, trace);
-          }));
-    }
-    Status first_error = Status::OK();
-    for (size_t t = 0; t < pending.size(); ++t) {
-      Result<Relation> rel = tasks[t].Join();
-      if (!rel.ok()) {
-        if (first_error.ok()) first_error = rel.status();
-        continue;
-      }
-      materialised[pending[t]] = std::move(rel).value();
-    }
-    GALOIS_RETURN_IF_ERROR(first_error);
-    for (ExecutionTrace& trace : traces) {
-      for (ScanProvenance& s : trace.scans) {
-        qctx->trace.scans.push_back(std::move(s));
-      }
-      for (CellProvenance& c : trace.cells) {
-        qctx->trace.cells.push_back(std::move(c));
-      }
-    }
-  } else {
-    for (size_t i : pending) {
-      GALOIS_ASSIGN_OR_RETURN(
-          Relation rel,
-          MaterialiseLlmTable(qctx->model, ctxs[i], &qctx->trace));
-      materialised[i] = std::move(rel);
-    }
-  }
-
-  if (use_cache) {
-    for (size_t i : pending) {
-      materialisation_cache_->Insert(fingerprints[i],
-                                     ctxs[i].needed_columns,
-                                     *materialised[i]);
-    }
-  }
-
-  std::vector<engine::BoundRelation> bases;
-  bases.reserve(ctxs.size());
-  for (size_t i = 0; i < ctxs.size(); ++i) {
-    bases.emplace_back(ctxs[i].alias, std::move(*materialised[i]));
-  }
-  return bases;
-}
-
-Result<QueryOutput> GaloisExecutor::Run(const SelectStatement& stmt) const {
+Result<QueryOutput> GaloisExecutor::Run(
+    const sql::SelectStatement& stmt) const {
   // Per-query cost attribution: every round trip goes through this tap,
   // so the meter below is exactly this query's spend even when other
-  // queries bill the same shared model stack concurrently (the old
-  // snapshot-and-diff of the shared meter was racy).
+  // queries bill the same shared model stack concurrently.
   llm::CostTap tap(model_);
-  QueryContext qctx;
-  qctx.model = &tap;
 
   GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
-  GALOIS_ASSIGN_OR_RETURN(TablePlan plan, PlanTables(stmt));
 
-  GALOIS_ASSIGN_OR_RETURN(std::vector<engine::BoundRelation> bases,
-                          MaterialiseTables(plan.tables, &qctx));
-  GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
+  // Plan-driven execution: logical plan -> physical annotations ->
+  // physical operator DAG. The annotation pass is the only place that
+  // decides pushdown, consumed conjuncts and retrieve columns; the
+  // compiler and DAG merely carry those decisions out.
+  GALOIS_ASSIGN_OR_RETURN(planner::PlanNodePtr plan,
+                          planner::BuildLogicalPlan(stmt, *catalog_));
+  GALOIS_RETURN_IF_ERROR(
+      planner::BindPhysicalAnnotations(plan.get(), *catalog_,
+                                       BindingOptionsFor(options_))
+          .status());
+  GALOIS_ASSIGN_OR_RETURN(
+      PhysicalPlan physical,
+      PhysicalPlan::Compile(std::move(plan), catalog_, options_));
 
-  // Rebuild WHERE from the conjuncts that were not executed via the LLM.
-  // The consumed set comes straight from PlanTables — the one place that
-  // decides what is pushed — so a conjunct is dropped here iff a prompt
-  // filter was actually planned for it.
-  sql::ExprPtr residual;
-  if (stmt.where) {
-    std::vector<const Expr*> conjuncts;
-    FlattenConjuncts(stmt.where.get(), &conjuncts);
-    for (const Expr* c : conjuncts) {
-      if (plan.consumed.count(c) > 0) continue;
-      sql::ExprPtr clone = c->Clone();
-      residual = residual
-                     ? Expr::MakeBinary(BinaryOp::kAnd,
-                                        std::move(residual),
-                                        std::move(clone))
-                     : std::move(clone);
-    }
-  }
-  SelectStatement residual_stmt = CloneWithWhere(stmt, std::move(residual));
-  GALOIS_ASSIGN_OR_RETURN(Relation relation,
-                          engine::ExecuteOnRelations(residual_stmt, bases));
-  QueryOutput out;
-  out.relation = std::move(relation);
+  GALOIS_ASSIGN_OR_RETURN(QueryOutput out,
+                          physical.Execute(&tap, materialisation_cache_));
   out.cost = tap.cost();
-  out.trace = std::move(qctx.trace);
-  out.table_cache_lookups = qctx.table_cache_lookups;
-  out.table_cache_hits = qctx.table_cache_hits;
+  out.physical_plan = physical.Render();
   return out;
 }
 

@@ -2,16 +2,12 @@
 #define GALOIS_CORE_GALOIS_EXECUTOR_H_
 
 #include <cstdint>
-#include <optional>
-#include <set>
 #include <string>
-#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "core/options.h"
 #include "core/provenance.h"
-#include "engine/executor.h"
 #include "llm/language_model.h"
 #include "sql/ast.h"
 #include "types/relation.h"
@@ -21,11 +17,12 @@ namespace galois::core {
 class MaterialisationCache;
 
 /// Everything one query execution produced, as a self-contained value:
-/// the relation plus the query's own cost meter, provenance trace and
-/// materialisation-cache traffic. Returned by GaloisExecutor::Run, and
-/// the engine-level half of the public galois::QueryResult. Because the
-/// result is a value (not accessors on the executor), concurrent queries
-/// against one executor can never read each other's measurements.
+/// the relation plus the query's own cost meter, provenance trace,
+/// physical-plan report and materialisation-cache traffic. Returned by
+/// GaloisExecutor::Run, and the engine-level half of the public
+/// galois::QueryResult. Because the result is a value (not accessors on
+/// the executor), concurrent queries against one executor can never read
+/// each other's measurements.
 struct QueryOutput {
   Relation relation;
 
@@ -38,6 +35,11 @@ struct QueryOutput {
   /// ExecutionOptions::record_provenance is set.
   ExecutionTrace trace;
 
+  /// Rendering of the executed physical operator DAG with per-operator
+  /// rows / round trips / cost (PhysicalPlan::Render) — what the shell's
+  /// `.explain` shows for the last query.
+  std::string physical_plan;
+
   /// Materialisation-cache traffic of this query: LLM tables looked up,
   /// and tables served without any LLM round trip. Both 0 when no cache
   /// is attached.
@@ -48,10 +50,16 @@ struct QueryOutput {
 /// The Galois executor (the paper's primary contribution, Section 4).
 ///
 /// Executes SPJA SQL where some or all base relations live in a language
-/// model. The query plan decomposes the task chain-of-thought style:
+/// model. Execution is plan-driven end to end: Run parses the statement,
+/// builds the logical plan (planner::BuildLogicalPlan), annotates it with
+/// the physical decisions (planner::BindPhysicalAnnotations — pushdown,
+/// consumed conjuncts, retrieve columns, the LIMIT paging bound), and
+/// compiles it into a physical operator DAG (core/physical_plan) whose
+/// stages decompose the task chain-of-thought style:
 ///
 ///   1. leaf access — retrieve the key-attribute values of each LLM table
-///      with iterative key-scan prompts;
+///      with iterative key-scan prompts (bounded by LIMIT when the plan
+///      proves that safe);
 ///   2. selection — simple predicates on LLM tables become per-key
 ///      filter-check prompts (or are pushed into the scan prompt when the
 ///      pushdown optimisation is on);
@@ -63,25 +71,30 @@ struct QueryOutput {
 ///      algorithms for any operator involving attributes that have already
 ///      been retrieved").
 ///
+/// The planner is the single source of truth for what executes where:
+/// the executor never re-derives pushdown or column decisions (the
+/// hardwired pre-plan ladder that did is retired).
+///
 /// Hybrid queries mix `LLM.` and `DB.` tables: DB tables are read from the
 /// catalog instances, exactly like the intro's
 /// `SELECT c.GDP, AVG(e.salary) FROM LLM.country c, DB.Employees e ...`.
 ///
-/// With ExecutionOptions::pipeline_phases the plan above executes as a
-/// pipeline instead of a ladder of barriers: independent LLM tables
-/// materialise concurrently, and within one table the needed-column
-/// attribute phases (and their critic-verify follow-ups) are dispatched
-/// as async phase futures. Results, provenance order and cost accounting
-/// are identical to the sequential plan. A MaterialisationCache attached
-/// via set_materialisation_cache adds cross-query reuse on top: a table
-/// whose fingerprint (definition, pushed filters, needed columns, result-
-/// affecting options, model) was already materialised is served with zero
-/// LLM round trips, including by projection from a wider cached
-/// materialisation.
+/// With ExecutionOptions::pipeline_phases the DAG executes as a pipeline
+/// instead of a ladder of barriers: independent LLM tables materialise
+/// concurrently, and within one table the needed-column attribute phases
+/// (and their critic-verify follow-ups) are dispatched as async phase
+/// futures. Results, provenance order and cost accounting are identical
+/// to the sequential plan. A MaterialisationCache attached via
+/// set_materialisation_cache adds cross-query reuse on top: a table whose
+/// fingerprint (definition, pushed filters, needed columns, result-
+/// affecting options, paging bound, model) was already materialised is
+/// served with zero LLM round trips, including by projection from a wider
+/// cached materialisation.
 ///
 /// Threading model: the executor is immutable after setup (construction
-/// plus an optional set_materialisation_cache). Run/Execute are const and
-/// keep all per-query state — meter, trace, cache counters — in the
+/// plus an optional set_materialisation_cache). Run/Execute are const,
+/// compile a fresh physical plan per call, and keep all per-query state —
+/// meter, trace, operator stats, cache counters — in that plan and the
 /// returned QueryOutput, so one executor instance may run any number of
 /// queries concurrently from different threads. This is the engine
 /// beneath galois::Database / galois::Session (src/api/database.h), which
@@ -122,72 +135,6 @@ class GaloisExecutor {
   }
 
  private:
-  /// Per-query mutable state, owned by one Run call: the per-query cost
-  /// tap standing in for the shared model, the trace under construction
-  /// and the cache counters. Never stored on the executor.
-  struct QueryContext {
-    llm::LanguageModel* model = nullptr;  // the query's CostTap
-    ExecutionTrace trace;
-    int64_t table_cache_lookups = 0;
-    int64_t table_cache_hits = 0;
-  };
-
-  /// Per-table execution context assembled during planning.
-  struct TableContext {
-    sql::TableRef ref;
-    const catalog::TableDef* def = nullptr;
-    std::string alias;
-    bool from_llm = true;
-    /// Non-key columns the rest of the plan needs, in def order.
-    std::vector<const catalog::ColumnDef*> needed_columns;
-    /// Predicates executed through the LLM (not by the engine).
-    std::vector<llm::PromptFilter> llm_filters;
-    bool needs_all_columns = false;
-  };
-
-  /// The bound plan of one statement: the table contexts plus the WHERE
-  /// conjuncts consumed as LLM filters (pointers into the statement's
-  /// expression tree). Run builds the residual WHERE from exactly
-  /// this set, so the "was it pushed?" decision is made once, here —
-  /// re-deriving it with a different column-resolution rule used to drop
-  /// ambiguous conjuncts that were never pushed.
-  struct TablePlan {
-    std::vector<TableContext> tables;
-    std::set<const sql::Expr*> consumed;
-  };
-
-  Result<TablePlan> PlanTables(const sql::SelectStatement& stmt) const;
-
-  /// Whether ctx's first LLM filter is merged into the scan prompt under
-  /// the configured pushdown policy (shared by the materialisation path
-  /// and the cache fingerprint).
-  bool ShouldPushFirstFilter(const TableContext& ctx) const;
-
-  /// Materialises one LLM-backed base relation (steps 1-3 above) through
-  /// `model` (the query's cost tap). Provenance is recorded into `trace`
-  /// (never into members), so independent tables may materialise on
-  /// different threads.
-  Result<Relation> MaterialiseLlmTable(llm::LanguageModel* model,
-                                       const TableContext& ctx,
-                                       ExecutionTrace* trace) const;
-
-  /// Attribute completion + critic verification for one table, pipelined:
-  /// all column phases dispatched concurrently as phase futures.
-  Result<std::vector<std::vector<Value>>> RetrieveColumnsPipelined(
-      llm::LanguageModel* model, const TableContext& ctx,
-      const std::vector<std::string>& surviving,
-      ExecutionTrace* trace) const;
-
-  /// Materialises a DB-backed base relation from the catalog instance.
-  Result<Relation> MaterialiseDbTable(const TableContext& ctx) const;
-
-  /// Materialises every base relation of the plan, in FROM order:
-  /// DB reads and cache hits inline, LLM tables sequentially or — with
-  /// pipeline_phases — as concurrent table tasks. Cache counters and
-  /// provenance land in `qctx`.
-  Result<std::vector<engine::BoundRelation>> MaterialiseTables(
-      const std::vector<TableContext>& ctxs, QueryContext* qctx) const;
-
   llm::LanguageModel* model_;
   const catalog::Catalog* catalog_;
   ExecutionOptions options_;

@@ -125,13 +125,20 @@ std::vector<int> ParseVerdicts(
 Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
-    const std::optional<llm::PromptFilter>& filter, int* pages_issued) {
+    const std::optional<llm::PromptFilter>& filter, int* pages_issued,
+    int64_t key_limit) {
   llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
                                 "key-scan:" + table.entity_type);
   std::vector<std::string> keys;
   std::unordered_set<std::string> seen;
   if (pages_issued != nullptr) *pages_issued = 0;
   for (int page = 0; page < options.max_scan_pages; ++page) {
+    // LIMIT-bounded paging: enough keys are already scanned that the
+    // downstream Limit operator is satisfiable — stop buying pages.
+    if (key_limit >= 0 &&
+        static_cast<int64_t>(keys.size()) >= key_limit) {
+      break;
+    }
     if (pages_issued != nullptr) ++*pages_issued;
     llm::KeyScanIntent intent;
     intent.concept_name = table.entity_type;

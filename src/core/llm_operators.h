@@ -39,11 +39,15 @@ llm::BatchPolicy BatchPolicyFor(const ExecutionOptions& options);
 /// prompt (Section 6 optimisation). Keys are deduplicated, first-seen
 /// order. Pages are dependent prompts (page k+1 needs page k's answer),
 /// so the scan issues them through the scheduler one at a time.
+/// `key_limit >= 0` stops paging as soon as that many keys have been
+/// scanned (the plan compiler sets it when a LIMIT provably bounds the
+/// scan): the returned prefix may exceed the limit within the last page
+/// but no further page round trips are issued.
 Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
     const std::optional<llm::PromptFilter>& filter = std::nullopt,
-    int* pages_issued = nullptr);
+    int* pages_issued = nullptr, int64_t key_limit = -1);
 
 /// Attribute retrieval node: fetches `column` of the entity identified by
 /// `key` and converts the completion to a typed cell via the cleaning

@@ -18,11 +18,12 @@ std::string MaterialisationCache::Fingerprint(
     const catalog::TableDef& def,
     const std::vector<llm::PromptFilter>& filters,
     bool first_filter_pushed, const ExecutionOptions& options,
-    const std::string& model_name) {
+    const std::string& model_name, int64_t scan_key_limit) {
   std::ostringstream os;
   os << "table=" << def.name << kSep << "key=" << def.key_column << kSep
      << "entity=" << def.entity_type << kSep << "model=" << model_name
-     << kSep << "push=" << (first_filter_pushed ? 1 : 0) << kSep;
+     << kSep << "push=" << (first_filter_pushed ? 1 : 0) << kSep
+     << "keylimit=" << scan_key_limit << kSep;
   // Column definitions feed the prompts (descriptions) and the cleaning
   // layer (types), so a redefined catalog must land in a new entry.
   os << "cols=";

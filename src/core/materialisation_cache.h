@@ -71,12 +71,15 @@ class MaterialisationCache {
   /// `model_name`. `filters` are the predicates executed via the LLM in
   /// plan order; `first_filter_pushed` records whether filters[0] was
   /// merged into the scan prompt (pushed and checked-per-key scans
-  /// answer differently on noisy models).
+  /// answer differently on noisy models). `scan_key_limit` is the LIMIT-
+  /// derived paging bound (-1 unbounded): a bounded scan materialises a
+  /// prefix of the table, which must never be served to an unbounded (or
+  /// differently-bounded) query.
   static std::string Fingerprint(
       const catalog::TableDef& def,
       const std::vector<llm::PromptFilter>& filters,
       bool first_filter_pushed, const ExecutionOptions& options,
-      const std::string& model_name);
+      const std::string& model_name, int64_t scan_key_limit = -1);
 
   /// Returns the cached materialisation for `fingerprint` projected to
   /// key + `needed_columns` (def order) and qualified with `alias`, or

@@ -1,0 +1,807 @@
+#include "core/physical_plan.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/llm_operators.h"
+#include "core/materialisation_cache.h"
+#include "engine/operators.h"
+
+namespace galois::core {
+
+namespace {
+
+using planner::PlanNode;
+using planner::PlanOp;
+
+/// The non-NULL cells of one retrieved column, in row order — the input
+/// of that column's critic-verification phase.
+struct CellSelection {
+  std::vector<size_t> idx;        // row indices into the column
+  std::vector<std::string> keys;  // surviving key per cell
+  std::vector<Value> values;      // claimed value per cell
+};
+
+CellSelection SelectNonNullCells(
+    const std::vector<Value>& values,
+    const std::vector<std::string>& surviving) {
+  CellSelection sel;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    sel.idx.push_back(i);
+    sel.keys.push_back(surviving[i]);
+    sel.values.push_back(values[i]);
+  }
+  return sel;
+}
+
+/// Applies one column's critic verdicts (shared by the sequential and
+/// pipelined retrieval paths, so their rejection/provenance semantics
+/// cannot diverge): rejected cells become NULL — the critic treats them
+/// as hallucinations — and the provenance records, when kept, are tagged.
+void ApplyVerdicts(const std::vector<int>& verdicts,
+                   const CellSelection& cells, std::vector<Value>* values,
+                   std::vector<CellProvenance>* provenances) {
+  for (size_t v = 0; v < cells.idx.size(); ++v) {
+    size_t i = cells.idx[v];
+    if (provenances != nullptr) (*provenances)[i].verified = true;
+    if (verdicts[v] == 0) {
+      (*values)[i] = Value::Null();
+      if (provenances != nullptr) {
+        (*provenances)[i].rejected = true;
+        (*provenances)[i].value = Value::Null();
+      }
+    }
+  }
+}
+
+/// Records an LLM operator's outcome on its DAG node: the nested tap's
+/// spend, round trips derived from it (batch round trips when batching
+/// was on, prompt count otherwise) and the output row count.
+void FinishLlmOp(PhysicalNode* node, const llm::CostTap& tap,
+                 size_t rows) {
+  if (node == nullptr) return;
+  node->stats.executed = true;
+  node->stats.cost = tap.cost();
+  node->stats.round_trips = node->stats.cost.num_batches > 0
+                                ? node->stats.cost.num_batches
+                                : node->stats.cost.num_prompts;
+  node->stats.rows = static_cast<int64_t>(rows);
+}
+
+void FinishRelationalOp(PhysicalNode* node, size_t rows) {
+  if (node == nullptr) return;
+  node->stats.executed = true;
+  node->stats.rows = static_cast<int64_t>(rows);
+}
+
+std::string FilterText(const llm::PromptFilter& f) {
+  return f.attribute + " " + f.op + " " + f.value.ToString();
+}
+
+std::string StatsSummary(const OperatorStats& s) {
+  if (s.from_cache) {
+    return "cache hit: " + std::to_string(s.rows) +
+           " rows, 0 round trips";
+  }
+  if (!s.executed) return "not executed";
+  std::ostringstream os;
+  os << "rows=" << s.rows;
+  if (s.cost.num_prompts > 0 || s.cost.num_batches > 0) {
+    os << ", round trips=" << s.round_trips
+       << ", prompts=" << s.cost.num_prompts << ", tokens="
+       << s.cost.prompt_tokens + s.cost.completion_tokens;
+    char latency[32];
+    std::snprintf(latency, sizeof(latency), "%.1f",
+                  s.cost.simulated_latency_ms);
+    os << ", latency=" << latency << "ms";
+  }
+  return os.str();
+}
+
+void RenderRec(const PhysicalNode& node, int depth,
+               std::ostringstream* os) {
+  *os << std::string(static_cast<size_t>(depth) * 2, ' ') << node.label
+      << "  [" << StatsSummary(node.stats) << "]\n";
+  for (const PhysicalNode* c : node.children) {
+    RenderRec(*c, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+planner::BindingOptions BindingOptionsFor(const ExecutionOptions& options) {
+  planner::BindingOptions b;
+  b.llm_filter_checks = options.llm_filter_checks;
+  b.merge_filter_into_scan =
+      options.EffectivePushdown() == PushdownPolicy::kAlways;
+  b.merge_filter_auto =
+      options.EffectivePushdown() == PushdownPolicy::kAuto;
+  b.auto_pushdown_min_rows = options.auto_pushdown_min_rows;
+  b.scan_rows_may_drop = options.verify_cells;
+  return b;
+}
+
+PhysicalNode* PhysicalPlan::NewNode(std::string label) {
+  nodes_.emplace_back();
+  nodes_.back().label = std::move(label);
+  return &nodes_.back();
+}
+
+Result<PhysicalPlan> PhysicalPlan::Compile(planner::PlanNodePtr plan,
+                                           const catalog::Catalog* catalog,
+                                           const ExecutionOptions& options) {
+  PhysicalPlan p;
+  p.plan_ = std::move(plan);
+  p.catalog_ = catalog;
+  p.options_ = options;
+  PlanNode* root = p.plan_.get();
+
+  // --- classify the logical tree ----------------------------------------
+  // BuildLogicalPlan emits at most one of each tail operator and a
+  // left-deep join tree; scans surface in FROM order under an in-order
+  // walk.
+  const PlanNode* where_filter = nullptr;
+  const PlanNode* having_filter = nullptr;
+  const PlanNode* aggregate = nullptr;
+  const PlanNode* project = nullptr;
+  const PlanNode* sort = nullptr;
+  const PlanNode* distinct = nullptr;
+  const PlanNode* limit = nullptr;
+  std::vector<const PlanNode*> join_logicals;  // pre-order: topmost first
+  std::vector<const PlanNode*> scans;          // FROM order
+  std::map<const PlanNode*, const PlanNode*> retrieve_of;  // scan -> node
+  std::function<void(const PlanNode*)> classify = [&](const PlanNode* n) {
+    switch (n->op) {
+      case PlanOp::kFilter:
+        if (n->children[0]->op == PlanOp::kAggregate) {
+          having_filter = n;
+        } else {
+          where_filter = n;
+        }
+        break;
+      case PlanOp::kAggregate:
+        aggregate = n;
+        break;
+      case PlanOp::kProject:
+        project = n;
+        break;
+      case PlanOp::kSort:
+        sort = n;
+        break;
+      case PlanOp::kDistinct:
+        distinct = n;
+        break;
+      case PlanOp::kLimit:
+        limit = n;
+        break;
+      case PlanOp::kJoin:
+        join_logicals.push_back(n);
+        break;
+      case PlanOp::kRetrieve:
+        retrieve_of[n->children[0].get()] = n;
+        break;
+      case PlanOp::kScan:
+        scans.push_back(n);
+        return;  // leaf
+    }
+    for (const auto& c : n->children) classify(c.get());
+  };
+  classify(root);
+
+  if (project == nullptr || scans.empty()) {
+    return Status::InvalidArgument(
+        "physical plan: malformed logical plan (no Project/Scan)");
+  }
+  if (where_filter != nullptr && !where_filter->annotated) {
+    return Status::InvalidArgument(
+        "physical plan: logical plan was not annotated — run "
+        "planner::BindPhysicalAnnotations before Compile");
+  }
+  if (join_logicals.size() + 1 != scans.size()) {
+    return Status::InvalidArgument(
+        "physical plan: join/scan count mismatch");
+  }
+  // Topmost join executes last: reverse into execution order.
+  std::reverse(join_logicals.begin(), join_logicals.end());
+
+  // --- compile one table group per scan ---------------------------------
+  p.groups_.reserve(scans.size());
+  for (const PlanNode* scan : scans) {
+    TableGroup g;
+    g.scan = scan;
+    GALOIS_ASSIGN_OR_RETURN(g.def, catalog->GetTable(scan->table));
+    g.alias = scan->alias;
+    g.from_llm = scan->from_llm;
+    g.key_limit = scan->scan_key_limit;
+    g.push_first_filter = scan->merge_first_filter;
+    for (const planner::ScanFilter& f : scan->scan_filters) {
+      llm::PromptFilter filter;
+      filter.attribute = f.column;
+      filter.attribute_description = f.column_description;
+      filter.op = f.op;
+      filter.value = f.value;
+      g.llm_filters.push_back(std::move(filter));
+    }
+    auto it = retrieve_of.find(scan);
+    if (it != retrieve_of.end()) {
+      for (const std::string& name : it->second->columns) {
+        GALOIS_ASSIGN_OR_RETURN(const catalog::ColumnDef* col,
+                                g.def->FindColumn(name));
+        g.needed_columns.push_back(col);
+      }
+    }
+
+    // The group's operator chain, bottom-up: scan, key critic, filter
+    // checks, retrieve, cell critic.
+    if (!g.from_llm) {
+      g.scan_node = p.NewNode("Scan[DB] " + g.def->name +
+                              (g.alias != g.def->name
+                                   ? " AS " + g.alias
+                                   : std::string()));
+      g.top = g.scan_node;
+      p.groups_.push_back(std::move(g));
+      continue;
+    }
+    {
+      std::ostringstream os;
+      os << "KeyScan[LLM] " << g.def->name;
+      if (g.alias != g.def->name) os << " AS " << g.alias;
+      os << " (key '" << g.def->key_column << "' via paged prompts";
+      if (g.push_first_filter) {
+        os << "; filter merged into scan prompt: "
+           << FilterText(g.llm_filters[0]);
+      }
+      if (g.key_limit >= 0) {
+        os << "; paging stops at " << g.key_limit << " keys";
+      }
+      os << ")";
+      g.scan_node = p.NewNode(os.str());
+    }
+    g.top = g.scan_node;
+    if (options.verify_cells) {
+      g.key_verify_node = p.NewNode(
+          "VerifyKeys " + g.alias + " (critic prompt per scanned key)");
+      g.key_verify_node->children.push_back(g.top);
+      g.top = g.key_verify_node;
+    }
+    for (size_t f = g.push_first_filter ? 1 : 0; f < g.llm_filters.size();
+         ++f) {
+      PhysicalNode* check = p.NewNode(
+          "FilterCheck " + g.alias + "." + FilterText(g.llm_filters[f]) +
+          " (one prompt per surviving key)");
+      check->children.push_back(g.top);
+      g.top = check;
+      g.check_nodes.push_back(check);
+    }
+    if (!g.needed_columns.empty()) {
+      std::vector<std::string> names;
+      for (const catalog::ColumnDef* col : g.needed_columns) {
+        names.push_back(col->name);
+      }
+      g.retrieve_node = p.NewNode(
+          "Retrieve " + g.alias + ".{" + Join(names, ", ") +
+          "} (one prompt per key per attribute)");
+      g.retrieve_node->children.push_back(g.top);
+      g.top = g.retrieve_node;
+      if (options.verify_cells) {
+        g.cell_verify_node = p.NewNode(
+            "VerifyCells " + g.alias +
+            " (critic prompt per non-NULL cell)");
+        g.cell_verify_node->children.push_back(g.top);
+        g.top = g.cell_verify_node;
+      }
+    }
+    p.groups_.push_back(std::move(g));
+  }
+
+  // --- join chain -------------------------------------------------------
+  PhysicalNode* top = p.groups_[0].top;
+  for (size_t i = 0; i < join_logicals.size(); ++i) {
+    const PlanNode* j = join_logicals[i];
+    std::string label;
+    if (!j->predicate) {
+      label = "CrossJoin";
+    } else if (j->join_type == sql::JoinType::kLeft) {
+      label = "LeftOuterJoin ON " + j->predicate->ToString();
+    } else {
+      label = "NestedLoopJoin ON " + j->predicate->ToString();
+    }
+    PhysicalNode* node = p.NewNode(std::move(label));
+    node->children.push_back(top);
+    node->children.push_back(p.groups_[i + 1].top);
+    p.joins_.push_back({j, node});
+    top = node;
+  }
+
+  // --- relational tail --------------------------------------------------
+  if (where_filter != nullptr && where_filter->residual != nullptr) {
+    p.residual_ = where_filter->residual.get();
+    p.filter_node_ = p.NewNode("Filter " + p.residual_->ToString());
+    p.filter_node_->children.push_back(top);
+    top = p.filter_node_;
+  }
+  if (aggregate != nullptr) {
+    p.aggregate_node_ = p.NewNode(aggregate->Describe());
+    p.aggregate_node_->children.push_back(top);
+    top = p.aggregate_node_;
+  }
+  if (having_filter != nullptr) {
+    p.having_node_ =
+        p.NewNode("Having " + having_filter->predicate->ToString());
+    p.having_node_->children.push_back(top);
+    top = p.having_node_;
+  }
+  p.project_node_ = p.NewNode(project->Describe());
+  p.project_node_->children.push_back(top);
+  top = p.project_node_;
+  if (sort != nullptr) {
+    p.sort_node_ = p.NewNode(sort->Describe());
+    p.sort_node_->children.push_back(top);
+    top = p.sort_node_;
+  }
+  if (distinct != nullptr) {
+    p.distinct_node_ = p.NewNode(distinct->Describe());
+    p.distinct_node_->children.push_back(top);
+    top = p.distinct_node_;
+  }
+  if (limit != nullptr) {
+    p.limit_node_ = p.NewNode(limit->Describe());
+    p.limit_node_->children.push_back(top);
+    top = p.limit_node_;
+    p.limit_value_ = limit->limit;
+  }
+  p.root_ = top;
+
+  // The tail spec borrows the plan's expressions; the stages consume it
+  // exactly like the statement-driven engine path.
+  for (size_t i = 0; i < project->exprs.size(); ++i) {
+    engine::SelectItemView item;
+    item.expr = project->exprs[i].get();
+    item.alias = i < project->columns.size() ? project->columns[i]
+                                             : std::string();
+    p.spec_.select.push_back(std::move(item));
+  }
+  if (having_filter != nullptr) {
+    p.spec_.having = having_filter->predicate.get();
+  }
+  if (sort != nullptr) {
+    for (size_t i = 0; i < sort->exprs.size(); ++i) {
+      engine::OrderItemView item;
+      item.expr = sort->exprs[i].get();
+      item.descending =
+          i < sort->descending.size() && sort->descending[i];
+      p.spec_.order_by.push_back(item);
+    }
+  }
+  if (aggregate != nullptr) {
+    for (size_t g = 0; g < aggregate->group_expr_count; ++g) {
+      p.spec_.group_by.push_back(aggregate->exprs[g].get());
+    }
+  }
+  return p;
+}
+
+Result<Relation> PhysicalPlan::MaterialiseDb(TableGroup& group) {
+  GALOIS_ASSIGN_OR_RETURN(const Relation* instance,
+                          catalog_->GetInstance(group.def->name));
+  Relation rel(group.def->ToSchema(group.alias), instance->rows());
+  FinishRelationalOp(group.scan_node, rel.rows().size());
+  return rel;
+}
+
+Result<std::vector<std::vector<Value>>>
+PhysicalPlan::RetrieveColumnsPipelined(
+    const TableGroup& group, llm::LanguageModel* attr_model,
+    llm::LanguageModel* verify_model,
+    const std::vector<std::string>& surviving, ExecutionTrace* trace) {
+  const catalog::TableDef& def = *group.def;
+  const size_t n = group.needed_columns.size();
+  const bool prov = options_.record_provenance;
+
+  // Dispatch every column's attribute phase up front; they all run
+  // concurrently on the phase pool.
+  std::vector<AttributePhase> attr_phases(n);
+  for (size_t i = 0; i < n; ++i) {
+    attr_phases[i] = LlmGetAttributeBatchStart(
+        attr_model, def, surviving, *group.needed_columns[i], options_);
+  }
+
+  // Join columns in order; each column's critic-verify follow-up is
+  // dispatched as soon as its values are in, overlapping later columns'
+  // retrievals. The error reported is the one with the lowest rank in
+  // the sequential op order (attr_0, verify_0, attr_1, ...), so the
+  // pipelined and sequential paths fail identically — though, as with
+  // concurrent chunk dispatch, phases already in flight when an error
+  // surfaces still complete and bill. On error, this table's per-cell
+  // provenance is dropped rather than partially recorded.
+  std::vector<std::vector<Value>> columns(n);
+  std::vector<std::vector<CellProvenance>> provenances(n);
+  std::vector<VerdictPhase> verify_phases(n);
+  std::vector<CellSelection> cells(n);
+  Status first_error = Status::OK();
+  size_t first_error_rank = 2 * n;  // past every op
+  for (size_t i = 0; i < n; ++i) {
+    Result<std::vector<Value>> values =
+        attr_phases[i].Join(prov ? &provenances[i] : nullptr);
+    if (!values.ok()) {
+      if (2 * i < first_error_rank) {
+        first_error = values.status();
+        first_error_rank = 2 * i;
+      }
+      continue;
+    }
+    columns[i] = std::move(values).value();
+    if (!options_.verify_cells || !first_error.ok()) continue;
+    cells[i] = SelectNonNullCells(columns[i], surviving);
+    if (!cells[i].idx.empty()) {
+      verify_phases[i] = LlmVerifyCellBatchStart(
+          verify_model, def, cells[i].keys, *group.needed_columns[i],
+          cells[i].values, options_);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!verify_phases[i].valid()) continue;
+    Result<std::vector<int>> verdicts = verify_phases[i].Join();
+    if (!verdicts.ok()) {
+      if (2 * i + 1 < first_error_rank) {
+        first_error = verdicts.status();
+        first_error_rank = 2 * i + 1;
+      }
+      continue;
+    }
+    ApplyVerdicts(*verdicts, cells[i], &columns[i],
+                  prov ? &provenances[i] : nullptr);
+  }
+  GALOIS_RETURN_IF_ERROR(first_error);
+  if (prov) {
+    for (size_t i = 0; i < n; ++i) {
+      for (CellProvenance& p : provenances[i]) {
+        p.table_alias = group.alias;
+        trace->cells.push_back(std::move(p));
+      }
+    }
+  }
+  return columns;
+}
+
+Result<Relation> PhysicalPlan::MaterialiseLlm(TableGroup& group,
+                                              llm::LanguageModel* model,
+                                              ExecutionTrace* trace) {
+  const catalog::TableDef& def = *group.def;
+  GALOIS_ASSIGN_OR_RETURN(size_t key_idx, def.KeyIndex());
+  const catalog::ColumnDef& key_col = def.columns[key_idx];
+
+  // 1. Leaf access: key scan, optionally with one pushed-down filter and
+  // the LIMIT-derived paging bound (both decided by the planner).
+  std::optional<llm::PromptFilter> scan_filter;
+  size_t first_check = 0;
+  if (group.push_first_filter) {
+    scan_filter = group.llm_filters[0];
+    first_check = 1;
+  }
+  int scan_pages = 0;
+  llm::CostTap scan_tap(model);
+  GALOIS_ASSIGN_OR_RETURN(
+      std::vector<std::string> keys,
+      LlmKeyScan(&scan_tap, def, options_, scan_filter, &scan_pages,
+                 group.key_limit));
+  FinishLlmOp(group.scan_node, scan_tap, keys.size());
+  group.scan_node->stats.round_trips = scan_pages;
+
+  // 2a. Optional critic pass over the scanned keys: "Is it true that the
+  // name of the country New Italy is New Italy?" rejects hallucinated
+  // entities before any further prompt is spent on them. One scheduler
+  // phase over all scanned keys.
+  if (options_.verify_cells && !keys.empty()) {
+    std::vector<Value> claimed;
+    claimed.reserve(keys.size());
+    for (const std::string& key : keys) {
+      claimed.push_back(Value::String(key));
+    }
+    llm::CostTap verify_tap(model);
+    GALOIS_ASSIGN_OR_RETURN(
+        std::vector<int> verdicts,
+        LlmVerifyCellBatch(&verify_tap, def, keys, key_col, claimed,
+                           options_));
+    std::vector<std::string> confirmed;
+    confirmed.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (verdicts[i] != 0) confirmed.push_back(std::move(keys[i]));
+    }
+    keys = std::move(confirmed);
+    FinishLlmOp(group.key_verify_node, verify_tap, keys.size());
+  } else if (group.key_verify_node != nullptr) {
+    FinishRelationalOp(group.key_verify_node, keys.size());
+  }
+
+  // 2b. Selection: one filter-check phase per remaining predicate, each
+  // over the keys that survived the previous predicates — the same prompt
+  // set as the paper prototype's per-key short-circuiting loop, just
+  // grouped so the scheduler can dispatch each phase as a batch. Batched
+  // and sequential dispatch return identical keys: the model's verdicts
+  // are stable per (key, filter). Filter phases chain on each other's
+  // survivors, so they stay sequential even under pipeline_phases.
+  std::vector<std::string> surviving = keys;
+  for (size_t f = first_check; f < group.llm_filters.size(); ++f) {
+    if (surviving.empty()) break;
+    llm::CostTap check_tap(model);
+    GALOIS_ASSIGN_OR_RETURN(
+        std::vector<int> verdicts,
+        LlmFilterCheckBatch(&check_tap, def, surviving,
+                            group.llm_filters[f], options_));
+    std::vector<std::string> kept;
+    kept.reserve(surviving.size());
+    for (size_t i = 0; i < surviving.size(); ++i) {
+      if (verdicts[i] == 1) kept.push_back(std::move(surviving[i]));
+    }
+    surviving = std::move(kept);
+    FinishLlmOp(group.check_nodes[f - first_check], check_tap,
+                surviving.size());
+  }
+  if (options_.record_provenance) {
+    ScanProvenance scan;
+    scan.table_alias = group.alias;
+    scan.pages = scan_pages;
+    scan.keys = keys.size();
+    scan.filtered = keys.size() - surviving.size();
+    trace->scans.push_back(std::move(scan));
+  }
+
+  // 3. Attribute completion: one scheduler phase per needed column
+  // retrieves the whole column, optionally followed by a critic
+  // verification phase over its non-NULL cells (Section 6 extensions).
+  // With pipeline_phases the per-column phase chains run concurrently;
+  // the sequential ladder below is the paper prototype's order. Either
+  // way, retrieval bills through one per-operator tap and verification
+  // through another, so the DAG attributes their spend separately.
+  Schema schema;
+  schema.AddColumn(Column(key_col.name, key_col.type, group.alias));
+  for (const catalog::ColumnDef* col : group.needed_columns) {
+    schema.AddColumn(Column(col->name, col->type, group.alias));
+  }
+  Relation rel(schema);
+  llm::CostTap retrieve_tap(model);
+  llm::CostTap cell_verify_tap(model);
+  std::vector<std::vector<Value>> columns;
+  if (options_.pipeline_phases && group.needed_columns.size() > 1) {
+    GALOIS_ASSIGN_OR_RETURN(
+        columns, RetrieveColumnsPipelined(group, &retrieve_tap,
+                                          &cell_verify_tap, surviving,
+                                          trace));
+  } else {
+    columns.reserve(group.needed_columns.size());
+    for (const catalog::ColumnDef* col : group.needed_columns) {
+      std::vector<CellProvenance> provenances;
+      std::vector<CellProvenance>* prov_ptr =
+          options_.record_provenance ? &provenances : nullptr;
+      GALOIS_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          LlmGetAttributeBatch(&retrieve_tap, def, surviving, *col,
+                               options_, prov_ptr));
+      if (options_.verify_cells) {
+        // Verify the column's non-NULL cells in one phase.
+        CellSelection cells = SelectNonNullCells(values, surviving);
+        if (!cells.idx.empty()) {
+          GALOIS_ASSIGN_OR_RETURN(
+              std::vector<int> verdicts,
+              LlmVerifyCellBatch(&cell_verify_tap, def, cells.keys, *col,
+                                 cells.values, options_));
+          ApplyVerdicts(verdicts, cells, &values, prov_ptr);
+        }
+      }
+      if (prov_ptr != nullptr) {
+        for (CellProvenance& p : provenances) {
+          p.table_alias = group.alias;
+          trace->cells.push_back(std::move(p));
+        }
+      }
+      columns.push_back(std::move(values));
+    }
+  }
+  FinishLlmOp(group.retrieve_node, retrieve_tap, surviving.size());
+  FinishLlmOp(group.cell_verify_node, cell_verify_tap, surviving.size());
+  for (size_t r = 0; r < surviving.size(); ++r) {
+    Tuple row;
+    row.reserve(1 + columns.size());
+    row.push_back(Value::String(surviving[r]));
+    // Move the cells out of the column vectors: each value is consumed
+    // exactly once, and completions can be long strings.
+    for (auto& column : columns) row.push_back(std::move(column[r]));
+    rel.AddRowUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
+    llm::LanguageModel* model, MaterialisationCache* cache,
+    QueryOutput* out) {
+  // Provenance runs bypass the cache: a hit cannot replay the per-cell
+  // prompt/completion trace the caller asked for.
+  const bool use_cache = cache != nullptr && !options_.record_provenance;
+
+  const size_t n = groups_.size();
+  std::vector<std::optional<Relation>> materialised(n);
+  std::vector<std::string> fingerprints(n);
+  std::vector<size_t> pending;  // LLM tables not served from cache
+  for (size_t i = 0; i < n; ++i) {
+    TableGroup& group = groups_[i];
+    if (!group.from_llm) {
+      GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseDb(group));
+      materialised[i] = std::move(rel);
+      continue;
+    }
+    if (use_cache) {
+      fingerprints[i] = MaterialisationCache::Fingerprint(
+          *group.def, group.llm_filters, group.push_first_filter,
+          options_, model->name(), group.key_limit);
+      ++out->table_cache_lookups;
+      std::optional<Relation> hit = cache->Lookup(
+          fingerprints[i], *group.def, group.needed_columns, group.alias);
+      if (hit.has_value()) {
+        ++out->table_cache_hits;
+        const int64_t rows = static_cast<int64_t>(hit->rows().size());
+        for (PhysicalNode* node :
+             {group.scan_node, group.key_verify_node, group.retrieve_node,
+              group.cell_verify_node}) {
+          if (node == nullptr) continue;
+          node->stats.from_cache = true;
+          node->stats.rows = rows;
+        }
+        for (PhysicalNode* node : group.check_nodes) {
+          node->stats.from_cache = true;
+          node->stats.rows = rows;
+        }
+        materialised[i] = std::move(*hit);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  if (options_.pipeline_phases && pending.size() > 1) {
+    // Independent tables materialise concurrently, one task per table on
+    // the phase pool. Each task records provenance into its own trace;
+    // the traces merge in FROM order afterwards, so the combined trace is
+    // identical to the sequential path's. On error every task is still
+    // joined (abandoning one would leave prompts in flight) and the
+    // error of the first table in FROM order is reported —
+    // deterministically the one the sequential path reports. Tasks touch
+    // disjoint table groups (and the thread-safe query tap), so the
+    // per-operator stats need no locking.
+    std::vector<ExecutionTrace> traces(pending.size());
+    std::vector<TaskHandle<Result<Relation>>> tasks;
+    tasks.reserve(pending.size());
+    for (size_t t = 0; t < pending.size(); ++t) {
+      TableGroup* group = &groups_[pending[t]];
+      ExecutionTrace* trace = &traces[t];
+      tasks.push_back(TaskHandle<Result<Relation>>::Launch(
+          ThreadPool::SharedPhase(), [this, model, group, trace] {
+            return MaterialiseLlm(*group, model, trace);
+          }));
+    }
+    Status first_error = Status::OK();
+    for (size_t t = 0; t < pending.size(); ++t) {
+      Result<Relation> rel = tasks[t].Join();
+      if (!rel.ok()) {
+        if (first_error.ok()) first_error = rel.status();
+        continue;
+      }
+      materialised[pending[t]] = std::move(rel).value();
+    }
+    GALOIS_RETURN_IF_ERROR(first_error);
+    for (ExecutionTrace& trace : traces) {
+      for (ScanProvenance& s : trace.scans) {
+        out->trace.scans.push_back(std::move(s));
+      }
+      for (CellProvenance& c : trace.cells) {
+        out->trace.cells.push_back(std::move(c));
+      }
+    }
+  } else {
+    for (size_t i : pending) {
+      GALOIS_ASSIGN_OR_RETURN(
+          Relation rel, MaterialiseLlm(groups_[i], model, &out->trace));
+      materialised[i] = std::move(rel);
+    }
+  }
+
+  if (use_cache) {
+    for (size_t i : pending) {
+      cache->Insert(fingerprints[i], groups_[i].needed_columns,
+                    *materialised[i]);
+    }
+  }
+
+  std::vector<Relation> rels;
+  rels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rels.push_back(std::move(*materialised[i]));
+  }
+  return rels;
+}
+
+Result<QueryOutput> PhysicalPlan::Execute(llm::LanguageModel* model,
+                                          MaterialisationCache* cache) {
+  QueryOutput out;
+  GALOIS_ASSIGN_OR_RETURN(std::vector<Relation> rels,
+                          MaterialiseAll(model, cache, &out));
+  GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
+
+  // Relational tail: the same stages, in the same order, as the
+  // statement-driven engine path (engine::ExecuteOnRelations).
+  Relation working = std::move(rels[0]);
+  for (size_t i = 0; i < joins_.size(); ++i) {
+    const PlanNode* j = joins_[i].logical;
+    const Relation& right = rels[i + 1];
+    if (!j->predicate) {
+      GALOIS_ASSIGN_OR_RETURN(working, engine::CrossJoin(working, right));
+    } else if (j->join_type == sql::JoinType::kLeft) {
+      GALOIS_ASSIGN_OR_RETURN(
+          working, engine::LeftOuterJoin(working, right, *j->predicate));
+    } else {
+      GALOIS_ASSIGN_OR_RETURN(
+          working, engine::NestedLoopJoin(working, right, *j->predicate));
+    }
+    FinishRelationalOp(joins_[i].node, working.rows().size());
+  }
+  if (residual_ != nullptr) {
+    GALOIS_ASSIGN_OR_RETURN(working, engine::Filter(working, *residual_));
+    FinishRelationalOp(filter_node_, working.rows().size());
+  }
+
+  engine::ProjectionExprs proj = engine::ExpandSelect(spec_, working.schema());
+  Relation source;
+  bool use_agg_env = false;
+  engine::AggregationPlan aplan;
+  if (engine::NeedsAggregation(spec_)) {
+    aplan = engine::PlanAggregation(spec_);
+    GALOIS_ASSIGN_OR_RETURN(
+        source,
+        engine::HashAggregate(working, aplan.group_exprs, aplan.specs));
+    use_agg_env = true;
+    FinishRelationalOp(aggregate_node_, source.rows().size());
+  } else {
+    source = std::move(working);
+  }
+
+  GALOIS_ASSIGN_OR_RETURN(
+      engine::ProjectedRows prows,
+      engine::ProjectAndFilter(source, proj, spec_, use_agg_env,
+                               aplan.agg_keys, aplan.group_exprs.size()));
+  // HAVING and projection run fused (one per-row loop); both operators
+  // report the fused stage's output.
+  FinishRelationalOp(having_node_, prows.values.size());
+  FinishRelationalOp(project_node_, prows.values.size());
+  engine::SortProjected(&prows, spec_);
+  FinishRelationalOp(sort_node_, prows.values.size());
+  Relation rel =
+      engine::FinishProjection(source.schema(), proj, std::move(prows));
+
+  if (distinct_node_ != nullptr) {
+    rel = engine::Distinct(rel);
+    FinishRelationalOp(distinct_node_, rel.rows().size());
+  }
+  if (limit_node_ != nullptr && limit_value_ >= 0) {
+    rel = engine::Limit(rel, static_cast<size_t>(limit_value_));
+    FinishRelationalOp(limit_node_, rel.rows().size());
+  } else {
+    FinishRelationalOp(limit_node_, rel.rows().size());
+  }
+  out.relation = std::move(rel);
+  return out;
+}
+
+std::string PhysicalPlan::Render() const {
+  std::ostringstream os;
+  if (root_ != nullptr) RenderRec(*root_, 0, &os);
+  return os.str();
+}
+
+}  // namespace galois::core

@@ -1,77 +1,14 @@
 #include "engine/executor.h"
 
-#include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
-#include "common/strings.h"
-#include "engine/expr_eval.h"
 #include "engine/operators.h"
+#include "engine/relational_stages.h"
 #include "sql/parser.h"
 
 namespace galois::engine {
 
-namespace {
-
-using sql::Expr;
-using sql::ExprKind;
 using sql::SelectStatement;
-
-/// Collects the distinct aggregate calls appearing in `e` (deduplicated by
-/// canonical rendering) into `out`.
-void CollectAggregates(const Expr& e,
-                       std::map<std::string, const Expr*>* out) {
-  sql::VisitExpr(e, [out](const Expr& node) {
-    if (node.kind == ExprKind::kFunction) {
-      out->emplace(node.ToString(), &node);
-    }
-  });
-}
-
-/// Collects column refs that appear outside aggregate calls (used for the
-/// MySQL-style loose GROUP BY: such refs become implicit group columns).
-void CollectNonAggregateRefs(const Expr& e,
-                             std::vector<const Expr*>* out) {
-  if (e.kind == ExprKind::kFunction) return;  // don't descend into aggs
-  if (e.kind == ExprKind::kColumnRef) {
-    out->push_back(&e);
-    return;
-  }
-  for (const auto& child : e.children) {
-    CollectNonAggregateRefs(*child, out);
-  }
-}
-
-/// True when the query requires an aggregation stage.
-bool NeedsAggregation(const SelectStatement& stmt) {
-  if (!stmt.group_by.empty() || stmt.having) return true;
-  for (const auto& item : stmt.select_list) {
-    if (sql::ContainsAggregate(*item.expr)) return true;
-  }
-  return false;
-}
-
-/// Output column name for a select item: alias if given, bare column name
-/// for plain refs, canonical rendering otherwise.
-std::string OutputName(const sql::SelectItem& item) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
-  return item.expr->ToString();
-}
-
-/// If `e` is a bare unqualified column ref naming a select alias,
-/// returns that select item's expression; otherwise returns `e`.
-const Expr* ResolveAlias(const Expr* e, const SelectStatement& stmt) {
-  if (e->kind != ExprKind::kColumnRef || !e->table.empty()) return e;
-  for (const auto& item : stmt.select_list) {
-    if (!item.alias.empty() && EqualsIgnoreCase(item.alias, e->column)) {
-      return item.expr.get();
-    }
-  }
-  return e;
-}
-
-}  // namespace
 
 Result<Relation> ExecuteOnRelations(const SelectStatement& stmt,
                                     const std::vector<BoundRelation>& bases) {
@@ -105,158 +42,33 @@ Result<Relation> ExecuteOnRelations(const SelectStatement& stmt,
     GALOIS_ASSIGN_OR_RETURN(working, Filter(working, *stmt.where));
   }
 
-  // 4. Aggregation or plain projection, with ORDER BY keys computed in the
-  // same row environment as the projection so aliases and aggregates sort
-  // correctly.
-  std::vector<const Expr*> select_exprs;
-  std::vector<std::string> select_names;
-  // Expand SELECT * / alias.* .
-  std::vector<sql::ExprPtr> expanded_storage;
-  for (const auto& item : stmt.select_list) {
-    if (item.expr->kind == ExprKind::kStar) {
-      const std::string& scope = item.expr->table;
-      for (const Column& c : working.schema().columns()) {
-        if (!scope.empty() && !EqualsIgnoreCase(c.table, scope)) continue;
-        expanded_storage.push_back(Expr::MakeColumnRef(c.table, c.name));
-        select_exprs.push_back(expanded_storage.back().get());
-        select_names.push_back(c.name);
-      }
-      continue;
-    }
-    select_exprs.push_back(item.expr.get());
-    select_names.push_back(OutputName(item));
-  }
+  // 4-6. Relational tail — the exact stages the plan-driven physical
+  // executor runs (engine/relational_stages.h), so the two paths share one
+  // implementation: star expansion against the pre-aggregation schema,
+  // optional aggregation with loose GROUP BY, fused HAVING + projection +
+  // order keys, stable sort, schema inference, DISTINCT, LIMIT.
+  TailSpec spec = TailSpecFromStatement(stmt);
+  ProjectionExprs proj = ExpandSelect(spec, working.schema());
 
-  Relation source;           // rows to project from
-  bool use_agg_env = false;  // whether rows carry aggregate values
-  std::vector<std::string> agg_keys;  // rendering of each aggregate call
-  size_t num_group_cols = 0;
-
-  if (NeedsAggregation(stmt)) {
-    std::map<std::string, const Expr*> agg_map;
-    for (const auto& item : stmt.select_list) {
-      CollectAggregates(*item.expr, &agg_map);
-    }
-    if (stmt.having) CollectAggregates(*stmt.having, &agg_map);
-    for (const auto& item : stmt.order_by) {
-      CollectAggregates(*ResolveAlias(item.expr.get(), stmt), &agg_map);
-    }
-    std::vector<const Expr*> group_exprs;
-    group_exprs.reserve(stmt.group_by.size());
-    for (const auto& g : stmt.group_by) group_exprs.push_back(g.get());
-    // Loose GROUP BY (the paper's intro query selects c.GDP while grouping
-    // by c.name): non-aggregate column refs in the select list become
-    // implicit group columns, i.e. representative-row semantics under the
-    // functional dependency.
-    if (!group_exprs.empty()) {
-      std::vector<const Expr*> loose;
-      for (const auto& item : stmt.select_list) {
-        CollectNonAggregateRefs(*item.expr, &loose);
-      }
-      for (const Expr* ref : loose) {
-        bool already = false;
-        for (const Expr* g : group_exprs) {
-          if (g->ToString() == ref->ToString()) {
-            already = true;
-            break;
-          }
-        }
-        if (!already) group_exprs.push_back(ref);
-      }
-    }
-    std::vector<AggregateSpec> specs;
-    for (const auto& [key, call] : agg_map) {
-      specs.push_back(AggregateSpec{call});
-      agg_keys.push_back(key);
-    }
-    GALOIS_ASSIGN_OR_RETURN(source,
-                            HashAggregate(working, group_exprs, specs));
+  Relation source;
+  bool use_agg_env = false;
+  AggregationPlan aplan;
+  if (NeedsAggregation(spec)) {
+    aplan = PlanAggregation(spec);
+    GALOIS_ASSIGN_OR_RETURN(
+        source, HashAggregate(working, aplan.group_exprs, aplan.specs));
     use_agg_env = true;
-    num_group_cols = group_exprs.size();
   } else {
     source = std::move(working);
   }
 
-  // Build the output rows + order keys.
-  struct ProjectedRow {
-    Tuple values;
-    Tuple order_key;
-  };
-  std::vector<ProjectedRow> rows;
-  rows.reserve(source.NumRows());
-  std::vector<const Expr*> order_exprs;
-  for (const auto& item : stmt.order_by) {
-    order_exprs.push_back(ResolveAlias(item.expr.get(), stmt));
-  }
-  for (const Tuple& row : source.rows()) {
-    AggregateEnv env;
-    const AggregateEnv* env_ptr = nullptr;
-    if (use_agg_env) {
-      for (size_t a = 0; a < agg_keys.size(); ++a) {
-        env[agg_keys[a]] = row[num_group_cols + a];
-      }
-      env_ptr = &env;
-    }
-    // HAVING filter (aggregate context).
-    if (stmt.having) {
-      GALOIS_ASSIGN_OR_RETURN(
-          bool keep,
-          EvalPredicate(*stmt.having, source.schema(), row, env_ptr));
-      if (!keep) continue;
-    }
-    ProjectedRow out;
-    out.values.reserve(select_exprs.size());
-    for (const Expr* e : select_exprs) {
-      GALOIS_ASSIGN_OR_RETURN(Value v,
-                              EvalExpr(*e, source.schema(), row, env_ptr));
-      out.values.push_back(std::move(v));
-    }
-    out.order_key.reserve(order_exprs.size());
-    for (const Expr* e : order_exprs) {
-      GALOIS_ASSIGN_OR_RETURN(Value v,
-                              EvalExpr(*e, source.schema(), row, env_ptr));
-      out.order_key.push_back(std::move(v));
-    }
-    rows.push_back(std::move(out));
-  }
+  GALOIS_ASSIGN_OR_RETURN(
+      ProjectedRows rows,
+      ProjectAndFilter(source, proj, spec, use_agg_env, aplan.agg_keys,
+                       aplan.group_exprs.size()));
+  SortProjected(&rows, spec);
+  Relation out = FinishProjection(source.schema(), proj, std::move(rows));
 
-  // 5. ORDER BY.
-  if (!stmt.order_by.empty()) {
-    std::stable_sort(rows.begin(), rows.end(),
-                     [&stmt](const ProjectedRow& a, const ProjectedRow& b) {
-                       for (size_t k = 0; k < stmt.order_by.size(); ++k) {
-                         int c = a.order_key[k].Compare(b.order_key[k]);
-                         if (c != 0) {
-                           return stmt.order_by[k].descending ? c > 0
-                                                              : c < 0;
-                         }
-                       }
-                       return false;
-                     });
-  }
-
-  // Output schema: infer types from the source schema where possible.
-  Schema out_schema;
-  for (size_t i = 0; i < select_exprs.size(); ++i) {
-    DataType type = DataType::kString;
-    const Expr* e = select_exprs[i];
-    if (e->kind == ExprKind::kColumnRef) {
-      auto idx = source.schema().ResolveQualified(e->table, e->column);
-      if (idx.ok()) type = source.schema().column(idx.value()).type;
-    } else if (e->kind == ExprKind::kLiteral) {
-      type = e->literal.type();
-    } else if (e->kind == ExprKind::kFunction) {
-      type = e->function_name == "COUNT" ? DataType::kInt64
-                                         : DataType::kDouble;
-    } else {
-      type = DataType::kDouble;
-    }
-    out_schema.AddColumn(Column(select_names[i], type));
-  }
-  Relation out(out_schema);
-  for (auto& r : rows) out.AddRowUnchecked(std::move(r.values));
-
-  // 6. DISTINCT / LIMIT.
   if (stmt.distinct) out = Distinct(out);
   if (stmt.limit.has_value() && *stmt.limit >= 0) {
     out = Limit(out, static_cast<size_t>(*stmt.limit));

@@ -1,0 +1,242 @@
+#include "engine/relational_stages.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/expr_eval.h"
+
+namespace galois::engine {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+
+/// Collects the distinct aggregate calls appearing in `e` (deduplicated by
+/// canonical rendering) into `out`.
+void CollectAggregates(const Expr& e,
+                       std::map<std::string, const Expr*>* out) {
+  sql::VisitExpr(e, [out](const Expr& node) {
+    if (node.kind == ExprKind::kFunction) {
+      out->emplace(node.ToString(), &node);
+    }
+  });
+}
+
+/// Collects column refs that appear outside aggregate calls (used for the
+/// MySQL-style loose GROUP BY: such refs become implicit group columns).
+void CollectNonAggregateRefs(const Expr& e,
+                             std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kFunction) return;  // don't descend into aggs
+  if (e.kind == ExprKind::kColumnRef) {
+    out->push_back(&e);
+    return;
+  }
+  for (const auto& child : e.children) {
+    CollectNonAggregateRefs(*child, out);
+  }
+}
+
+/// Output column name for a select item: alias if given, bare column name
+/// for plain refs, canonical rendering otherwise.
+std::string OutputName(const SelectItemView& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
+  return item.expr->ToString();
+}
+
+}  // namespace
+
+TailSpec TailSpecFromStatement(const sql::SelectStatement& stmt) {
+  TailSpec spec;
+  spec.select.reserve(stmt.select_list.size());
+  for (const auto& item : stmt.select_list) {
+    spec.select.push_back({item.expr.get(), item.alias});
+  }
+  spec.having = stmt.having.get();
+  spec.order_by.reserve(stmt.order_by.size());
+  for (const auto& o : stmt.order_by) {
+    spec.order_by.push_back({o.expr.get(), o.descending});
+  }
+  spec.group_by.reserve(stmt.group_by.size());
+  for (const auto& g : stmt.group_by) spec.group_by.push_back(g.get());
+  return spec;
+}
+
+bool NeedsAggregation(const TailSpec& spec) {
+  if (!spec.group_by.empty() || spec.having != nullptr) return true;
+  for (const auto& item : spec.select) {
+    if (sql::ContainsAggregate(*item.expr)) return true;
+  }
+  return false;
+}
+
+const Expr* ResolveOrderAlias(const Expr* e, const TailSpec& spec) {
+  if (e->kind != ExprKind::kColumnRef || !e->table.empty()) return e;
+  for (const auto& item : spec.select) {
+    if (!item.alias.empty() && EqualsIgnoreCase(item.alias, e->column)) {
+      return item.expr;
+    }
+  }
+  return e;
+}
+
+AggregationPlan PlanAggregation(const TailSpec& spec) {
+  AggregationPlan plan;
+  std::map<std::string, const Expr*> agg_map;
+  for (const auto& item : spec.select) {
+    CollectAggregates(*item.expr, &agg_map);
+  }
+  if (spec.having != nullptr) CollectAggregates(*spec.having, &agg_map);
+  for (const auto& item : spec.order_by) {
+    CollectAggregates(*ResolveOrderAlias(item.expr, spec), &agg_map);
+  }
+  plan.group_exprs = spec.group_by;
+  // Loose GROUP BY (the paper's intro query selects c.GDP while grouping
+  // by c.name): non-aggregate column refs in the select list become
+  // implicit group columns, i.e. representative-row semantics under the
+  // functional dependency.
+  if (!plan.group_exprs.empty()) {
+    std::vector<const Expr*> loose;
+    for (const auto& item : spec.select) {
+      CollectNonAggregateRefs(*item.expr, &loose);
+    }
+    for (const Expr* ref : loose) {
+      bool already = false;
+      for (const Expr* g : plan.group_exprs) {
+        if (g->ToString() == ref->ToString()) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) plan.group_exprs.push_back(ref);
+    }
+  }
+  for (const auto& [key, call] : agg_map) {
+    plan.specs.push_back(AggregateSpec{call});
+    plan.agg_keys.push_back(key);
+  }
+  return plan;
+}
+
+ProjectionExprs ExpandSelect(const TailSpec& spec, const Schema& schema) {
+  ProjectionExprs proj;
+  for (const auto& item : spec.select) {
+    if (item.expr->kind == ExprKind::kStar) {
+      const std::string& scope = item.expr->table;
+      for (const Column& c : schema.columns()) {
+        if (!scope.empty() && !EqualsIgnoreCase(c.table, scope)) continue;
+        proj.storage.push_back(Expr::MakeColumnRef(c.table, c.name));
+        proj.exprs.push_back(proj.storage.back().get());
+        proj.names.push_back(c.name);
+      }
+      continue;
+    }
+    proj.exprs.push_back(item.expr);
+    proj.names.push_back(OutputName(item));
+  }
+  return proj;
+}
+
+Result<ProjectedRows> ProjectAndFilter(
+    const Relation& source, const ProjectionExprs& proj,
+    const TailSpec& spec, bool use_agg_env,
+    const std::vector<std::string>& agg_keys, size_t num_group_cols) {
+  ProjectedRows out;
+  out.values.reserve(source.NumRows());
+  out.order_keys.reserve(source.NumRows());
+  std::vector<const Expr*> order_exprs;
+  for (const auto& item : spec.order_by) {
+    order_exprs.push_back(ResolveOrderAlias(item.expr, spec));
+  }
+  for (const Tuple& row : source.rows()) {
+    AggregateEnv env;
+    const AggregateEnv* env_ptr = nullptr;
+    if (use_agg_env) {
+      for (size_t a = 0; a < agg_keys.size(); ++a) {
+        env[agg_keys[a]] = row[num_group_cols + a];
+      }
+      env_ptr = &env;
+    }
+    // HAVING filter (aggregate context), fused with the projection so
+    // expression errors surface in the original per-row order.
+    if (spec.having != nullptr) {
+      GALOIS_ASSIGN_OR_RETURN(
+          bool keep,
+          EvalPredicate(*spec.having, source.schema(), row, env_ptr));
+      if (!keep) continue;
+    }
+    Tuple values;
+    values.reserve(proj.exprs.size());
+    for (const Expr* e : proj.exprs) {
+      GALOIS_ASSIGN_OR_RETURN(Value v,
+                              EvalExpr(*e, source.schema(), row, env_ptr));
+      values.push_back(std::move(v));
+    }
+    Tuple order_key;
+    order_key.reserve(order_exprs.size());
+    for (const Expr* e : order_exprs) {
+      GALOIS_ASSIGN_OR_RETURN(Value v,
+                              EvalExpr(*e, source.schema(), row, env_ptr));
+      order_key.push_back(std::move(v));
+    }
+    out.values.push_back(std::move(values));
+    out.order_keys.push_back(std::move(order_key));
+  }
+  return out;
+}
+
+void SortProjected(ProjectedRows* rows, const TailSpec& spec) {
+  if (spec.order_by.empty()) return;
+  // Sort an index permutation (stable), then apply it to both vectors.
+  std::vector<size_t> order(rows->values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) {
+                     const Tuple& ka = rows->order_keys[a];
+                     const Tuple& kb = rows->order_keys[b];
+                     for (size_t k = 0; k < spec.order_by.size(); ++k) {
+                       int c = ka[k].Compare(kb[k]);
+                       if (c != 0) {
+                         return spec.order_by[k].descending ? c > 0 : c < 0;
+                       }
+                     }
+                     return false;
+                   });
+  std::vector<Tuple> values(rows->values.size());
+  std::vector<Tuple> keys(rows->order_keys.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    values[i] = std::move(rows->values[order[i]]);
+    keys[i] = std::move(rows->order_keys[order[i]]);
+  }
+  rows->values = std::move(values);
+  rows->order_keys = std::move(keys);
+}
+
+Relation FinishProjection(const Schema& source_schema,
+                          const ProjectionExprs& proj, ProjectedRows rows) {
+  Schema out_schema;
+  for (size_t i = 0; i < proj.exprs.size(); ++i) {
+    DataType type = DataType::kString;
+    const Expr* e = proj.exprs[i];
+    if (e->kind == ExprKind::kColumnRef) {
+      auto idx = source_schema.ResolveQualified(e->table, e->column);
+      if (idx.ok()) type = source_schema.column(idx.value()).type;
+    } else if (e->kind == ExprKind::kLiteral) {
+      type = e->literal.type();
+    } else if (e->kind == ExprKind::kFunction) {
+      type = e->function_name == "COUNT" ? DataType::kInt64
+                                         : DataType::kDouble;
+    } else {
+      type = DataType::kDouble;
+    }
+    out_schema.AddColumn(Column(proj.names[i], type));
+  }
+  Relation out(out_schema);
+  for (auto& r : rows.values) out.AddRowUnchecked(std::move(r));
+  return out;
+}
+
+}  // namespace galois::engine

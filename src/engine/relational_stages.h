@@ -1,0 +1,105 @@
+#ifndef GALOIS_ENGINE_RELATIONAL_STAGES_H_
+#define GALOIS_ENGINE_RELATIONAL_STAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/operators.h"
+#include "sql/ast.h"
+#include "types/relation.h"
+
+namespace galois::engine {
+
+/// The relational tail of a query — aggregation, HAVING, projection,
+/// ORDER BY — decomposed into reusable stages. ExecuteOnRelations and the
+/// physical operator DAG (core/physical_plan) both run EXACTLY these
+/// functions in the same order, so the statement-driven and plan-driven
+/// paths cannot diverge: there is one implementation of loose GROUP BY,
+/// alias resolution, star expansion, output-schema inference and sort
+/// semantics, not two.
+///
+/// The views below borrow expressions from their owner (a parsed
+/// SelectStatement or a logical plan); the owner must outlive the stages.
+
+struct SelectItemView {
+  const sql::Expr* expr = nullptr;
+  std::string alias;  // empty when none
+};
+
+struct OrderItemView {
+  const sql::Expr* expr = nullptr;
+  bool descending = false;
+};
+
+/// Everything the tail stages need to know about the query, independent of
+/// whether it came from a SelectStatement or a logical plan.
+struct TailSpec {
+  std::vector<SelectItemView> select;
+  const sql::Expr* having = nullptr;  // null when absent
+  std::vector<OrderItemView> order_by;
+  std::vector<const sql::Expr*> group_by;
+};
+
+/// Borrowing view over a parsed statement.
+TailSpec TailSpecFromStatement(const sql::SelectStatement& stmt);
+
+/// True when the query requires an aggregation stage (explicit GROUP BY,
+/// HAVING, or an aggregate call in the select list).
+bool NeedsAggregation(const TailSpec& spec);
+
+/// If `e` is a bare unqualified column ref naming a select alias, returns
+/// that select item's expression; otherwise returns `e`.
+const sql::Expr* ResolveOrderAlias(const sql::Expr* e, const TailSpec& spec);
+
+/// The aggregation stage's inputs, derived once from the spec: explicit
+/// group expressions plus loose (MySQL-style) implicit group columns, and
+/// the distinct aggregate calls collected from select / HAVING / ORDER BY.
+struct AggregationPlan {
+  std::vector<const sql::Expr*> group_exprs;
+  std::vector<AggregateSpec> specs;
+  std::vector<std::string> agg_keys;  // canonical rendering per aggregate
+};
+AggregationPlan PlanAggregation(const TailSpec& spec);
+
+/// The projection's expression list after SELECT * / alias.* expansion
+/// against the pre-aggregation working schema (expansion happens BEFORE
+/// aggregation — star columns are the join-output columns).
+struct ProjectionExprs {
+  std::vector<const sql::Expr*> exprs;
+  std::vector<std::string> names;
+  std::vector<sql::ExprPtr> storage;  // owns the expanded star refs
+};
+ProjectionExprs ExpandSelect(const TailSpec& spec, const Schema& schema);
+
+/// Projected output rows plus their ORDER BY keys (evaluated in the same
+/// row environment, so aliases and aggregates sort correctly).
+struct ProjectedRows {
+  std::vector<Tuple> values;
+  std::vector<Tuple> order_keys;
+};
+
+/// HAVING + projection + order-key computation over the (possibly
+/// aggregated) source rows. The HAVING check and the projection run fused
+/// per row — identical evaluation order to the original executor loop.
+/// `agg_keys`/`num_group_cols` describe the aggregate row layout when
+/// `use_agg_env` is set (see AggregationPlan).
+Result<ProjectedRows> ProjectAndFilter(const Relation& source,
+                                       const ProjectionExprs& proj,
+                                       const TailSpec& spec,
+                                       bool use_agg_env,
+                                       const std::vector<std::string>& agg_keys,
+                                       size_t num_group_cols);
+
+/// ORDER BY: stable sort of the projected rows on their order keys.
+void SortProjected(ProjectedRows* rows, const TailSpec& spec);
+
+/// Builds the output relation: schema inference against the source schema
+/// (column refs keep their source type, literals theirs, COUNT is int64,
+/// other functions double) and row materialisation.
+Relation FinishProjection(const Schema& source_schema,
+                          const ProjectionExprs& proj, ProjectedRows rows);
+
+}  // namespace galois::engine
+
+#endif  // GALOIS_ENGINE_RELATIONAL_STAGES_H_

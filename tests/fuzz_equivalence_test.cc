@@ -9,6 +9,7 @@
 
 #include <sstream>
 
+#include "api/database.h"
 #include "common/rng.h"
 #include "core/galois_executor.h"
 #include "engine/executor.h"
@@ -210,6 +211,43 @@ TEST_P(FuzzEquivalenceTest, NoisyGaloisKeepsSchemaContract) {
     for (size_t c = 0; c < rd->NumColumns(); ++c) {
       EXPECT_EQ(rm->schema().column(c).name, rd->schema().column(c).name);
     }
+  }
+}
+
+TEST_P(FuzzEquivalenceTest, ReplanningIsDeterministic) {
+  // Session::Query compiles a fresh logical + physical plan on every
+  // call. Re-planning the same statement must reproduce the relation,
+  // the cost meter and the physical-plan report byte for byte — any
+  // divergence means the planner annotations or the plan compiler are
+  // not a pure function of (statement, catalog, options).
+  QueryGenerator gen(static_cast<uint64_t>(GetParam()) * 31337 + 71);
+  llm::SimulatedLlm model(&W().kb(), PerfectProfile(), &W().catalog(), 7);
+  DatabaseOptions db_options;
+  db_options.workload = &W();
+  BackendSpec spec;
+  spec.name = "perfect";
+  spec.external = &model;
+  db_options.backends.push_back(std::move(spec));
+  auto db = Database::Open(std::move(db_options));
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session session = db.value()->CreateSession();
+  for (int i = 0; i < 3; ++i) {
+    std::string sql = gen.Generate();
+    SCOPED_TRACE(sql);
+    auto first = session.Query(sql);
+    ASSERT_TRUE(first.ok()) << first.status();
+    EXPECT_EQ(session.Explain(), first->physical_plan);
+    auto second = session.Query(sql);  // forced re-plan, same statement
+    ASSERT_TRUE(second.ok()) << second.status();
+    EXPECT_TRUE(second->relation.SameContents(first->relation));
+    EXPECT_EQ(second->cost.num_prompts, first->cost.num_prompts);
+    EXPECT_EQ(second->cost.prompt_tokens, first->cost.prompt_tokens);
+    EXPECT_EQ(second->cost.completion_tokens,
+              first->cost.completion_tokens);
+    EXPECT_EQ(second->cost.num_batches, first->cost.num_batches);
+    EXPECT_EQ(second->cost.simulated_latency_ms,
+              first->cost.simulated_latency_ms);
+    EXPECT_EQ(second->physical_plan, first->physical_plan);
   }
 }
 
