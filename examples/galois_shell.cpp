@@ -31,6 +31,7 @@
 #include "api/database.h"
 #include "common/strings.h"
 #include "engine/executor.h"
+#include "eval/report.h"
 #include "knowledge/workload.h"
 #include "llm/http_llm.h"
 #include "llm/model_profile.h"
@@ -51,6 +52,10 @@ struct ShellState {
   // Database rebuilds (that is the point), cleared with `.cache clear`.
   galois::core::MaterialisationCache table_cache;
   bool cache_enabled = false;
+  // Persistent result store (.store on [path]): journals the table cache
+  // and the default backend's prompt cache so a later shell warm-starts
+  // from disk. Empty = off.
+  std::string store_path;
   // Shell-owned backends for .route targets: simulated profiles
   // materialise on demand, HTTP backends are added with `.backend http`.
   // Owned here (not by the Database) so `.backend` can show accumulated
@@ -87,10 +92,14 @@ struct ShellState {
     db_options.execution = options;
     db_options.materialisation_cache =
         cache_enabled ? &table_cache : nullptr;
+    // The store journals prompt completions only through a PromptCache,
+    // so .store implies one on the default backend.
+    db_options.store.path = store_path;
 
     galois::BackendSpec default_spec;
     default_spec.name = "default";
     default_spec.simulated = profile;
+    default_spec.prompt_cache = !store_path.empty();
     db_options.backends.push_back(std::move(default_spec));
     db_options.default_backend = "default";
     for (const auto& [phase, target] : options.phase_models) {
@@ -136,6 +145,10 @@ void PrintHelp() {
       "                           sessions (results verified identical)\n"
       "  .deadline <ms>           per-query deadline; 0 disables\n"
       "  .cache <on|off|clear|stats>  cross-query materialisation cache\n"
+      "  .store on [path]         persist results to an on-disk store\n"
+      "                           (default path galois_store); a later\n"
+      "                           shell warm-starts from it\n"
+      "  .store <off|stats|vacuum>    disable / inspect / compact it\n"
       "  .route <phase> <backend> send a phase (key-scan, filter-check,\n"
       "                           attribute, verify/critic, freeform) to a\n"
       "                           backend: a profile name or a .backend\n"
@@ -237,6 +250,40 @@ bool HandleCommand(ShellState* state, const std::string& line) {
     } else {
       state->cache_enabled = arg() != "off";
       reopen = true;
+    }
+  } else if (cmd == ".store") {
+    if (arg() == "on") {
+      state->store_path = words.size() > 2 ? words[2] : "galois_store";
+      std::printf("persistent store: %s\n", state->store_path.c_str());
+      reopen = true;
+    } else if (arg() == "off") {
+      state->store_path.clear();
+      std::printf("persistent store off\n");
+      reopen = true;
+    } else if (arg() == "stats") {
+      if (state->db->store() == nullptr) {
+        std::printf("no store (enable with .store on [path])\n");
+      } else {
+        std::printf("%s", galois::eval::FormatStoreStats(
+                              state->db->store()->stats())
+                              .c_str());
+      }
+    } else if (arg() == "vacuum") {
+      if (state->db->store() == nullptr) {
+        std::printf("no store (enable with .store on [path])\n");
+      } else {
+        galois::Status s = state->db->store()->Vacuum();
+        auto stats = state->db->store()->stats();
+        if (s.ok()) {
+          std::printf("vacuumed: %lld bytes live / %lld on disk\n",
+                      static_cast<long long>(stats.live_bytes),
+                      static_cast<long long>(stats.file_bytes));
+        } else {
+          std::printf("%s\n", s.ToString().c_str());
+        }
+      }
+    } else {
+      std::printf("usage: .store on [path] | off | stats | vacuum\n");
     }
   } else if (cmd == ".route") {
     if (words.size() == 1) {
@@ -345,6 +392,12 @@ void PrintResult(const galois::QueryResult& result) {
     std::printf("(%lld prompts, %.1f s simulated)\n",
                 static_cast<long long>(result.cost.num_prompts),
                 result.cost.simulated_latency_ms / 1000.0);
+  }
+  if (result.table_cache_store_hits > 0 || result.cost.store_hits > 0) {
+    std::printf("(persistent store: %lld tables, %lld prompts served "
+                "from disk)\n",
+                static_cast<long long>(result.table_cache_store_hits),
+                static_cast<long long>(result.cost.store_hits));
   }
   if (result.cost.by_model.size() > 1) {
     // Routed query: show where the prompts went.

@@ -22,15 +22,54 @@ BackendSpec DefaultBackend() {
   return spec;
 }
 
+/// Bridges MaterialisationCache mutations into the journal. Append
+/// failures are swallowed by design: the store marks itself dead on the
+/// first error and the query proceeds uncached (failure policy in
+/// store/result_store.h).
+class StoreMaterialisationSink : public core::MaterialisationSink {
+ public:
+  explicit StoreMaterialisationSink(store::ResultStore* store)
+      : store_(store) {}
+
+  void OnInsert(const std::string& fingerprint,
+                const std::vector<std::string>& columns,
+                const std::vector<Tuple>& rows) override {
+    store_->PutMaterialisation(fingerprint, columns, rows).IgnoreError();
+  }
+  void OnHit(const std::string& fingerprint) override {
+    store_->TouchMaterialisation(fingerprint);
+  }
+  void OnClear() override { store_->ClearMaterialisations().IgnoreError(); }
+
+ private:
+  store::ResultStore* store_;
+};
+
 }  // namespace
 
-Database::~Database() = default;
+Database::~Database() {
+  // Detach every persistence hook before anything is torn down: the
+  // table cache may be *borrowed* (it outlives this Database), and no
+  // callback may reach the store once it is closed.
+  if (store_ != nullptr) {
+    if (table_cache_ != nullptr) table_cache_->SetSink(nullptr);
+    store_sink_.reset();
+    store_.reset();  // syncs per durability mode
+  }
+}
 
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   // unique_ptr from the start: backends capture pointers into the
   // Database (workload KB, inner chains), so its address must be final
   // before any of them is constructed.
   std::unique_ptr<Database> db(new Database());
+
+  if (options.materialisation_cache != nullptr &&
+      options.enable_materialisation_cache) {
+    return Status::InvalidArgument(
+        "DatabaseOptions sets both materialisation_cache (borrow) and "
+        "enable_materialisation_cache (own); pick one");
+  }
 
   std::vector<BackendSpec> specs = std::move(options.backends);
   if (specs.empty()) specs.push_back(DefaultBackend());
@@ -57,6 +96,9 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
                                             : &db->workload_->catalog();
 
   // --- backends: transport + per-backend decorators --------------------
+  // Every PromptCache built below is remembered so a configured store
+  // can preload it and attach its persistence hooks.
+  std::vector<llm::PromptCache*> prompt_caches;
   for (const BackendSpec& spec : specs) {
     if (spec.name.empty()) {
       return Status::InvalidArgument("backend with empty name");
@@ -90,8 +132,9 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
       chain = spec.external;
     }
     if (spec.prompt_cache) {
-      db->owned_models_.push_back(
-          std::make_unique<llm::PromptCache>(chain));
+      auto cache = std::make_unique<llm::PromptCache>(chain);
+      prompt_caches.push_back(cache.get());
+      db->owned_models_.push_back(std::move(cache));
       chain = db->owned_models_.back().get();
     }
     if (spec.resilience.has_value()) {
@@ -136,6 +179,50 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   }
   db->execution_defaults_ = std::move(options.execution);
 
+  // --- persistent store: recover, warm-start, attach hooks -------------
+  if (!options.store.path.empty()) {
+    GALOIS_ASSIGN_OR_RETURN(db->store_,
+                            store::ResultStore::Open(options.store));
+    store::ResultStore* st = db->store_.get();
+    // Warm-start strictly before attaching hooks, so recovered entries
+    // are never re-journaled as fresh inserts.
+    if (db->table_cache_ != nullptr) {
+      st->ForEachMaterialisation(
+          [cache = db->table_cache_](const std::string& fingerprint,
+                                     const std::vector<std::string>& columns,
+                                     const std::vector<Tuple>& rows) {
+            cache->WarmStart(fingerprint, columns, rows);
+          });
+      db->store_sink_ = std::make_unique<StoreMaterialisationSink>(st);
+      db->table_cache_->SetSink(db->store_sink_.get());
+    }
+    if (!prompt_caches.empty()) {
+      // A prompt record belongs to the backend whose (inner) model name
+      // matches — a PromptCache reports its transport's name, so cached
+      // completions can never cross models with the same backend label.
+      st->ForEachPrompt([&prompt_caches](const std::string& model,
+                                         const std::string& text,
+                                         const std::string& completion) {
+        for (llm::PromptCache* cache : prompt_caches) {
+          if (cache->name() == model) cache->Preload(text, completion);
+        }
+      });
+      for (llm::PromptCache* cache : prompt_caches) {
+        const std::string model = cache->name();
+        llm::PromptCacheHooks hooks;
+        hooks.on_insert = [st, model](const std::string& text,
+                                      const std::string& completion) {
+          st->PutPrompt(model, text, completion).IgnoreError();
+        };
+        hooks.on_hit = [st, model](const std::string& text) {
+          st->TouchPrompt(model, text);
+        };
+        hooks.on_clear = [st] { st->ClearPrompts().IgnoreError(); };
+        cache->SetHooks(std::move(hooks));
+      }
+    }
+  }
+
   return db;
 }
 
@@ -177,6 +264,7 @@ Result<QueryResult> Session::RunSnapshot(
   result.trace = std::move(out.trace);
   result.table_cache_lookups = out.table_cache_lookups;
   result.table_cache_hits = out.table_cache_hits;
+  result.table_cache_store_hits = out.table_cache_store_hits;
   result.physical_plan = std::move(out.physical_plan);
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)

@@ -21,6 +21,7 @@
 #include "llm/language_model.h"
 #include "llm/model_profile.h"
 #include "llm/resilience.h"
+#include "store/result_store.h"
 
 namespace galois {
 
@@ -47,9 +48,13 @@ struct QueryResult {
   core::ExecutionTrace trace;
 
   /// Materialisation-cache traffic of this query (0/0 when the Database
-  /// has no cache).
+  /// has no cache). `table_cache_store_hits` counts the hits served by
+  /// entries warm-started from the persistent store — tables this
+  /// process never paid an LLM round trip for; prompt-level store hits
+  /// are in cost.store_hits.
   int64_t table_cache_lookups = 0;
   int64_t table_cache_hits = 0;
+  int64_t table_cache_store_hits = 0;
 
   /// Rendering of the executed physical operator DAG with per-operator
   /// rows / round trips / cost (the shell's `.explain` output).
@@ -130,10 +135,30 @@ struct DatabaseOptions {
 
   /// Cross-query materialisation cache: borrowed when
   /// `materialisation_cache` is set, owned when `enable_materialisation_
-  /// cache` is true, absent otherwise.
+  /// cache` is true, absent otherwise. Setting BOTH is rejected by Open
+  /// (kInvalidArgument) — the intent is ambiguous, and the old behaviour
+  /// of silently preferring the borrowed pointer hid misconfigurations.
+  ///
+  /// Borrowed-cache contract: the cache must outlive every Database (and
+  /// Session) using it. The cache is internally synchronised, so any
+  /// number of Databases may share one — but when a persistent store is
+  /// configured (`store.path`), this Database attaches its persistence
+  /// sink to the borrowed cache for its lifetime, and at most one sink
+  /// can be attached at a time: give at most one store-backed Database
+  /// to a shared cache.
   core::MaterialisationCache* materialisation_cache = nullptr;
   bool enable_materialisation_cache = false;
   size_t materialisation_cache_entries = 64;
+
+  /// Persistent on-disk result store (store::ResultStore): journals
+  /// materialised tables and prompt completions so a process restart
+  /// warm-starts both caches instead of re-billing the workload. An
+  /// empty `store.path` disables persistence (the default). When set,
+  /// Database::Open recovers the journal, preloads the materialisation
+  /// cache (when one is configured) and every backend's PromptCache,
+  /// and journals their traffic from then on. `store.env` injects a
+  /// fault-scheduled filesystem in the crash tests.
+  store::StoreOptions store;
 
   /// Whether a backend named `name` is already declared (builders adding
   /// route targets use this to skip duplicates).
@@ -202,6 +227,12 @@ class Database {
     return table_cache_;
   }
 
+  /// The persistent result store; null when DatabaseOptions::store.path
+  /// was empty. Exposed for stats displays (`.store stats`) and explicit
+  /// Vacuum()/Sync() calls; Put/Touch traffic flows through the cache
+  /// hooks automatically.
+  store::ResultStore* store() const { return store_.get(); }
+
   const core::ExecutionOptions& default_options() const {
     return execution_defaults_;
   }
@@ -225,6 +256,14 @@ class Database {
 
   std::unique_ptr<core::MaterialisationCache> owned_table_cache_;
   core::MaterialisationCache* table_cache_ = nullptr;
+
+  /// The persistent store and the sink adapter bridging the cache's
+  /// mutation callbacks to it. The ~Database body detaches the sink
+  /// (crucial for a *borrowed* cache, which outlives this Database) and
+  /// closes the store before any member destructs, so no hook can ever
+  /// call into a dead store.
+  std::unique_ptr<store::ResultStore> store_;
+  std::unique_ptr<core::MaterialisationSink> store_sink_;
 
   core::ExecutionOptions execution_defaults_;
 };

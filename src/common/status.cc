@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

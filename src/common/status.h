@@ -25,6 +25,7 @@ enum class StatusCode {
   kLlmError,
   kCancelled,
   kDeadlineExceeded,
+  kIoError,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "ParseError").
@@ -84,10 +85,19 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Explicitly discards the status — for fire-and-forget calls whose
+  /// failure is fully handled at the callee (the result store marks
+  /// itself read-only on the first append error, so cache hooks have
+  /// nothing left to do with the returned status).
+  void IgnoreError() const {}
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -42,9 +42,12 @@ struct QueryOutput {
 
   /// Materialisation-cache traffic of this query: LLM tables looked up,
   /// and tables served without any LLM round trip. Both 0 when no cache
-  /// is attached.
+  /// is attached. `table_cache_store_hits` counts the hits served by
+  /// entries the cache warm-started from the persistent store — tables
+  /// this *process* never paid for.
   int64_t table_cache_lookups = 0;
   int64_t table_cache_hits = 0;
+  int64_t table_cache_store_hits = 0;
 };
 
 /// The Galois executor (the paper's primary contribution, Section 4).

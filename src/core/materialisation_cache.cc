@@ -50,8 +50,9 @@ std::string MaterialisationCache::Fingerprint(
 std::optional<Relation> MaterialisationCache::Lookup(
     const std::string& fingerprint, const catalog::TableDef& def,
     const std::vector<const catalog::ColumnDef*>& needed_columns,
-    const std::string& alias) {
+    const std::string& alias, bool* served_from_store) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (served_from_store != nullptr) *served_from_store = false;
   ++stats_.lookups;
   for (Entry& entry : entries_) {
     if (entry.fingerprint != fingerprint) continue;
@@ -76,6 +77,11 @@ std::optional<Relation> MaterialisationCache::Lookup(
     if (needed_columns.size() < entry.columns.size()) {
       ++stats_.subsumption_hits;
     }
+    if (entry.from_store) {
+      ++stats_.store_hits;
+      if (served_from_store != nullptr) *served_from_store = true;
+    }
+    if (sink_ != nullptr) sink_->OnHit(entry.fingerprint);
     // Rebuild the relation in the requester's shape: key + needed
     // columns, qualified with its alias.
     auto key_def = def.FindColumn(def.key_column);
@@ -127,11 +133,16 @@ void MaterialisationCache::Insert(
           return std::find(names.begin(), names.end(), n) != names.end();
         });
     if (new_subsumes_entry) {
-      // Widest materialisation wins: replace in place.
+      // Widest materialisation wins: replace in place. The replacement
+      // was computed this process, so it loses any from_store mark.
       entry.columns = std::move(names);
       entry.rows = rel.rows();
       entry.last_used = ++tick_;
+      entry.from_store = false;
       ++stats_.insertions;
+      if (sink_ != nullptr) {
+        sink_->OnInsert(entry.fingerprint, entry.columns, entry.rows);
+      }
       return;
     }
     // Overlapping but incomparable column sets coexist as separate
@@ -144,19 +155,47 @@ void MaterialisationCache::Insert(
   entry.last_used = ++tick_;
   entries_.push_back(std::move(entry));
   ++stats_.insertions;
-  while (entries_.size() > max_entries_) {
-    auto lru = std::min_element(entries_.begin(), entries_.end(),
-                                [](const Entry& a, const Entry& b) {
-                                  return a.last_used < b.last_used;
-                                });
-    entries_.erase(lru);
-    ++stats_.evictions;
+  if (sink_ != nullptr) {
+    const Entry& added = entries_.back();
+    sink_->OnInsert(added.fingerprint, added.columns, added.rows);
   }
+  EvictBeyondCapLocked();
 }
 
 void MaterialisationCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  if (sink_ != nullptr) sink_->OnClear();
+}
+
+void MaterialisationCache::WarmStart(const std::string& fingerprint,
+                                     const std::vector<std::string>& columns,
+                                     std::vector<Tuple> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The store keeps one record per fingerprint (widest wins on its side
+  // too), so a duplicate only appears when warm-starting twice; replace
+  // rather than stack.
+  for (Entry& entry : entries_) {
+    if (entry.fingerprint != fingerprint) continue;
+    entry.columns = columns;
+    entry.rows = std::move(rows);
+    entry.last_used = ++tick_;
+    entry.from_store = true;
+    return;
+  }
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.columns = columns;
+  entry.rows = std::move(rows);
+  entry.last_used = ++tick_;
+  entry.from_store = true;
+  entries_.push_back(std::move(entry));
+  EvictBeyondCapLocked();
+}
+
+void MaterialisationCache::SetSink(MaterialisationSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
 }
 
 size_t MaterialisationCache::size() const {
@@ -167,6 +206,17 @@ size_t MaterialisationCache::size() const {
 MaterialisationCacheStats MaterialisationCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void MaterialisationCache::EvictBeyondCapLocked() {
+  while (entries_.size() > max_entries_) {
+    auto lru = std::min_element(entries_.begin(), entries_.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    entries_.erase(lru);
+    ++stats_.evictions;
+  }
 }
 
 }  // namespace galois::core

@@ -20,8 +20,31 @@ struct MaterialisationCacheStats {
   int64_t lookups = 0;
   int64_t hits = 0;              // total table-level hits (incl. below)
   int64_t subsumption_hits = 0;  // served by projecting a wider entry
+  int64_t store_hits = 0;        // hits served by warm-started entries
   int64_t insertions = 0;
   int64_t evictions = 0;
+};
+
+/// Persistence hook: a sink observing the cache's mutations so an
+/// on-disk store (store::ResultStore, adapted in the API layer — core
+/// stays independent of the store) can journal them. Callbacks run under
+/// the cache mutex: they must be quick and must never call back into the
+/// cache.
+class MaterialisationSink {
+ public:
+  virtual ~MaterialisationSink() = default;
+
+  /// A new or widened entry landed: `rows` are key-first in `columns`
+  /// (non-key names, def order) order.
+  virtual void OnInsert(const std::string& fingerprint,
+                        const std::vector<std::string>& columns,
+                        const std::vector<Tuple>& rows) = 0;
+
+  /// An entry served a lookup (recency signal for the store's LRU).
+  virtual void OnHit(const std::string& fingerprint) = 0;
+
+  /// Clear() dropped everything.
+  virtual void OnClear() = 0;
 };
 
 /// Cross-query cache of materialised LLM base relations — the reuse layer
@@ -84,10 +107,12 @@ class MaterialisationCache {
   /// Returns the cached materialisation for `fingerprint` projected to
   /// key + `needed_columns` (def order) and qualified with `alias`, or
   /// nullopt. Serves exact matches and wider entries (subsumption).
+  /// `served_from_store`, when non-null, is set to whether the serving
+  /// entry was warm-started from the persistent store (false on a miss).
   std::optional<Relation> Lookup(
       const std::string& fingerprint, const catalog::TableDef& def,
       const std::vector<const catalog::ColumnDef*>& needed_columns,
-      const std::string& alias);
+      const std::string& alias, bool* served_from_store = nullptr);
 
   /// Memoises `rel`, a relation of key + `columns` (in that order) as
   /// materialised for `fingerprint`. An existing entry that already
@@ -100,6 +125,22 @@ class MaterialisationCache {
   /// Drops every entry; stats are untouched.
   void Clear();
 
+  /// Seeds one entry recovered from the persistent store: inserted with
+  /// `from_store` set (so hits on it count as store_hits) and WITHOUT
+  /// notifying the sink — the record is already on disk. Feed entries
+  /// LRU-first (ResultStore::ForEachMaterialisation does) so eviction
+  /// beyond max_entries drops the stalest first.
+  void WarmStart(const std::string& fingerprint,
+                 const std::vector<std::string>& columns,
+                 std::vector<Tuple> rows);
+
+  /// Attaches (or, with null, detaches) the persistence sink. The sink
+  /// must outlive the cache or be detached first; attach after warm-
+  /// starting, so recovered entries are not re-journaled. One sink at a
+  /// time: a borrowed cache shared by several Databases may be persisted
+  /// by at most one of them.
+  void SetSink(MaterialisationSink* sink);
+
   size_t size() const;
   MaterialisationCacheStats stats() const;
 
@@ -109,7 +150,10 @@ class MaterialisationCache {
     std::vector<std::string> columns;  // non-key column names, def order
     std::vector<Tuple> rows;           // key first, then `columns`
     uint64_t last_used = 0;
+    bool from_store = false;  // warm-started, not computed this process
   };
+
+  void EvictBeyondCapLocked();
 
   mutable std::mutex mu_;
   const size_t max_entries_;
@@ -117,6 +161,7 @@ class MaterialisationCache {
   std::vector<Entry> entries_;  // guarded by mu_; linear scan is fine at
                                 // the default cap
   MaterialisationCacheStats stats_;  // guarded by mu_
+  MaterialisationSink* sink_ = nullptr;  // guarded by mu_
 };
 
 }  // namespace galois::core

@@ -642,10 +642,13 @@ Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
           *group.def, group.llm_filters, group.push_first_filter,
           options_, model->name(), group.key_limit);
       ++out->table_cache_lookups;
-      std::optional<Relation> hit = cache->Lookup(
-          fingerprints[i], *group.def, group.needed_columns, group.alias);
+      bool from_store = false;
+      std::optional<Relation> hit =
+          cache->Lookup(fingerprints[i], *group.def, group.needed_columns,
+                        group.alias, &from_store);
       if (hit.has_value()) {
         ++out->table_cache_hits;
+        if (from_store) ++out->table_cache_store_hits;
         const int64_t rows = static_cast<int64_t>(hit->rows().size());
         for (PhysicalNode* node :
              {group.scan_node, group.key_verify_node, group.retrieve_node,

@@ -24,10 +24,15 @@ Result<std::vector<QueryOutcome>> RunExperiment(
   db_options.llm_seed = config.llm_seed;
   db_options.execution = config.options;
   db_options.enable_materialisation_cache = config.use_materialisation_cache;
+  // A persistent store needs a PromptCache per backend to capture the
+  // completions it journals (and to have something to warm-start into).
+  const bool persist = !config.store_path.empty();
+  db_options.store.path = config.store_path;
 
   BackendSpec base;
   base.name = profile.name;
   base.simulated = profile;
+  base.prompt_cache = persist;
   db_options.backends.push_back(std::move(base));
   db_options.default_backend = profile.name;
   for (const auto& [phase, target] : config.options.phase_models) {
@@ -38,6 +43,7 @@ Result<std::vector<QueryOutcome>> RunExperiment(
     BackendSpec spec;
     spec.name = target;
     spec.simulated = std::move(routed);
+    spec.prompt_cache = persist;
     db_options.backends.push_back(std::move(spec));
   }
 
@@ -67,6 +73,7 @@ Result<std::vector<QueryOutcome>> RunExperiment(
       outcome.galois_cost = std::move(rm.cost);
       outcome.table_cache_lookups = rm.table_cache_lookups;
       outcome.table_cache_hits = rm.table_cache_hits;
+      outcome.table_cache_store_hits = rm.table_cache_store_hits;
     }
     if (config.run_nl_qa) {
       GALOIS_ASSIGN_OR_RETURN(

@@ -27,6 +27,13 @@ struct ExperimentConfig {
   /// zero LLM round trips. Per-query traffic lands in
   /// QueryOutcome::table_cache_{lookups,hits}.
   bool use_materialisation_cache = false;
+
+  /// Directory of a persistent result store (store::ResultStore). When
+  /// non-empty, the run journals its materialisations and prompt
+  /// completions there (every backend gets a PromptCache so completions
+  /// are captured), and a later run pointed at the same path warm-starts
+  /// from it — the cross-*process* version of use_materialisation_cache.
+  std::string store_path;
 };
 
 /// Per-query measurements.
@@ -48,9 +55,11 @@ struct QueryOutcome {
   double galois_wall_ms = 0.0;
   /// Materialisation-cache traffic of this query (0/0 when the cache is
   /// disabled): LLM tables looked up, and tables served without any LLM
-  /// round trip.
+  /// round trip. `table_cache_store_hits` counts the hits served by
+  /// entries recovered from the persistent store (store_path).
   int64_t table_cache_lookups = 0;
   int64_t table_cache_hits = 0;
+  int64_t table_cache_store_hits = 0;
 
   // Baselines.
   std::optional<CellMatchResult> nl_match;

@@ -138,6 +138,19 @@ std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes) {
                       static_cast<double>(table_lookups));
     os << buf;
   }
+  int64_t store_table_hits = 0;
+  for (const QueryOutcome& o : outcomes) {
+    store_table_hits += o.table_cache_store_hits;
+  }
+  if (store_table_hits > 0 || totals.store_hits > 0) {
+    // Cross-process reuse: work recovered from the persistent store —
+    // this run never paid an LLM round trip for any of it.
+    std::snprintf(buf, sizeof(buf),
+                  "Persistent store: %lld table hits, %lld prompt hits\n",
+                  static_cast<long long>(store_table_hits),
+                  static_cast<long long>(totals.store_hits));
+    os << buf;
+  }
   // Per-backend spend. One line per model keeps single-backend reports
   // unchanged in shape while a cascade (critic on the strong model, bulk
   // retrieval on the cheap one) shows where the tokens actually went.
@@ -160,6 +173,32 @@ std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes) {
       os << buf;
     }
   }
+  return os.str();
+}
+
+std::string FormatStoreStats(const store::StoreStats& stats) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Persistent store: %lld materialisations + %lld prompts "
+                "live (%lld/%lld bytes live/file)\n",
+                static_cast<long long>(stats.live_materialisations),
+                static_cast<long long>(stats.live_prompts),
+                static_cast<long long>(stats.live_bytes),
+                static_cast<long long>(stats.file_bytes));
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  recovered %lld+%lld records (%lld dropped) in %.1f ms; "
+                "%lld appends (%lld errors); %lld vacuums, %lld evictions\n",
+                static_cast<long long>(stats.materialisations_recovered),
+                static_cast<long long>(stats.prompts_recovered),
+                static_cast<long long>(stats.records_dropped),
+                static_cast<double>(stats.recovery_micros) / 1000.0,
+                static_cast<long long>(stats.appends),
+                static_cast<long long>(stats.append_errors),
+                static_cast<long long>(stats.vacuums),
+                static_cast<long long>(stats.evictions));
+  os << buf;
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "eval/harness.h"
+#include "store/result_store.h"
 
 namespace galois::eval {
 
@@ -23,8 +24,14 @@ std::string FormatTable1(
 std::string FormatTable2(const std::vector<QueryOutcome>& outcomes);
 
 /// Renders the Section 5 in-text cost statistics: prompts per query,
-/// latency per query (mean plus distribution hints).
+/// latency per query (mean plus distribution hints). Runs with a
+/// persistent store add a "Persistent store:" line (table + prompt hits
+/// recovered from disk) next to the cache lines.
 std::string FormatCostStats(const std::vector<QueryOutcome>& outcomes);
+
+/// Renders a store::ResultStore stats snapshot (the shell's
+/// `.store stats`): live shape, recovery outcome, journal traffic.
+std::string FormatStoreStats(const store::StoreStats& stats);
 
 }  // namespace galois::eval
 

@@ -73,6 +73,9 @@ struct CostMeter {
   int64_t completion_tokens = 0;
   double simulated_latency_ms = 0.0;
   int64_t cache_hits = 0;    // filled by PromptCache
+  int64_t store_hits = 0;    // cache_hits served by entries the prompt
+                             // cache warm-started from the persistent
+                             // store (a subset of cache_hits)
   int64_t num_batches = 0;   // batched round trips (CompleteBatch calls)
 
   /// Per-backend breakdown, keyed by model display name. Every shipped
@@ -111,6 +114,7 @@ struct CostMeter {
     completion_tokens += other.completion_tokens;
     simulated_latency_ms += other.simulated_latency_ms;
     cache_hits += other.cache_hits;
+    store_hits += other.store_hits;
     num_batches += other.num_batches;
     for (const auto& [name, usage] : other.by_model) {
       by_model[name] += usage;
@@ -130,6 +134,7 @@ struct CostMeter {
     out.completion_tokens -= other.completion_tokens;
     out.simulated_latency_ms -= other.simulated_latency_ms;
     out.cache_hits -= other.cache_hits;
+    out.store_hits -= other.store_hits;
     out.num_batches -= other.num_batches;
     for (const auto& [name, usage] : other.by_model) {
       out.by_model[name] -= usage;

@@ -5,29 +5,69 @@
 namespace galois::llm {
 
 bool PromptCache::Lookup(const std::string& text, size_t hash,
-                         std::string* completion) const {
-  const Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(hash);
-  if (it == shard.map.end()) return false;
-  for (const auto& [key, value] : it->second) {
-    if (key == text) {
-      *completion = value;
-      return true;
+                         std::string* completion, bool* from_store) const {
+  if (from_store != nullptr) *from_store = false;
+  bool hit = false;
+  bool preloaded = false;
+  {
+    const Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(hash);
+    if (it != shard.map.end()) {
+      for (const CacheEntry& entry : it->second) {
+        if (entry.text == text) {
+          *completion = entry.completion;
+          hit = true;
+          preloaded = entry.from_store;
+          break;
+        }
+      }
     }
   }
-  return false;
+  if (!hit) return false;
+  if (preloaded) {
+    if (from_store != nullptr) *from_store = true;
+    if (hooks_.on_hit) hooks_.on_hit(text);
+  }
+  return true;
 }
 
 void PromptCache::Insert(const std::string& text, size_t hash,
                          const std::string& completion) {
+  bool inserted = false;
+  {
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& chain = shard.map[hash];
+    bool exists = false;
+    for (const CacheEntry& entry : chain) {
+      if (entry.text == text) {
+        exists = true;  // first insert wins, like emplace did
+        break;
+      }
+    }
+    if (!exists) {
+      chain.push_back(CacheEntry{text, completion, false});
+      inserted = true;
+    }
+  }
+  if (inserted && hooks_.on_insert) hooks_.on_insert(text, completion);
+}
+
+void PromptCache::Preload(const std::string& text,
+                          const std::string& completion) {
+  const size_t hash = HashOf(text);
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto& chain = shard.map[hash];
-  for (const auto& [key, value] : chain) {
-    if (key == text) return;  // first insert wins, like emplace did
+  for (const CacheEntry& entry : chain) {
+    if (entry.text == text) return;
   }
-  chain.emplace_back(text, completion);
+  chain.push_back(CacheEntry{text, completion, true});
+}
+
+void PromptCache::SetHooks(PromptCacheHooks hooks) {
+  hooks_ = std::move(hooks);
 }
 
 Result<Completion> PromptCache::Complete(const Prompt& prompt) {
@@ -43,9 +83,14 @@ Result<Completion> PromptCache::CompleteMetered(const Prompt& prompt,
                                                 CostMeter* usage) {
   const size_t hash = HashOf(prompt.text);
   std::string cached;
-  if (Lookup(prompt.text, hash, &cached)) {
+  bool from_store = false;
+  if (Lookup(prompt.text, hash, &cached, &from_store)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-    if (usage != nullptr) ++usage->cache_hits;
+    if (from_store) store_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (usage != nullptr) {
+      ++usage->cache_hits;
+      if (from_store) ++usage->store_hits;
+    }
     return Completion{std::move(cached)};
   }
   GALOIS_ASSIGN_OR_RETURN(Completion c,
@@ -67,12 +112,15 @@ Result<std::vector<Completion>> PromptCache::CompleteBatchMetered(
   std::vector<std::vector<size_t>> miss_positions;
   std::vector<size_t> miss_hashes;
   int64_t hits = 0;
+  int64_t store_hits = 0;
   for (size_t i = 0; i < prompts.size(); ++i) {
     const size_t hash = HashOf(prompts[i].text);
     std::string cached;
-    if (Lookup(prompts[i].text, hash, &cached)) {
+    bool from_store = false;
+    if (Lookup(prompts[i].text, hash, &cached, &from_store)) {
       out[i].text = std::move(cached);
       ++hits;
+      if (from_store) ++store_hits;
       continue;
     }
     auto [it, inserted] =
@@ -87,6 +135,7 @@ Result<std::vector<Completion>> PromptCache::CompleteBatchMetered(
     miss_positions[it->second].push_back(i);
   }
   hits_.fetch_add(hits, std::memory_order_relaxed);
+  store_hits_.fetch_add(store_hits, std::memory_order_relaxed);
 
   if (miss_prompts.empty()) {
     // Entirely served from cache: no inner round trip, but keep the batch
@@ -94,6 +143,7 @@ Result<std::vector<Completion>> PromptCache::CompleteBatchMetered(
     batches_from_cache_.fetch_add(1, std::memory_order_relaxed);
     if (usage != nullptr) {
       usage->cache_hits += hits;
+      usage->store_hits += store_hits;
       ++usage->num_batches;
     }
     return out;
@@ -103,7 +153,10 @@ Result<std::vector<Completion>> PromptCache::CompleteBatchMetered(
                           inner_->CompleteBatchMetered(miss_prompts, usage));
   // The hits are reported only once the whole call succeeds, keeping the
   // nothing-on-error contract of the metered API.
-  if (usage != nullptr) usage->cache_hits += hits;
+  if (usage != nullptr) {
+    usage->cache_hits += hits;
+    usage->store_hits += store_hits;
+  }
   if (completions.size() != miss_prompts.size()) {
     return Status::LlmError("inner CompleteBatch returned " +
                             std::to_string(completions.size()) +
@@ -121,6 +174,7 @@ Result<std::vector<Completion>> PromptCache::CompleteBatchMetered(
 CostMeter PromptCache::cost() const {
   CostMeter merged = inner_->cost();
   merged.cache_hits = hits_.load(std::memory_order_relaxed);
+  merged.store_hits = store_hits_.load(std::memory_order_relaxed);
   merged.num_batches +=
       batches_from_cache_.load(std::memory_order_relaxed);
   return merged;
@@ -129,6 +183,7 @@ CostMeter PromptCache::cost() const {
 void PromptCache::ResetCost() {
   inner_->ResetCost();
   hits_.store(0, std::memory_order_relaxed);
+  store_hits_.store(0, std::memory_order_relaxed);
   batches_from_cache_.store(0, std::memory_order_relaxed);
 }
 
@@ -146,6 +201,7 @@ void PromptCache::Clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
+  if (hooks_.on_clear) hooks_.on_clear();
 }
 
 }  // namespace galois::llm

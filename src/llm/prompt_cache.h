@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,20 @@
 #include "llm/language_model.h"
 
 namespace galois::llm {
+
+/// Persistence hooks: the API layer binds these to a store::ResultStore
+/// so memoised completions survive the process (llm stays independent of
+/// the store). Any member may be empty. They are invoked OUTSIDE the
+/// shard mutexes (after the completion is already memoised), so a hook
+/// may block on I/O without stalling concurrent lookups of other
+/// prompts; on_hit fires only for entries loaded via Preload (the
+/// recency signal the store's LRU eviction wants).
+struct PromptCacheHooks {
+  std::function<void(const std::string& text, const std::string& completion)>
+      on_insert;
+  std::function<void(const std::string& text)> on_hit;
+  std::function<void()> on_clear;
+};
 
 /// Caching decorator: memoises completions by exact prompt text.
 ///
@@ -82,8 +97,25 @@ class PromptCache : public LanguageModel {
   /// Drops every memoised completion; cost attribution is untouched.
   void Clear();
 
+  /// Seeds one completion recovered from the persistent store, marked
+  /// from_store (hits on it count into cost().store_hits and fire
+  /// hooks.on_hit). Never overwrites an existing entry and never fires
+  /// hooks.on_insert — the record is already on disk.
+  void Preload(const std::string& text, const std::string& completion);
+
+  /// Attaches the persistence hooks (replacing any previous set). Attach
+  /// after Preload and before serving traffic; captured state must
+  /// outlive the cache.
+  void SetHooks(PromptCacheHooks hooks);
+
  private:
   static constexpr size_t kNumShards = 16;
+
+  struct CacheEntry {
+    std::string text;
+    std::string completion;
+    bool from_store = false;  // seeded by Preload, not earned this process
+  };
 
   /// Entries bucket by the *precomputed* full hash of the prompt text:
   /// the hash is taken exactly once per operation and reused for both
@@ -93,9 +125,7 @@ class PromptCache : public LanguageModel {
   /// resolved by full text comparison.
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<size_t,
-                       std::vector<std::pair<std::string, std::string>>>
-        map;
+    std::unordered_map<size_t, std::vector<CacheEntry>> map;
   };
 
   static size_t HashOf(const std::string& text) {
@@ -107,16 +137,25 @@ class PromptCache : public LanguageModel {
   Shard& ShardFor(size_t hash) { return shards_[hash % kNumShards]; }
 
   /// Copies the cached completion for `text` (with `hash == HashOf(text)`)
-  /// into `*completion`; false on miss.
-  bool Lookup(const std::string& text, size_t hash,
-              std::string* completion) const;
+  /// into `*completion`; false on miss. `from_store` (optional) reports
+  /// whether the entry was Preloaded. Fires hooks_.on_hit for preloaded
+  /// entries.
+  bool Lookup(const std::string& text, size_t hash, std::string* completion,
+              bool* from_store = nullptr) const;
+  /// Memoises and fires hooks_.on_insert when this call actually added
+  /// the entry (first insert wins).
   void Insert(const std::string& text, size_t hash,
               const std::string& completion);
 
   LanguageModel* inner_;
   std::array<Shard, kNumShards> shards_;
   std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> store_hits_{0};
   std::atomic<int64_t> batches_from_cache_{0};
+  /// Set once at wiring time (SetHooks), read by every operation; not
+  /// guarded — the attach-before-traffic contract makes it effectively
+  /// immutable.
+  PromptCacheHooks hooks_;
 };
 
 }  // namespace galois::llm

@@ -1,0 +1,194 @@
+#include "store/store_env.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace galois::store {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+class PosixAppendFile : public AppendFile {
+ public:
+  PosixAppendFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixAppendFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, size_t size) override {
+    while (size > 0) {
+      ssize_t n = ::write(fd_, data, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      data += n;
+      size -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+/// mmap-backed view; unmapped on destruction.
+class MmapFileView : public FileView {
+ public:
+  MmapFileView(const char* data, size_t size) : data_(data), size_(size) {}
+  ~MmapFileView() override {
+    if (size_ > 0) ::munmap(const_cast<char*>(data_), size_);
+  }
+  const char* data() const override { return data_; }
+  size_t size() const override { return size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+/// Buffered-read fallback: the whole file copied into memory.
+class BufferFileView : public FileView {
+ public:
+  explicit BufferFileView(std::string buffer)
+      : buffer_(std::move(buffer)) {}
+  const char* data() const override { return buffer_.data(); }
+  size_t size() const override { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+class PosixStoreEnv : public StoreEnv {
+ public:
+  Result<std::unique_ptr<AppendFile>> OpenAppend(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<AppendFile>(
+        std::make_unique<PosixAppendFile>(fd, path));
+  }
+
+  Result<std::unique_ptr<FileView>> OpenView(const std::string& path,
+                                             bool prefer_mmap) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status s = Errno("fstat", path);
+      ::close(fd);
+      return s;
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (prefer_mmap && size > 0) {
+      void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (mapped != MAP_FAILED) {
+        ::close(fd);
+        return std::unique_ptr<FileView>(std::make_unique<MmapFileView>(
+            static_cast<const char*>(mapped), size));
+      }
+      // mmap unavailable (e.g. odd filesystem): fall through to the
+      // buffered read below.
+    }
+    std::string buffer(size, '\0');
+    size_t off = 0;
+    while (off < size) {
+      ssize_t n = ::read(fd, &buffer[off], size - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = Errno("read", path);
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) break;  // file shrank under us; keep what we have
+      off += static_cast<size_t>(n);
+    }
+    buffer.resize(off);
+    ::close(fd);
+    return std::unique_ptr<FileView>(
+        std::make_unique<BufferFileView>(std::move(buffer)));
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<int64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+    return static_cast<int64_t>(st.st_size);
+  }
+
+  Status Truncate(const std::string& path, int64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename", from);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("open dir", path);
+    Status s = Status::OK();
+    if (::fsync(fd) != 0) s = Errno("fsync dir", path);
+    ::close(fd);
+    return s;
+  }
+
+  int64_t NowMicros() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+StoreEnv* StoreEnv::Default() {
+  static PosixStoreEnv* env = new PosixStoreEnv();
+  return env;
+}
+
+}  // namespace galois::store

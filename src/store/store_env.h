@@ -1,0 +1,90 @@
+#ifndef GALOIS_STORE_STORE_ENV_H_
+#define GALOIS_STORE_STORE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace galois::store {
+
+/// An open journal file in append mode. Append/Sync map onto
+/// write(2)/fsync(2) in the default environment; fault-injecting test
+/// environments may write a *prefix* of an Append and then fail (a torn
+/// write — exactly what a process kill mid-write leaves behind), so the
+/// store must treat every Append as atomic only after it returned OK.
+class AppendFile {
+ public:
+  virtual ~AppendFile() = default;
+
+  /// Appends `size` bytes. On error, any prefix may have reached the
+  /// file (torn write); the caller must assume the tail is garbage.
+  virtual Status Append(const char* data, size_t size) = 0;
+
+  /// Durability barrier: everything appended so far survives a crash.
+  virtual Status Sync() = 0;
+};
+
+/// A read-only view of a whole journal file. The default environment
+/// backs it with mmap(2) when possible and falls back to a buffered
+/// read into memory; either way the view is immutable and owns its
+/// mapping/buffer for its lifetime.
+class FileView {
+ public:
+  virtual ~FileView() = default;
+  virtual const char* data() const = 0;
+  virtual size_t size() const = 0;
+};
+
+/// The store's window onto the world: filesystem, fsync and clock. One
+/// indirection so the crash-injection tests can kill writes at any byte
+/// boundary, fail syncs, and freeze time — deterministically, without
+/// actually killing the test process. Production code uses Default(),
+/// a process-wide POSIX environment.
+///
+/// Implementations must tolerate concurrent calls on *different* files;
+/// the store serialises all access to any one file under its own mutex.
+class StoreEnv {
+ public:
+  virtual ~StoreEnv() = default;
+
+  /// Opens (creating if absent) `path` for appending.
+  virtual Result<std::unique_ptr<AppendFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Maps (or reads) the whole of `path`. `prefer_mmap` false forces the
+  /// buffered-read path (the fallback used when mmap is unavailable).
+  virtual Result<std::unique_ptr<FileView>> OpenView(
+      const std::string& path, bool prefer_mmap) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<int64_t> FileSize(const std::string& path) = 0;
+
+  /// Drops everything past `size` (recovery truncates a torn tail so new
+  /// appends land after the last committed record).
+  virtual Status Truncate(const std::string& path, int64_t size) = 0;
+
+  /// Atomic replace: rename(2). Used by compaction to swap the rewritten
+  /// journal in; a crash before the rename leaves the old journal
+  /// untouched.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// mkdir -p one level (the store directory itself).
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Durability barrier on the directory entry (after a Rename).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// Monotonic-enough clock for record timestamps and vacuum pacing.
+  virtual int64_t NowMicros() = 0;
+
+  /// The process-wide POSIX environment.
+  static StoreEnv* Default();
+};
+
+}  // namespace galois::store
+
+#endif  // GALOIS_STORE_STORE_ENV_H_

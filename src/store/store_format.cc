@@ -1,0 +1,347 @@
+#include "store/store_format.h"
+
+#include <cstring>
+
+namespace galois::store {
+
+namespace {
+
+constexpr char kPromptKeySep = '\x1f';
+
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool initialised = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)initialised;
+  return table;
+}
+
+/// On-disk Value type tags — stable identifiers, decoupled from the
+/// in-memory DataType enum so reordering the latter can never corrupt
+/// old journals.
+enum ValueTag : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt = 2,
+  kTagDouble = 3,
+  kTagString = 4,
+  kTagDate = 5,
+};
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutLengthPrefixed(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU32(const char* data, size_t size, size_t* offset, uint32_t* v) {
+  if (size < 4 || *offset > size - 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data + *offset);
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  *offset += 4;
+  return true;
+}
+
+bool GetU64(const char* data, size_t size, size_t* offset, uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!GetU32(data, size, offset, &lo)) return false;
+  if (!GetU32(data, size, offset, &hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool GetLengthPrefixed(const char* data, size_t size, size_t* offset,
+                       std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(data, size, offset, &len)) return false;
+  if (len > size - *offset) return false;
+  s->assign(data + *offset, len);
+  *offset += len;
+  return true;
+}
+
+std::string EncodeFileHeader() {
+  std::string out(kFileMagic, sizeof(kFileMagic));
+  PutU32(&out, kFormatVersion);
+  PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+bool CheckFileHeader(const char* data, size_t size) {
+  if (size < kFileHeaderSize) return false;
+  if (std::memcmp(data, kFileMagic, sizeof(kFileMagic)) != 0) return false;
+  size_t offset = sizeof(kFileMagic);
+  uint32_t version = 0;
+  uint32_t crc = 0;
+  if (!GetU32(data, size, &offset, &version)) return false;
+  if (!GetU32(data, size, &offset, &crc)) return false;
+  if (version != kFormatVersion) return false;
+  return crc == Crc32(data, kFileHeaderSize - 4);
+}
+
+std::string EncodeFrame(RecordType type, const std::string& key,
+                        const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + key.size() + payload.size());
+  PutU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');  // flags
+  out.push_back('\0');  // reserved
+  out.push_back('\0');
+  PutU32(&out, static_cast<uint32_t>(key.size()));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  uint32_t body_crc = Crc32(key.data(), key.size());
+  body_crc = Crc32(payload.data(), payload.size(), body_crc);
+  PutU32(&out, body_crc);
+  PutU32(&out, Crc32(out.data(), out.size()));  // head CRC over bytes 0..19
+  out.append(key);
+  out.append(payload);
+  return out;
+}
+
+FrameResult DecodeFrame(const char* data, size_t size, size_t offset) {
+  FrameResult result;
+  if (offset == size) {
+    result.status = FrameStatus::kEndOfJournal;
+    return result;
+  }
+  if (offset > size || size - offset < kFrameHeaderSize) {
+    result.status = FrameStatus::kTornTail;
+    return result;
+  }
+  const char* head = data + offset;
+  size_t head_offset = kFrameHeaderSize - 4;
+  uint32_t head_crc = 0;
+  (void)GetU32(head, kFrameHeaderSize, &head_offset, &head_crc);
+  if (head_crc != Crc32(head, kFrameHeaderSize - 4)) {
+    result.status = FrameStatus::kTornTail;
+    return result;
+  }
+  size_t cursor = 0;
+  uint32_t magic = 0;
+  (void)GetU32(head, kFrameHeaderSize, &cursor, &magic);
+  if (magic != kFrameMagic) {
+    result.status = FrameStatus::kTornTail;
+    return result;
+  }
+  const uint8_t type = static_cast<uint8_t>(head[4]);
+  cursor = 8;
+  uint32_t key_len = 0;
+  uint32_t payload_len = 0;
+  uint32_t body_crc = 0;
+  (void)GetU32(head, kFrameHeaderSize, &cursor, &key_len);
+  (void)GetU32(head, kFrameHeaderSize, &cursor, &payload_len);
+  (void)GetU32(head, kFrameHeaderSize, &cursor, &body_crc);
+  const size_t body_size =
+      static_cast<size_t>(key_len) + static_cast<size_t>(payload_len);
+  if (body_size > size - offset - kFrameHeaderSize) {
+    // The header is intact but the body never fully landed: a torn
+    // trailing write.
+    result.status = FrameStatus::kTornTail;
+    return result;
+  }
+  if (type < static_cast<uint8_t>(RecordType::kMaterialisation) ||
+      type > static_cast<uint8_t>(RecordType::kClearPrompts)) {
+    // Unknown type with a valid header CRC: written by a future version.
+    // Its lengths are trustworthy, so skip just this record.
+    result.status = FrameStatus::kBadBody;
+    result.next_offset = offset + kFrameHeaderSize + body_size;
+    return result;
+  }
+  const char* body = data + offset + kFrameHeaderSize;
+  uint32_t actual_crc = Crc32(body, key_len);
+  actual_crc = Crc32(body + key_len, payload_len, actual_crc);
+  result.next_offset = offset + kFrameHeaderSize + body_size;
+  if (actual_crc != body_crc) {
+    result.status = FrameStatus::kBadBody;
+    return result;
+  }
+  result.status = FrameStatus::kOk;
+  result.type = static_cast<RecordType>(type);
+  result.key.assign(body, key_len);
+  result.payload.assign(body + key_len, payload_len);
+  return result;
+}
+
+void EncodeValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      return;
+    case DataType::kBool:
+      out->push_back(static_cast<char>(kTagBool));
+      out->push_back(v.bool_value() ? '\1' : '\0');
+      return;
+    case DataType::kInt64:
+      out->push_back(static_cast<char>(kTagInt));
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      return;
+    case DataType::kDouble: {
+      out->push_back(static_cast<char>(kTagDouble));
+      double d = v.double_value();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      return;
+    }
+    case DataType::kString:
+      out->push_back(static_cast<char>(kTagString));
+      PutLengthPrefixed(out, v.string_value());
+      return;
+    case DataType::kDate:
+      out->push_back(static_cast<char>(kTagDate));
+      PutU64(out, static_cast<uint64_t>(v.date_packed()));
+      return;
+  }
+}
+
+bool DecodeValue(const char* data, size_t size, size_t* offset, Value* v) {
+  if (*offset >= size) return false;
+  const uint8_t tag = static_cast<uint8_t>(data[*offset]);
+  ++*offset;
+  switch (tag) {
+    case kTagNull:
+      *v = Value::Null();
+      return true;
+    case kTagBool:
+      if (*offset >= size) return false;
+      *v = Value::Bool(data[*offset] != '\0');
+      ++*offset;
+      return true;
+    case kTagInt: {
+      uint64_t bits = 0;
+      if (!GetU64(data, size, offset, &bits)) return false;
+      *v = Value::Int(static_cast<int64_t>(bits));
+      return true;
+    }
+    case kTagDouble: {
+      uint64_t bits = 0;
+      if (!GetU64(data, size, offset, &bits)) return false;
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = Value::Double(d);
+      return true;
+    }
+    case kTagString: {
+      std::string s;
+      if (!GetLengthPrefixed(data, size, offset, &s)) return false;
+      *v = Value::String(std::move(s));
+      return true;
+    }
+    case kTagDate: {
+      uint64_t bits = 0;
+      if (!GetU64(data, size, offset, &bits)) return false;
+      *v = Value::DatePacked(static_cast<int64_t>(bits));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::string EncodeMaterialisation(const std::vector<std::string>& columns,
+                                  const std::vector<Tuple>& rows) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(columns.size()));
+  for (const std::string& name : columns) PutLengthPrefixed(&out, name);
+  PutU32(&out, static_cast<uint32_t>(rows.size()));
+  for (const Tuple& row : rows) {
+    PutU32(&out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) EncodeValue(&out, v);
+  }
+  return out;
+}
+
+bool DecodeMaterialisation(const std::string& payload,
+                           std::vector<std::string>* columns,
+                           std::vector<Tuple>* rows) {
+  const char* data = payload.data();
+  const size_t size = payload.size();
+  size_t offset = 0;
+  uint32_t num_columns = 0;
+  if (!GetU32(data, size, &offset, &num_columns)) return false;
+  columns->clear();
+  columns->reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    std::string name;
+    if (!GetLengthPrefixed(data, size, &offset, &name)) return false;
+    columns->push_back(std::move(name));
+  }
+  uint32_t num_rows = 0;
+  if (!GetU32(data, size, &offset, &num_rows)) return false;
+  rows->clear();
+  rows->reserve(num_rows);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    uint32_t arity = 0;
+    if (!GetU32(data, size, &offset, &arity)) return false;
+    // A row is the key plus exactly the named columns; anything else is
+    // a malformed payload (CRC collisions are possible in the fuzz
+    // tests' universe, so the codec revalidates shape).
+    if (arity != num_columns + 1) return false;
+    Tuple row;
+    row.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) {
+      Value v;
+      if (!DecodeValue(data, size, &offset, &v)) return false;
+      row.push_back(std::move(v));
+    }
+    rows->push_back(std::move(row));
+  }
+  return offset == size;
+}
+
+std::string PromptKey(const std::string& model, const std::string& text) {
+  std::string key;
+  key.reserve(model.size() + 1 + text.size());
+  key.append(model);
+  key.push_back(kPromptKeySep);
+  key.append(text);
+  return key;
+}
+
+bool SplitPromptKey(const std::string& key, std::string* model,
+                    std::string* text) {
+  const size_t sep = key.find(kPromptKeySep);
+  if (sep == std::string::npos) return false;
+  model->assign(key, 0, sep);
+  text->assign(key, sep + 1, std::string::npos);
+  return true;
+}
+
+}  // namespace galois::store

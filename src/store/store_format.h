@@ -1,0 +1,143 @@
+#ifndef GALOIS_STORE_STORE_FORMAT_H_
+#define GALOIS_STORE_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace galois::store {
+
+/// On-disk journal layout (see docs/ARCHITECTURE.md, "Persistence").
+///
+///   +--------------------+  file header, 16 bytes
+///   | "GALSTOR1" magic   |
+///   | u32 version        |
+///   | u32 header CRC     |
+///   +--------------------+
+///   | record frame 0     |  appended atomically (one Append each)
+///   | record frame 1     |
+///   | ...                |
+///   +--------------------+
+///
+/// Each record frame:
+///
+///   +-----------------------------+  frame header, 24 bytes
+///   | u32 frame magic             |
+///   | u8  type   u8 flags  u16 0  |
+///   | u32 key length              |
+///   | u32 payload length          |
+///   | u32 body CRC (key+payload)  |
+///   | u32 head CRC (bytes 0..19)  |
+///   +-----------------------------+
+///   | key bytes                   |
+///   | payload bytes               |
+///   +-----------------------------+
+///
+/// Recovery rules (the crash/corruption contract, proven by
+/// tests/store_recovery_test.cc):
+///  * a frame whose header CRC fails, or whose declared lengths run past
+///    EOF, ends the scan — everything from there on is a torn tail and
+///    is truncated away;
+///  * a frame whose header is intact but whose body CRC fails is
+///    *skipped* (its lengths are trustworthy, so the scan continues at
+///    the next frame) — corruption degrades that one record to a cache
+///    miss, never to wrong bytes;
+///  * a record is visible iff its whole frame landed and both CRCs pass.
+///
+/// All integers are little-endian (asserted at build time on the
+/// platforms we target); values are length-prefixed so no byte sequence
+/// in a key or payload can imitate a frame boundary.
+
+constexpr char kFileMagic[8] = {'G', 'A', 'L', 'S', 'T', 'O', 'R', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFrameMagic = 0x474A524Eu;  // "GJRN"
+constexpr size_t kFileHeaderSize = 16;
+constexpr size_t kFrameHeaderSize = 24;
+
+/// What a record holds. Values are stable on-disk identifiers.
+enum class RecordType : uint8_t {
+  kMaterialisation = 1,  // key = fingerprint, payload = columns + rows
+  kPrompt = 2,           // key = model \x1f prompt text, payload = completion
+  kErase = 3,            // key = live-index key; drops one earlier record
+  kClearMaterialisations = 4,  // no key; drops all earlier kMaterialisation
+  kClearPrompts = 5,           // no key; drops all earlier kPrompt
+};
+
+/// CRC-32 (IEEE 802.3, the polynomial every pager/journal uses), table
+/// driven. `seed` chains incremental computation.
+uint32_t Crc32(const char* data, size_t size, uint32_t seed = 0);
+
+/// --- primitive little-endian encoders/decoders ------------------------
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutLengthPrefixed(std::string* out, const std::string& s);
+
+/// Each decoder reads at `*offset`, advances it, and returns false when
+/// the buffer is too short (never reads past `size`).
+bool GetU32(const char* data, size_t size, size_t* offset, uint32_t* v);
+bool GetU64(const char* data, size_t size, size_t* offset, uint64_t* v);
+bool GetLengthPrefixed(const char* data, size_t size, size_t* offset,
+                       std::string* s);
+
+/// --- file + frame framing ---------------------------------------------
+
+/// The 16-byte file header.
+std::string EncodeFileHeader();
+
+/// Validates magic/version/CRC of a file header at the start of `data`.
+bool CheckFileHeader(const char* data, size_t size);
+
+/// One full record frame (header + key + payload), ready for a single
+/// atomic Append.
+std::string EncodeFrame(RecordType type, const std::string& key,
+                        const std::string& payload);
+
+/// Outcome of parsing the frame at one offset during the recovery scan.
+enum class FrameStatus {
+  kOk,            // record parsed; key/payload filled
+  kEndOfJournal,  // clean EOF exactly at the offset
+  kTornTail,      // bad header CRC / truncated frame: stop, truncate here
+  kBadBody,       // header fine, body CRC failed: skip this frame
+};
+
+struct FrameResult {
+  FrameStatus status = FrameStatus::kTornTail;
+  RecordType type = RecordType::kMaterialisation;
+  std::string key;
+  std::string payload;
+  /// Offset of the next frame (valid for kOk and kBadBody).
+  size_t next_offset = 0;
+};
+
+/// Parses the frame starting at `offset` in `data[0..size)`.
+FrameResult DecodeFrame(const char* data, size_t size, size_t offset);
+
+/// --- payload codecs ----------------------------------------------------
+
+/// Value wire format: u8 type tag, then the payload. Doubles travel as
+/// their IEEE-754 bits, so a round trip is byte-exact.
+void EncodeValue(std::string* out, const Value& v);
+bool DecodeValue(const char* data, size_t size, size_t* offset, Value* v);
+
+/// Materialisation payload: the cache entry's non-key column names (def
+/// order) and its rows (key first, then those columns).
+std::string EncodeMaterialisation(const std::vector<std::string>& columns,
+                                  const std::vector<Tuple>& rows);
+bool DecodeMaterialisation(const std::string& payload,
+                           std::vector<std::string>* columns,
+                           std::vector<Tuple>* rows);
+
+/// Prompt records: key = model name + '\x1f' + prompt text (the model
+/// name may not contain '\x1f'); payload = the completion text, raw.
+std::string PromptKey(const std::string& model, const std::string& text);
+bool SplitPromptKey(const std::string& key, std::string* model,
+                    std::string* text);
+
+}  // namespace galois::store
+
+#endif  // GALOIS_STORE_STORE_FORMAT_H_

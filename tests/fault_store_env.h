@@ -1,0 +1,151 @@
+// Fault-scheduled StoreEnv for the crash/corruption tests: kills writes
+// after a byte budget (leaving the torn prefix a real process kill would
+// leave), fails fsyncs and renames on demand, and counts everything.
+// Deterministic — no signals, no subprocesses, no actual crashes — so a
+// failure in store_recovery_test.cc replays exactly.
+//
+// Header-only test support; production code must never include this.
+
+#ifndef GALOIS_TESTS_FAULT_STORE_ENV_H_
+#define GALOIS_TESTS_FAULT_STORE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "store/store_env.h"
+
+namespace galois::store::testing {
+
+class FaultStoreEnv : public StoreEnv {
+ public:
+  explicit FaultStoreEnv(StoreEnv* inner = StoreEnv::Default())
+      : inner_(inner) {}
+
+  /// After `budget` more appended bytes, every Append fails — the failing
+  /// call writes exactly the remaining budget first (the torn prefix of a
+  /// mid-write kill). Negative disables (the default).
+  void SetWriteBudget(int64_t budget) {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_budget_ = budget;
+  }
+  void ClearWriteBudget() { SetWriteBudget(-1); }
+
+  void FailSyncs(bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_syncs_ = fail;
+  }
+  void FailRenames(bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_renames_ = fail;
+  }
+
+  int64_t bytes_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_appended_;
+  }
+  int64_t syncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_;
+  }
+
+  Result<std::unique_ptr<AppendFile>> OpenAppend(
+      const std::string& path) override {
+    auto inner = inner_->OpenAppend(path);
+    if (!inner.ok()) return inner.status();
+    return {std::make_unique<FaultAppendFile>(this,
+                                              std::move(inner).value())};
+  }
+  Result<std::unique_ptr<FileView>> OpenView(const std::string& path,
+                                             bool prefer_mmap) override {
+    return inner_->OpenView(path, prefer_mmap);
+  }
+  bool FileExists(const std::string& path) override {
+    return inner_->FileExists(path);
+  }
+  Result<int64_t> FileSize(const std::string& path) override {
+    return inner_->FileSize(path);
+  }
+  Status Truncate(const std::string& path, int64_t size) override {
+    return inner_->Truncate(path, size);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fail_renames_) return Status::IoError("injected rename failure");
+    }
+    return inner_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return inner_->Remove(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return inner_->CreateDir(path);
+  }
+  Status SyncDir(const std::string& path) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fail_syncs_) return Status::IoError("injected dir-sync failure");
+    }
+    return inner_->SyncDir(path);
+  }
+  int64_t NowMicros() override { return inner_->NowMicros(); }
+
+ private:
+  class FaultAppendFile : public AppendFile {
+   public:
+    FaultAppendFile(FaultStoreEnv* env, std::unique_ptr<AppendFile> inner)
+        : env_(env), inner_(std::move(inner)) {}
+
+    Status Append(const char* data, size_t size) override {
+      size_t allowed = size;
+      bool killed = false;
+      {
+        std::lock_guard<std::mutex> lock(env_->mu_);
+        if (env_->write_budget_ >= 0) {
+          if (static_cast<int64_t>(size) > env_->write_budget_) {
+            allowed = static_cast<size_t>(env_->write_budget_);
+            killed = true;
+          }
+          env_->write_budget_ -= static_cast<int64_t>(allowed);
+        }
+        env_->bytes_appended_ += static_cast<int64_t>(allowed);
+      }
+      if (allowed > 0) {
+        Status s = inner_->Append(data, allowed);
+        if (!s.ok()) return s;
+      }
+      if (killed) return Status::IoError("injected write kill (torn)");
+      return Status::OK();
+    }
+
+    Status Sync() override {
+      {
+        std::lock_guard<std::mutex> lock(env_->mu_);
+        if (env_->fail_syncs_) {
+          return Status::IoError("injected sync failure");
+        }
+        ++env_->syncs_;
+      }
+      return inner_->Sync();
+    }
+
+   private:
+    FaultStoreEnv* env_;
+    std::unique_ptr<AppendFile> inner_;
+  };
+
+  StoreEnv* inner_;
+  mutable std::mutex mu_;
+  int64_t write_budget_ = -1;  // guarded by mu_; <0 = unlimited
+  bool fail_syncs_ = false;    // guarded by mu_
+  bool fail_renames_ = false;  // guarded by mu_
+  int64_t bytes_appended_ = 0;  // guarded by mu_
+  int64_t syncs_ = 0;           // guarded by mu_
+};
+
+}  // namespace galois::store::testing
+
+#endif  // GALOIS_TESTS_FAULT_STORE_ENV_H_

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -323,6 +324,105 @@ TEST(DatabaseOpenTest, RejectsMisconfiguredBackends) {
     options.execution.phase_models["critic"] = "nonexistent";
     EXPECT_FALSE(Database::Open(std::move(options)).ok());
   }
+}
+
+TEST(DatabaseOpenTest, RejectsAmbiguousCacheConfig) {
+  // Borrow AND own at once is ambiguous; the old behaviour of silently
+  // preferring the borrowed pointer hid misconfigurations.
+  core::MaterialisationCache shared;
+  DatabaseOptions options;
+  options.workload = &W();
+  options.materialisation_cache = &shared;
+  options.enable_materialisation_cache = true;
+  auto db = Database::Open(std::move(options));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseOpenTest, BorrowedCacheOutlivesDatabase) {
+  // The borrowed-cache contract: the cache outlives every Database using
+  // it, and entries filled through one Database serve the next.
+  core::MaterialisationCache shared;
+  const std::string sql = Queries()[0];
+  {
+    DatabaseOptions options;
+    options.workload = &W();
+    options.materialisation_cache = &shared;
+    auto db = Database::Open(std::move(options));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto cold = (*db)->CreateSession().Query(sql);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_GT(cold->cost.num_prompts, 0);
+  }  // first Database gone; the cache (and its entries) live on
+  EXPECT_GT(shared.size(), 0u);
+
+  DatabaseOptions options;
+  options.workload = &W();
+  options.materialisation_cache = &shared;
+  auto db = Database::Open(std::move(options));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto warm = (*db)->CreateSession().Query(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm->table_cache_hits, 1);
+  EXPECT_EQ(warm->cost.num_prompts, 0);
+}
+
+TEST(DatabaseOpenTest, StoreSinkDetachesFromBorrowedCacheOnClose) {
+  // A store-backed Database attaches its persistence sink to the
+  // borrowed cache for its lifetime only. After the Database closes,
+  // mutating the cache must neither crash (dangling sink) nor reach the
+  // journal — observable because a post-close Clear() does NOT clear the
+  // store, so the next open still recovers everything.
+  core::MaterialisationCache shared;
+  const std::string dir = ::testing::TempDir() + "galois_borrow_store";
+  std::remove((dir + "/galois.store").c_str());
+  std::remove((dir + "/galois.store.tmp").c_str());
+  const std::string sql = Queries()[0];
+
+  {
+    llm::SimulatedLlm transport(&W().kb(), llm::ModelProfile::ChatGpt(),
+                                &W().catalog(), 7);
+    DatabaseOptions options;
+    options.workload = &W();
+    options.materialisation_cache = &shared;
+    options.store.path = dir;
+    options.store.background_vacuum = false;
+    BackendSpec spec;
+    spec.name = "sim";
+    spec.external = &transport;
+    options.backends.push_back(std::move(spec));
+    auto db = Database::Open(std::move(options));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->CreateSession().Query(sql).ok());
+    EXPECT_GT((*db)->store()->stats().live_materialisations, 0);
+  }  // Database closed: sink detached, store closed
+
+  // With the sink gone this touches only memory, not the journal.
+  shared.Clear();
+  EXPECT_EQ(shared.size(), 0u);
+
+  // A second store-backed Database re-borrows the same cache: the
+  // journal (uncleared!) warm-starts it, and the query costs nothing.
+  llm::SimulatedLlm transport(&W().kb(), llm::ModelProfile::ChatGpt(),
+                              &W().catalog(), 7);
+  DatabaseOptions options;
+  options.workload = &W();
+  options.materialisation_cache = &shared;
+  options.store.path = dir;
+  options.store.background_vacuum = false;
+  BackendSpec spec;
+  spec.name = "sim";
+  spec.external = &transport;
+  options.backends.push_back(std::move(spec));
+  auto db = Database::Open(std::move(options));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_GT((*db)->store()->stats().materialisations_recovered, 0)
+      << "post-close Clear() reached the journal: sink not detached";
+  auto warm = (*db)->CreateSession().Query(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm->cost.num_prompts, 0);
+  EXPECT_EQ(warm->table_cache_store_hits, 1);
+  EXPECT_EQ(transport.cost().num_prompts, 0);
 }
 
 TEST(DatabaseOpenTest, RoutedCascadeAttributesPerBackend) {
