@@ -141,6 +141,8 @@ void PrintHelp() {
       "                           .batch on); chunk sets max_batch_size\n"
       "  .pipeline <on|off>       overlap independent phases (tables,\n"
       "                           columns, critic passes)\n"
+      "  .prefetch <n>            speculative key-scan pages in flight\n"
+      "                           ahead of consumption; 0 disables\n"
       "  .sessions <n>            run each statement as n concurrent\n"
       "                           sessions (results verified identical)\n"
       "  .deadline <ms>           per-query deadline; 0 disables\n"
@@ -223,6 +225,12 @@ bool HandleCommand(ShellState* state, const std::string& line) {
   } else if (cmd == ".pipeline") {
     state->options.pipeline_phases = arg() != "off";
     reopen = true;
+  } else if (cmd == ".prefetch") {
+    int n = std::atoi(arg().c_str());
+    state->options.prefetch_pages = n < 0 ? 0 : n;
+    std::printf("key-scan prefetch: %d pages ahead\n",
+                state->options.prefetch_pages);
+    reopen = true;
   } else if (cmd == ".sessions") {
     int n = std::atoi(arg().c_str());
     state->num_sessions = n < 1 ? 1 : n;
@@ -239,11 +247,13 @@ bool HandleCommand(ShellState* state, const std::string& line) {
       auto stats = state->table_cache.stats();
       std::printf(
           "materialisation cache: %s, %zu entries, %lld hits / %lld "
-          "lookups (%lld by subsumption), %lld insertions, %lld "
-          "evictions\n",
+          "lookups (%lld exact, %lld by predicate subsumption, %lld by "
+          "column projection), %lld insertions, %lld evictions\n",
           state->cache_enabled ? "on" : "off", state->table_cache.size(),
           static_cast<long long>(stats.hits),
           static_cast<long long>(stats.lookups),
+          static_cast<long long>(stats.exact_hits),
+          static_cast<long long>(stats.predicate_subsumption_hits),
           static_cast<long long>(stats.subsumption_hits),
           static_cast<long long>(stats.insertions),
           static_cast<long long>(stats.evictions));
@@ -392,6 +402,15 @@ void PrintResult(const galois::QueryResult& result) {
     std::printf("(%lld prompts, %.1f s simulated)\n",
                 static_cast<long long>(result.cost.num_prompts),
                 result.cost.simulated_latency_ms / 1000.0);
+  }
+  if (result.table_cache_subsumption_hits > 0) {
+    std::printf("(%lld tables served by predicate subsumption)\n",
+                static_cast<long long>(result.table_cache_subsumption_hits));
+  }
+  if (result.scan_pages_prefetched > 0) {
+    std::printf("(%lld scan pages prefetched, %lld overfetched)\n",
+                static_cast<long long>(result.scan_pages_prefetched),
+                static_cast<long long>(result.scan_pages_overfetched));
   }
   if (result.table_cache_store_hits > 0 || result.cost.store_hits > 0) {
     std::printf("(persistent store: %lld tables, %lld prompts served "

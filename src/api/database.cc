@@ -31,13 +31,19 @@ class StoreMaterialisationSink : public core::MaterialisationSink {
   explicit StoreMaterialisationSink(store::ResultStore* store)
       : store_(store) {}
 
-  void OnInsert(const std::string& fingerprint,
+  void OnInsert(const std::string& base_key, const std::string& descriptor,
                 const std::vector<std::string>& columns,
                 const std::vector<Tuple>& rows) override {
-    store_->PutMaterialisation(fingerprint, columns, rows).IgnoreError();
+    store_
+        ->PutMaterialisation(
+            core::MaterialisationStoreKey(base_key, descriptor), columns,
+            rows, base_key, descriptor)
+        .IgnoreError();
   }
-  void OnHit(const std::string& fingerprint) override {
-    store_->TouchMaterialisation(fingerprint);
+  void OnHit(const std::string& base_key,
+             const std::string& descriptor) override {
+    store_->TouchMaterialisation(
+        core::MaterialisationStoreKey(base_key, descriptor));
   }
   void OnClear() override { store_->ClearMaterialisations().IgnoreError(); }
 
@@ -188,10 +194,18 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     // are never re-journaled as fresh inserts.
     if (db->table_cache_ != nullptr) {
       st->ForEachMaterialisation(
-          [cache = db->table_cache_](const std::string& fingerprint,
+          [cache = db->table_cache_](const std::string& store_key,
+                                     const std::string& base_key,
+                                     const std::string& descriptor,
                                      const std::vector<std::string>& columns,
                                      const std::vector<Tuple>& rows) {
-            cache->WarmStart(fingerprint, columns, rows);
+            // Records from before predicate subsumption carry no
+            // structured key halves; without them the entry cannot
+            // participate in lookups, so it is skipped (a one-time cache
+            // miss — the re-bought entry is journaled in the new form).
+            (void)store_key;
+            if (base_key.empty()) return;
+            cache->WarmStart(base_key, descriptor, columns, rows);
           });
       db->store_sink_ = std::make_unique<StoreMaterialisationSink>(st);
       db->table_cache_->SetSink(db->store_sink_.get());
@@ -264,7 +278,11 @@ Result<QueryResult> Session::RunSnapshot(
   result.trace = std::move(out.trace);
   result.table_cache_lookups = out.table_cache_lookups;
   result.table_cache_hits = out.table_cache_hits;
+  result.table_cache_exact_hits = out.table_cache_exact_hits;
+  result.table_cache_subsumption_hits = out.table_cache_subsumption_hits;
   result.table_cache_store_hits = out.table_cache_store_hits;
+  result.scan_pages_prefetched = out.scan_pages_prefetched;
+  result.scan_pages_overfetched = out.scan_pages_overfetched;
   result.physical_plan = std::move(out.physical_plan);
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)

@@ -48,13 +48,26 @@ struct QueryResult {
   core::ExecutionTrace trace;
 
   /// Materialisation-cache traffic of this query (0/0 when the Database
-  /// has no cache). `table_cache_store_hits` counts the hits served by
-  /// entries warm-started from the persistent store — tables this
-  /// process never paid an LLM round trip for; prompt-level store hits
-  /// are in cost.store_hits.
+  /// has no cache). Hits split by kind: exact hits matched the cached
+  /// (base key, predicate descriptor) byte-for-byte; subsumption hits
+  /// were served from an entry cached under a weaker filter with the
+  /// residual conjuncts re-checked in memory — still zero LLM round
+  /// trips. `table_cache_store_hits` counts the hits served by entries
+  /// warm-started from the persistent store — tables this process never
+  /// paid an LLM round trip for; prompt-level store hits are in
+  /// cost.store_hits.
   int64_t table_cache_lookups = 0;
   int64_t table_cache_hits = 0;
+  int64_t table_cache_exact_hits = 0;
+  int64_t table_cache_subsumption_hits = 0;
   int64_t table_cache_store_hits = 0;
+
+  /// Speculative key-scan paging (ExecutionOptions::prefetch_pages):
+  /// pages whose round trip was in flight before the previous page had
+  /// been consumed, and the subset bought past the terminating page
+  /// (paid for, parked in the prompt cache). Both 0 with prefetch off.
+  int64_t scan_pages_prefetched = 0;
+  int64_t scan_pages_overfetched = 0;
 
   /// Rendering of the executed physical operator DAG with per-operator
   /// rows / round trips / cost (the shell's `.explain` output).

@@ -42,12 +42,26 @@ struct QueryOutput {
 
   /// Materialisation-cache traffic of this query: LLM tables looked up,
   /// and tables served without any LLM round trip. Both 0 when no cache
-  /// is attached. `table_cache_store_hits` counts the hits served by
-  /// entries the cache warm-started from the persistent store — tables
-  /// this *process* never paid for.
+  /// is attached. Hits split by kind: `table_cache_exact_hits` matched
+  /// the (base key, predicate descriptor) pair byte-for-byte;
+  /// `table_cache_subsumption_hits` were served from an entry cached
+  /// under a weaker filter, with the residual conjuncts re-applied in
+  /// memory (still zero LLM round trips). `table_cache_store_hits`
+  /// counts the hits served by entries the cache warm-started from the
+  /// persistent store — tables this *process* never paid for.
   int64_t table_cache_lookups = 0;
   int64_t table_cache_hits = 0;
+  int64_t table_cache_exact_hits = 0;
+  int64_t table_cache_subsumption_hits = 0;
   int64_t table_cache_store_hits = 0;
+
+  /// Speculative key-scan paging (ExecutionOptions::prefetch_pages):
+  /// pages whose round trip was issued before the previous page's answer
+  /// had been consumed, and the subset bought past the page that
+  /// terminated the scan (paid for, parked in the prompt cache). Both 0
+  /// when prefetch is off.
+  int64_t scan_pages_prefetched = 0;
+  int64_t scan_pages_overfetched = 0;
 };
 
 /// The Galois executor (the paper's primary contribution, Section 4).
@@ -88,11 +102,14 @@ struct QueryOutput {
 /// (and their critic-verify follow-ups) are dispatched as async phase
 /// futures. Results, provenance order and cost accounting are identical
 /// to the sequential plan. A MaterialisationCache attached via
-/// set_materialisation_cache adds cross-query reuse on top: a table whose
-/// fingerprint (definition, pushed filters, needed columns, result-
-/// affecting options, paging bound, model) was already materialised is
-/// served with zero LLM round trips, including by projection from a wider
-/// cached materialisation.
+/// set_materialisation_cache adds cross-query reuse on top: a table is
+/// served with zero LLM round trips when its (base key, predicate
+/// descriptor) pair — definition, result-affecting options, model, plus
+/// the canonicalised pushed conjuncts and paging bound — was already
+/// materialised, either exactly, by projection from a wider cached
+/// column set, or by predicate subsumption from an entry cached under a
+/// weaker filter (the residual conjuncts re-applied in memory and
+/// billed as a residual-filter operator in the explain DAG).
 ///
 /// Threading model: the executor is immutable after setup (construction
 /// plus an optional set_materialisation_cache). Run/Execute are const,

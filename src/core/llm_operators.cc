@@ -122,44 +122,132 @@ std::vector<int> ParseVerdicts(
 
 }  // namespace
 
+namespace {
+
+/// Builds the page-k scan prompt (shared by the sequential and
+/// speculative paging paths, so both issue byte-identical prompts).
+llm::Prompt BuildScanPagePrompt(const catalog::TableDef& table,
+                                const std::optional<llm::PromptFilter>& filter,
+                                int page) {
+  llm::KeyScanIntent intent;
+  intent.concept_name = table.entity_type;
+  intent.key_attribute = table.key_column;
+  intent.page = page;
+  intent.filter = filter;
+  return llm::BuildKeyScanPrompt(intent);
+}
+
+/// Folds one page's completion into the deduplicated key list. Returns
+/// true when the scan should keep paging (new keys appeared and the
+/// model did not signal the end of its enumeration).
+bool ConsumeScanPage(const llm::Completion& completion,
+                     std::vector<std::string>* keys,
+                     std::unordered_set<std::string>* seen) {
+  if (clean::IsNoMoreResults(completion.text)) return false;
+  std::vector<std::string> page_keys = clean::SplitList(completion.text);
+  size_t new_keys = 0;
+  for (std::string& k : page_keys) {
+    if (seen->insert(k).second) {
+      keys->push_back(std::move(k));
+      ++new_keys;
+    }
+  }
+  // Termination condition: "we keep asking for more names ... until we
+  // stop getting new results".
+  return new_keys > 0;
+}
+
+}  // namespace
+
 Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
-    const std::optional<llm::PromptFilter>& filter, int* pages_issued,
+    const std::optional<llm::PromptFilter>& filter, KeyScanStats* stats,
     int64_t key_limit) {
-  llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
-                                "key-scan:" + table.entity_type);
+  if (stats != nullptr) *stats = KeyScanStats{};
   std::vector<std::string> keys;
   std::unordered_set<std::string> seen;
-  if (pages_issued != nullptr) *pages_issued = 0;
-  for (int page = 0; page < options.max_scan_pages; ++page) {
-    // LIMIT-bounded paging: enough keys are already scanned that the
-    // downstream Limit operator is satisfiable — stop buying pages.
-    if (key_limit >= 0 &&
-        static_cast<int64_t>(keys.size()) >= key_limit) {
-      break;
-    }
-    if (pages_issued != nullptr) ++*pages_issued;
-    llm::KeyScanIntent intent;
-    intent.concept_name = table.entity_type;
-    intent.key_attribute = table.key_column;
-    intent.page = page;
-    intent.filter = filter;
-    llm::Prompt prompt = llm::BuildKeyScanPrompt(intent);
-    GALOIS_ASSIGN_OR_RETURN(llm::Completion completion,
-                            scheduler.CompleteOne(prompt));
-    if (clean::IsNoMoreResults(completion.text)) break;
-    std::vector<std::string> page_keys = clean::SplitList(completion.text);
-    size_t new_keys = 0;
-    for (std::string& k : page_keys) {
-      if (seen.insert(k).second) {
-        keys.push_back(std::move(k));
-        ++new_keys;
+
+  // Prefetch never applies to LIMIT-bounded scans: the bound promises
+  // that no round trip past the satisfying page is ever issued, and a
+  // speculated page would break exactly that.
+  const bool prefetch = options.prefetch_pages > 0 && key_limit < 0;
+  if (!prefetch) {
+    llm::BatchScheduler scheduler(model, BatchPolicyFor(options),
+                                  "key-scan:" + table.entity_type);
+    for (int page = 0; page < options.max_scan_pages; ++page) {
+      // LIMIT-bounded paging: enough keys are already scanned that the
+      // downstream Limit operator is satisfiable — stop buying pages.
+      if (key_limit >= 0 &&
+          static_cast<int64_t>(keys.size()) >= key_limit) {
+        break;
       }
+      if (stats != nullptr) ++stats->pages;
+      GALOIS_ASSIGN_OR_RETURN(
+          llm::Completion completion,
+          scheduler.CompleteOne(BuildScanPagePrompt(table, filter, page)));
+      if (!ConsumeScanPage(completion, &keys, &seen)) break;
     }
-    // Termination condition: "we keep asking for more names ... until we
-    // stop getting new results".
-    if (new_keys == 0) break;
+    return keys;
+  }
+
+  // Speculative paging: page prompts are independent texts, so page
+  // k+1..k+W can be bought while page k's answer is being parsed. Each
+  // page goes out as a single-prompt async phase with batching off —
+  // that dispatch path is one Complete call per page, billing exactly
+  // like the sequential CompleteOne — and handles are joined strictly
+  // in page order, so the termination decision (and therefore the key
+  // set) is identical to the sequential scan.
+  llm::BatchPolicy policy = BatchPolicyFor(options);
+  policy.batch = false;
+  llm::BatchScheduler scheduler(model, policy,
+                                "key-scan:" + table.entity_type);
+  const int window = options.prefetch_pages + 1;
+  std::vector<llm::PhaseHandle> inflight;  // page order
+  int next_page = 0;
+  auto issue = [&]() {
+    if (next_page >= options.max_scan_pages) return;
+    inflight.push_back(scheduler.RunAsync(
+        {BuildScanPagePrompt(table, filter, next_page)}));
+    ++next_page;
+    if (stats != nullptr) {
+      ++stats->pages;
+      // Every page after the first is bought before the preceding
+      // page's answer has been consumed; only page 0 is demand-fetched.
+      if (next_page > 1) ++stats->prefetched;
+    }
+  };
+  // Every speculated round trip was started (and bills) whether or not
+  // the scan still wants its answer: join the stragglers so their
+  // completions settle into any prompt-cache decorator instead of being
+  // abandoned mid-flight.
+  auto drain = [&](size_t from) {
+    if (stats != nullptr) {
+      stats->overfetched += static_cast<int>(inflight.size() - from);
+    }
+    for (size_t i = from; i < inflight.size(); ++i) {
+      (void)inflight[i].Join();
+    }
+    inflight.clear();
+  };
+
+  while (static_cast<int>(inflight.size()) < window &&
+         next_page < options.max_scan_pages) {
+    issue();
+  }
+  size_t front = 0;
+  while (front < inflight.size()) {
+    Result<std::vector<llm::Completion>> page = inflight[front].Join();
+    ++front;
+    if (!page.ok()) {
+      drain(front);
+      return page.status();
+    }
+    if (!ConsumeScanPage(page.value()[0], &keys, &seen)) {
+      drain(front);
+      return keys;
+    }
+    issue();
   }
   return keys;
 }

@@ -32,22 +32,44 @@ namespace galois::core {
 /// The scheduler dispatch policy implied by the execution options.
 llm::BatchPolicy BatchPolicyFor(const ExecutionOptions& options);
 
+/// Paging accounting of one LlmKeyScan: every page bought (round trip
+/// issued), how many of those were dispatched speculatively before the
+/// previous page's answer had been consumed, and how many were bought
+/// past the page that terminated the scan (speculation overshoot — those
+/// completions are still joined and land in the prompt-cache layer, so
+/// a later scan of the same table gets them for free).
+struct KeyScanStats {
+  int pages = 0;
+  int prefetched = 0;
+  int overfetched = 0;
+};
+
 /// Leaf data access: retrieves the set of key-attribute values of `table`
 /// by iterating "Return more results" prompts until the model stops
 /// producing new keys (workflow: "we iterate with the prompt until we stop
 /// getting new results"). An optional `filter` is pushed into the scan
 /// prompt (Section 6 optimisation). Keys are deduplicated, first-seen
-/// order. Pages are dependent prompts (page k+1 needs page k's answer),
-/// so the scan issues them through the scheduler one at a time.
-/// `key_limit >= 0` stops paging as soon as that many keys have been
-/// scanned (the plan compiler sets it when a LIMIT provably bounds the
-/// scan): the returned prefix may exceed the limit within the last page
-/// but no further page round trips are issued.
+/// order. Page prompts are independent texts (page k+1's prompt does not
+/// embed page k's answer), but the *termination decision* is sequential,
+/// so by default the scan issues them through the scheduler one at a
+/// time. With options.prefetch_pages > 0 it instead keeps up to that
+/// many further page round trips speculatively in flight
+/// (BatchScheduler::RunAsync single-prompt phases, joined in page
+/// order): the surviving keys, pages bought and CostMeter are identical
+/// whenever the scan terminates at the max_scan_pages cap, and when the
+/// model terminates the scan early the already-speculated pages are
+/// joined (they bill, and their completions stay in any prompt-cache
+/// decorator) and reported as overfetched. `key_limit >= 0` stops paging
+/// as soon as that many keys have been scanned (the plan compiler sets
+/// it when a LIMIT provably bounds the scan): the returned prefix may
+/// exceed the limit within the last page but no further page round trips
+/// are issued — prefetch is disabled on bounded scans to preserve
+/// exactly that guarantee.
 Result<std::vector<std::string>> LlmKeyScan(
     llm::LanguageModel* model, const catalog::TableDef& table,
     const ExecutionOptions& options,
     const std::optional<llm::PromptFilter>& filter = std::nullopt,
-    int* pages_issued = nullptr, int64_t key_limit = -1);
+    KeyScanStats* stats = nullptr, int64_t key_limit = -1);
 
 /// Attribute retrieval node: fetches `column` of the entity identified by
 /// `key` and converts the completion to a typed cell via the cleaning

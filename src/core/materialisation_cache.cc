@@ -1,8 +1,11 @@
 #include "core/materialisation_cache.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <utility>
+
+#include "common/strings.h"
 
 namespace galois::core {
 
@@ -12,33 +15,409 @@ namespace {
 /// names or literals contain the usual punctuation.
 constexpr char kSep = '\x1f';
 
+/// Descriptor wire version; bump on layout changes (old bytes then fail
+/// Decode and degrade to a miss).
+constexpr uint8_t kDescriptorVersion = 1;
+
+bool IsComparisonOp(const std::string& op) {
+  return op == "=" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+/// int64/double/date literals have engine-reproducible total orders, so
+/// interval reasoning over them matches the model's comparison verdicts
+/// on a deterministic model. Strings do not (the model's `=` is
+/// case-insensitive) and bools gain nothing from intervals.
+bool IsRangeType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kDate;
+}
+
+/// Int and double literals live in one comparison class (Value::Compare
+/// compares them by numeric value); dates are their own class.
+bool SameRangeClass(DataType a, DataType b) {
+  if (a == DataType::kDate || b == DataType::kDate) return a == b;
+  return IsRangeType(a) && IsRangeType(b);
+}
+
+// ---- descriptor wire codec (length-prefixed, little-endian) ----------
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(u >> (8 * i)));
+}
+
+void AppendBytes(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void AppendValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      out->push_back(v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      AppendI64(out, v.int_value());
+      break;
+    case DataType::kDate:
+      AppendI64(out, v.date_packed());
+      break;
+    case DataType::kDouble: {
+      double d = v.double_value();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      AppendI64(out, static_cast<int64_t>(bits));
+      break;
+    }
+    case DataType::kString:
+      AppendBytes(out, v.string_value());
+      break;
+  }
+}
+
+struct Reader {
+  std::string_view bytes;
+  size_t pos = 0;
+
+  bool ReadU8(uint8_t* out) {
+    if (pos + 1 > bytes.size()) return false;
+    *out = static_cast<uint8_t>(bytes[pos++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* out) {
+    if (pos + 4 > bytes.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+  bool ReadI64(int64_t* out) {
+    if (pos + 8 > bytes.size()) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    *out = static_cast<int64_t>(v);
+    return true;
+  }
+  bool ReadBytes(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (pos + len > bytes.size()) return false;
+    out->assign(bytes.data() + pos, len);
+    pos += len;
+    return true;
+  }
+  bool ReadValue(Value* out) {
+    uint8_t tag = 0;
+    if (!ReadU8(&tag)) return false;
+    switch (static_cast<DataType>(tag)) {
+      case DataType::kNull:
+        *out = Value::Null();
+        return true;
+      case DataType::kBool: {
+        uint8_t b = 0;
+        if (!ReadU8(&b)) return false;
+        *out = Value::Bool(b != 0);
+        return true;
+      }
+      case DataType::kInt64: {
+        int64_t v = 0;
+        if (!ReadI64(&v)) return false;
+        *out = Value::Int(v);
+        return true;
+      }
+      case DataType::kDate: {
+        int64_t v = 0;
+        if (!ReadI64(&v)) return false;
+        *out = Value::DatePacked(v);
+        return true;
+      }
+      case DataType::kDouble: {
+        int64_t bits = 0;
+        if (!ReadI64(&bits)) return false;
+        double d = 0;
+        uint64_t u = static_cast<uint64_t>(bits);
+        std::memcpy(&d, &u, sizeof(d));
+        *out = Value::Double(d);
+        return true;
+      }
+      case DataType::kString: {
+        std::string s;
+        if (!ReadBytes(&s)) return false;
+        *out = Value::String(std::move(s));
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// ---- interval reasoning ----------------------------------------------
+
+/// A (possibly half-open) interval over one comparison class; absent
+/// endpoints are unbounded. Built from a query's conjuncts on one
+/// column, then tested for containment against a cached conjunct.
+struct Interval {
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  bool lo_incl = true;
+  bool hi_incl = true;
+
+  void TightenLo(const Value& v, bool incl) {
+    if (!lo.has_value()) {
+      lo = v;
+      lo_incl = incl;
+      return;
+    }
+    const int cmp = v.Compare(*lo);
+    if (cmp > 0 || (cmp == 0 && !incl)) {
+      lo = v;
+      lo_incl = incl;
+    }
+  }
+  void TightenHi(const Value& v, bool incl) {
+    if (!hi.has_value()) {
+      hi = v;
+      hi_incl = incl;
+      return;
+    }
+    const int cmp = v.Compare(*hi);
+    if (cmp < 0 || (cmp == 0 && !incl)) {
+      hi = v;
+      hi_incl = incl;
+    }
+  }
+  void Apply(const std::string& op, const Value& v) {
+    if (op == "=") {
+      TightenLo(v, true);
+      TightenHi(v, true);
+    } else if (op == "<") {
+      TightenHi(v, false);
+    } else if (op == "<=") {
+      TightenHi(v, true);
+    } else if (op == ">") {
+      TightenLo(v, false);
+    } else if (op == ">=") {
+      TightenLo(v, true);
+    }
+  }
+  /// True when every point of this interval is strictly below `v`
+  /// (resp. above): used for `!=` exclusion.
+  bool ExcludesPoint(const Value& v) const {
+    if (lo.has_value()) {
+      const int cmp = v.Compare(*lo);
+      if (cmp < 0 || (cmp == 0 && !lo_incl)) return true;
+    }
+    if (hi.has_value()) {
+      const int cmp = v.Compare(*hi);
+      if (cmp > 0 || (cmp == 0 && !hi_incl)) return true;
+    }
+    return false;
+  }
+};
+
+/// Intersection of the query's range-class bounds on `column`. Conjuncts
+/// that cannot tighten soundly (wrong class, `!=`, LIKE) are ignored —
+/// that only *widens* the computed interval, which keeps the containment
+/// test conservative.
+Interval QueryIntervalFor(const PredicateDescriptor& query,
+                          const std::string& column, DataType value_class) {
+  Interval iv;
+  for (const PredicateConjunct& q : query.conjuncts) {
+    if (!EqualsIgnoreCase(q.column, column)) continue;
+    if (q.op == "!=" || !IsComparisonOp(q.op)) continue;
+    if (!IsRangeType(q.value.type()) ||
+        !SameRangeClass(q.value.type(), value_class)) {
+      continue;
+    }
+    iv.Apply(q.op, q.value);
+  }
+  return iv;
+}
+
+/// Does the query imply cached conjunct `f`? Either an identical
+/// conjunct appears in the query (any operator, any type), or — for
+/// int/double/date literals — the intersection of the query's bounds on
+/// f's column is contained in the region f accepts.
+bool ConjunctImplied(const PredicateConjunct& f,
+                     const PredicateDescriptor& query) {
+  for (const PredicateConjunct& q : query.conjuncts) {
+    if (q.SameShape(f)) return true;
+  }
+  if (!IsComparisonOp(f.op) || !IsRangeType(f.value.type())) return false;
+  const Interval qiv = QueryIntervalFor(query, f.column, f.value.type());
+  if (f.op == "!=") return qiv.ExcludesPoint(f.value);
+  Interval fiv;
+  fiv.Apply(f.op, f.value);
+  // Containment qiv ⊆ fiv, endpoint by endpoint.
+  if (fiv.lo.has_value()) {
+    if (!qiv.lo.has_value()) return false;
+    const int cmp = qiv.lo->Compare(*fiv.lo);
+    if (cmp < 0) return false;
+    if (cmp == 0 && qiv.lo_incl && !fiv.lo_incl) return false;
+  }
+  if (fiv.hi.has_value()) {
+    if (!qiv.hi.has_value()) return false;
+    const int cmp = qiv.hi->Compare(*fiv.hi);
+    if (cmp > 0) return false;
+    if (cmp == 0 && qiv.hi_incl && !fiv.hi_incl) return false;
+  }
+  return true;
+}
+
+/// Mirrors the deterministic core of the simulated model's per-key
+/// filter check (SimulatedLlm::NoisyFilterHolds with zero noise): NULL
+/// cells drop the row exactly as a -1 verdict drops the key, `=` is
+/// case-insensitive for strings, everything else goes through
+/// Value::Compare. Keeping these semantics byte-for-byte aligned is
+/// what makes a residual-filtered hit indistinguishable from a rerun.
+bool ResidualHolds(const Value& cell, const PredicateConjunct& c) {
+  if (cell.is_null()) return false;
+  const int cmp = cell.Compare(c.value);
+  if (c.op == "=") {
+    if (cmp == 0) return true;
+    return cell.type() == DataType::kString &&
+           c.value.type() == DataType::kString &&
+           EqualsIgnoreCase(cell.string_value(), c.value.string_value());
+  }
+  if (c.op == "!=") return cmp != 0;
+  if (c.op == "<") return cmp < 0;
+  if (c.op == "<=") return cmp <= 0;
+  if (c.op == ">") return cmp > 0;
+  if (c.op == ">=") return cmp >= 0;
+  return false;
+}
+
+/// Entry-side subsumption test: every cached conjunct must be implied by
+/// the query, so the entry's rows are a superset of the query's. Fills
+/// `residual` with the query conjuncts the engine must re-check (those
+/// without an identical cached counterpart); each must be marked
+/// residually checkable by the planner. Bounded-prefix entries never
+/// subsume (they only serve exact descriptor matches, handled earlier).
+bool ComputeSubsumption(const PredicateDescriptor& entry,
+                        const PredicateDescriptor& query,
+                        std::vector<const PredicateConjunct*>* residual) {
+  if (entry.scan_key_limit != -1) return false;
+  for (const PredicateConjunct& f : entry.conjuncts) {
+    if (!ConjunctImplied(f, query)) return false;
+  }
+  residual->clear();
+  for (const PredicateConjunct& q : query.conjuncts) {
+    bool identical = false;
+    for (const PredicateConjunct& f : entry.conjuncts) {
+      if (f.SameShape(q)) {
+        identical = true;
+        break;
+      }
+    }
+    if (identical) continue;  // already holds on every entry row
+    if (!q.residual_ok || !IsComparisonOp(q.op)) return false;
+    residual->push_back(&q);
+  }
+  return true;
+}
+
 }  // namespace
 
-std::string MaterialisationCache::Fingerprint(
-    const catalog::TableDef& def,
-    const std::vector<llm::PromptFilter>& filters,
-    bool first_filter_pushed, const ExecutionOptions& options,
-    const std::string& model_name, int64_t scan_key_limit) {
+void PredicateDescriptor::Canonicalise() {
+  std::sort(conjuncts.begin(), conjuncts.end(),
+            [](const PredicateConjunct& a, const PredicateConjunct& b) {
+              if (a.column != b.column) return a.column < b.column;
+              if (a.op != b.op) return a.op < b.op;
+              const int cmp = a.value.Compare(b.value);
+              if (cmp != 0) return cmp < 0;
+              if (a.value.type() != b.value.type()) {
+                return a.value.type() < b.value.type();
+              }
+              return a.residual_ok < b.residual_ok;
+            });
+  conjuncts.erase(
+      std::unique(conjuncts.begin(), conjuncts.end(),
+                  [](const PredicateConjunct& a, const PredicateConjunct& b) {
+                    return a.SameShape(b) && a.value.type() == b.value.type() &&
+                           a.residual_ok == b.residual_ok;
+                  }),
+      conjuncts.end());
+}
+
+std::string PredicateDescriptor::Encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(kDescriptorVersion));
+  AppendU32(&out, static_cast<uint32_t>(conjuncts.size()));
+  for (const PredicateConjunct& c : conjuncts) {
+    AppendBytes(&out, c.column);
+    AppendBytes(&out, c.op);
+    out.push_back(c.residual_ok ? 1 : 0);
+    AppendValue(&out, c.value);
+  }
+  AppendBytes(&out, pushed_column);
+  AppendI64(&out, scan_key_limit);
+  return out;
+}
+
+bool PredicateDescriptor::Decode(std::string_view bytes,
+                                 PredicateDescriptor* out) {
+  Reader r{bytes};
+  uint8_t version = 0;
+  if (!r.ReadU8(&version) || version != kDescriptorVersion) return false;
+  uint32_t n = 0;
+  if (!r.ReadU32(&n)) return false;
+  PredicateDescriptor d;
+  d.conjuncts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PredicateConjunct c;
+    uint8_t residual_ok = 0;
+    if (!r.ReadBytes(&c.column) || !r.ReadBytes(&c.op) ||
+        !r.ReadU8(&residual_ok) || !r.ReadValue(&c.value)) {
+      return false;
+    }
+    c.residual_ok = residual_ok != 0;
+    d.conjuncts.push_back(std::move(c));
+  }
+  if (!r.ReadBytes(&d.pushed_column)) return false;
+  if (!r.ReadI64(&d.scan_key_limit)) return false;
+  if (r.pos != bytes.size()) return false;
+  *out = std::move(d);
+  return true;
+}
+
+std::string MaterialisationStoreKey(const std::string& base_key,
+                                    const std::string& descriptor_bytes) {
+  std::string out = std::to_string(base_key.size());
+  out.push_back(':');
+  out += base_key;
+  out += descriptor_bytes;
+  return out;
+}
+
+std::string MaterialisationCache::BaseKey(const catalog::TableDef& def,
+                                          const ExecutionOptions& options,
+                                          const std::string& model_name) {
   std::ostringstream os;
   os << "table=" << def.name << kSep << "key=" << def.key_column << kSep
      << "entity=" << def.entity_type << kSep << "model=" << model_name
-     << kSep << "push=" << (first_filter_pushed ? 1 : 0) << kSep
-     << "keylimit=" << scan_key_limit << kSep;
+     << kSep;
   // Column definitions feed the prompts (descriptions) and the cleaning
   // layer (types), so a redefined catalog must land in a new entry.
   os << "cols=";
   for (const catalog::ColumnDef& c : def.columns) {
     os << c.name << kSep << static_cast<int>(c.type) << kSep
        << c.description << kSep;
-  }
-  // Every filter field is length-prefixed: a literal containing the
-  // rendering of another filter can never collide with a longer filter
-  // list.
-  os << "filters=";
-  for (const llm::PromptFilter& f : filters) {
-    const std::string value = f.value.ToString();
-    os << f.attribute.size() << ':' << f.attribute << kSep << f.op << kSep
-       << value.size() << ':' << value << kSep;
   }
   os << "verify=" << (options.verify_cells ? 1 : 0) << kSep
      << "clean=" << (options.enable_cleaning ? 1 : 0) << kSep
@@ -48,75 +427,166 @@ std::string MaterialisationCache::Fingerprint(
 }
 
 std::optional<Relation> MaterialisationCache::Lookup(
-    const std::string& fingerprint, const catalog::TableDef& def,
+    const std::string& base_key, const PredicateDescriptor& descriptor,
+    const catalog::TableDef& def,
     const std::vector<const catalog::ColumnDef*>& needed_columns,
-    const std::string& alias, bool* served_from_store) {
+    const std::string& alias, MaterialisationLookupInfo* info) {
+  if (info != nullptr) *info = MaterialisationLookupInfo{};
+  PredicateDescriptor query = descriptor;
+  query.Canonicalise();
+  const std::string query_bytes = query.Encode();
+
   std::lock_guard<std::mutex> lock(mu_);
-  if (served_from_store != nullptr) *served_from_store = false;
   ++stats_.lookups;
-  for (Entry& entry : entries_) {
-    if (entry.fingerprint != fingerprint) continue;
-    // Map each needed column onto the entry's layout (key at 0, then
-    // entry.columns); a missing column disqualifies the entry.
-    std::vector<size_t> source_index;
-    source_index.reserve(needed_columns.size());
-    bool subsumes = true;
+
+  // Map each needed column onto an entry's layout (key at 0, then
+  // entry.columns); a missing column disqualifies the entry.
+  auto cover_columns = [&](const Entry& entry,
+                           std::vector<size_t>* source_index) {
+    source_index->clear();
+    source_index->reserve(needed_columns.size());
     for (const catalog::ColumnDef* col : needed_columns) {
       auto it =
           std::find(entry.columns.begin(), entry.columns.end(), col->name);
-      if (it == entry.columns.end()) {
-        subsumes = false;
-        break;
-      }
-      source_index.push_back(
+      if (it == entry.columns.end()) return false;
+      source_index->push_back(
           1 + static_cast<size_t>(it - entry.columns.begin()));
     }
-    if (!subsumes) continue;
-    entry.last_used = ++tick_;
-    ++stats_.hits;
-    if (needed_columns.size() < entry.columns.size()) {
-      ++stats_.subsumption_hits;
+    return true;
+  };
+  // A residual conjunct needs its column's values in the entry: the key
+  // (slot 0) or a materialised column (slot 1 + i).
+  auto locate_residual = [&](const Entry& entry,
+                             const std::vector<const PredicateConjunct*>& res,
+                             std::vector<std::pair<size_t, const PredicateConjunct*>>*
+                                 located) {
+    located->clear();
+    located->reserve(res.size());
+    for (const PredicateConjunct* c : res) {
+      if (EqualsIgnoreCase(c->column, def.key_column)) {
+        located->emplace_back(0, c);
+        continue;
+      }
+      bool found = false;
+      for (size_t i = 0; i < entry.columns.size(); ++i) {
+        if (EqualsIgnoreCase(entry.columns[i], c->column)) {
+          located->emplace_back(1 + i, c);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
     }
-    if (entry.from_store) {
-      ++stats_.store_hits;
-      if (served_from_store != nullptr) *served_from_store = true;
-    }
-    if (sink_ != nullptr) sink_->OnHit(entry.fingerprint);
-    // Rebuild the relation in the requester's shape: key + needed
-    // columns, qualified with its alias.
-    auto key_def = def.FindColumn(def.key_column);
-    Schema schema;
-    schema.AddColumn(Column(
-        def.key_column,
-        key_def.ok() ? key_def.value()->type : DataType::kString, alias));
-    for (const catalog::ColumnDef* col : needed_columns) {
-      schema.AddColumn(Column(col->name, col->type, alias));
-    }
-    Relation rel(std::move(schema));
-    for (const Tuple& row : entry.rows) {
-      Tuple out;
-      out.reserve(1 + source_index.size());
-      out.push_back(row[0]);
-      for (size_t idx : source_index) out.push_back(row[idx]);
-      rel.AddRowUnchecked(std::move(out));
-    }
-    return rel;
+    return true;
+  };
+
+  Entry* chosen = nullptr;
+  bool exact = false;
+  std::vector<size_t> source_index;
+  std::vector<std::pair<size_t, const PredicateConjunct*>> residual;
+
+  // Pass 1: exact descriptor match (canonical bytes equal).
+  for (Entry& entry : entries_) {
+    if (entry.base_key != base_key) continue;
+    if (entry.descriptor_bytes != query_bytes) continue;
+    if (!cover_columns(entry, &source_index)) continue;
+    chosen = &entry;
+    exact = true;
+    break;
   }
-  return std::nullopt;
+  // Pass 2: predicate subsumption — an entry cached under a weaker
+  // filter whose residual we can legally re-check in memory.
+  if (chosen == nullptr) {
+    std::vector<const PredicateConjunct*> res;
+    for (Entry& entry : entries_) {
+      if (entry.base_key != base_key) continue;
+      if (entry.descriptor_bytes == query_bytes) continue;
+      if (!ComputeSubsumption(entry.descriptor, query, &res)) continue;
+      if (!cover_columns(entry, &source_index)) continue;
+      if (!locate_residual(entry, res, &residual)) continue;
+      chosen = &entry;
+      break;
+    }
+  }
+  if (chosen == nullptr) return std::nullopt;
+
+  Entry& entry = *chosen;
+  entry.last_used = ++tick_;
+  ++stats_.hits;
+  if (exact) {
+    ++stats_.exact_hits;
+  } else {
+    ++stats_.predicate_subsumption_hits;
+  }
+  if (needed_columns.size() < entry.columns.size()) {
+    ++stats_.subsumption_hits;
+  }
+  if (entry.from_store) ++stats_.store_hits;
+  if (sink_ != nullptr) sink_->OnHit(entry.base_key, entry.descriptor_bytes);
+
+  // Rebuild the relation in the requester's shape: key + needed
+  // columns, qualified with its alias.
+  auto key_def = def.FindColumn(def.key_column);
+  Schema schema;
+  schema.AddColumn(Column(
+      def.key_column,
+      key_def.ok() ? key_def.value()->type : DataType::kString, alias));
+  for (const catalog::ColumnDef* col : needed_columns) {
+    schema.AddColumn(Column(col->name, col->type, alias));
+  }
+  Relation rel(std::move(schema));
+  int64_t rows_before = 0;
+  for (const Tuple& row : entry.rows) {
+    ++rows_before;
+    bool keep = true;
+    for (const auto& [idx, conjunct] : residual) {
+      if (!ResidualHolds(row[idx], *conjunct)) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    Tuple out;
+    out.reserve(1 + source_index.size());
+    out.push_back(row[0]);
+    for (size_t idx : source_index) out.push_back(row[idx]);
+    rel.AddRowUnchecked(std::move(out));
+  }
+  if (info != nullptr) {
+    info->hit = true;
+    info->exact = exact;
+    info->predicate_subsumed = !exact;
+    info->column_subsumed = needed_columns.size() < entry.columns.size();
+    info->from_store = entry.from_store;
+    info->residual_conjuncts = static_cast<int>(residual.size());
+    info->residual.reserve(residual.size());
+    for (const auto& [idx, conjunct] : residual) {
+      (void)idx;
+      info->residual.push_back(*conjunct);
+    }
+    info->rows_before_residual = rows_before;
+    info->rows_after_residual = static_cast<int64_t>(rel.NumRows());
+  }
+  return rel;
 }
 
 void MaterialisationCache::Insert(
-    const std::string& fingerprint,
+    const std::string& base_key, const PredicateDescriptor& descriptor,
     const std::vector<const catalog::ColumnDef*>& columns,
     const Relation& rel) {
   std::vector<std::string> names;
   names.reserve(columns.size());
   for (const catalog::ColumnDef* col : columns) names.push_back(col->name);
+  PredicateDescriptor canonical = descriptor;
+  canonical.Canonicalise();
+  std::string bytes = canonical.Encode();
 
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
-    if (entry.fingerprint != fingerprint) continue;
+    if (entry.base_key != base_key || entry.descriptor_bytes != bytes) {
+      continue;
+    }
     bool entry_subsumes_new =
         std::all_of(names.begin(), names.end(), [&](const std::string& n) {
           return std::find(entry.columns.begin(), entry.columns.end(), n) !=
@@ -141,7 +611,8 @@ void MaterialisationCache::Insert(
       entry.from_store = false;
       ++stats_.insertions;
       if (sink_ != nullptr) {
-        sink_->OnInsert(entry.fingerprint, entry.columns, entry.rows);
+        sink_->OnInsert(entry.base_key, entry.descriptor_bytes, entry.columns,
+                        entry.rows);
       }
       return;
     }
@@ -149,7 +620,9 @@ void MaterialisationCache::Insert(
     // entries (each can still serve its own subsets).
   }
   Entry entry;
-  entry.fingerprint = fingerprint;
+  entry.base_key = base_key;
+  entry.descriptor = std::move(canonical);
+  entry.descriptor_bytes = std::move(bytes);
   entry.columns = std::move(names);
   entry.rows = rel.rows();
   entry.last_used = ++tick_;
@@ -157,7 +630,8 @@ void MaterialisationCache::Insert(
   ++stats_.insertions;
   if (sink_ != nullptr) {
     const Entry& added = entries_.back();
-    sink_->OnInsert(added.fingerprint, added.columns, added.rows);
+    sink_->OnInsert(added.base_key, added.descriptor_bytes, added.columns,
+                    added.rows);
   }
   EvictBeyondCapLocked();
 }
@@ -168,15 +642,23 @@ void MaterialisationCache::Clear() {
   if (sink_ != nullptr) sink_->OnClear();
 }
 
-void MaterialisationCache::WarmStart(const std::string& fingerprint,
+void MaterialisationCache::WarmStart(const std::string& base_key,
+                                     const std::string& descriptor_bytes,
                                      const std::vector<std::string>& columns,
                                      std::vector<Tuple> rows) {
+  PredicateDescriptor descriptor;
+  if (!PredicateDescriptor::Decode(descriptor_bytes, &descriptor)) return;
+  descriptor.Canonicalise();
+  std::string bytes = descriptor.Encode();
+
   std::lock_guard<std::mutex> lock(mu_);
   // The store keeps one record per fingerprint (widest wins on its side
   // too), so a duplicate only appears when warm-starting twice; replace
   // rather than stack.
   for (Entry& entry : entries_) {
-    if (entry.fingerprint != fingerprint) continue;
+    if (entry.base_key != base_key || entry.descriptor_bytes != bytes) {
+      continue;
+    }
     entry.columns = columns;
     entry.rows = std::move(rows);
     entry.last_used = ++tick_;
@@ -184,7 +666,9 @@ void MaterialisationCache::WarmStart(const std::string& fingerprint,
     return;
   }
   Entry entry;
-  entry.fingerprint = fingerprint;
+  entry.base_key = base_key;
+  entry.descriptor = std::move(descriptor);
+  entry.descriptor_bytes = std::move(bytes);
   entry.columns = columns;
   entry.rows = std::move(rows);
   entry.last_used = ++tick_;

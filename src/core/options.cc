@@ -28,7 +28,8 @@ std::string ExecutionOptions::ToString() const {
      << " parallel_batches=" << parallel_batches
      << " pipeline=" << (pipeline_phases ? "on" : "off")
      << " provenance=" << (record_provenance ? "on" : "off")
-     << " max_pages=" << max_scan_pages;
+     << " max_pages=" << max_scan_pages
+     << " prefetch=" << prefetch_pages;
   if (!phase_models.empty()) {
     os << " routes=";
     bool first = true;

@@ -103,6 +103,19 @@ struct ExecutionOptions {
   /// user-specified termination threshold alternative).
   int max_scan_pages = 64;
 
+  /// Speculative key-scan paging depth: while page k's completion is
+  /// being parsed, keep up to this many further page round trips in
+  /// flight (0 disables — the paper prototype's strictly sequential
+  /// paging). Dispatch-only: the surviving key set, the CostMeter and
+  /// the pages bought are identical when the scan terminates at the
+  /// max_scan_pages cap; when the model signals "no more results" early,
+  /// the pages already speculated are still paid for, joined, and left
+  /// in the prompt cache rather than discarded (counted as overfetched
+  /// in QueryOutput). Excluded from the materialisation-cache base key,
+  /// like the other dispatch knobs. Disabled for LIMIT-bounded scans,
+  /// which must never buy pages past the bound.
+  int prefetch_pages = 0;
+
   /// Execute per-key selection checks with the LLM (the paper's filter
   /// operator). When false, the attribute is retrieved instead and the
   /// predicate is evaluated by the engine on the cleaned value.

@@ -228,7 +228,18 @@ Result<PhysicalPlan> PhysicalPlan::Compile(planner::PlanNodePtr plan,
       filter.op = f.op;
       filter.value = f.value;
       g.llm_filters.push_back(std::move(filter));
+      PredicateConjunct conjunct;
+      conjunct.column = f.column;
+      conjunct.op = f.op;
+      conjunct.value = f.value;
+      conjunct.residual_ok = f.residually_checkable;
+      g.descriptor.conjuncts.push_back(std::move(conjunct));
     }
+    if (scan->merge_first_filter) {
+      g.descriptor.pushed_column = scan->scan_filters[0].column;
+    }
+    g.descriptor.scan_key_limit = scan->scan_key_limit;
+    g.descriptor.Canonicalise();
     auto it = retrieve_of.find(scan);
     if (it != retrieve_of.end()) {
       for (const std::string& name : it->second->columns) {
@@ -260,6 +271,9 @@ Result<PhysicalPlan> PhysicalPlan::Compile(planner::PlanNodePtr plan,
       }
       if (g.key_limit >= 0) {
         os << "; paging stops at " << g.key_limit << " keys";
+      } else if (options.prefetch_pages > 0) {
+        os << "; up to " << options.prefetch_pages
+           << " pages prefetched speculatively";
       }
       os << ")";
       g.scan_node = p.NewNode(os.str());
@@ -486,14 +500,13 @@ Result<Relation> PhysicalPlan::MaterialiseLlm(TableGroup& group,
     scan_filter = group.llm_filters[0];
     first_check = 1;
   }
-  int scan_pages = 0;
   llm::CostTap scan_tap(model);
   GALOIS_ASSIGN_OR_RETURN(
       std::vector<std::string> keys,
-      LlmKeyScan(&scan_tap, def, options_, scan_filter, &scan_pages,
+      LlmKeyScan(&scan_tap, def, options_, scan_filter, &group.scan_stats,
                  group.key_limit));
   FinishLlmOp(group.scan_node, scan_tap, keys.size());
-  group.scan_node->stats.round_trips = scan_pages;
+  group.scan_node->stats.round_trips = group.scan_stats.pages;
 
   // 2a. Optional critic pass over the scanned keys: "Is it true that the
   // name of the country New Italy is New Italy?" rejects hallucinated
@@ -548,7 +561,7 @@ Result<Relation> PhysicalPlan::MaterialiseLlm(TableGroup& group,
   if (options_.record_provenance) {
     ScanProvenance scan;
     scan.table_alias = group.alias;
-    scan.pages = scan_pages;
+    scan.pages = group.scan_stats.pages;
     scan.keys = keys.size();
     scan.filtered = keys.size() - surviving.size();
     trace->scans.push_back(std::move(scan));
@@ -619,6 +632,34 @@ Result<Relation> PhysicalPlan::MaterialiseLlm(TableGroup& group,
   return rel;
 }
 
+void PhysicalPlan::InsertResidualNode(TableGroup& group,
+                                      const MaterialisationLookupInfo& info) {
+  std::ostringstream os;
+  os << "ResidualFilter ";
+  for (size_t i = 0; i < info.residual.size(); ++i) {
+    if (i > 0) os << " AND ";
+    const PredicateConjunct& c = info.residual[i];
+    os << group.alias << "." << c.column << " " << c.op << " "
+       << c.value.ToString();
+  }
+  os << " (in-memory re-check over a subsuming cache entry)";
+  PhysicalNode* node = NewNode(os.str());
+  // Splice above the group's subtree: every edge (and the root) that
+  // pointed at group.top now points at the residual filter. The arena is
+  // a deque, so earlier node addresses stay valid across NewNode.
+  for (PhysicalNode& n : nodes_) {
+    if (&n == node) continue;
+    for (PhysicalNode*& child : n.children) {
+      if (child == group.top) child = node;
+    }
+  }
+  if (root_ == group.top) root_ = node;
+  node->children.push_back(group.top);
+  group.top = node;
+  node->stats.executed = true;
+  node->stats.rows = info.rows_after_residual;
+}
+
 Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
     llm::LanguageModel* model, MaterialisationCache* cache,
     QueryOutput* out) {
@@ -628,7 +669,7 @@ Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
 
   const size_t n = groups_.size();
   std::vector<std::optional<Relation>> materialised(n);
-  std::vector<std::string> fingerprints(n);
+  std::vector<std::string> base_keys(n);
   std::vector<size_t> pending;  // LLM tables not served from cache
   for (size_t i = 0; i < n; ++i) {
     TableGroup& group = groups_[i];
@@ -638,28 +679,35 @@ Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
       continue;
     }
     if (use_cache) {
-      fingerprints[i] = MaterialisationCache::Fingerprint(
-          *group.def, group.llm_filters, group.push_first_filter,
-          options_, model->name(), group.key_limit);
+      base_keys[i] =
+          MaterialisationCache::BaseKey(*group.def, options_, model->name());
       ++out->table_cache_lookups;
-      bool from_store = false;
+      MaterialisationLookupInfo info;
       std::optional<Relation> hit =
-          cache->Lookup(fingerprints[i], *group.def, group.needed_columns,
-                        group.alias, &from_store);
+          cache->Lookup(base_keys[i], group.descriptor, *group.def,
+                        group.needed_columns, group.alias, &info);
       if (hit.has_value()) {
         ++out->table_cache_hits;
-        if (from_store) ++out->table_cache_store_hits;
-        const int64_t rows = static_cast<int64_t>(hit->rows().size());
+        if (info.exact) ++out->table_cache_exact_hits;
+        if (info.predicate_subsumed) ++out->table_cache_subsumption_hits;
+        if (info.from_store) ++out->table_cache_store_hits;
+        // The cached phases produced the entry's rows; on a subsumption
+        // hit the residual filter then narrows them, and shows up as
+        // its own operator above the group.
+        const int64_t cached_rows = info.rows_before_residual;
         for (PhysicalNode* node :
              {group.scan_node, group.key_verify_node, group.retrieve_node,
               group.cell_verify_node}) {
           if (node == nullptr) continue;
           node->stats.from_cache = true;
-          node->stats.rows = rows;
+          node->stats.rows = cached_rows;
         }
         for (PhysicalNode* node : group.check_nodes) {
           node->stats.from_cache = true;
-          node->stats.rows = rows;
+          node->stats.rows = cached_rows;
+        }
+        if (info.predicate_subsumed && info.residual_conjuncts > 0) {
+          InsertResidualNode(group, info);
         }
         materialised[i] = std::move(*hit);
         continue;
@@ -715,10 +763,14 @@ Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
     }
   }
 
+  for (size_t i : pending) {
+    out->scan_pages_prefetched += groups_[i].scan_stats.prefetched;
+    out->scan_pages_overfetched += groups_[i].scan_stats.overfetched;
+  }
   if (use_cache) {
     for (size_t i : pending) {
-      cache->Insert(fingerprints[i], groups_[i].needed_columns,
-                    *materialised[i]);
+      cache->Insert(base_keys[i], groups_[i].descriptor,
+                    groups_[i].needed_columns, *materialised[i]);
     }
   }
 

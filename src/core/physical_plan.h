@@ -9,6 +9,8 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "core/galois_executor.h"
+#include "core/llm_operators.h"
+#include "core/materialisation_cache.h"
 #include "core/options.h"
 #include "core/provenance.h"
 #include "engine/relational_stages.h"
@@ -18,8 +20,6 @@
 #include "planner/planner.h"
 
 namespace galois::core {
-
-class MaterialisationCache;
 
 /// The planner::BindingOptions implied by an ExecutionOptions snapshot —
 /// the one translation point between the executor's knobs and the
@@ -120,6 +120,14 @@ class PhysicalPlan {
     bool push_first_filter = false;
     /// LIMIT-derived paging bound (-1 unbounded).
     int64_t key_limit = -1;
+    /// The structured predicate half of the materialisation-cache key,
+    /// compiled (and canonicalised) from the annotated scan filters —
+    /// what predicate-subsumption lookups reason over.
+    PredicateDescriptor descriptor;
+    /// Key-scan paging outcome (pages bought / prefetched /
+    /// overfetched), filled by MaterialiseLlm and aggregated into
+    /// QueryOutput by MaterialiseAll.
+    KeyScanStats scan_stats;
 
     // Stats targets; null when the phase does not exist for this group.
     PhysicalNode* scan_node = nullptr;
@@ -139,6 +147,13 @@ class PhysicalPlan {
   PhysicalPlan() = default;
 
   PhysicalNode* NewNode(std::string label);
+
+  /// Splices a residual-filter operator above `group`'s subtree after a
+  /// predicate-subsumption cache hit, so Explain shows the in-memory
+  /// conjunct re-check (and its row reduction) as a first-class
+  /// operator.
+  void InsertResidualNode(TableGroup& group,
+                          const MaterialisationLookupInfo& info);
 
   Result<Relation> MaterialiseDb(TableGroup& group);
   Result<Relation> MaterialiseLlm(TableGroup& group,

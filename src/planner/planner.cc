@@ -524,6 +524,12 @@ Result<int> BindPhysicalAnnotations(PlanNode* root,
         filter.op = op;
         filter.value = lit->literal;
         filter.conjunct = c;
+        // Legality proof for predicate-subsumption caching: a conjunct
+        // is residually checkable when its verdict on a deterministic
+        // model reduces to Value::Compare over the materialised cell —
+        // every plain comparison does; LIKE does not (the model, not
+        // the engine, owns pattern semantics).
+        filter.residually_checkable = op != "LIKE";
         scans[t]->scan_filters.push_back(std::move(filter));
         consumed.insert(c);
         ++consumed_count;

@@ -42,6 +42,12 @@ struct ScanFilter {
   std::string op;                  // =, !=, <, <=, >, >=, LIKE
   Value value;                     // literal, mirrored onto `col op value`
   const sql::Expr* conjunct = nullptr;  // the consumed WHERE conjunct
+  /// Subsumption legality: true when the engine could re-evaluate this
+  /// conjunct over materialised cell values (plain comparison operators
+  /// whose verdict is Value::Compare-reproducible). LIKE is not — the
+  /// model's pattern matching has no engine-side mirror — so a LIKE
+  /// conjunct can serve from cache only as part of an identical filter.
+  bool residually_checkable = false;
 };
 
 /// A node of the logical plan tree.

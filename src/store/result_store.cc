@@ -170,13 +170,13 @@ void ResultStore::ClearTypeLocked(RecordType type) {
 }
 
 Status ResultStore::AppendLocked(RecordType type, const std::string& key,
-                                 const std::string& payload,
-                                 bool track_live) {
+                                 const std::string& payload, bool track_live,
+                                 uint8_t flags) {
   if (dead_ || writer_ == nullptr) {
     ++stats_.append_errors;
     return Status::IoError("store is read-only after an append failure");
   }
-  const std::string frame = EncodeFrame(type, key, payload);
+  const std::string frame = EncodeFrame(type, key, payload, flags);
   Status appended = writer_->Append(frame.data(), frame.size());
   if (appended.ok() && options_.durability == Durability::kAlways) {
     appended = writer_->Sync();
@@ -207,12 +207,20 @@ Status ResultStore::AppendLocked(RecordType type, const std::string& key,
 }
 
 Status ResultStore::PutMaterialisation(
-    const std::string& fingerprint, const std::vector<std::string>& columns,
-    const std::vector<Tuple>& rows) {
+    const std::string& store_key, const std::vector<std::string>& columns,
+    const std::vector<Tuple>& rows, const std::string& base_key,
+    const std::string& descriptor) {
+  const bool with_descriptor = !base_key.empty() || !descriptor.empty();
+  std::string payload =
+      with_descriptor
+          ? EncodeMaterialisationWithDescriptor(base_key, descriptor,
+                                                columns, rows)
+          : EncodeMaterialisation(columns, rows);
+  const uint8_t flags =
+      with_descriptor ? kMaterialisationFlagHasDescriptor : 0;
   std::unique_lock<std::mutex> lock(mu_);
-  Status s = AppendLocked(RecordType::kMaterialisation, fingerprint,
-                          EncodeMaterialisation(columns, rows),
-                          /*track_live=*/true);
+  Status s = AppendLocked(RecordType::kMaterialisation, store_key, payload,
+                          /*track_live=*/true, flags);
   if (s.ok()) MaybeScheduleVacuum(&lock);
   return s;
 }
@@ -298,14 +306,25 @@ void ResultStore::ForEachLive(RecordType type, const Fn& fn) {
 }
 
 void ResultStore::ForEachMaterialisation(
-    const std::function<void(const std::string&,
+    const std::function<void(const std::string&, const std::string&,
+                             const std::string&,
                              const std::vector<std::string>&,
                              const std::vector<Tuple>&)>& fn) {
   ForEachLive(RecordType::kMaterialisation, [&fn](const FrameResult& frame) {
     std::vector<std::string> columns;
     std::vector<Tuple> rows;
-    if (!DecodeMaterialisation(frame.payload, &columns, &rows)) return;
-    fn(frame.key, columns, rows);
+    std::string base_key;
+    std::string descriptor;
+    if (frame.flags & kMaterialisationFlagHasDescriptor) {
+      if (!DecodeMaterialisationWithDescriptor(frame.payload, &base_key,
+                                               &descriptor, &columns,
+                                               &rows)) {
+        return;
+      }
+    } else if (!DecodeMaterialisation(frame.payload, &columns, &rows)) {
+      return;
+    }
+    fn(frame.key, base_key, descriptor, columns, rows);
   });
 }
 

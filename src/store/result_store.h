@@ -121,8 +121,14 @@ class ResultStore {
   /// Invoked in least-recently-used-first order, so feeding an LRU-capped
   /// cache leaves the most recent entries resident. Callbacks run under
   /// the store mutex; they must not call back into the store.
+  ///
+  /// `base_key`/`descriptor` are the structured cache-key halves of
+  /// records written with them (kMaterialisationFlagHasDescriptor); both
+  /// arrive empty for records from before predicate subsumption existed.
   void ForEachMaterialisation(
-      const std::function<void(const std::string& fingerprint,
+      const std::function<void(const std::string& store_key,
+                               const std::string& base_key,
+                               const std::string& descriptor,
                                const std::vector<std::string>& columns,
                                const std::vector<Tuple>& rows)>& fn);
   void ForEachPrompt(
@@ -132,9 +138,15 @@ class ResultStore {
 
   /// --- journal writes -------------------------------------------------
   /// Appends one record; replaces any live entry under the same key.
-  Status PutMaterialisation(const std::string& fingerprint,
+  /// When `base_key` or `descriptor` is non-empty the record carries the
+  /// structured (base key, predicate descriptor) pair alongside the
+  /// opaque store key, so the next open can warm-start subsumption-
+  /// capable entries; the two-argument form writes a legacy v1 record.
+  Status PutMaterialisation(const std::string& store_key,
                             const std::vector<std::string>& columns,
-                            const std::vector<Tuple>& rows);
+                            const std::vector<Tuple>& rows,
+                            const std::string& base_key = std::string(),
+                            const std::string& descriptor = std::string());
   Status PutPrompt(const std::string& model, const std::string& text,
                    const std::string& completion);
 
@@ -188,7 +200,8 @@ class ResultStore {
   }
 
   Status AppendLocked(RecordType type, const std::string& key,
-                      const std::string& payload, bool track_live);
+                      const std::string& payload, bool track_live,
+                      uint8_t flags = 0);
   void RemoveLiveLocked(const std::string& index_key);
   void ClearTypeLocked(RecordType type);
   Status VacuumLocked();

@@ -116,12 +116,12 @@ bool CheckFileHeader(const char* data, size_t size) {
 }
 
 std::string EncodeFrame(RecordType type, const std::string& key,
-                        const std::string& payload) {
+                        const std::string& payload, uint8_t flags) {
   std::string out;
   out.reserve(kFrameHeaderSize + key.size() + payload.size());
   PutU32(&out, kFrameMagic);
   out.push_back(static_cast<char>(type));
-  out.push_back('\0');  // flags
+  out.push_back(static_cast<char>(flags));
   out.push_back('\0');  // reserved
   out.push_back('\0');
   PutU32(&out, static_cast<uint32_t>(key.size()));
@@ -194,6 +194,7 @@ FrameResult DecodeFrame(const char* data, size_t size, size_t offset) {
   }
   result.status = FrameStatus::kOk;
   result.type = static_cast<RecordType>(type);
+  result.flags = static_cast<uint8_t>(head[5]);
   result.key.assign(body, key_len);
   result.payload.assign(body + key_len, payload_len);
   return result;
@@ -288,28 +289,30 @@ std::string EncodeMaterialisation(const std::vector<std::string>& columns,
   return out;
 }
 
-bool DecodeMaterialisation(const std::string& payload,
-                           std::vector<std::string>* columns,
-                           std::vector<Tuple>* rows) {
-  const char* data = payload.data();
-  const size_t size = payload.size();
-  size_t offset = 0;
+namespace {
+
+/// The shared columns+rows body, decoded starting at `*offset`. Both the
+/// v1 payload and the descriptor-carrying v2 payload end in exactly this
+/// body, so both decoders funnel here.
+bool DecodeMaterialisationBody(const char* data, size_t size, size_t* offset,
+                               std::vector<std::string>* columns,
+                               std::vector<Tuple>* rows) {
   uint32_t num_columns = 0;
-  if (!GetU32(data, size, &offset, &num_columns)) return false;
+  if (!GetU32(data, size, offset, &num_columns)) return false;
   columns->clear();
   columns->reserve(num_columns);
   for (uint32_t c = 0; c < num_columns; ++c) {
     std::string name;
-    if (!GetLengthPrefixed(data, size, &offset, &name)) return false;
+    if (!GetLengthPrefixed(data, size, offset, &name)) return false;
     columns->push_back(std::move(name));
   }
   uint32_t num_rows = 0;
-  if (!GetU32(data, size, &offset, &num_rows)) return false;
+  if (!GetU32(data, size, offset, &num_rows)) return false;
   rows->clear();
   rows->reserve(num_rows);
   for (uint32_t r = 0; r < num_rows; ++r) {
     uint32_t arity = 0;
-    if (!GetU32(data, size, &offset, &arity)) return false;
+    if (!GetU32(data, size, offset, &arity)) return false;
     // A row is the key plus exactly the named columns; anything else is
     // a malformed payload (CRC collisions are possible in the fuzz
     // tests' universe, so the codec revalidates shape).
@@ -318,12 +321,49 @@ bool DecodeMaterialisation(const std::string& payload,
     row.reserve(arity);
     for (uint32_t i = 0; i < arity; ++i) {
       Value v;
-      if (!DecodeValue(data, size, &offset, &v)) return false;
+      if (!DecodeValue(data, size, offset, &v)) return false;
       row.push_back(std::move(v));
     }
     rows->push_back(std::move(row));
   }
-  return offset == size;
+  return *offset == size;
+}
+
+}  // namespace
+
+bool DecodeMaterialisation(const std::string& payload,
+                           std::vector<std::string>* columns,
+                           std::vector<Tuple>* rows) {
+  size_t offset = 0;
+  return DecodeMaterialisationBody(payload.data(), payload.size(), &offset,
+                                   columns, rows);
+}
+
+std::string EncodeMaterialisationWithDescriptor(
+    const std::string& base_key, const std::string& descriptor,
+    const std::vector<std::string>& columns, const std::vector<Tuple>& rows) {
+  std::string out;
+  PutLengthPrefixed(&out, base_key);
+  PutLengthPrefixed(&out, descriptor);
+  out.append(EncodeMaterialisation(columns, rows));
+  return out;
+}
+
+bool DecodeMaterialisationWithDescriptor(const std::string& payload,
+                                         std::string* base_key,
+                                         std::string* descriptor,
+                                         std::vector<std::string>* columns,
+                                         std::vector<Tuple>* rows) {
+  size_t offset = 0;
+  if (!GetLengthPrefixed(payload.data(), payload.size(), &offset, base_key)) {
+    return false;
+  }
+  if (!GetLengthPrefixed(payload.data(), payload.size(), &offset,
+                         descriptor)) {
+    return false;
+  }
+  return DecodeMaterialisationBody(payload.data(), payload.size(), &offset,
+                                   columns, rows);
 }
 
 std::string PromptKey(const std::string& model, const std::string& text) {

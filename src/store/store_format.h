@@ -60,12 +60,23 @@ constexpr size_t kFrameHeaderSize = 24;
 
 /// What a record holds. Values are stable on-disk identifiers.
 enum class RecordType : uint8_t {
-  kMaterialisation = 1,  // key = fingerprint, payload = columns + rows
+  kMaterialisation = 1,  // key = store key, payload = columns + rows
   kPrompt = 2,           // key = model \x1f prompt text, payload = completion
   kErase = 3,            // key = live-index key; drops one earlier record
   kClearMaterialisations = 4,  // no key; drops all earlier kMaterialisation
   kClearPrompts = 5,           // no key; drops all earlier kPrompt
 };
+
+/// Frame flags (header byte 5; covered by the head CRC, so they are as
+/// tamper-evident as the type byte). Per-type meaning.
+///
+/// kMaterialisation: the payload opens with the entry's (base key,
+/// predicate descriptor) pair ahead of the v1 columns+rows body, so a
+/// warm start can rebuild the structured cache key instead of only the
+/// opaque store key. Records without the flag (written before predicate
+/// subsumption existed) still replay, but surface with empty base and
+/// descriptor — readers decide whether such entries are still usable.
+constexpr uint8_t kMaterialisationFlagHasDescriptor = 1;
 
 /// CRC-32 (IEEE 802.3, the polynomial every pager/journal uses), table
 /// driven. `seed` chains incremental computation.
@@ -93,9 +104,10 @@ std::string EncodeFileHeader();
 bool CheckFileHeader(const char* data, size_t size);
 
 /// One full record frame (header + key + payload), ready for a single
-/// atomic Append.
+/// atomic Append. `flags` lands in header byte 5 (see the per-type flag
+/// constants above); the head CRC covers it.
 std::string EncodeFrame(RecordType type, const std::string& key,
-                        const std::string& payload);
+                        const std::string& payload, uint8_t flags = 0);
 
 /// Outcome of parsing the frame at one offset during the recovery scan.
 enum class FrameStatus {
@@ -108,6 +120,7 @@ enum class FrameStatus {
 struct FrameResult {
   FrameStatus status = FrameStatus::kTornTail;
   RecordType type = RecordType::kMaterialisation;
+  uint8_t flags = 0;
   std::string key;
   std::string payload;
   /// Offset of the next frame (valid for kOk and kBadBody).
@@ -131,6 +144,18 @@ std::string EncodeMaterialisation(const std::vector<std::string>& columns,
 bool DecodeMaterialisation(const std::string& payload,
                            std::vector<std::string>* columns,
                            std::vector<Tuple>* rows);
+
+/// Descriptor-carrying materialisation payload (frame flag
+/// kMaterialisationFlagHasDescriptor): length-prefixed base key and
+/// predicate-descriptor bytes, then the exact v1 columns+rows body.
+std::string EncodeMaterialisationWithDescriptor(
+    const std::string& base_key, const std::string& descriptor,
+    const std::vector<std::string>& columns, const std::vector<Tuple>& rows);
+bool DecodeMaterialisationWithDescriptor(const std::string& payload,
+                                         std::string* base_key,
+                                         std::string* descriptor,
+                                         std::vector<std::string>* columns,
+                                         std::vector<Tuple>* rows);
 
 /// Prompt records: key = model name + '\x1f' + prompt text (the model
 /// name may not contain '\x1f'); payload = the completion text, raw.

@@ -99,10 +99,12 @@ void WriteFile(const std::string& path, const std::string& bytes) {
 /// All live materialisations as fingerprint -> encoded rows.
 std::map<std::string, std::string> Materialisations(ResultStore* store) {
   std::map<std::string, std::string> out;
-  store->ForEachMaterialisation([&out](const std::string& fingerprint,
+  store->ForEachMaterialisation([&out](const std::string& store_key,
+                                       const std::string&,
+                                       const std::string&,
                                        const std::vector<std::string>&,
                                        const std::vector<Tuple>& rows) {
-    out[fingerprint] = EncodeRows(rows);
+    out[store_key] = EncodeRows(rows);
   });
   return out;
 }
@@ -491,6 +493,66 @@ TEST(StoreRecoveryTest, CrashedVacuumLeavesOldJournalAuthoritative) {
   // Reopen: the orphan temp is garbage, the old journal has everything.
   auto reopened = MustOpen(Opts(dir));
   EXPECT_EQ(Materialisations(reopened.get()), before);
+}
+
+/// All live materialisations as store key -> (base key, descriptor).
+std::map<std::string, std::pair<std::string, std::string>> Descriptors(
+    ResultStore* store) {
+  std::map<std::string, std::pair<std::string, std::string>> out;
+  store->ForEachMaterialisation([&out](const std::string& store_key,
+                                       const std::string& base_key,
+                                       const std::string& descriptor,
+                                       const std::vector<std::string>&,
+                                       const std::vector<Tuple>& rows) {
+    out[store_key] = {base_key, descriptor};
+  });
+  return out;
+}
+
+TEST(StoreRecoveryTest, DescriptorRecordsRoundTripAcrossReopen) {
+  // v2 materialisation records carry the cache's base key and predicate
+  // descriptor so subsumption survives a restart; records written
+  // without them (the v1 shape) surface with both fields empty.
+  const std::string dir = StoreDir("descriptor_roundtrip");
+  const std::string base = "table:country|model:GPT-3.5-turbo";
+  const std::string desc = std::string("D1\x00\x03pop", 7);  // binary-safe
+  {
+    auto store = MustOpen(Opts(dir));
+    ASSERT_TRUE(store->PutMaterialisation("with", SomeColumns(), SomeRows(1),
+                                          base, desc)
+                    .ok());
+    ASSERT_TRUE(
+        store->PutMaterialisation("legacy", SomeColumns(), SomeRows(2)).ok());
+  }
+  auto reopened = MustOpen(Opts(dir));
+  auto descs = Descriptors(reopened.get());
+  ASSERT_EQ(descs.size(), 2u);
+  EXPECT_EQ(descs["with"], std::make_pair(base, desc));
+  EXPECT_EQ(descs["legacy"], std::make_pair(std::string(), std::string()));
+  // Row payloads are unaffected by the record version.
+  auto mats = Materialisations(reopened.get());
+  EXPECT_EQ(mats["with"], EncodeRows(SomeRows(1)));
+  EXPECT_EQ(mats["legacy"], EncodeRows(SomeRows(2)));
+}
+
+TEST(StoreRecoveryTest, DescriptorFlagSurvivesVacuum) {
+  // Vacuum copies raw frames; the header flags byte — and with it the
+  // v2 payload interpretation — must survive compaction and reopen.
+  const std::string dir = StoreDir("descriptor_vacuum");
+  auto store = MustOpen(Opts(dir));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store->PutMaterialisation("fp", SomeColumns(), SomeRows(i),
+                                          "base", "desc" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(store->Vacuum().ok());
+  EXPECT_EQ(Descriptors(store.get())["fp"],
+            std::make_pair(std::string("base"), std::string("desc19")));
+  store.reset();
+  auto reopened = MustOpen(Opts(dir));
+  EXPECT_EQ(Descriptors(reopened.get())["fp"],
+            std::make_pair(std::string("base"), std::string("desc19")));
+  EXPECT_EQ(Materialisations(reopened.get())["fp"], EncodeRows(SomeRows(19)));
 }
 
 TEST(StoreRecoveryTest, DurabilityNoneNeverSyncs) {
