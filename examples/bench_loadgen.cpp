@@ -1,0 +1,221 @@
+// bench_loadgen — closed-loop load generator for galoisd.
+//
+// N client threads, each with its own GaloisClient connection, replay
+// the builtin 46-query workload round-robin against a running daemon
+// and report throughput + latency percentiles, then scrape the server's
+// own stats endpoint so client-side and server-side numbers can be
+// compared in one place.
+//
+//   galoisd --port 4547 &
+//   example_bench_loadgen --port 4547 --threads 4 --duration-s 10
+//
+// --target-qps paces an open-ish loop (each thread sleeps to its share
+// of the target rate); 0 means closed-loop (fire as fast as responses
+// come back).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "knowledge/workload.h"
+#include "net/galois_client.h"
+
+namespace {
+
+struct WorkerReport {
+  std::vector<double> latencies_ms;
+  int64_t ok = 0;
+  int64_t errors = 0;
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s --port PORT [options]\n"
+      "\n"
+      "  --host HOST        daemon address (default 127.0.0.1)\n"
+      "  --port PORT        daemon port (required to run)\n"
+      "  --threads N        client threads, one connection each (default 4)\n"
+      "  --duration-s S     run time in seconds (default 5)\n"
+      "  --target-qps Q     total paced rate; 0 = closed loop (default 0)\n"
+      "  --deadline-ms MS   per-query deadline sent to the server (default 0)\n"
+      "\n"
+      "Replays the builtin 46-query workload round-robin and reports\n"
+      "client-side latency percentiles plus the daemon's own statistics.\n",
+      argv0);
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int threads = 4;
+  int duration_s = 5;
+  int target_qps = 0;
+  int deadline_ms = 0;
+
+  // CI runs every example with no arguments as a smoke check; usage +
+  // success is the contract there.
+  if (argc <= 1) {
+    PrintUsage(argv[0]);
+    return 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_int = [&]() {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_loadgen: missing value for %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return std::atoi(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port") {
+      port = next_int();
+    } else if (arg == "--threads") {
+      threads = std::max(1, next_int());
+    } else if (arg == "--duration-s") {
+      duration_s = std::max(1, next_int());
+    } else if (arg == "--target-qps") {
+      target_qps = next_int();
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = next_int();
+    } else {
+      std::fprintf(stderr, "bench_loadgen: unknown argument '%s'\n",
+                   arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "bench_loadgen: --port is required\n");
+    return 2;
+  }
+
+  // The same 46 queries the e2e suites replay; every worker walks the
+  // list from a shared cursor so the mix is uniform regardless of
+  // per-thread speed.
+  auto workload = galois::knowledge::SpiderLikeWorkload::Create();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "bench_loadgen: cannot build workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> queries;
+  for (const auto& wq : workload.value().queries()) queries.push_back(wq.sql);
+  if (queries.empty()) {
+    std::fprintf(stderr, "bench_loadgen: builtin workload is empty\n");
+    return 1;
+  }
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> stop{false};
+  std::vector<WorkerReport> reports(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+
+  const double per_thread_interval_ms =
+      target_qps > 0 ? 1000.0 * threads / target_qps : 0.0;
+
+  auto t_start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      galois::net::ClientOptions copt;
+      copt.host = host;
+      copt.port = port;
+      auto client = galois::net::GaloisClient::Connect(copt);
+      if (!client.ok()) {
+        std::fprintf(stderr, "bench_loadgen: worker %d connect failed: %s\n",
+                     t, client.status().ToString().c_str());
+        reports[static_cast<size_t>(t)].errors = 1;
+        return;
+      }
+      auto next_fire = std::chrono::steady_clock::now();
+      while (!stop.load()) {
+        if (per_thread_interval_ms > 0) {
+          std::this_thread::sleep_until(next_fire);
+          next_fire += std::chrono::microseconds(
+              static_cast<int64_t>(per_thread_interval_ms * 1000));
+          if (stop.load()) break;
+        }
+        const std::string& sql =
+            queries[cursor.fetch_add(1) % queries.size()];
+        auto q_start = std::chrono::steady_clock::now();
+        auto result = client.value().Query(sql, deadline_ms);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - q_start)
+                        .count();
+        WorkerReport& report = reports[static_cast<size_t>(t)];
+        if (result.ok()) {
+          ++report.ok;
+          report.latencies_ms.push_back(ms);
+        } else {
+          ++report.errors;
+          if (!client.value().connected()) return;  // daemon gone
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  double elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t_start)
+                         .count();
+
+  int64_t ok = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const WorkerReport& r : reports) {
+    ok += r.ok;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::printf("bench_loadgen: %d threads, %.1fs%s\n", threads, elapsed_s,
+              target_qps > 0 ? (" @ " + std::to_string(target_qps) + " qps target").c_str()
+                             : " closed-loop");
+  std::printf("  ok         %lld\n", static_cast<long long>(ok));
+  std::printf("  errors     %lld\n", static_cast<long long>(errors));
+  std::printf("  throughput %.1f qps\n",
+              elapsed_s > 0 ? static_cast<double>(ok) / elapsed_s : 0.0);
+  if (!latencies.empty()) {
+    std::printf("  p50        %.2f ms\n", Percentile(latencies, 0.50));
+    std::printf("  p90        %.2f ms\n", Percentile(latencies, 0.90));
+    std::printf("  p99        %.2f ms\n", Percentile(latencies, 0.99));
+    std::printf("  max        %.2f ms\n", latencies.back());
+  }
+
+  // Server-side view of the same burst.
+  galois::net::ClientOptions sopt;
+  sopt.host = host;
+  sopt.port = port;
+  auto stats_client = galois::net::GaloisClient::Connect(sopt);
+  if (stats_client.ok()) {
+    auto stats = stats_client.value().Stats();
+    if (stats.ok()) {
+      std::printf("\n%s", stats.value().ToString().c_str());
+    }
+  }
+
+  return ok > 0 ? 0 : 1;
+}

@@ -54,6 +54,15 @@ const Json& Json::at(size_t i) const {
   return array_[i];
 }
 
+std::vector<std::string> Json::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(object_.size());
+  for (const auto& [k, v] : object_) {
+    keys.push_back(k);
+  }
+  return keys;
+}
+
 bool Json::Has(const std::string& key) const {
   for (const auto& [k, v] : object_) {
     if (k == key) return true;

@@ -57,6 +57,11 @@ class Json {
   const Json& operator[](const std::string& key) const;
   void Set(const std::string& key, Json v);
 
+  /// Keys of an object, in insertion order; empty for non-objects. Lets
+  /// decoders walk maps with dynamic keys (per-backend spend slices in
+  /// the galoisd wire protocol) without a parallel key list.
+  std::vector<std::string> Keys() const;
+
   /// Convenience typed getters with defaults, for tolerant decoding.
   std::string GetString(const std::string& key,
                         const std::string& fallback = "") const;

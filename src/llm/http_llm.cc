@@ -1,22 +1,12 @@
 #include "llm/http_llm.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/json.h"
-#include "common/strings.h"
 #include "llm/prompt_json.h"
+#include "net/http.h"
+#include "net/socket.h"
 
 namespace galois::llm {
 
@@ -25,76 +15,7 @@ namespace {
 constexpr char kRetryableMarker[] = " [retryable]";
 constexpr char kRetryAfterPrefix[] = " [retry-after-ms=";
 
-int64_t NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// RAII file descriptor.
-class Fd {
- public:
-  explicit Fd(int fd = -1) : fd_(fd) {}
-  ~Fd() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  Fd(const Fd&) = delete;
-  Fd& operator=(const Fd&) = delete;
-  Fd(Fd&& other) : fd_(other.release()) {}
-  Fd& operator=(Fd&& other) {
-    if (this != &other) {
-      if (fd_ >= 0) ::close(fd_);
-      fd_ = other.release();
-    }
-    return *this;
-  }
-  int get() const { return fd_; }
-  int release() {
-    int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
-
- private:
-  int fd_;
-};
-
-/// Waits until `fd` is ready for the poll `events` or `deadline_ms`
-/// passes. Returns false on timeout.
-bool WaitReady(int fd, short events, int64_t deadline_ms) {
-  while (true) {
-    int64_t remaining = deadline_ms - NowMs();
-    if (remaining <= 0) return false;
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = events;
-    pfd.revents = 0;
-    int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
-    if (rc > 0) return true;
-    if (rc == 0) return false;
-    if (errno != EINTR) return false;
-  }
-}
-
-/// Case-insensitive header lookup over a raw header block; returns the
-/// trimmed value of the first match.
-bool FindHeader(const std::string& headers, const std::string& name,
-                std::string* value) {
-  size_t pos = 0;
-  while (pos < headers.size()) {
-    size_t eol = headers.find("\r\n", pos);
-    if (eol == std::string::npos) eol = headers.size();
-    std::string line = headers.substr(pos, eol - pos);
-    size_t colon = line.find(':');
-    if (colon != std::string::npos &&
-        EqualsIgnoreCase(Trim(line.substr(0, colon)), name)) {
-      *value = Trim(line.substr(colon + 1));
-      return true;
-    }
-    pos = eol + 2;
-  }
-  return false;
-}
+using net::NowMs;
 
 }  // namespace
 
@@ -131,152 +52,58 @@ HttpLlm::HttpLlm(HttpLlmOptions options)
 
 Result<HttpLlm::HttpResponse> HttpLlm::PostJson(
     const std::string& path, const std::string& body) const {
-  const std::string where =
-      options_.host + ":" + std::to_string(options_.port) + path;
+  const std::string port_str = std::to_string(options_.port);
+  const std::string where = options_.host + ":" + port_str + path;
   const int64_t io_deadline = NowMs() + options_.io_timeout_ms;
 
   // Resolve + connect with its own (shorter) budget. Connection failures
   // are retryable: the server may be restarting behind a balancer.
-  struct addrinfo hints;
-  std::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  struct addrinfo* addrs = nullptr;
-  const std::string port_str = std::to_string(options_.port);
-  int rc = ::getaddrinfo(options_.host.c_str(), port_str.c_str(), &hints,
-                         &addrs);
-  if (rc != 0 || addrs == nullptr) {
-    return MarkRetryable(
-        Status::LlmError("http: cannot resolve " + where));
-  }
-
-  // Try every resolved address (getaddrinfo with AF_UNSPEC may order
-  // ::1 before 127.0.0.1; an IPv4-only server must still be reachable).
-  const int64_t connect_deadline = NowMs() + options_.connect_timeout_ms;
-  Fd fd;
-  std::string connect_error = "no addresses resolved";
-  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
-    Fd candidate(::socket(ai->ai_family, SOCK_STREAM, 0));
-    if (candidate.get() < 0) {
-      connect_error = "socket() failed";
-      continue;
-    }
-    ::fcntl(candidate.get(), F_SETFL, O_NONBLOCK);
-    rc = ::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen);
-    if (rc != 0 && errno != EINPROGRESS) {
-      connect_error = std::strerror(errno);
-      continue;
-    }
-    if (rc != 0) {
-      if (!WaitReady(candidate.get(), POLLOUT, connect_deadline)) {
-        connect_error = "timed out";
-        continue;
-      }
-      int err = 0;
-      socklen_t len = sizeof(err);
-      ::getsockopt(candidate.get(), SOL_SOCKET, SO_ERROR, &err, &len);
-      if (err != 0) {
-        connect_error = std::strerror(err);
-        continue;
-      }
-    }
-    fd = Fd(candidate.release());
-    break;
-  }
-  ::freeaddrinfo(addrs);
-  if (fd.get() < 0) {
+  Result<net::Fd> connected =
+      net::ConnectTcp(options_.host, options_.port, options_.connect_timeout_ms);
+  if (!connected.ok()) {
     return MarkRetryable(Status::LlmError(
-        "http: connect to " + where + " failed: " + connect_error));
+        "http: connect to " + where + " failed: " +
+        connected.status().message()));
   }
+  net::Fd fd = std::move(connected).value();
 
   // Request. Connection: close keeps the protocol read-to-EOF simple and
   // makes each round trip independent under concurrent dispatch.
-  std::string request = "POST " + path + " HTTP/1.1\r\n" +
-                        "Host: " + options_.host + ":" + port_str + "\r\n" +
-                        "Content-Type: application/json\r\n" +
-                        "Content-Length: " + std::to_string(body.size()) +
-                        "\r\n" + "Connection: close\r\n\r\n" + body;
-  size_t sent = 0;
-  while (sent < request.size()) {
-    if (!WaitReady(fd.get(), POLLOUT, io_deadline)) {
-      return MarkRetryable(
-          Status::LlmError("http: send to " + where + " timed out"));
-    }
-    ssize_t n = ::send(fd.get(), request.data() + sent, request.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
-      return MarkRetryable(Status::LlmError(
-          "http: send to " + where + " failed: " + std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(n);
+  const std::string request = net::BuildHttpPost(
+      options_.host + ":" + port_str, path, body);
+  Status sent = net::SendAll(fd.get(), request, io_deadline);
+  if (!sent.ok()) {
+    return MarkRetryable(Status::LlmError("http: send to " + where +
+                                          " failed: " + sent.message()));
   }
 
-  // Read the full response (headers, then Content-Length bytes or EOF).
-  std::string raw;
-  char buf[4096];
-  size_t header_end = std::string::npos;
-  int64_t content_length = -1;
-  while (true) {
-    if (header_end != std::string::npos && content_length >= 0 &&
-        raw.size() >= header_end + 4 + static_cast<size_t>(content_length)) {
-      break;
+  // The net layer classifies read failures for us: kIoError is transport
+  // trouble — timeout, connection died before the headers, or a body
+  // truncated at EOF short of Content-Length (the peer died mid-write;
+  // such a short read must surface as a retryable connection fault, never
+  // reach the JSON parser as a "malformed body" decode error). kParseError
+  // is a deterministic protocol violation (garbage status line or
+  // Content-Length) that retries cannot fix.
+  Result<net::HttpResponseMessage> message =
+      net::ReadHttpResponse(fd.get(), io_deadline);
+  if (!message.ok()) {
+    if (message.status().code() == StatusCode::kParseError) {
+      return Status::LlmError("http: protocol violation from " + where + ": " +
+                              message.status().message());
     }
-    if (!WaitReady(fd.get(), POLLIN, io_deadline)) {
-      return MarkRetryable(
-          Status::LlmError("http: read from " + where + " timed out"));
-    }
-    ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
-      return MarkRetryable(Status::LlmError(
-          "http: read from " + where + " failed: " + std::strerror(errno)));
-    }
-    if (n == 0) break;  // EOF
-    raw.append(buf, static_cast<size_t>(n));
-    if (header_end == std::string::npos) {
-      header_end = raw.find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        std::string cl;
-        if (FindHeader(raw.substr(0, header_end), "Content-Length", &cl)) {
-          content_length = std::strtoll(cl.c_str(), nullptr, 10);
-        }
-      }
-    }
-  }
-  if (header_end == std::string::npos) {
-    return MarkRetryable(Status::LlmError(
-        "http: connection to " + where + " closed before headers"));
+    return MarkRetryable(Status::LlmError("http: " + where + ": " +
+                                          message.status().message()));
   }
 
-  const std::string headers = raw.substr(0, header_end);
   HttpResponse resp;
-  resp.body = raw.substr(header_end + 4);
-  if (content_length >= 0 &&
-      resp.body.size() < static_cast<size_t>(content_length)) {
-    // Truncated body: a connection-level fault (the peer died mid-write),
-    // not a decode bug — retryable.
-    return MarkRetryable(Status::LlmError(
-        "http: truncated response from " + where + " (" +
-        std::to_string(resp.body.size()) + " of " +
-        std::to_string(content_length) + " bytes)"));
-  }
-  if (content_length >= 0) {
-    resp.body.resize(static_cast<size_t>(content_length));
-  }
-
-  // "HTTP/1.1 200 OK"
-  size_t sp = headers.find(' ');
-  if (headers.compare(0, 5, "HTTP/") != 0 || sp == std::string::npos) {
-    return MarkRetryable(
-        Status::LlmError("http: malformed status line from " + where));
-  }
-  resp.status_code = std::atoi(headers.c_str() + sp + 1);
-
+  resp.status_code = message.value().status_code;
+  resp.body = std::move(message.value().body);
   std::string retry_after;
-  if (FindHeader(headers, "Retry-After-Ms", &retry_after)) {
+  if (net::FindHeader(message.value().headers, "Retry-After-Ms",
+                      &retry_after)) {
     resp.retry_after_ms = std::strtoll(retry_after.c_str(), nullptr, 10);
-  } else if (FindHeader(headers, "Retry-After", &retry_after)) {
+  } else if (net::FindHeader(message.value().headers, "Retry-After",
+                             &retry_after)) {
     // Standard header is in seconds.
     resp.retry_after_ms = 1000 * std::strtoll(retry_after.c_str(), nullptr, 10);
   }

@@ -1,0 +1,129 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace galois::net {
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery:
+      return "Query";
+    case FrameType::kQueryResult:
+      return "QueryResult";
+    case FrameType::kError:
+      return "Error";
+    case FrameType::kStats:
+      return "Stats";
+    case FrameType::kStatsResult:
+      return "StatsResult";
+    case FrameType::kPing:
+      return "Ping";
+    case FrameType::kPong:
+      return "Pong";
+  }
+  return "?";
+}
+
+namespace {
+
+bool KnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
+         type <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+std::string EncodeFrameHeader(FrameType type, size_t payload_size) {
+  std::string header(kFrameHeaderSize, '\0');
+  std::memcpy(&header[0], kFrameMagic, 4);
+  header[4] = static_cast<char>(kFrameVersion);
+  header[5] = static_cast<char>(type);
+  header[6] = 0;
+  header[7] = 0;
+  const uint32_t len = static_cast<uint32_t>(payload_size);
+  header[8] = static_cast<char>(len & 0xff);
+  header[9] = static_cast<char>((len >> 8) & 0xff);
+  header[10] = static_cast<char>((len >> 16) & 0xff);
+  header[11] = static_cast<char>((len >> 24) & 0xff);
+  return header;
+}
+
+Result<Frame> DecodeFrameHeader(const std::string& header,
+                                int64_t* payload_size) {
+  if (header.size() != kFrameHeaderSize) {
+    return Status::ParseError("frame: header is " +
+                              std::to_string(header.size()) + " bytes, want " +
+                              std::to_string(kFrameHeaderSize));
+  }
+  if (std::memcmp(header.data(), kFrameMagic, 4) != 0) {
+    return Status::ParseError("frame: bad magic (not a galoisd peer?)");
+  }
+  const uint8_t version = static_cast<uint8_t>(header[4]);
+  if (version != kFrameVersion) {
+    return Status::ParseError("frame: unsupported protocol version " +
+                              std::to_string(version));
+  }
+  const uint8_t type = static_cast<uint8_t>(header[5]);
+  if (!KnownFrameType(type)) {
+    return Status::ParseError("frame: unknown frame type " +
+                              std::to_string(type));
+  }
+  if (header[6] != 0 || header[7] != 0) {
+    return Status::ParseError("frame: nonzero reserved bytes");
+  }
+  const uint32_t len = static_cast<uint32_t>(static_cast<uint8_t>(header[8])) |
+                       (static_cast<uint32_t>(static_cast<uint8_t>(header[9]))
+                        << 8) |
+                       (static_cast<uint32_t>(static_cast<uint8_t>(header[10]))
+                        << 16) |
+                       (static_cast<uint32_t>(static_cast<uint8_t>(header[11]))
+                        << 24);
+  if (static_cast<int64_t>(len) > kMaxFramePayload) {
+    return Status::ParseError("frame: payload length " + std::to_string(len) +
+                              " exceeds " + std::to_string(kMaxFramePayload) +
+                              " byte cap");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  *payload_size = static_cast<int64_t>(len);
+  return frame;
+}
+
+Status WriteFrame(int fd, FrameType type, const std::string& payload,
+                  int64_t deadline_ms, const SyscallShim* shim) {
+  if (static_cast<int64_t>(payload.size()) > kMaxFramePayload) {
+    return Status::InvalidArgument("frame: refusing to send " +
+                                   std::to_string(payload.size()) +
+                                   " byte payload");
+  }
+  // One buffer, one send path: header + payload coalesce into the same
+  // socket write stream (small frames go out in one segment).
+  std::string wire = EncodeFrameHeader(type, payload.size());
+  wire += payload;
+  return SendAll(fd, wire, deadline_ms, shim);
+}
+
+Result<Frame> ReadFrame(int fd, int64_t deadline_ms, const SyscallShim* shim) {
+  std::string header;
+  header.reserve(kFrameHeaderSize);
+  // First byte separately: an orderly EOF here is "peer hung up between
+  // requests" (kNotFound), not a truncation fault.
+  char first;
+  GALOIS_ASSIGN_OR_RETURN(size_t n,
+                          RecvSome(fd, &first, 1, deadline_ms, shim));
+  if (n == 0) {
+    return Status::NotFound("frame: connection closed");
+  }
+  header.push_back(first);
+  GALOIS_RETURN_IF_ERROR(RecvExactly(fd, kFrameHeaderSize - 1, &header,
+                                     deadline_ms, shim));
+  int64_t payload_size = 0;
+  GALOIS_ASSIGN_OR_RETURN(Frame frame,
+                          DecodeFrameHeader(header, &payload_size));
+  frame.payload.reserve(static_cast<size_t>(payload_size));
+  GALOIS_RETURN_IF_ERROR(RecvExactly(fd, static_cast<size_t>(payload_size),
+                                     &frame.payload, deadline_ms, shim));
+  return frame;
+}
+
+}  // namespace galois::net

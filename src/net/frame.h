@@ -1,0 +1,75 @@
+#ifndef GALOIS_NET_FRAME_H_
+#define GALOIS_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace galois::net {
+
+/// The galoisd wire protocol's outer layer: length-prefixed frames.
+///
+///   offset  size  field
+///   0       4     magic   "GALP"
+///   4       1     version (kFrameVersion)
+///   5       1     type    (FrameType)
+///   6       2     reserved (must be 0)
+///   8       4     payload length, little-endian
+///   12      N     payload (JSON text; see net/protocol.h)
+///
+/// Deliberately boring: fixed header, explicit length, no continuation
+/// or chunking — a daemon protocol should be parseable with a hex dump.
+/// Payloads above kMaxFramePayload are rejected on both sides before any
+/// allocation, so a corrupt or hostile length field cannot balloon
+/// memory.
+
+constexpr char kFrameMagic[4] = {'G', 'A', 'L', 'P'};
+constexpr uint8_t kFrameVersion = 1;
+constexpr size_t kFrameHeaderSize = 12;
+constexpr int64_t kMaxFramePayload = 64 * 1024 * 1024;
+
+enum class FrameType : uint8_t {
+  kQuery = 1,        // client -> server: QueryRequest
+  kQueryResult = 2,  // server -> client: QueryResponse
+  kError = 3,        // server -> client: ErrorResponse
+  kStats = 4,        // client -> server: empty payload
+  kStatsResult = 5,  // server -> client: ServerStats snapshot
+  kPing = 6,         // client -> server: empty payload (liveness probe)
+  kPong = 7,         // server -> client: empty payload
+};
+
+/// Stable display name ("Query", "StatsResult"); "?" for unknown values.
+const char* FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Serialises the 12-byte header (pure function — unit-testable without
+/// a socket).
+std::string EncodeFrameHeader(FrameType type, size_t payload_size);
+
+/// Validates and decodes a 12-byte header. kParseError on bad magic /
+/// version / reserved bits / oversized length (deterministic protocol
+/// violations — the connection should be dropped, not retried).
+Result<Frame> DecodeFrameHeader(const std::string& header,
+                                int64_t* payload_size);
+
+/// Writes one frame (header + payload). kIoError on transport trouble.
+Status WriteFrame(int fd, FrameType type, const std::string& payload,
+                  int64_t deadline_ms, const SyscallShim* shim = nullptr);
+
+/// Reads one full frame. kIoError on timeout or a peer that closed
+/// mid-frame (the message names the byte shortfall); kParseError on a
+/// malformed header. An orderly EOF *before any header byte* is not an
+/// error: it returns kNotFound, which connection loops treat as "the
+/// peer hung up between requests".
+Result<Frame> ReadFrame(int fd, int64_t deadline_ms,
+                        const SyscallShim* shim = nullptr);
+
+}  // namespace galois::net
+
+#endif  // GALOIS_NET_FRAME_H_

@@ -1,0 +1,101 @@
+#include "net/galois_client.h"
+
+#include <utility>
+
+#include "net/frame.h"
+
+namespace galois::net {
+
+Result<GaloisClient> GaloisClient::Connect(ClientOptions options) {
+  GALOIS_ASSIGN_OR_RETURN(
+      Fd fd, ConnectTcp(options.host, options.port, options.connect_timeout_ms));
+  return GaloisClient(std::move(options), std::move(fd));
+}
+
+Result<Frame> GaloisClient::RoundTrip(FrameType type,
+                                      const std::string& payload,
+                                      int64_t extra_deadline_ms) {
+  if (!fd_.valid()) {
+    return Status::IoError("galois_client: not connected");
+  }
+  int64_t write_deadline = NowMs() + options_.io_timeout_ms;
+  Status sent = WriteFrame(fd_.get(), type, payload, write_deadline);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  int64_t read_deadline =
+      NowMs() + options_.io_timeout_ms + extra_deadline_ms;
+  Result<Frame> reply = ReadFrame(fd_.get(), read_deadline);
+  if (!reply.ok()) {
+    Close();
+    if (reply.status().code() == StatusCode::kNotFound) {
+      // Orderly EOF where a response was owed — e.g. the daemon drained
+      // and closed. Surface as a transport fault, not "not found".
+      return Status::IoError(
+          "galois_client: server closed the connection before responding");
+    }
+    return reply.status();
+  }
+  return reply;
+}
+
+Result<QueryResult> GaloisClient::Query(const std::string& sql,
+                                        int64_t deadline_ms) {
+  QueryRequest request;
+  request.sql = sql;
+  request.deadline_ms = deadline_ms;
+  GALOIS_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(FrameType::kQuery,
+                             QueryRequestToJson(request).Dump(), deadline_ms));
+  if (reply.type == FrameType::kError) {
+    GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
+    Status s = StatusFromJson(j);
+    if (s.ok()) {
+      return Status::ParseError("galois_client: error frame carried OK status");
+    }
+    return s;
+  }
+  if (reply.type != FrameType::kQueryResult) {
+    Close();
+    return Status::ParseError(
+        std::string("galois_client: expected QueryResult, got ") +
+        FrameTypeName(reply.type));
+  }
+  GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
+  return QueryResultFromJson(j);
+}
+
+Result<ServerStats> GaloisClient::Stats() {
+  GALOIS_ASSIGN_OR_RETURN(Frame reply,
+                          RoundTrip(FrameType::kStats, "", 0));
+  if (reply.type == FrameType::kError) {
+    GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
+    Status s = StatusFromJson(j);
+    if (s.ok()) {
+      return Status::ParseError("galois_client: error frame carried OK status");
+    }
+    return s;
+  }
+  if (reply.type != FrameType::kStatsResult) {
+    Close();
+    return Status::ParseError(
+        std::string("galois_client: expected StatsResult, got ") +
+        FrameTypeName(reply.type));
+  }
+  GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
+  return ServerStatsFromJson(j);
+}
+
+Status GaloisClient::Ping() {
+  GALOIS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kPing, "", 0));
+  if (reply.type != FrameType::kPong) {
+    Close();
+    return Status::ParseError(
+        std::string("galois_client: expected Pong, got ") +
+        FrameTypeName(reply.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace galois::net

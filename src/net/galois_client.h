@@ -1,0 +1,78 @@
+#ifndef GALOIS_NET_GALOIS_CLIENT_H_
+#define GALOIS_NET_GALOIS_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "api/database.h"
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace galois::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int64_t connect_timeout_ms = 2000;
+  /// Transport budget per call, *on top of* the query's own deadline: a
+  /// query given 30s to run gets io_timeout_ms + 30s before the client
+  /// declares the connection dead.
+  int64_t io_timeout_ms = 10000;
+};
+
+/// Thin client for the galoisd frame protocol: one persistent TCP
+/// connection, blocking request/response calls. Mirrors the Session API
+/// shape — Query(sql) returns the same QueryResult value the in-process
+/// facade would (see the fidelity contract in net/protocol.h).
+///
+/// Error classification: transport trouble (connect refused, daemon
+/// vanished, timeout) is kIoError and poisons the connection — further
+/// calls fail fast until the caller reconnects. Server-reported failures
+/// arrive as their original Status (code + message, retryable marker
+/// preserved), and the connection stays usable.
+///
+/// Not thread-safe: one GaloisClient per thread (the daemon is built for
+/// many connections; the bench loadgen opens one per worker).
+class GaloisClient {
+ public:
+  /// Connects; kIoError when the daemon is unreachable.
+  static Result<GaloisClient> Connect(ClientOptions options);
+
+  GaloisClient(GaloisClient&&) = default;
+  GaloisClient& operator=(GaloisClient&&) = default;
+  GaloisClient(const GaloisClient&) = delete;
+  GaloisClient& operator=(const GaloisClient&) = delete;
+
+  /// Executes `sql` remotely. `deadline_ms` (0 = none) travels to the
+  /// server, which arms it on the query's CancelToken — cancellation
+  /// happens where the work is, not by abandoning the connection.
+  Result<QueryResult> Query(const std::string& sql, int64_t deadline_ms = 0);
+
+  /// Live daemon statistics.
+  Result<ServerStats> Stats();
+
+  /// Liveness probe (kPing/kPong round trip).
+  Status Ping();
+
+  /// Closes the connection; subsequent calls fail with kIoError.
+  void Close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit GaloisClient(ClientOptions options, Fd fd)
+      : options_(std::move(options)), fd_(std::move(fd)) {}
+
+  /// One request/response exchange; poisons the connection on transport
+  /// errors. `extra_deadline_ms` widens the read budget (query runtime).
+  Result<Frame> RoundTrip(FrameType type, const std::string& payload,
+                          int64_t extra_deadline_ms);
+
+  ClientOptions options_;
+  Fd fd_;
+};
+
+}  // namespace galois::net
+
+#endif  // GALOIS_NET_GALOIS_CLIENT_H_

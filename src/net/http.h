@@ -1,0 +1,90 @@
+#ifndef GALOIS_NET_HTTP_H_
+#define GALOIS_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace galois::net {
+
+/// Minimal HTTP/1.1 message layer shared by the client (llm/http_llm.cc)
+/// and server (tests/fake_llm_server.cc) sides, so the framing rules —
+/// \r\n\r\n header split, validated Content-Length, truncation-at-EOF
+/// detection — exist once and cannot drift between the two.
+///
+/// Scope is deliberately tiny: POST-with-body request, status-line
+/// response, Content-Length framing (or read-to-EOF with Connection:
+/// close), no chunked encoding, no TLS (a proxy's job in this build).
+
+/// Case-insensitive header lookup over a raw "Name: value\r\n..." block;
+/// returns the trimmed value of the first match.
+bool FindHeader(const std::string& headers, const std::string& name,
+                std::string* value);
+
+/// Upper bound on a message body this layer will buffer (64 MiB): both a
+/// Content-Length validation cap and a runaway-read guard.
+constexpr int64_t kMaxHttpBody = 64 * 1024 * 1024;
+
+/// Strictly validates a Content-Length value: optional surrounding
+/// whitespace, then decimal digits only. Rejects empty values, signs,
+/// trailing junk, negatives and values above `max_bytes` with
+/// kParseError — a garbage header must never silently degrade into
+/// read-to-EOF framing (a satellite bugfix; std::strtoll's "garbage
+/// parses as 0 or stops at the first bad char" behaviour did exactly
+/// that).
+Result<int64_t> ParseContentLength(const std::string& value,
+                                   int64_t max_bytes = kMaxHttpBody);
+
+/// One parsed HTTP response.
+struct HttpResponseMessage {
+  int status_code = 0;
+  std::string headers;  // raw header block (after the status line)
+  std::string body;
+};
+
+/// One parsed HTTP request.
+struct HttpRequestMessage {
+  std::string method;
+  std::string path;
+  std::string headers;  // raw header block (after the request line)
+  std::string body;
+};
+
+/// Reads one full HTTP response from `fd` (status line + headers, then
+/// Content-Length bytes, or to-EOF when the header is absent).
+///
+/// Classification contract:
+///  * kIoError   — transport fault: timeout, connection closed before
+///    the headers completed, or closed mid-body short of Content-Length
+///    (a peer dying mid-write is a retryable short read, and must never
+///    reach the JSON parser as a "malformed body" decode error);
+///  * kParseError — the peer deterministically violated the protocol
+///    (malformed status line, invalid Content-Length) — not retryable.
+Result<HttpResponseMessage> ReadHttpResponse(
+    int fd, int64_t deadline_ms, const SyscallShim* shim = nullptr);
+
+/// Reads one full HTTP request from `fd`. Same classification contract
+/// as ReadHttpResponse; a missing Content-Length means an empty body
+/// (requests have no read-to-EOF mode).
+Result<HttpRequestMessage> ReadHttpRequest(
+    int fd, int64_t deadline_ms, const SyscallShim* shim = nullptr);
+
+/// Serialises a response with Content-Type: application/json and
+/// Connection: close. `advertised_length` (when >= 0) deliberately lies
+/// about the body size — the fault-injection hook behind the truncated-
+/// body fault schedule.
+std::string BuildHttpResponse(int code, const std::string& reason,
+                              const std::string& body,
+                              const std::string& extra_headers = "",
+                              int64_t advertised_length = -1);
+
+/// Serialises a POST request with Content-Type: application/json and
+/// Connection: close.
+std::string BuildHttpPost(const std::string& host_header,
+                          const std::string& path, const std::string& body);
+
+}  // namespace galois::net
+
+#endif  // GALOIS_NET_HTTP_H_

@@ -1,0 +1,357 @@
+#include "net/protocol.h"
+
+#include <cstdio>
+
+#include "llm/http_llm.h"
+#include "llm/prompt_json.h"
+
+namespace galois::net {
+
+namespace {
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  if (name == "NULL") return DataType::kNull;
+  if (name == "BOOL") return DataType::kBool;
+  if (name == "INT") return DataType::kInt64;
+  if (name == "DOUBLE") return DataType::kDouble;
+  if (name == "VARCHAR") return DataType::kString;
+  if (name == "DATE") return DataType::kDate;
+  return Status::ParseError("wire: unknown column type \"" + name + "\"");
+}
+
+Json ModelUsageToJson(const llm::ModelUsage& usage) {
+  Json j = Json::Object();
+  j.Set("num_prompts", Json::Number(usage.num_prompts));
+  j.Set("prompt_tokens", Json::Number(usage.prompt_tokens));
+  j.Set("completion_tokens", Json::Number(usage.completion_tokens));
+  j.Set("simulated_latency_ms", Json::Number(usage.simulated_latency_ms));
+  j.Set("num_batches", Json::Number(usage.num_batches));
+  return j;
+}
+
+llm::ModelUsage ModelUsageFromJson(const Json& j) {
+  llm::ModelUsage usage;
+  usage.num_prompts = j.GetInt("num_prompts");
+  usage.prompt_tokens = j.GetInt("prompt_tokens");
+  usage.completion_tokens = j.GetInt("completion_tokens");
+  usage.simulated_latency_ms = j.GetNumber("simulated_latency_ms");
+  usage.num_batches = j.GetInt("num_batches");
+  return usage;
+}
+
+}  // namespace
+
+Json RelationToJson(const Relation& relation) {
+  Json columns = Json::Array();
+  for (const Column& column : relation.schema().columns()) {
+    Json c = Json::Object();
+    c.Set("name", Json::String(column.name));
+    c.Set("type", Json::String(DataTypeName(column.type)));
+    if (!column.table.empty()) c.Set("table", Json::String(column.table));
+    columns.Append(std::move(c));
+  }
+  Json rows = Json::Array();
+  for (const Tuple& tuple : relation.rows()) {
+    Json row = Json::Array();
+    for (const Value& value : tuple) {
+      row.Append(llm::ValueToJson(value));
+    }
+    rows.Append(std::move(row));
+  }
+  Json j = Json::Object();
+  j.Set("columns", std::move(columns));
+  j.Set("rows", std::move(rows));
+  return j;
+}
+
+Result<Relation> RelationFromJson(const Json& j) {
+  if (!j.is_object() || !j["columns"].is_array() || !j["rows"].is_array()) {
+    return Status::ParseError("wire: malformed relation payload");
+  }
+  Schema schema;
+  const Json& columns = j["columns"];
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const Json& c = columns.at(i);
+    if (!c.is_object() || !c["name"].is_string()) {
+      return Status::ParseError("wire: malformed relation column");
+    }
+    GALOIS_ASSIGN_OR_RETURN(DataType type,
+                            DataTypeFromName(c.GetString("type")));
+    schema.AddColumn(Column(c.GetString("name"), type, c.GetString("table")));
+  }
+  Relation relation(std::move(schema));
+  const Json& rows = j["rows"];
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const Json& row = rows.at(r);
+    if (!row.is_array() || row.size() != relation.schema().size()) {
+      return Status::ParseError("wire: relation row " + std::to_string(r) +
+                                " arity mismatch");
+    }
+    Tuple tuple;
+    tuple.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      GALOIS_ASSIGN_OR_RETURN(Value value, llm::ValueFromJson(row.at(c)));
+      tuple.push_back(std::move(value));
+    }
+    relation.AddRowUnchecked(std::move(tuple));
+  }
+  return relation;
+}
+
+Json CostMeterToJson(const llm::CostMeter& meter) {
+  Json j = Json::Object();
+  j.Set("num_prompts", Json::Number(meter.num_prompts));
+  j.Set("prompt_tokens", Json::Number(meter.prompt_tokens));
+  j.Set("completion_tokens", Json::Number(meter.completion_tokens));
+  j.Set("simulated_latency_ms", Json::Number(meter.simulated_latency_ms));
+  j.Set("cache_hits", Json::Number(meter.cache_hits));
+  j.Set("store_hits", Json::Number(meter.store_hits));
+  j.Set("num_batches", Json::Number(meter.num_batches));
+  Json by_model = Json::Object();
+  for (const auto& [name, usage] : meter.by_model) {
+    by_model.Set(name, ModelUsageToJson(usage));
+  }
+  j.Set("by_model", std::move(by_model));
+  return j;
+}
+
+Result<llm::CostMeter> CostMeterFromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::ParseError("wire: malformed cost meter payload");
+  }
+  llm::CostMeter meter;
+  meter.num_prompts = j.GetInt("num_prompts");
+  meter.prompt_tokens = j.GetInt("prompt_tokens");
+  meter.completion_tokens = j.GetInt("completion_tokens");
+  meter.simulated_latency_ms = j.GetNumber("simulated_latency_ms");
+  meter.cache_hits = j.GetInt("cache_hits");
+  meter.store_hits = j.GetInt("store_hits");
+  meter.num_batches = j.GetInt("num_batches");
+  // Iterate the object's keys via Dump-free access: by_model is an
+  // object of name -> usage.
+  const Json& by_model = j["by_model"];
+  if (by_model.is_object()) {
+    for (const std::string& name : by_model.Keys()) {
+      meter.by_model[name] = ModelUsageFromJson(by_model[name]);
+    }
+  }
+  return meter;
+}
+
+Json QueryRequestToJson(const QueryRequest& request) {
+  Json j = Json::Object();
+  j.Set("sql", Json::String(request.sql));
+  if (request.deadline_ms > 0) {
+    j.Set("deadline_ms", Json::Number(request.deadline_ms));
+  }
+  return j;
+}
+
+Result<QueryRequest> QueryRequestFromJson(const Json& j) {
+  if (!j.is_object() || !j["sql"].is_string()) {
+    return Status::ParseError("wire: query request lacks sql");
+  }
+  QueryRequest request;
+  request.sql = j.GetString("sql");
+  request.deadline_ms = j.GetInt("deadline_ms", 0);
+  if (request.deadline_ms < 0) {
+    return Status::ParseError("wire: negative deadline_ms");
+  }
+  return request;
+}
+
+Json QueryResultToJson(const QueryResult& result) {
+  Json j = Json::Object();
+  j.Set("relation", RelationToJson(result.relation));
+  j.Set("cost", CostMeterToJson(result.cost));
+  j.Set("table_cache_lookups", Json::Number(result.table_cache_lookups));
+  j.Set("table_cache_hits", Json::Number(result.table_cache_hits));
+  j.Set("table_cache_exact_hits", Json::Number(result.table_cache_exact_hits));
+  j.Set("table_cache_subsumption_hits",
+        Json::Number(result.table_cache_subsumption_hits));
+  j.Set("table_cache_store_hits",
+        Json::Number(result.table_cache_store_hits));
+  j.Set("scan_pages_prefetched", Json::Number(result.scan_pages_prefetched));
+  j.Set("scan_pages_overfetched",
+        Json::Number(result.scan_pages_overfetched));
+  j.Set("wall_ms", Json::Number(result.wall_ms));
+  if (!result.physical_plan.empty()) {
+    j.Set("physical_plan", Json::String(result.physical_plan));
+  }
+  return j;
+}
+
+Result<QueryResult> QueryResultFromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::ParseError("wire: malformed query result payload");
+  }
+  QueryResult result;
+  GALOIS_ASSIGN_OR_RETURN(result.relation, RelationFromJson(j["relation"]));
+  GALOIS_ASSIGN_OR_RETURN(result.cost, CostMeterFromJson(j["cost"]));
+  result.table_cache_lookups = j.GetInt("table_cache_lookups");
+  result.table_cache_hits = j.GetInt("table_cache_hits");
+  result.table_cache_exact_hits = j.GetInt("table_cache_exact_hits");
+  result.table_cache_subsumption_hits =
+      j.GetInt("table_cache_subsumption_hits");
+  result.table_cache_store_hits = j.GetInt("table_cache_store_hits");
+  result.scan_pages_prefetched = j.GetInt("scan_pages_prefetched");
+  result.scan_pages_overfetched = j.GetInt("scan_pages_overfetched");
+  result.wall_ms = j.GetNumber("wall_ms");
+  result.physical_plan = j.GetString("physical_plan");
+  return result;
+}
+
+Json StatusToJson(const Status& status, bool retryable) {
+  Json j = Json::Object();
+  j.Set("code", Json::Number(static_cast<int64_t>(status.code())));
+  j.Set("code_name", Json::String(StatusCodeName(status.code())));
+  j.Set("message", Json::String(status.message()));
+  j.Set("retryable", Json::Bool(retryable));
+  return j;
+}
+
+Status StatusFromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::Internal("wire: malformed error payload");
+  }
+  const int64_t code = j.GetInt("code", -1);
+  if (code < 0 || code > static_cast<int64_t>(StatusCode::kIoError)) {
+    return Status::Internal("wire: error payload with unknown code " +
+                            std::to_string(code) + ": " +
+                            j.GetString("message"));
+  }
+  Status status(static_cast<StatusCode>(code), j.GetString("message"));
+  if (j.GetBool("retryable")) {
+    status = llm::MarkRetryable(std::move(status));
+  }
+  return status;
+}
+
+Json ServerStatsToJson(const ServerStats& stats) {
+  Json j = Json::Object();
+  j.Set("uptime_ms", Json::Number(stats.uptime_ms));
+  j.Set("draining", Json::Bool(stats.draining));
+  j.Set("connections_accepted", Json::Number(stats.connections_accepted));
+  j.Set("connections_active", Json::Number(stats.connections_active));
+  j.Set("queries_started", Json::Number(stats.queries_started));
+  j.Set("queries_ok", Json::Number(stats.queries_ok));
+  j.Set("queries_error", Json::Number(stats.queries_error));
+  j.Set("queries_rejected", Json::Number(stats.queries_rejected));
+  j.Set("responses_unsent", Json::Number(stats.responses_unsent));
+  j.Set("in_flight", Json::Number(stats.in_flight));
+  j.Set("queued", Json::Number(stats.queued));
+  j.Set("total_wall_ms", Json::Number(stats.total_wall_ms));
+  j.Set("max_wall_ms", Json::Number(stats.max_wall_ms));
+  j.Set("queries_per_sec", Json::Number(stats.queries_per_sec));
+  j.Set("table_cache_lookups", Json::Number(stats.table_cache_lookups));
+  j.Set("table_cache_hits", Json::Number(stats.table_cache_hits));
+  j.Set("table_cache_exact_hits",
+        Json::Number(stats.table_cache_exact_hits));
+  j.Set("table_cache_subsumption_hits",
+        Json::Number(stats.table_cache_subsumption_hits));
+  j.Set("table_cache_store_hits",
+        Json::Number(stats.table_cache_store_hits));
+  j.Set("scan_pages_prefetched", Json::Number(stats.scan_pages_prefetched));
+  j.Set("scan_pages_overfetched",
+        Json::Number(stats.scan_pages_overfetched));
+  j.Set("spend", CostMeterToJson(stats.spend));
+  j.Set("store_attached", Json::Bool(stats.store_attached));
+  j.Set("store_file_bytes", Json::Number(stats.store_file_bytes));
+  j.Set("store_live_materialisations",
+        Json::Number(stats.store_live_materialisations));
+  j.Set("store_live_prompts", Json::Number(stats.store_live_prompts));
+  return j;
+}
+
+Result<ServerStats> ServerStatsFromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::ParseError("wire: malformed stats payload");
+  }
+  ServerStats stats;
+  stats.uptime_ms = j.GetInt("uptime_ms");
+  stats.draining = j.GetBool("draining");
+  stats.connections_accepted = j.GetInt("connections_accepted");
+  stats.connections_active = j.GetInt("connections_active");
+  stats.queries_started = j.GetInt("queries_started");
+  stats.queries_ok = j.GetInt("queries_ok");
+  stats.queries_error = j.GetInt("queries_error");
+  stats.queries_rejected = j.GetInt("queries_rejected");
+  stats.responses_unsent = j.GetInt("responses_unsent");
+  stats.in_flight = j.GetInt("in_flight");
+  stats.queued = j.GetInt("queued");
+  stats.total_wall_ms = j.GetNumber("total_wall_ms");
+  stats.max_wall_ms = j.GetNumber("max_wall_ms");
+  stats.queries_per_sec = j.GetNumber("queries_per_sec");
+  stats.table_cache_lookups = j.GetInt("table_cache_lookups");
+  stats.table_cache_hits = j.GetInt("table_cache_hits");
+  stats.table_cache_exact_hits = j.GetInt("table_cache_exact_hits");
+  stats.table_cache_subsumption_hits =
+      j.GetInt("table_cache_subsumption_hits");
+  stats.table_cache_store_hits = j.GetInt("table_cache_store_hits");
+  stats.scan_pages_prefetched = j.GetInt("scan_pages_prefetched");
+  stats.scan_pages_overfetched = j.GetInt("scan_pages_overfetched");
+  GALOIS_ASSIGN_OR_RETURN(stats.spend, CostMeterFromJson(j["spend"]));
+  stats.store_attached = j.GetBool("store_attached");
+  stats.store_file_bytes = j.GetInt("store_file_bytes");
+  stats.store_live_materialisations = j.GetInt("store_live_materialisations");
+  stats.store_live_prompts = j.GetInt("store_live_prompts");
+  return stats;
+}
+
+std::string ServerStats::ToString() const {
+  char buf[256];
+  std::string out = "galoisd statistics:\n";
+  auto line = [&out, &buf](const char* name, int64_t value) {
+    std::snprintf(buf, sizeof(buf), "  %-32s %lld\n", name,
+                  static_cast<long long>(value));
+    out += buf;
+  };
+  auto dline = [&out, &buf](const char* name, double value) {
+    std::snprintf(buf, sizeof(buf), "  %-32s %.2f\n", name, value);
+    out += buf;
+  };
+  line("uptime_ms", uptime_ms);
+  line("draining", draining ? 1 : 0);
+  line("connections_accepted", connections_accepted);
+  line("connections_active", connections_active);
+  line("queries_started", queries_started);
+  line("queries_ok", queries_ok);
+  line("queries_error", queries_error);
+  line("queries_rejected", queries_rejected);
+  line("responses_unsent", responses_unsent);
+  line("in_flight", in_flight);
+  line("queued", queued);
+  dline("queries_per_sec", queries_per_sec);
+  dline("total_wall_ms", total_wall_ms);
+  dline("max_wall_ms", max_wall_ms);
+  line("table_cache_lookups", table_cache_lookups);
+  line("table_cache_hits", table_cache_hits);
+  line("table_cache_exact_hits", table_cache_exact_hits);
+  line("table_cache_subsumption_hits", table_cache_subsumption_hits);
+  line("table_cache_store_hits", table_cache_store_hits);
+  line("scan_pages_prefetched", scan_pages_prefetched);
+  line("scan_pages_overfetched", scan_pages_overfetched);
+  line("llm_prompts", spend.num_prompts);
+  line("llm_batches", spend.num_batches);
+  line("llm_prompt_tokens", spend.prompt_tokens);
+  line("llm_completion_tokens", spend.completion_tokens);
+  line("llm_cache_hits", spend.cache_hits);
+  line("llm_store_hits", spend.store_hits);
+  for (const auto& [name, usage] : spend.by_model) {
+    std::snprintf(buf, sizeof(buf),
+                  "  spend[%s]: %lld prompts, %lld+%lld tokens\n",
+                  name.c_str(), static_cast<long long>(usage.num_prompts),
+                  static_cast<long long>(usage.prompt_tokens),
+                  static_cast<long long>(usage.completion_tokens));
+    out += buf;
+  }
+  line("store_attached", store_attached ? 1 : 0);
+  if (store_attached) {
+    line("store_file_bytes", store_file_bytes);
+    line("store_live_materialisations", store_live_materialisations);
+    line("store_live_prompts", store_live_prompts);
+  }
+  return out;
+}
+
+}  // namespace galois::net

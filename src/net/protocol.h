@@ -1,0 +1,122 @@
+#ifndef GALOIS_NET_PROTOCOL_H_
+#define GALOIS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "api/database.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "llm/language_model.h"
+#include "types/relation.h"
+
+namespace galois::net {
+
+/// The galoisd wire protocol's inner layer: JSON payload codecs for the
+/// frame types in net/frame.h. Shared by GaloisServer and GaloisClient,
+/// so the two sides cannot drift.
+///
+/// Fidelity contract: a QueryResult serialised here and decoded on the
+/// other side compares equal to the in-process value — same relation
+/// (schema + rows, including int64/date payloads, which travel as
+/// strings exactly like the LLM wire codec's tagged values), same
+/// CostMeter (doubles dumped at %.17g round-trip losslessly), same
+/// cache/prefetch counters. That is what lets the e2e suite prove the
+/// daemon byte-identical to the in-process facade. Provenance traces are
+/// deliberately NOT carried: provenance runs are a debugging mode and
+/// their traces hold engine-internal pointers; remote sessions run with
+/// record_provenance off.
+
+/// Relation <-> JSON: {"columns":[{name,type,table}],
+/// "rows":[[tagged values...]]}.
+Json RelationToJson(const Relation& relation);
+Result<Relation> RelationFromJson(const Json& j);
+
+/// CostMeter <-> JSON, including the by_model per-backend slices.
+Json CostMeterToJson(const llm::CostMeter& meter);
+Result<llm::CostMeter> CostMeterFromJson(const Json& j);
+
+/// One query request (FrameType::kQuery).
+struct QueryRequest {
+  std::string sql;
+  /// Client-requested deadline; 0 = none. The server clamps it to its
+  /// own default_deadline_ms (when set) and arms the query's
+  /// CancelToken, so a slow query is cancelled cooperatively instead of
+  /// parking a connection slot forever.
+  int64_t deadline_ms = 0;
+};
+
+Json QueryRequestToJson(const QueryRequest& request);
+Result<QueryRequest> QueryRequestFromJson(const Json& j);
+
+/// QueryResult <-> JSON (FrameType::kQueryResult). The trace is not
+/// carried (see the fidelity contract above).
+Json QueryResultToJson(const QueryResult& result);
+Result<QueryResult> QueryResultFromJson(const Json& j);
+
+/// Failed-query payload (FrameType::kError): the Status round-trips with
+/// its code and message (classification markers like the retryable
+/// suffix ride along in the message), plus an explicit retryable flag
+/// for server-side conditions — admission rejection, drain — that the
+/// client should retry against another (or a less busy) server.
+Json StatusToJson(const Status& status, bool retryable);
+/// Reconstructs the Status; a retryable flag is re-applied as the
+/// llm::MarkRetryable marker so llm::IsRetryableLlmError sees it.
+Status StatusFromJson(const Json& j);
+
+/// Live daemon statistics (FrameType::kStatsResult) — the ctdb-style
+/// counter block. Spend is the whole model stack's meter (per-backend
+/// slices included); the cache/prefetch counters are accumulated over
+/// every completed query's QueryResult.
+struct ServerStats {
+  int64_t uptime_ms = 0;
+  bool draining = false;
+
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+
+  int64_t queries_started = 0;
+  int64_t queries_ok = 0;
+  int64_t queries_error = 0;
+  /// Admission-control rejections (queue full or draining).
+  int64_t queries_rejected = 0;
+  /// Responses that could not be written because the client had already
+  /// disconnected (the query still ran and billed).
+  int64_t responses_unsent = 0;
+
+  int64_t in_flight = 0;
+  int64_t queued = 0;
+
+  /// Completed-query wall clock (QueryResult::wall_ms sums / max).
+  double total_wall_ms = 0.0;
+  double max_wall_ms = 0.0;
+  /// queries_ok per second of uptime.
+  double queries_per_sec = 0.0;
+
+  int64_t table_cache_lookups = 0;
+  int64_t table_cache_hits = 0;
+  int64_t table_cache_exact_hits = 0;
+  int64_t table_cache_subsumption_hits = 0;
+  int64_t table_cache_store_hits = 0;
+  int64_t scan_pages_prefetched = 0;
+  int64_t scan_pages_overfetched = 0;
+
+  /// Stack-wide spend since the Database opened.
+  llm::CostMeter spend;
+
+  /// Persistent store shape; all zero when no store is attached.
+  bool store_attached = false;
+  int64_t store_file_bytes = 0;
+  int64_t store_live_materialisations = 0;
+  int64_t store_live_prompts = 0;
+
+  /// Human-readable one-per-line rendering for logs and CI scrapes.
+  std::string ToString() const;
+};
+
+Json ServerStatsToJson(const ServerStats& stats);
+Result<ServerStats> ServerStatsFromJson(const Json& j);
+
+}  // namespace galois::net
+
+#endif  // GALOIS_NET_PROTOCOL_H_

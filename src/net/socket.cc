@@ -1,0 +1,278 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+namespace galois::net {
+
+const SyscallShim& SyscallShim::Default() {
+  static const SyscallShim* shim = [] {
+    auto* s = new SyscallShim();
+    s->recv_fn = [](int fd, void* buf, size_t len) {
+      return ::recv(fd, buf, len, 0);
+    };
+    s->send_fn = [](int fd, const void* buf, size_t len) {
+      return ::send(fd, buf, len, MSG_NOSIGNAL);
+    };
+    s->poll_fn = [](struct pollfd* fds, nfds_t nfds, int timeout_ms) {
+      return ::poll(fds, nfds, timeout_ms);
+    };
+    return s;
+  }();
+  return *shim;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void IgnoreSigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction current;
+    std::memset(&current, 0, sizeof(current));
+    // Respect an application-installed handler; only replace the default
+    // disposition (which would kill the process).
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler != SIG_DFL) {
+      return;
+    }
+    struct sigaction ignore;
+    std::memset(&ignore, 0, sizeof(ignore));
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, nullptr);
+  });
+}
+
+Fd::~Fd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Fd& Fd::operator=(Fd&& other) {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool WaitReady(int fd, short events, int64_t deadline_ms,
+               const SyscallShim* shim) {
+  const SyscallShim& sys = ResolveShim(shim);
+  // Poll in bounded slices so an "infinite" deadline still re-enters the
+  // loop (and an EINTR storm can never extend the overall budget).
+  constexpr int64_t kMaxSliceMs = 60000;
+  while (true) {
+    int64_t remaining = kMaxSliceMs;
+    if (deadline_ms != kNoDeadline) {
+      remaining = deadline_ms - NowMs();
+      if (remaining <= 0) return false;
+      if (remaining > kMaxSliceMs) remaining = kMaxSliceMs;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int rc = sys.poll_fn(&pfd, 1, static_cast<int>(remaining));
+    if (rc > 0) return true;
+    if (rc < 0 && errno != EINTR) return false;
+  }
+}
+
+Status SendAll(int fd, const std::string& data, int64_t deadline_ms,
+               const SyscallShim* shim) {
+  const SyscallShim& sys = ResolveShim(shim);
+  size_t sent = 0;
+  while (sent < data.size()) {
+    if (!WaitReady(fd, POLLOUT, deadline_ms, shim)) {
+      return Status::IoError("net: send timed out after " +
+                             std::to_string(sent) + " of " +
+                             std::to_string(data.size()) + " bytes");
+    }
+    ssize_t n = sys.send_fn(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IoError(std::string("net: send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, char* buf, size_t cap, int64_t deadline_ms,
+                        const SyscallShim* shim) {
+  const SyscallShim& sys = ResolveShim(shim);
+  while (true) {
+    if (!WaitReady(fd, POLLIN, deadline_ms, shim)) {
+      return Status::IoError("net: read timed out");
+    }
+    ssize_t n = sys.recv_fn(fd, buf, cap);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IoError(std::string("net: read failed: ") +
+                             std::strerror(errno));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+Status RecvExactly(int fd, size_t len, std::string* out, int64_t deadline_ms,
+                   const SyscallShim* shim) {
+  char buf[4096];
+  size_t got = 0;
+  while (got < len) {
+    size_t want = len - got;
+    if (want > sizeof(buf)) want = sizeof(buf);
+    GALOIS_ASSIGN_OR_RETURN(size_t n,
+                            RecvSome(fd, buf, want, deadline_ms, shim));
+    if (n == 0) {
+      // Peer closed mid-payload: a connection-level fault, reported with
+      // the exact shortfall so callers can classify it as retryable
+      // rather than hand a truncated buffer to a parser.
+      return Status::IoError("net: peer closed after " + std::to_string(got) +
+                             " of " + std::to_string(len) + " bytes");
+    }
+    out->append(buf, n);
+    got += n;
+  }
+  return Status::OK();
+}
+
+Result<Fd> ConnectTcp(const std::string& host, int port,
+                      int64_t connect_timeout_ms) {
+  IgnoreSigpipe();
+  const std::string where = host + ":" + std::to_string(port);
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* addrs = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &addrs);
+  if (rc != 0 || addrs == nullptr) {
+    return Status::IoError("net: cannot resolve " + where);
+  }
+
+  // Try every resolved address (getaddrinfo with AF_UNSPEC may order
+  // ::1 before 127.0.0.1; an IPv4-only server must still be reachable).
+  const int64_t connect_deadline = NowMs() + connect_timeout_ms;
+  Fd fd;
+  std::string connect_error = "no addresses resolved";
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    Fd candidate(::socket(ai->ai_family, SOCK_STREAM, 0));
+    if (!candidate.valid()) {
+      connect_error = "socket() failed";
+      continue;
+    }
+    ::fcntl(candidate.get(), F_SETFL, O_NONBLOCK);
+    rc = ::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+      connect_error = std::strerror(errno);
+      continue;
+    }
+    if (rc != 0) {
+      if (!WaitReady(candidate.get(), POLLOUT, connect_deadline)) {
+        connect_error = "timed out";
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(candidate.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        connect_error = std::strerror(err);
+        continue;
+      }
+    }
+    fd = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(addrs);
+  if (!fd.valid()) {
+    return Status::IoError("net: connect to " + where + " failed: " +
+                           connect_error);
+  }
+  return fd;
+}
+
+Status Listener::Bind(const std::string& host, int port, int backlog) {
+  IgnoreSigpipe();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IoError("net: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: bad listen address " + host);
+  }
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError("net: bind " + host + ":" + std::to_string(port) +
+                           " failed: " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), &len);
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IoError("net: listen failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  ::fcntl(fd.get(), F_SETFL, O_NONBLOCK);
+  fd_ = std::move(fd);
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<Fd> Listener::Accept(int64_t timeout_ms, const SyscallShim* shim) {
+  if (!fd_.valid()) return Status::IoError("net: listener is closed");
+  if (!WaitReady(fd_.get(), POLLIN, NowMs() + timeout_ms, shim)) {
+    return Fd();  // timeout: invalid fd, caller re-polls
+  }
+  int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Fd();
+    }
+    return Status::IoError(std::string("net: accept failed: ") +
+                           std::strerror(errno));
+  }
+  return Fd(fd);
+}
+
+void Listener::Close() {
+  fd_.reset();
+  port_ = 0;
+}
+
+}  // namespace galois::net

@@ -1,0 +1,149 @@
+#ifndef GALOIS_NET_SOCKET_H_
+#define GALOIS_NET_SOCKET_H_
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+
+namespace galois::net {
+
+/// The shared socket layer under every networked component: the HttpLlm
+/// transport (src/llm/http_llm.cc), the loopback fault-injection server
+/// (tests/fake_llm_server.cc) and the galoisd daemon (galois_server.cc)
+/// all speak through these helpers, so partial-IO handling, EINTR
+/// retries, deadline bookkeeping and SIGPIPE hardening are implemented
+/// — and unit-tested — exactly once (tests/net_socket_test.cc).
+///
+/// Error vocabulary: transport-level faults (timeout, refused connect,
+/// peer closed early) are StatusCode::kIoError — the caller decides what
+/// a flaky wire means for its protocol (HttpLlm marks them retryable).
+/// Protocol violations the peer *deterministically* produced (a garbage
+/// Content-Length, a bad frame magic) are kParseError — retrying cannot
+/// fix those, and the two codes keep the classification honest.
+
+/// Injectable syscall surface. Production code passes nullptr everywhere
+/// (meaning Default()); the unit suite substitutes shims that serve one
+/// byte per send, storm EINTR for the first N calls, or fail outright —
+/// so the retry/partial-IO paths are exercised deterministically instead
+/// of hoping the kernel misbehaves on cue.
+struct SyscallShim {
+  std::function<ssize_t(int fd, void* buf, size_t len)> recv_fn;
+  std::function<ssize_t(int fd, const void* buf, size_t len)> send_fn;
+  std::function<int(struct pollfd* fds, nfds_t nfds, int timeout_ms)> poll_fn;
+
+  /// The real syscalls (recv/send with MSG_NOSIGNAL/poll).
+  static const SyscallShim& Default();
+};
+
+/// Resolves `shim` to Default() when null.
+inline const SyscallShim& ResolveShim(const SyscallShim* shim) {
+  return shim == nullptr ? SyscallShim::Default() : *shim;
+}
+
+/// Monotonic milliseconds (steady_clock) — the time base every deadline
+/// in this layer is expressed in.
+int64_t NowMs();
+
+/// Absolute-deadline sentinel meaning "never".
+constexpr int64_t kNoDeadline = INT64_MAX;
+
+/// Installs SIG_IGN for SIGPIPE, once per process. Every send in this
+/// layer also passes MSG_NOSIGNAL, but a long-running daemon must not be
+/// one exotic write path (or third-party library) away from dying
+/// because a client hung up first — defence in depth. Idempotent and
+/// thread-safe; never overrides a real handler the embedding
+/// application installed.
+void IgnoreSigpipe();
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd = -1) : fd_(fd) {}
+  ~Fd();
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) : fd_(other.release()) {}
+  Fd& operator=(Fd&& other);
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_;
+};
+
+/// Waits until `fd` is ready for the poll `events` or `deadline_ms`
+/// (absolute, NowMs base) passes. Returns false on timeout; EINTR never
+/// terminates the wait early.
+bool WaitReady(int fd, short events, int64_t deadline_ms,
+               const SyscallShim* shim = nullptr);
+
+/// Writes all of `data`, riding out partial sends, EAGAIN and EINTR.
+/// kIoError on a dead peer (EPIPE/ECONNRESET) or an expired deadline.
+Status SendAll(int fd, const std::string& data, int64_t deadline_ms,
+               const SyscallShim* shim = nullptr);
+
+/// Reads up to `cap` bytes into `buf`. Returns the count (0 = orderly
+/// EOF); kIoError on socket failure or an expired deadline. EINTR and
+/// EAGAIN are absorbed by waiting again.
+Result<size_t> RecvSome(int fd, char* buf, size_t cap, int64_t deadline_ms,
+                        const SyscallShim* shim = nullptr);
+
+/// Reads exactly `len` bytes, appending to `*out`. kIoError both on
+/// socket failure and on EOF short of `len` — the message names how many
+/// bytes arrived, so truncation is diagnosable (and classifiable as a
+/// connection-level fault, never a decode bug).
+Status RecvExactly(int fd, size_t len, std::string* out, int64_t deadline_ms,
+                   const SyscallShim* shim = nullptr);
+
+/// Resolves `host:port` and connects with a budget of
+/// `connect_timeout_ms` (relative), trying every resolved address. The
+/// returned socket is non-blocking. kIoError on failure (callers treat
+/// connect failures as transient: the server may be restarting).
+Result<Fd> ConnectTcp(const std::string& host, int port,
+                      int64_t connect_timeout_ms);
+
+/// A listening TCP socket bound to `host` (default loopback): the accept
+/// side shared by FakeLlmServer and galoisd. SO_REUSEADDR is set, the
+/// listener is non-blocking, and IgnoreSigpipe() is installed on Bind so
+/// no server built on this layer can be killed by a dead client.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() = default;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port (read it back
+  /// from port()). kIoError on any socket/bind/listen failure.
+  Status Bind(const std::string& host, int port, int backlog);
+
+  /// Accepts one connection, waiting up to `timeout_ms` (relative).
+  /// Returns an invalid Fd on timeout (not an error — callers poll in a
+  /// loop so they can observe shutdown flags); kIoError only when the
+  /// listener itself broke.
+  Result<Fd> Accept(int64_t timeout_ms, const SyscallShim* shim = nullptr);
+
+  void Close();
+  bool listening() const { return fd_.valid(); }
+  int port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+ private:
+  Fd fd_;
+  int port_ = 0;
+};
+
+}  // namespace galois::net
+
+#endif  // GALOIS_NET_SOCKET_H_

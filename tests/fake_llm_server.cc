@@ -1,20 +1,12 @@
 #include "tests/fake_llm_server.h"
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 #include <optional>
 
 #include "common/json.h"
 #include "llm/prompt_json.h"
+#include "net/http.h"
 
 namespace galois::tests {
 
@@ -25,92 +17,23 @@ using llm::CostMeter;
 using llm::Prompt;
 using llm::WireUsage;
 
-/// Reads one HTTP request (headers + Content-Length body) from `fd`.
-/// Returns false on timeout/parse trouble — the connection is dropped,
-/// which the client classifies as a retryable transport fault.
-bool ReadRequest(int fd, std::string* method, std::string* path,
-                 std::string* body) {
-  std::string raw;
-  char buf[4096];
-  size_t header_end = std::string::npos;
-  int64_t content_length = 0;
-  const int kPollMs = 100;
-  const int kMaxIdlePolls = 100;  // 10 s hard ceiling per request
-  int idle = 0;
-  while (true) {
-    if (header_end != std::string::npos &&
-        raw.size() >= header_end + 4 + static_cast<size_t>(content_length)) {
-      break;
-    }
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    int rc = ::poll(&pfd, 1, kPollMs);
-    if (rc == 0) {
-      if (++idle > kMaxIdlePolls) return false;
-      continue;
-    }
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
-    idle = 0;
-    raw.append(buf, static_cast<size_t>(n));
-    if (header_end == std::string::npos) {
-      header_end = raw.find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        // Extract Content-Length (case-insensitive scan).
-        std::string headers = raw.substr(0, header_end);
-        for (char& c : headers) {
-          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-        }
-        size_t pos = headers.find("content-length:");
-        if (pos != std::string::npos) {
-          content_length = std::strtoll(
-              headers.c_str() + pos + std::strlen("content-length:"),
-              nullptr, 10);
-        }
-      }
-    }
-  }
-  const std::string request_line = raw.substr(0, raw.find("\r\n"));
-  size_t sp1 = request_line.find(' ');
-  size_t sp2 = request_line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
-  *method = request_line.substr(0, sp1);
-  *path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  *body = raw.substr(header_end + 4,
-                     static_cast<size_t>(content_length));
-  return true;
-}
+/// Hard ceiling for reading one request / writing one response; requests
+/// slower than this are dropped, which the client classifies as a
+/// retryable transport fault.
+constexpr int64_t kRequestIoBudgetMs = 10000;
 
+/// Writes `data` best-effort: a client that hung up mid-response is its
+/// own problem (the fault-injection schedules do exactly that).
 void SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
-    }
-    sent += static_cast<size_t>(n);
-  }
+  (void)net::SendAll(fd, data, net::NowMs() + kRequestIoBudgetMs);
 }
 
 std::string HttpMessage(int code, const std::string& reason,
                         const std::string& body,
                         const std::string& extra_headers = "",
                         int64_t advertised_length = -1) {
-  const int64_t length =
-      advertised_length >= 0 ? advertised_length
-                             : static_cast<int64_t>(body.size());
-  return "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n" +
-         "Content-Type: application/json\r\n" + extra_headers +
-         "Content-Length: " + std::to_string(length) +
-         "\r\nConnection: close\r\n\r\n" + body;
+  return net::BuildHttpResponse(code, reason, body, extra_headers,
+                                advertised_length);
 }
 
 std::string ErrorBody(const std::string& message) {
@@ -132,44 +55,18 @@ FakeLlmServer::FakeLlmServer(llm::LanguageModel* backing, Options options)
 FakeLlmServer::~FakeLlmServer() { Stop(); }
 
 Status FakeLlmServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal("fake server: socket() failed");
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal("fake server: bind() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal("fake server: listen() failed");
-  }
+  GALOIS_RETURN_IF_ERROR(listener_.Bind("127.0.0.1", 0, 64));
+  port_ = listener_.port();
   stopping_.store(false);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void FakeLlmServer::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  if (!listener_.listening() && !accept_thread_.joinable()) return;
   stopping_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  listener_.Close();
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
@@ -247,15 +144,11 @@ void FakeLlmServer::ReapFinishedWorkers() {
 
 void FakeLlmServer::AcceptLoop() {
   while (!stopping_.load()) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    int rc = ::poll(&pfd, 1, 50);
+    Result<net::Fd> accepted = listener_.Accept(50);
     ReapFinishedWorkers();
-    if (rc <= 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (!accepted.ok()) continue;
+    if (!accepted.value().valid()) continue;  // timeout slice
+    int fd = accepted.value().release();
     std::lock_guard<std::mutex> lock(workers_mu_);
     workers_.emplace_back([this, fd] {
       HandleConnection(fd);
@@ -326,11 +219,14 @@ Result<std::string> FakeLlmServer::Respond(const std::string& path,
 }
 
 void FakeLlmServer::HandleConnection(int fd) {
-  std::string method, path, body;
-  if (!ReadRequest(fd, &method, &path, &body)) {
-    ::close(fd);
-    return;
-  }
+  // RAII ownership: every return path below closes the socket.
+  net::Fd conn(fd);
+  Result<net::HttpRequestMessage> request =
+      net::ReadHttpRequest(fd, net::NowMs() + kRequestIoBudgetMs);
+  if (!request.ok()) return;
+  const std::string& method = request.value().method;
+  const std::string& path = request.value().path;
+  const std::string& body = request.value().body;
   const int64_t request_number = requests_seen_.fetch_add(1) + 1;
 
   Fault fault;
@@ -367,14 +263,12 @@ void FakeLlmServer::HandleConnection(int fd) {
       case FaultKind::kCloseEarly:
         break;  // just close
     }
-    ::close(fd);
     return;
   }
 
   if (method != "POST") {
     SendAll(fd, HttpMessage(405, "Method Not Allowed",
                             ErrorBody("POST only")));
-    ::close(fd);
     return;
   }
   Result<std::string> response = Respond(path, body);
@@ -384,7 +278,6 @@ void FakeLlmServer::HandleConnection(int fd) {
   } else {
     SendAll(fd, HttpMessage(200, "OK", response.value()));
   }
-  ::close(fd);
 }
 
 }  // namespace galois::tests

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "llm/http_llm.h"
 #include "llm/language_model.h"
+#include "net/socket.h"
 
 namespace galois::tests {
 
@@ -106,7 +107,7 @@ class FakeLlmServer {
   llm::LanguageModel* backing_;
   Options options_;
 
-  int listen_fd_ = -1;
+  net::Listener listener_;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;

@@ -1,0 +1,170 @@
+// galoisd — the galois network daemon.
+//
+// Serves one galois::Database over the length-prefixed frame protocol
+// (src/net/). A long-running, multi-client process: admission control
+// bounds concurrent queries, SIGTERM/SIGINT drain gracefully (in-flight
+// queries finish, responses flush, the persistent store syncs), and the
+// kStats endpoint — or a final report on exit — exposes the live
+// counters.
+//
+// Typical invocations:
+//   galoisd --port 4547                       # simulated backend
+//   galoisd --port 4547 --store /var/galois   # + persistent result store
+//   galoisd --port 4547 --llm-host 10.0.0.5 --llm-port 8080
+//                                             # real HTTP LLM backend
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "api/database.h"
+#include "net/galois_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "  --host HOST            listen address (default 127.0.0.1)\n"
+      "  --port PORT            listen port (default 4547; 0 = ephemeral)\n"
+      "  --store DIR            persistent result store directory\n"
+      "  --max-in-flight N      concurrent queries (default 8)\n"
+      "  --queue-capacity N     waiting queries before rejection (default 64)\n"
+      "  --deadline-ms MS       server-side per-query deadline cap (default none)\n"
+      "  --llm-host HOST        HTTP LLM backend host (default: simulated backend)\n"
+      "  --llm-port PORT        HTTP LLM backend port\n"
+      "  --no-cache             disable the cross-query materialisation cache\n"
+      "  --stats-interval-s S   print stats to stderr every S seconds (default off)\n"
+      "  --help                 this text\n",
+      argv0);
+}
+
+bool ParseIntArg(const char* value, int64_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || v < 0) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int64_t port = 4547;
+  std::string store_dir;
+  int64_t max_in_flight = 8;
+  int64_t queue_capacity = 64;
+  int64_t deadline_ms = 0;
+  std::string llm_host;
+  int64_t llm_port = 0;
+  bool cache = true;
+  int64_t stats_interval_s = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](int64_t* out) {
+      if (i + 1 >= argc || !ParseIntArg(argv[++i], out)) {
+        std::fprintf(stderr, "galoisd: bad value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port") {
+      next(&port);
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (arg == "--max-in-flight") {
+      next(&max_in_flight);
+    } else if (arg == "--queue-capacity") {
+      next(&queue_capacity);
+    } else if (arg == "--deadline-ms") {
+      next(&deadline_ms);
+    } else if (arg == "--llm-host" && i + 1 < argc) {
+      llm_host = argv[++i];
+    } else if (arg == "--llm-port") {
+      next(&llm_port);
+    } else if (arg == "--no-cache") {
+      cache = false;
+    } else if (arg == "--stats-interval-s") {
+      next(&stats_interval_s);
+    } else {
+      std::fprintf(stderr, "galoisd: unknown argument '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  galois::DatabaseOptions db_options;
+  db_options.enable_materialisation_cache = cache;
+  if (!store_dir.empty()) db_options.store.path = store_dir;
+  if (!llm_host.empty()) {
+    galois::BackendSpec backend;
+    backend.name = "http";
+    galois::llm::HttpLlmOptions http;
+    http.host = llm_host;
+    http.port = static_cast<int>(llm_port);
+    backend.http = http;
+    backend.resilience.emplace();  // retries/backoff at defaults
+    backend.prompt_cache = true;
+    db_options.backends.push_back(std::move(backend));
+  }
+
+  auto db = galois::Database::Open(std::move(db_options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "galoisd: cannot open database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  galois::net::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = static_cast<int>(port);
+  server_options.max_in_flight = static_cast<int>(max_in_flight);
+  server_options.queue_capacity = static_cast<int>(queue_capacity);
+  server_options.default_deadline_ms = deadline_ms;
+
+  galois::net::GaloisServer server(db.value().get(), server_options);
+  if (galois::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "galoisd: cannot listen on %s:%lld: %s\n",
+                 host.c_str(), static_cast<long long>(port),
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  std::fprintf(stderr, "galoisd: serving on %s:%d (backend: %s%s)\n",
+               host.c_str(), server.port(),
+               llm_host.empty() ? "simulated" : llm_host.c_str(),
+               store_dir.empty() ? "" : ", persistent store attached");
+
+  int64_t last_stats_ms = galois::net::NowMs();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (stats_interval_s > 0 &&
+        galois::net::NowMs() - last_stats_ms >= stats_interval_s * 1000) {
+      last_stats_ms = galois::net::NowMs();
+      std::fprintf(stderr, "%s", server.stats().ToString().c_str());
+    }
+  }
+
+  std::fprintf(stderr, "galoisd: draining...\n");
+  server.Shutdown();
+  std::fprintf(stderr, "galoisd: drained, final statistics:\n%s",
+               server.stats().ToString().c_str());
+  return 0;
+}
