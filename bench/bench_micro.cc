@@ -9,6 +9,7 @@
 
 #include "api/database.h"
 #include "clean/normalize.h"
+#include "cluster/cluster_coordinator.h"
 #include "core/galois_executor.h"
 #include "core/llm_operators.h"
 #include "core/materialisation_cache.h"
@@ -19,6 +20,7 @@
 #include "llm/prompt_cache.h"
 #include "llm/prompt_templates.h"
 #include "llm/simulated_llm.h"
+#include "net/galois_server.h"
 #include "sql/parser.h"
 #include "tests/fake_llm_server.h"
 
@@ -649,6 +651,79 @@ void BM_PrefetchedKeyScan(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefetchedKeyScan)
     ->Arg(0)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterScatterGather(benchmark::State& state) {
+  // range(0) is the node count. Full loopback scatter-gather: N galoisd
+  // servers plus a cluster-enabled coordinator Database, replaying a
+  // two-table join whose tables land on different nodes. Caches are off
+  // so every iteration pays real materialisation work; the 1-vs-2-node
+  // rows show what table-affinity parallelism buys (and what the
+  // dispatch + merge path costs on top of the facade).
+  const int node_count = static_cast<int>(state.range(0));
+  struct BenchNode {
+    std::unique_ptr<galois::Database> db;
+    std::unique_ptr<galois::net::GaloisServer> server;
+  };
+  std::vector<BenchNode> nodes;
+  galois::cluster::ClusterOptions copts;
+  for (int n = 0; n < node_count; ++n) {
+    galois::DatabaseOptions o;
+    o.workload = &Workload();
+    o.enable_materialisation_cache = false;
+    auto db = galois::Database::Open(std::move(o));
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    BenchNode node;
+    node.db = std::move(db).value();
+    node.server = std::make_unique<galois::net::GaloisServer>(
+        node.db.get(), galois::net::ServerOptions());
+    if (galois::Status started = node.server->Start(); !started.ok()) {
+      state.SkipWithError(started.ToString().c_str());
+      return;
+    }
+    copts.nodes.push_back({"127.0.0.1", node.server->port()});
+    nodes.push_back(std::move(node));
+  }
+  galois::DatabaseOptions coord_options;
+  coord_options.workload = &Workload();
+  coord_options.enable_materialisation_cache = false;
+  coord_options.cluster = std::move(copts);
+  auto coordinator = galois::Database::Open(std::move(coord_options));
+  if (!coordinator.ok()) {
+    state.SkipWithError(coordinator.status().ToString().c_str());
+    return;
+  }
+  galois::Session session = coordinator.value()->CreateSession();
+  const std::string sql =
+      "SELECT ci.name, co.continent FROM city ci, country co "
+      "WHERE ci.country = co.name AND co.continent = 'Europe'";
+  int64_t prompts = 0;
+  for (auto _ : state) {
+    auto result = session.Query(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    prompts += result->cost.num_prompts;
+    benchmark::DoNotOptimize(result);
+  }
+  if (state.iterations() > 0) {
+    state.counters["prompts_per_iter"] =
+        static_cast<double>(prompts) / static_cast<double>(state.iterations());
+  }
+  const auto cstats = coordinator.value()->cluster()->stats();
+  state.counters["shards_dispatched"] =
+      static_cast<double>(cstats.shards_dispatched);
+  state.counters["redispatches"] = static_cast<double>(cstats.redispatches);
+  for (BenchNode& node : nodes) node.server->Shutdown();
+}
+BENCHMARK(BM_ClusterScatterGather)
+    ->Arg(1)
     ->Arg(2)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

@@ -1,13 +1,18 @@
 // bench_loadgen — closed-loop load generator for galoisd.
 //
 // N client threads, each with its own GaloisClient connection, replay
-// the builtin 46-query workload round-robin against a running daemon
-// and report throughput + latency percentiles, then scrape the server's
-// own stats endpoint so client-side and server-side numbers can be
-// compared in one place.
+// the builtin 46-query workload round-robin against one or more running
+// daemons and report throughput + latency percentiles (aggregate and
+// per node), then scrape each server's own stats endpoint so
+// client-side and server-side numbers can be compared in one place.
 //
 //   galoisd --port 4547 &
 //   example_bench_loadgen --port 4547 --threads 4 --duration-s 10
+//
+// Multi-node: repeat --endpoint, workers round-robin across them:
+//   galoisd --port 4547 & galoisd --port 4548 &
+//   example_bench_loadgen --endpoint 127.0.0.1:4547 \
+//                         --endpoint 127.0.0.1:4548 --threads 8
 //
 // --target-qps paces an open-ish loop (each thread sleeps to its share
 // of the target rate); 0 means closed-loop (fire as fast as responses
@@ -29,26 +34,37 @@
 
 namespace {
 
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
 struct WorkerReport {
   std::vector<double> latencies_ms;
   int64_t ok = 0;
   int64_t errors = 0;
+  size_t endpoint = 0;
 };
 
 void PrintUsage(const char* argv0) {
   std::printf(
       "usage: %s --port PORT [options]\n"
+      "       %s --endpoint HOST:PORT [--endpoint HOST:PORT ...] [options]\n"
       "\n"
-      "  --host HOST        daemon address (default 127.0.0.1)\n"
-      "  --port PORT        daemon port (required to run)\n"
-      "  --threads N        client threads, one connection each (default 4)\n"
-      "  --duration-s S     run time in seconds (default 5)\n"
-      "  --target-qps Q     total paced rate; 0 = closed loop (default 0)\n"
-      "  --deadline-ms MS   per-query deadline sent to the server (default 0)\n"
+      "  --host HOST           daemon address (default 127.0.0.1)\n"
+      "  --port PORT           daemon port (single-node shorthand)\n"
+      "  --endpoint HOST:PORT  daemon endpoint; repeat for multi-node runs\n"
+      "                        (workers round-robin across endpoints)\n"
+      "  --threads N           client threads, one connection each (default 4)\n"
+      "  --duration-s S        run time in seconds (default 5)\n"
+      "  --target-qps Q        total paced rate; 0 = closed loop (default 0)\n"
+      "  --deadline-ms MS      per-query deadline sent to the server (default 0)\n"
+      "  --reconnects N        per-client auto-reconnect attempts (default 0)\n"
       "\n"
       "Replays the builtin 46-query workload round-robin and reports\n"
-      "client-side latency percentiles plus the daemon's own statistics.\n",
-      argv0);
+      "client-side latency percentiles (aggregate and per node) plus each\n"
+      "daemon's own statistics.\n",
+      argv0, argv0);
 }
 
 double Percentile(std::vector<double>& sorted, double p) {
@@ -57,15 +73,39 @@ double Percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
+bool ParseEndpoint(const std::string& text, Endpoint* out) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  out->host = text.substr(0, colon);
+  out->port = std::atoi(text.c_str() + colon + 1);
+  return out->port > 0;
+}
+
+void PrintPercentiles(const char* label, std::vector<double>& sorted,
+                      int64_t ok, int64_t errors) {
+  std::printf("  %-18s ok=%lld errors=%lld", label,
+              static_cast<long long>(ok), static_cast<long long>(errors));
+  if (!sorted.empty()) {
+    std::printf(" p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
+                Percentile(sorted, 0.50), Percentile(sorted, 0.90),
+                Percentile(sorted, 0.99), sorted.back());
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  std::vector<Endpoint> endpoints;
   int threads = 4;
   int duration_s = 5;
   int target_qps = 0;
   int deadline_ms = 0;
+  int reconnects = 0;
 
   // CI runs every example with no arguments as a smoke check; usage +
   // success is the contract there.
@@ -90,6 +130,13 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--port") {
       port = next_int();
+    } else if (arg == "--endpoint" && i + 1 < argc) {
+      Endpoint ep;
+      if (!ParseEndpoint(argv[++i], &ep)) {
+        std::fprintf(stderr, "bench_loadgen: bad --endpoint '%s'\n", argv[i]);
+        return 2;
+      }
+      endpoints.push_back(ep);
     } else if (arg == "--threads") {
       threads = std::max(1, next_int());
     } else if (arg == "--duration-s") {
@@ -98,6 +145,8 @@ int main(int argc, char** argv) {
       target_qps = next_int();
     } else if (arg == "--deadline-ms") {
       deadline_ms = next_int();
+    } else if (arg == "--reconnects") {
+      reconnects = std::max(0, next_int());
     } else {
       std::fprintf(stderr, "bench_loadgen: unknown argument '%s'\n",
                    arg.c_str());
@@ -105,9 +154,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port <= 0) {
-    std::fprintf(stderr, "bench_loadgen: --port is required\n");
-    return 2;
+  if (endpoints.empty()) {
+    if (port <= 0) {
+      std::fprintf(stderr,
+                   "bench_loadgen: --port or --endpoint is required\n");
+      return 2;
+    }
+    endpoints.push_back({host, port});
   }
 
   // The same 46 queries the e2e suites replay; every worker walks the
@@ -136,10 +189,15 @@ int main(int argc, char** argv) {
 
   auto t_start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
+    // Round-robin worker -> endpoint assignment: thread t drives node
+    // t % nodes for its whole run (one persistent connection each).
+    const size_t ep_index = static_cast<size_t>(t) % endpoints.size();
+    reports[static_cast<size_t>(t)].endpoint = ep_index;
+    workers.emplace_back([&, t, ep_index] {
       galois::net::ClientOptions copt;
-      copt.host = host;
-      copt.port = port;
+      copt.host = endpoints[ep_index].host;
+      copt.port = endpoints[ep_index].port;
+      copt.reconnect_attempts = reconnects;
       auto client = galois::net::GaloisClient::Connect(copt);
       if (!client.ok()) {
         std::fprintf(stderr, "bench_loadgen: worker %d connect failed: %s\n",
@@ -168,7 +226,9 @@ int main(int argc, char** argv) {
           report.latencies_ms.push_back(ms);
         } else {
           ++report.errors;
-          if (!client.value().connected()) return;  // daemon gone
+          if (!client.value().connected() && reconnects <= 0) {
+            return;  // daemon gone and no reconnect budget
+          }
         }
       }
     });
@@ -183,37 +243,52 @@ int main(int argc, char** argv) {
 
   int64_t ok = 0, errors = 0;
   std::vector<double> latencies;
+  std::vector<std::vector<double>> node_latencies(endpoints.size());
+  std::vector<int64_t> node_ok(endpoints.size(), 0);
+  std::vector<int64_t> node_errors(endpoints.size(), 0);
   for (const WorkerReport& r : reports) {
     ok += r.ok;
     errors += r.errors;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
+    node_ok[r.endpoint] += r.ok;
+    node_errors[r.endpoint] += r.errors;
+    node_latencies[r.endpoint].insert(node_latencies[r.endpoint].end(),
+                                      r.latencies_ms.begin(),
+                                      r.latencies_ms.end());
   }
   std::sort(latencies.begin(), latencies.end());
 
-  std::printf("bench_loadgen: %d threads, %.1fs%s\n", threads, elapsed_s,
-              target_qps > 0 ? (" @ " + std::to_string(target_qps) + " qps target").c_str()
-                             : " closed-loop");
-  std::printf("  ok         %lld\n", static_cast<long long>(ok));
-  std::printf("  errors     %lld\n", static_cast<long long>(errors));
+  std::printf("bench_loadgen: %d threads over %zu node%s, %.1fs%s\n", threads,
+              endpoints.size(), endpoints.size() == 1 ? "" : "s", elapsed_s,
+              target_qps > 0
+                  ? (" @ " + std::to_string(target_qps) + " qps target").c_str()
+                  : " closed-loop");
   std::printf("  throughput %.1f qps\n",
               elapsed_s > 0 ? static_cast<double>(ok) / elapsed_s : 0.0);
-  if (!latencies.empty()) {
-    std::printf("  p50        %.2f ms\n", Percentile(latencies, 0.50));
-    std::printf("  p90        %.2f ms\n", Percentile(latencies, 0.90));
-    std::printf("  p99        %.2f ms\n", Percentile(latencies, 0.99));
-    std::printf("  max        %.2f ms\n", latencies.back());
+  PrintPercentiles("aggregate", latencies, ok, errors);
+  if (endpoints.size() > 1) {
+    for (size_t e = 0; e < endpoints.size(); ++e) {
+      std::sort(node_latencies[e].begin(), node_latencies[e].end());
+      const std::string label =
+          endpoints[e].host + ":" + std::to_string(endpoints[e].port);
+      PrintPercentiles(label.c_str(), node_latencies[e], node_ok[e],
+                       node_errors[e]);
+    }
   }
 
-  // Server-side view of the same burst.
-  galois::net::ClientOptions sopt;
-  sopt.host = host;
-  sopt.port = port;
-  auto stats_client = galois::net::GaloisClient::Connect(sopt);
-  if (stats_client.ok()) {
-    auto stats = stats_client.value().Stats();
-    if (stats.ok()) {
-      std::printf("\n%s", stats.value().ToString().c_str());
+  // Server-side view of the same burst, one block per node.
+  for (const Endpoint& ep : endpoints) {
+    galois::net::ClientOptions sopt;
+    sopt.host = ep.host;
+    sopt.port = ep.port;
+    auto stats_client = galois::net::GaloisClient::Connect(sopt);
+    if (stats_client.ok()) {
+      auto stats = stats_client.value().Stats();
+      if (stats.ok()) {
+        std::printf("\nnode %s:%d\n%s", ep.host.c_str(), ep.port,
+                    stats.value().ToString().c_str());
+      }
     }
   }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "cluster/cluster_coordinator.h"
 #include "llm/model_router.h"
 #include "llm/prompt_cache.h"
 #include "llm/resilience.h"
@@ -237,6 +238,16 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     }
   }
 
+  // Cluster coordinator last: it needs the fully-wired Database (model
+  // stack, catalog, cache) to plan shards and run local/merge stages.
+  if (!options.cluster.nodes.empty()) {
+    Result<std::unique_ptr<cluster::ClusterCoordinator>> coord =
+        cluster::ClusterCoordinator::Connect(db.get(),
+                                             std::move(options.cluster));
+    if (!coord.ok()) return coord.status();
+    db->cluster_ = std::move(coord).value();
+  }
+
   return db;
 }
 
@@ -268,6 +279,19 @@ Session Database::CreateSession(core::ExecutionOptions options) const {
 Result<QueryResult> Session::RunSnapshot(
     const Database* db, core::ExecutionOptions snapshot,
     const std::string& sql, std::shared_ptr<ExplainState> explain) {
+  // Cluster deployments scatter the query's LLM-table materialisation
+  // across the nodes (provenance-recording queries excepted: per-cell
+  // prompt traces do not travel, so they run locally for fidelity). The
+  // coordinator measures wall_ms itself.
+  if (db->cluster_ != nullptr && !snapshot.record_provenance) {
+    Result<QueryResult> result = db->cluster_->Query(sql, snapshot);
+    if (result.ok() && explain != nullptr) {
+      std::lock_guard<std::mutex> lock(explain->mu);
+      explain->text = result.value().physical_plan;
+    }
+    return result;
+  }
+
   const auto start = std::chrono::steady_clock::now();
   core::GaloisExecutor executor(db->model_, db->catalog_, snapshot);
   executor.set_materialisation_cache(db->table_cache_);

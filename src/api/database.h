@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "cluster/cluster_options.h"
 #include "common/cancel.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -27,6 +28,10 @@ namespace galois {
 
 namespace llm {
 class ModelRouter;
+}
+
+namespace cluster {
+class ClusterCoordinator;
 }
 
 /// The result of one query, as one self-contained value: the relation
@@ -173,6 +178,14 @@ struct DatabaseOptions {
   /// fault-scheduled filesystem in the crash tests.
   store::StoreOptions store;
 
+  /// Scatter-gather execution across galoisd nodes: when `cluster.nodes`
+  /// is non-empty, Open connects a cluster::ClusterCoordinator and every
+  /// Session transparently scatters LLM-table materialisation across the
+  /// nodes (src/cluster/). The nodes must serve the same catalog,
+  /// workload and model configuration as this Database. Provenance-
+  /// recording queries and queries with no LLM table still run locally.
+  cluster::ClusterOptions cluster;
+
   /// Whether a backend named `name` is already declared (builders adding
   /// route targets use this to skip duplicates).
   bool HasBackend(const std::string& name) const {
@@ -250,6 +263,10 @@ class Database {
     return execution_defaults_;
   }
 
+  /// The scatter-gather coordinator; null unless DatabaseOptions::cluster
+  /// named nodes. Exposed for stats displays (ClusterCoordinator::stats).
+  cluster::ClusterCoordinator* cluster() const { return cluster_.get(); }
+
  private:
   friend class Session;
 
@@ -277,6 +294,10 @@ class Database {
   /// call into a dead store.
   std::unique_ptr<store::ResultStore> store_;
   std::unique_ptr<core::MaterialisationSink> store_sink_;
+
+  /// Non-null iff DatabaseOptions::cluster named nodes; Sessions route
+  /// eligible queries through it (Session::RunSnapshot).
+  std::unique_ptr<cluster::ClusterCoordinator> cluster_;
 
   core::ExecutionOptions execution_defaults_;
 };

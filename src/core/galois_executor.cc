@@ -29,6 +29,60 @@ Result<Relation> GaloisExecutor::Execute(
   return std::move(out).relation;
 }
 
+namespace {
+
+/// Parse -> logical plan -> physical annotations -> physical DAG, the
+/// same three steps Run performs. The logical plan deep-clones every
+/// statement expression, so the returned PhysicalPlan is self-contained.
+Result<PhysicalPlan> CompileSql(const std::string& sql,
+                                const catalog::Catalog* catalog,
+                                const ExecutionOptions& options) {
+  GALOIS_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::ParseSelect(sql));
+  GALOIS_ASSIGN_OR_RETURN(planner::PlanNodePtr plan,
+                          planner::BuildLogicalPlan(stmt, *catalog));
+  GALOIS_RETURN_IF_ERROR(
+      planner::BindPhysicalAnnotations(plan.get(), *catalog,
+                                       BindingOptionsFor(options))
+          .status());
+  return PhysicalPlan::Compile(std::move(plan), catalog, options);
+}
+
+}  // namespace
+
+Result<std::vector<ShardSpec>> GaloisExecutor::PlanShards(
+    const std::string& sql) const {
+  GALOIS_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                          CompileSql(sql, catalog_, options_));
+  return physical.LlmShards();
+}
+
+Result<QueryOutput> GaloisExecutor::RunShard(
+    const ShardRequest& request) const {
+  llm::CostTap tap(model_);
+  GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
+  GALOIS_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                          CompileSql(request.sql, catalog_, options_));
+  GALOIS_ASSIGN_OR_RETURN(
+      QueryOutput out,
+      physical.ExecuteShard(request, &tap, materialisation_cache_));
+  out.cost = tap.cost();
+  return out;
+}
+
+Result<QueryOutput> GaloisExecutor::RunSqlWithOverlays(
+    const std::string& sql, std::vector<TableOverlay> overlays) const {
+  llm::CostTap tap(model_);
+  GALOIS_RETURN_IF_ERROR(CheckCancel(options_.control));
+  GALOIS_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                          CompileSql(sql, catalog_, options_));
+  physical.SetOverlays(std::move(overlays));
+  GALOIS_ASSIGN_OR_RETURN(QueryOutput out,
+                          physical.Execute(&tap, materialisation_cache_));
+  out.cost = tap.cost();
+  out.physical_plan = physical.Render();
+  return out;
+}
+
 Result<QueryOutput> GaloisExecutor::Run(
     const sql::SelectStatement& stmt) const {
   // Per-query cost attribution: every round trip goes through this tap,

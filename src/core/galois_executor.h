@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
@@ -62,6 +63,48 @@ struct QueryOutput {
   /// when prefetch is off.
   int64_t scan_pages_prefetched = 0;
   int64_t scan_pages_overfetched = 0;
+};
+
+/// One LLM base table of a compiled plan, described precisely enough for
+/// a cluster coordinator to dispatch its materialisation to another node
+/// — and for that node to prove it compiled the *same* shard before
+/// spending a single prompt. Everything that decides what the
+/// materialisation produces is captured: the catalog table, the FROM
+/// alias (which qualifies the output schema), the needed non-key columns
+/// in definition order, and the canonical predicate descriptor
+/// (PredicateDescriptor::Encode() bytes — pushed/checked conjuncts plus
+/// the LIMIT paging bound). A byte-for-byte match means coordinator and
+/// node agree on catalog and planner version; a mismatch is version
+/// skew, a deterministic error.
+struct ShardSpec {
+  std::string table;
+  std::string alias;
+  std::vector<std::string> columns;
+  std::string descriptor;
+};
+
+/// A pre-materialised base table injected into execution in place of the
+/// engine's own LLM materialisation — the gather half of scatter-gather.
+/// The relation must be shaped exactly as MaterialiseLlm produces it:
+/// alias-qualified key column first, then the needed columns in
+/// definition order.
+struct TableOverlay {
+  std::string alias;
+  Relation relation;
+};
+
+/// A shard execution request as a cluster node receives it off the wire:
+/// the full query (the node re-plans it against its own catalog), the
+/// shard spec to validate the local plan against, and an optional
+/// contiguous key-range slice [slice_index, slice_count).
+struct ShardRequest {
+  std::string sql;
+  std::string table;
+  std::string alias;
+  std::vector<std::string> columns;
+  std::string descriptor;
+  int64_t slice_index = 0;
+  int64_t slice_count = 1;
 };
 
 /// The Galois executor (the paper's primary contribution, Section 4).
@@ -139,6 +182,30 @@ class GaloisExecutor {
   /// Relation-only conveniences for callers that need no measurements.
   Result<Relation> ExecuteSql(const std::string& sql) const;
   Result<Relation> Execute(const sql::SelectStatement& stmt) const;
+
+  /// Compiles `sql` and lists its LLM base tables as shard specs, in
+  /// FROM order — the scatter plan a cluster coordinator dispatches.
+  /// Empty when the query touches no LLM table (run it locally).
+  /// Thread-safe, spends nothing.
+  Result<std::vector<ShardSpec>> PlanShards(const std::string& sql) const;
+
+  /// Executes exactly one shard of `request.sql`: re-plans the query,
+  /// validates the compiled shard under `request.alias` against the
+  /// request's table/columns/descriptor (mismatch = version skew,
+  /// kInvalidArgument), and materialises that single table — through the
+  /// attached materialisation cache for whole-table shards, bypassing it
+  /// for key-range slices (a slice under the full descriptor would
+  /// poison the cache). The output's relation is the shard's
+  /// materialised table; cost is exactly the shard's spend.
+  Result<QueryOutput> RunShard(const ShardRequest& request) const;
+
+  /// Executes `sql` with the given tables pre-materialised: overlaid
+  /// aliases skip their LLM materialisation (and the cache) entirely and
+  /// cost nothing; everything else — DB tables, non-overlaid LLM tables,
+  /// the whole relational tail — runs as usual. The coordinator's merge
+  /// step: with every LLM table overlaid, the run spends zero prompts.
+  Result<QueryOutput> RunSqlWithOverlays(
+      const std::string& sql, std::vector<TableOverlay> overlays) const;
 
   const ExecutionOptions& options() const { return options_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -89,6 +90,10 @@ std::string StatsSummary(const OperatorStats& s) {
   if (s.from_cache) {
     return "cache hit: " + std::to_string(s.rows) +
            " rows, 0 round trips";
+  }
+  if (s.from_remote) {
+    return "remote shard: " + std::to_string(s.rows) +
+           " rows, 0 local round trips";
   }
   if (!s.executed) return "not executed";
   std::ostringstream os;
@@ -508,6 +513,23 @@ Result<Relation> PhysicalPlan::MaterialiseLlm(TableGroup& group,
   FinishLlmOp(group.scan_node, scan_tap, keys.size());
   group.scan_node->stats.round_trips = group.scan_stats.pages;
 
+  // Key-range shard slice (cluster scatter-gather): keep the contiguous
+  // [n*i/c, n*(i+1)/c) run of the scanned key list. Every shard of a
+  // split table runs the identical scan, so the slices partition the
+  // same global key order — per-key verdicts are independent, and
+  // concatenating the shard relations in slice order reproduces the
+  // unsharded row order exactly.
+  if (group.slice_count > 1) {
+    const size_t n_keys = keys.size();
+    const size_t lo = n_keys * static_cast<size_t>(group.slice_index) /
+                      static_cast<size_t>(group.slice_count);
+    const size_t hi = n_keys * static_cast<size_t>(group.slice_index + 1) /
+                      static_cast<size_t>(group.slice_count);
+    keys = std::vector<std::string>(
+        std::make_move_iterator(keys.begin() + static_cast<int64_t>(lo)),
+        std::make_move_iterator(keys.begin() + static_cast<int64_t>(hi)));
+  }
+
   // 2a. Optional critic pass over the scanned keys: "Is it true that the
   // name of the country New Italy is New Italy?" rejects hallucinated
   // entities before any further prompt is spent on them. One scheduler
@@ -676,6 +698,34 @@ Result<std::vector<Relation>> PhysicalPlan::MaterialiseAll(
     if (!group.from_llm) {
       GALOIS_ASSIGN_OR_RETURN(Relation rel, MaterialiseDb(group));
       materialised[i] = std::move(rel);
+      continue;
+    }
+    // Gathered shard overlay: the table was materialised remotely (and
+    // billed there); use it verbatim. Checked before the cache so a
+    // coordinator-side cache can never shadow the shard the query was
+    // actually billed for.
+    TableOverlay* overlay = nullptr;
+    for (TableOverlay& o : overlays_) {
+      if (o.alias == group.alias) {
+        overlay = &o;
+        break;
+      }
+    }
+    if (overlay != nullptr) {
+      const int64_t overlay_rows =
+          static_cast<int64_t>(overlay->relation.rows().size());
+      for (PhysicalNode* node :
+           {group.scan_node, group.key_verify_node, group.retrieve_node,
+            group.cell_verify_node}) {
+        if (node == nullptr) continue;
+        node->stats.from_remote = true;
+        node->stats.rows = overlay_rows;
+      }
+      for (PhysicalNode* node : group.check_nodes) {
+        node->stats.from_remote = true;
+        node->stats.rows = overlay_rows;
+      }
+      materialised[i] = std::move(overlay->relation);
       continue;
     }
     if (use_cache) {
@@ -857,6 +907,100 @@ std::string PhysicalPlan::Render() const {
   std::ostringstream os;
   if (root_ != nullptr) RenderRec(*root_, 0, &os);
   return os.str();
+}
+
+std::vector<ShardSpec> PhysicalPlan::LlmShards() const {
+  std::vector<ShardSpec> shards;
+  for (const TableGroup& group : groups_) {
+    if (!group.from_llm) continue;
+    ShardSpec spec;
+    spec.table = group.def->name;
+    spec.alias = group.alias;
+    spec.columns.reserve(group.needed_columns.size());
+    for (const catalog::ColumnDef* col : group.needed_columns) {
+      spec.columns.push_back(col->name);
+    }
+    spec.descriptor = group.descriptor.Encode();
+    shards.push_back(std::move(spec));
+  }
+  return shards;
+}
+
+void PhysicalPlan::SetOverlays(std::vector<TableOverlay> overlays) {
+  overlays_ = std::move(overlays);
+}
+
+Result<QueryOutput> PhysicalPlan::ExecuteShard(const ShardRequest& request,
+                                               llm::LanguageModel* model,
+                                               MaterialisationCache* cache) {
+  TableGroup* group = nullptr;
+  for (TableGroup& g : groups_) {
+    if (g.alias == request.alias) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr || !group->from_llm) {
+    return Status::InvalidArgument("shard: no LLM table aliased \"" +
+                                   request.alias + "\" in this query");
+  }
+  // Version-skew defence: the locally compiled shard must match the
+  // request byte-for-byte — same table, same needed columns, same
+  // canonical predicate descriptor. A mismatch means the coordinator
+  // planned against a different catalog or planner version; executing
+  // anyway would return a well-formed but wrong partial relation.
+  std::vector<std::string> columns;
+  columns.reserve(group->needed_columns.size());
+  for (const catalog::ColumnDef* col : group->needed_columns) {
+    columns.push_back(col->name);
+  }
+  if (group->def->name != request.table || columns != request.columns ||
+      group->descriptor.Encode() != request.descriptor) {
+    return Status::InvalidArgument(
+        "shard: compiled plan for alias \"" + request.alias +
+        "\" does not match the request (catalog or planner version skew)");
+  }
+  if (request.slice_count < 1 || request.slice_index < 0 ||
+      request.slice_index >= request.slice_count) {
+    return Status::InvalidArgument(
+        "shard: slice " + std::to_string(request.slice_index) + "/" +
+        std::to_string(request.slice_count) + " out of range");
+  }
+  group->slice_index = request.slice_index;
+  group->slice_count = request.slice_count;
+
+  QueryOutput out;
+  // Key-range slices bypass the cache: a slice inserted under the full
+  // descriptor would later be served as the whole table.
+  const bool use_cache = cache != nullptr && !options_.record_provenance &&
+                         request.slice_count == 1;
+  std::string base_key;
+  if (use_cache) {
+    base_key =
+        MaterialisationCache::BaseKey(*group->def, options_, model->name());
+    ++out.table_cache_lookups;
+    MaterialisationLookupInfo info;
+    std::optional<Relation> hit =
+        cache->Lookup(base_key, group->descriptor, *group->def,
+                      group->needed_columns, group->alias, &info);
+    if (hit.has_value()) {
+      ++out.table_cache_hits;
+      if (info.exact) ++out.table_cache_exact_hits;
+      if (info.predicate_subsumed) ++out.table_cache_subsumption_hits;
+      if (info.from_store) ++out.table_cache_store_hits;
+      out.relation = std::move(*hit);
+      return out;
+    }
+  }
+  GALOIS_ASSIGN_OR_RETURN(Relation rel,
+                          MaterialiseLlm(*group, model, &out.trace));
+  out.scan_pages_prefetched = group->scan_stats.prefetched;
+  out.scan_pages_overfetched = group->scan_stats.overfetched;
+  if (use_cache) {
+    cache->Insert(base_key, group->descriptor, group->needed_columns, rel);
+  }
+  out.relation = std::move(rel);
+  return out;
 }
 
 }  // namespace galois::core

@@ -36,6 +36,11 @@ struct OperatorStats {
   /// The operator's table was served by the materialisation cache: zero
   /// LLM round trips, rows from the cached materialisation.
   bool from_cache = false;
+  /// The operator's table was served by a remote shard (cluster
+  /// scatter-gather): zero local LLM round trips, rows from the gathered
+  /// partial relation. The remote node's spend is aggregated into the
+  /// query meter by the coordinator, not attributed to this node.
+  bool from_remote = false;
   /// Output rows of the operator; -1 when it never produced any.
   int64_t rows = -1;
   /// LLM round trips this operator issued: scan pages, or batch round
@@ -95,6 +100,24 @@ class PhysicalPlan {
   Result<QueryOutput> Execute(llm::LanguageModel* model,
                               MaterialisationCache* cache);
 
+  /// Lists the plan's LLM base tables as shard specs, in FROM order
+  /// (see ShardSpec in galois_executor.h).
+  std::vector<ShardSpec> LlmShards() const;
+
+  /// Injects pre-materialised tables (matched by FROM alias) that
+  /// Execute uses in place of the engine's own LLM materialisation.
+  /// Overlaid tables spend nothing and bypass the materialisation cache.
+  /// Call before Execute.
+  void SetOverlays(std::vector<TableOverlay> overlays);
+
+  /// Executes exactly one shard: materialises the single LLM table
+  /// aliased `request.alias`, restricted to the request's key-range
+  /// slice, after validating the compiled group against the request's
+  /// spec. See GaloisExecutor::RunShard.
+  Result<QueryOutput> ExecuteShard(const ShardRequest& request,
+                                   llm::LanguageModel* model,
+                                   MaterialisationCache* cache);
+
   /// Indented tree rendering with per-operator statistics, e.g.
   ///   Limit 5  [rows=5]
   ///     Project [name]  [rows=5]
@@ -128,6 +151,12 @@ class PhysicalPlan {
     /// overfetched), filled by MaterialiseLlm and aggregated into
     /// QueryOutput by MaterialiseAll.
     KeyScanStats scan_stats;
+    /// Contiguous key-range slice for shard execution: after the scan,
+    /// only scanned keys [n*i/c, n*(i+1)/c) proceed to the per-key
+    /// phases. 0/1 = the whole table (the default, and the only value
+    /// outside ExecuteShard).
+    int64_t slice_index = 0;
+    int64_t slice_count = 1;
 
     // Stats targets; null when the phase does not exist for this group.
     PhysicalNode* scan_node = nullptr;
@@ -176,6 +205,10 @@ class PhysicalPlan {
 
   std::vector<TableGroup> groups_;  // FROM order
   std::vector<JoinStep> joins_;     // execution order (groups_[i+1] joins)
+
+  /// Pre-materialised tables by alias (SetOverlays); consumed by
+  /// MaterialiseAll in place of the matching group's LLM phases.
+  std::vector<TableOverlay> overlays_;
 
   /// Engine-side WHERE residue (null when fully consumed by scan
   /// filters) and its node.

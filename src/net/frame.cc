@@ -20,6 +20,10 @@ const char* FrameTypeName(FrameType type) {
       return "Ping";
     case FrameType::kPong:
       return "Pong";
+    case FrameType::kPartialQuery:
+      return "PartialQuery";
+    case FrameType::kPartialResult:
+      return "PartialResult";
   }
   return "?";
 }
@@ -28,7 +32,7 @@ namespace {
 
 bool KnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kPong);
+         type <= static_cast<uint8_t>(FrameType::kPartialResult);
 }
 
 }  // namespace

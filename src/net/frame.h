@@ -31,13 +31,15 @@ constexpr size_t kFrameHeaderSize = 12;
 constexpr int64_t kMaxFramePayload = 64 * 1024 * 1024;
 
 enum class FrameType : uint8_t {
-  kQuery = 1,        // client -> server: QueryRequest
-  kQueryResult = 2,  // server -> client: QueryResponse
-  kError = 3,        // server -> client: ErrorResponse
-  kStats = 4,        // client -> server: empty payload
-  kStatsResult = 5,  // server -> client: ServerStats snapshot
-  kPing = 6,         // client -> server: empty payload (liveness probe)
-  kPong = 7,         // server -> client: empty payload
+  kQuery = 1,          // client -> server: QueryRequest
+  kQueryResult = 2,    // server -> client: QueryResponse
+  kError = 3,          // server -> client: ErrorResponse
+  kStats = 4,          // client -> server: empty payload
+  kStatsResult = 5,    // server -> client: ServerStats snapshot
+  kPing = 6,           // client -> server: empty payload (liveness probe)
+  kPong = 7,           // server -> client: empty payload
+  kPartialQuery = 8,   // coordinator -> node: PartialQueryRequest
+  kPartialResult = 9,  // node -> coordinator: PartialQueryResponse
 };
 
 /// Stable display name ("Query", "StatsResult"); "?" for unknown values.

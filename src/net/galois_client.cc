@@ -1,5 +1,7 @@
 #include "net/galois_client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "net/frame.h"
@@ -12,11 +14,38 @@ Result<GaloisClient> GaloisClient::Connect(ClientOptions options) {
   return GaloisClient(std::move(options), std::move(fd));
 }
 
+Status GaloisClient::Reconnect() {
+  for (int attempt = 0; attempt < options_.reconnect_attempts; ++attempt) {
+    if (attempt > 0 && options_.reconnect_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.reconnect_backoff_ms));
+    }
+    Result<Fd> fd = ConnectTcp(options_.host, options_.port,
+                               options_.connect_timeout_ms);
+    if (fd.ok()) {
+      fd_ = std::move(fd).value();
+      ++stats_.reconnects;
+      return Status::OK();
+    }
+    ++stats_.reconnect_failures;
+  }
+  return Status::IoError("galois_client: not connected (" +
+                         std::to_string(options_.reconnect_attempts) +
+                         " reconnect attempts failed)");
+}
+
 Result<Frame> GaloisClient::RoundTrip(FrameType type,
                                       const std::string& payload,
                                       int64_t extra_deadline_ms) {
   if (!fd_.valid()) {
-    return Status::IoError("galois_client: not connected");
+    // Heal a poisoned connection at call entry only: before any bytes of
+    // this request are on the wire, retrying is unambiguous. A fault
+    // after the request was sent stays fatal for this call — the server
+    // may have executed it, and re-sending would double-execute.
+    if (options_.reconnect_attempts <= 0) {
+      return Status::IoError("galois_client: not connected");
+    }
+    GALOIS_RETURN_IF_ERROR(Reconnect());
   }
   int64_t write_deadline = NowMs() + options_.io_timeout_ms;
   Status sent = WriteFrame(fd_.get(), type, payload, write_deadline);
@@ -64,6 +93,31 @@ Result<QueryResult> GaloisClient::Query(const std::string& sql,
   }
   GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
   return QueryResultFromJson(j);
+}
+
+Result<PartialQueryResponse> GaloisClient::PartialQuery(
+    const PartialQueryRequest& request) {
+  GALOIS_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(FrameType::kPartialQuery,
+                PartialQueryRequestToJson(request).Dump(),
+                request.deadline_ms));
+  if (reply.type == FrameType::kError) {
+    GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
+    Status s = StatusFromJson(j);
+    if (s.ok()) {
+      return Status::ParseError("galois_client: error frame carried OK status");
+    }
+    return s;
+  }
+  if (reply.type != FrameType::kPartialResult) {
+    Close();
+    return Status::ParseError(
+        std::string("galois_client: expected PartialResult, got ") +
+        FrameTypeName(reply.type));
+  }
+  GALOIS_ASSIGN_OR_RETURN(Json j, Json::Parse(reply.payload));
+  return PartialQueryResponseFromJson(j);
 }
 
 Result<ServerStats> GaloisClient::Stats() {

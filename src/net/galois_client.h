@@ -20,6 +20,25 @@ struct ClientOptions {
   /// query given 30s to run gets io_timeout_ms + 30s before the client
   /// declares the connection dead.
   int64_t io_timeout_ms = 10000;
+  /// Bounded auto-reconnect on a poisoned connection: when a call finds
+  /// the connection already closed by an earlier transport fault (or an
+  /// explicit Close), up to this many reconnect attempts are made —
+  /// with reconnect_backoff_ms sleep between them — before the call
+  /// proceeds. 0 (the default) keeps the historical fail-fast contract.
+  /// Reconnection happens ONLY at call entry, never after a fault
+  /// mid-call: a request that died in flight may have executed, and
+  /// blindly resending it would double-execute; re-dispatch is the
+  /// caller's decision (the cluster coordinator classifies first).
+  int reconnect_attempts = 0;
+  int64_t reconnect_backoff_ms = 50;
+};
+
+/// Client-side transport counters (see ClientOptions::reconnect_attempts).
+struct ClientStats {
+  /// Successful automatic reconnects of a poisoned connection.
+  int64_t reconnects = 0;
+  /// Reconnect attempts that failed (daemon still unreachable).
+  int64_t reconnect_failures = 0;
 };
 
 /// Thin client for the galoisd frame protocol: one persistent TCP
@@ -50,15 +69,23 @@ class GaloisClient {
   /// happens where the work is, not by abandoning the connection.
   Result<QueryResult> Query(const std::string& sql, int64_t deadline_ms = 0);
 
+  /// Dispatches one shard of a scatter-gathered query (kPartialQuery /
+  /// kPartialResult). Same error classification as Query.
+  Result<PartialQueryResponse> PartialQuery(const PartialQueryRequest& request);
+
   /// Live daemon statistics.
   Result<ServerStats> Stats();
 
   /// Liveness probe (kPing/kPong round trip).
   Status Ping();
 
-  /// Closes the connection; subsequent calls fail with kIoError.
+  /// Closes the connection; subsequent calls fail with kIoError (or
+  /// auto-reconnect, when ClientOptions::reconnect_attempts allows).
   void Close() { fd_.reset(); }
   bool connected() const { return fd_.valid(); }
+
+  /// Client-side transport counters (reconnects and their failures).
+  const ClientStats& client_stats() const { return stats_; }
 
  private:
   explicit GaloisClient(ClientOptions options, Fd fd)
@@ -66,11 +93,17 @@ class GaloisClient {
 
   /// One request/response exchange; poisons the connection on transport
   /// errors. `extra_deadline_ms` widens the read budget (query runtime).
+  /// Entry point of the bounded auto-reconnect path (Reconnect below).
   Result<Frame> RoundTrip(FrameType type, const std::string& payload,
                           int64_t extra_deadline_ms);
 
+  /// Re-establishes a poisoned connection, bounded by
+  /// ClientOptions::reconnect_attempts with reconnect_backoff_ms sleeps.
+  Status Reconnect();
+
   ClientOptions options_;
   Fd fd_;
+  ClientStats stats_;
 };
 
 }  // namespace galois::net

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/galois_executor.h"
 #include "llm/http_llm.h"
 
 namespace galois::net {
@@ -115,6 +116,9 @@ void GaloisServer::HandleConnection(Fd fd) {
         // ServeQuery reports per-query failures in-band; a dead client
         // surfaces on the next read.
         break;
+      case FrameType::kPartialQuery:
+        ServePartialQuery(fd.get(), frame.value().payload);
+        break;
       default:
         // Server-to-client frame types arriving at the server: protocol
         // violation.
@@ -205,6 +209,107 @@ void GaloisServer::ServeQuery(int fd, const std::string& payload) {
   }
   if (!write_status.ok()) {
     // The query ran (and billed); the client just never saw the answer.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++responses_unsent_;
+  }
+}
+
+void GaloisServer::ServePartialQuery(int fd, const std::string& payload) {
+  Result<Json> parsed = Json::Parse(payload);
+  Result<PartialQueryRequest> request =
+      parsed.ok() ? PartialQueryRequestFromJson(parsed.value())
+                  : Result<PartialQueryRequest>(parsed.status());
+  if (!request.ok()) {
+    WriteErrorFrame(fd, request.status(), /*retryable=*/false);
+    return;
+  }
+
+  std::string reject_reason;
+  if (!AdmitQuery(&reject_reason)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++queries_rejected_;
+    }
+    WriteErrorFrame(fd, Status::ExecutionError(reject_reason),
+                    /*retryable=*/true);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++partials_started_;
+  }
+
+  CancelToken control = std::make_shared<CancelState>(drain_kill_);
+  int64_t deadline = request.value().deadline_ms;
+  if (options_.default_deadline_ms > 0) {
+    deadline = deadline > 0
+                   ? std::min(deadline, options_.default_deadline_ms)
+                   : options_.default_deadline_ms;
+  }
+  if (deadline > 0) control->ArmDeadline(deadline);
+
+  // Shards execute under the node's own default options (the remote
+  // execution contract: options do not travel), through the node's
+  // materialisation cache, billing through a per-shard CostTap so the
+  // response meter is exactly this shard's spend.
+  core::ExecutionOptions snapshot = db_->default_options();
+  snapshot.control = control;
+  core::GaloisExecutor executor(db_->model(), &db_->catalog(), snapshot);
+  executor.set_materialisation_cache(db_->materialisation_cache());
+
+  core::ShardRequest shard;
+  shard.sql = request.value().sql;
+  shard.table = request.value().table;
+  shard.alias = request.value().alias;
+  shard.columns = request.value().columns;
+  shard.descriptor = request.value().descriptor;
+  shard.slice_index = request.value().slice_index;
+  shard.slice_count = request.value().slice_count;
+  Result<core::QueryOutput> out = executor.RunShard(shard);
+  ReleaseQuery();
+
+  if (!out.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++partials_error_;
+    }
+    WriteErrorFrame(fd, out.status(),
+                    llm::IsRetryableLlmError(out.status()));
+    return;
+  }
+
+  PartialQueryResponse response;
+  response.table = shard.table;
+  response.alias = shard.alias;
+  response.slice_index = shard.slice_index;
+  response.slice_count = shard.slice_count;
+  response.relation = std::move(out.value().relation);
+  response.cost = out.value().cost;
+  response.table_cache_lookups = out.value().table_cache_lookups;
+  response.table_cache_hits = out.value().table_cache_hits;
+  response.table_cache_exact_hits = out.value().table_cache_exact_hits;
+  response.table_cache_subsumption_hits =
+      out.value().table_cache_subsumption_hits;
+  response.table_cache_store_hits = out.value().table_cache_store_hits;
+  response.scan_pages_prefetched = out.value().scan_pages_prefetched;
+  response.scan_pages_overfetched = out.value().scan_pages_overfetched;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++partials_ok_;
+    table_cache_lookups_ += response.table_cache_lookups;
+    table_cache_hits_ += response.table_cache_hits;
+    table_cache_exact_hits_ += response.table_cache_exact_hits;
+    table_cache_subsumption_hits_ += response.table_cache_subsumption_hits;
+    table_cache_store_hits_ += response.table_cache_store_hits;
+    scan_pages_prefetched_ += response.scan_pages_prefetched;
+    scan_pages_overfetched_ += response.scan_pages_overfetched;
+  }
+  Status write_status =
+      WriteFrame(fd, FrameType::kPartialResult,
+                 PartialQueryResponseToJson(response).Dump(),
+                 NowMs() + options_.io_timeout_ms);
+  if (!write_status.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++responses_unsent_;
   }
@@ -313,13 +418,18 @@ ServerStats GaloisServer::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.uptime_ms = started_ms_ > 0 ? NowMs() - started_ms_ : 0;
+    s.uptime_s = s.uptime_ms / 1000;
     s.connections_accepted = connections_accepted_;
     s.connections_active = connections_active_;
+    s.active_connections = connections_active_;
     s.queries_started = queries_started_;
     s.queries_ok = queries_ok_;
     s.queries_error = queries_error_;
     s.queries_rejected = queries_rejected_;
     s.responses_unsent = responses_unsent_;
+    s.partials_started = partials_started_;
+    s.partials_ok = partials_ok_;
+    s.partials_error = partials_error_;
     s.total_wall_ms = total_wall_ms_;
     s.max_wall_ms = max_wall_ms_;
     s.table_cache_lookups = table_cache_lookups_;

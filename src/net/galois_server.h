@@ -103,6 +103,11 @@ class GaloisServer {
   void HandleConnection(Fd fd);
   /// Parses and executes one kQuery frame, writing the response.
   void ServeQuery(int fd, const std::string& payload);
+  /// Parses and executes one kPartialQuery frame — one shard of a
+  /// scatter-gathered query (GaloisExecutor::RunShard) — writing the
+  /// kPartialResult (or kError) response. Shares the admission gate with
+  /// full queries: a node's concurrency budget covers both kinds.
+  void ServePartialQuery(int fd, const std::string& payload);
   /// Blocks until an execution slot is free (or rejection). On false,
   /// `*reject_reason` names why (queue full / draining).
   bool AdmitQuery(std::string* reject_reason);
@@ -149,6 +154,9 @@ class GaloisServer {
   int64_t queries_error_ = 0;
   int64_t queries_rejected_ = 0;
   int64_t responses_unsent_ = 0;
+  int64_t partials_started_ = 0;
+  int64_t partials_ok_ = 0;
+  int64_t partials_error_ = 0;
   double total_wall_ms_ = 0.0;
   double max_wall_ms_ = 0.0;
   int64_t table_cache_lookups_ = 0;

@@ -39,6 +39,42 @@ llm::ModelUsage ModelUsageFromJson(const Json& j) {
   return usage;
 }
 
+// Hex codec for descriptor bytes: PredicateDescriptor::Encode() output
+// is length-prefixed binary and may embed any byte value, so it cannot
+// ride in a JSON string as-is.
+std::string HexEncode(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::ParseError("wire: odd-length hex descriptor");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("wire: non-hex byte in descriptor");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
 }  // namespace
 
 Json RelationToJson(const Relation& relation) {
@@ -201,6 +237,109 @@ Result<QueryResult> QueryResultFromJson(const Json& j) {
   return result;
 }
 
+Json PartialQueryRequestToJson(const PartialQueryRequest& request) {
+  Json j = Json::Object();
+  j.Set("sql", Json::String(request.sql));
+  j.Set("table", Json::String(request.table));
+  j.Set("alias", Json::String(request.alias));
+  Json columns = Json::Array();
+  for (const std::string& column : request.columns) {
+    columns.Append(Json::String(column));
+  }
+  j.Set("columns", std::move(columns));
+  j.Set("descriptor", Json::String(HexEncode(request.descriptor)));
+  j.Set("slice_index", Json::Number(request.slice_index));
+  j.Set("slice_count", Json::Number(request.slice_count));
+  if (request.deadline_ms > 0) {
+    j.Set("deadline_ms", Json::Number(request.deadline_ms));
+  }
+  return j;
+}
+
+Result<PartialQueryRequest> PartialQueryRequestFromJson(const Json& j) {
+  if (!j.is_object() || !j["sql"].is_string() || !j["table"].is_string() ||
+      !j["alias"].is_string() || !j["columns"].is_array()) {
+    return Status::ParseError("wire: malformed partial query request");
+  }
+  PartialQueryRequest request;
+  request.sql = j.GetString("sql");
+  request.table = j.GetString("table");
+  request.alias = j.GetString("alias");
+  const Json& columns = j["columns"];
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!columns.at(i).is_string()) {
+      return Status::ParseError("wire: partial query column is not a string");
+    }
+    request.columns.push_back(columns.at(i).string_value());
+  }
+  GALOIS_ASSIGN_OR_RETURN(request.descriptor,
+                          HexDecode(j.GetString("descriptor")));
+  request.slice_index = j.GetInt("slice_index", 0);
+  request.slice_count = j.GetInt("slice_count", 1);
+  if (request.slice_count < 1 || request.slice_index < 0 ||
+      request.slice_index >= request.slice_count) {
+    return Status::ParseError("wire: partial query slice " +
+                              std::to_string(request.slice_index) + "/" +
+                              std::to_string(request.slice_count) +
+                              " out of range");
+  }
+  request.deadline_ms = j.GetInt("deadline_ms", 0);
+  if (request.deadline_ms < 0) {
+    return Status::ParseError("wire: negative deadline_ms");
+  }
+  return request;
+}
+
+Json PartialQueryResponseToJson(const PartialQueryResponse& response) {
+  Json j = Json::Object();
+  j.Set("table", Json::String(response.table));
+  j.Set("alias", Json::String(response.alias));
+  j.Set("slice_index", Json::Number(response.slice_index));
+  j.Set("slice_count", Json::Number(response.slice_count));
+  j.Set("relation", RelationToJson(response.relation));
+  j.Set("cost", CostMeterToJson(response.cost));
+  j.Set("table_cache_lookups", Json::Number(response.table_cache_lookups));
+  j.Set("table_cache_hits", Json::Number(response.table_cache_hits));
+  j.Set("table_cache_exact_hits",
+        Json::Number(response.table_cache_exact_hits));
+  j.Set("table_cache_subsumption_hits",
+        Json::Number(response.table_cache_subsumption_hits));
+  j.Set("table_cache_store_hits",
+        Json::Number(response.table_cache_store_hits));
+  j.Set("scan_pages_prefetched",
+        Json::Number(response.scan_pages_prefetched));
+  j.Set("scan_pages_overfetched",
+        Json::Number(response.scan_pages_overfetched));
+  return j;
+}
+
+Result<PartialQueryResponse> PartialQueryResponseFromJson(const Json& j) {
+  if (!j.is_object() || !j["table"].is_string() || !j["alias"].is_string()) {
+    return Status::ParseError("wire: malformed partial query response");
+  }
+  PartialQueryResponse response;
+  response.table = j.GetString("table");
+  response.alias = j.GetString("alias");
+  response.slice_index = j.GetInt("slice_index", 0);
+  response.slice_count = j.GetInt("slice_count", 1);
+  if (response.slice_count < 1 || response.slice_index < 0 ||
+      response.slice_index >= response.slice_count) {
+    return Status::ParseError("wire: partial result slice out of range");
+  }
+  GALOIS_ASSIGN_OR_RETURN(response.relation,
+                          RelationFromJson(j["relation"]));
+  GALOIS_ASSIGN_OR_RETURN(response.cost, CostMeterFromJson(j["cost"]));
+  response.table_cache_lookups = j.GetInt("table_cache_lookups");
+  response.table_cache_hits = j.GetInt("table_cache_hits");
+  response.table_cache_exact_hits = j.GetInt("table_cache_exact_hits");
+  response.table_cache_subsumption_hits =
+      j.GetInt("table_cache_subsumption_hits");
+  response.table_cache_store_hits = j.GetInt("table_cache_store_hits");
+  response.scan_pages_prefetched = j.GetInt("scan_pages_prefetched");
+  response.scan_pages_overfetched = j.GetInt("scan_pages_overfetched");
+  return response;
+}
+
 Json StatusToJson(const Status& status, bool retryable) {
   Json j = Json::Object();
   j.Set("code", Json::Number(static_cast<int64_t>(status.code())));
@@ -230,14 +369,19 @@ Status StatusFromJson(const Json& j) {
 Json ServerStatsToJson(const ServerStats& stats) {
   Json j = Json::Object();
   j.Set("uptime_ms", Json::Number(stats.uptime_ms));
+  j.Set("uptime_s", Json::Number(stats.uptime_s));
   j.Set("draining", Json::Bool(stats.draining));
   j.Set("connections_accepted", Json::Number(stats.connections_accepted));
   j.Set("connections_active", Json::Number(stats.connections_active));
+  j.Set("active_connections", Json::Number(stats.active_connections));
   j.Set("queries_started", Json::Number(stats.queries_started));
   j.Set("queries_ok", Json::Number(stats.queries_ok));
   j.Set("queries_error", Json::Number(stats.queries_error));
   j.Set("queries_rejected", Json::Number(stats.queries_rejected));
   j.Set("responses_unsent", Json::Number(stats.responses_unsent));
+  j.Set("partials_started", Json::Number(stats.partials_started));
+  j.Set("partials_ok", Json::Number(stats.partials_ok));
+  j.Set("partials_error", Json::Number(stats.partials_error));
   j.Set("in_flight", Json::Number(stats.in_flight));
   j.Set("queued", Json::Number(stats.queued));
   j.Set("total_wall_ms", Json::Number(stats.total_wall_ms));
@@ -269,14 +413,19 @@ Result<ServerStats> ServerStatsFromJson(const Json& j) {
   }
   ServerStats stats;
   stats.uptime_ms = j.GetInt("uptime_ms");
+  stats.uptime_s = j.GetInt("uptime_s");
   stats.draining = j.GetBool("draining");
   stats.connections_accepted = j.GetInt("connections_accepted");
   stats.connections_active = j.GetInt("connections_active");
+  stats.active_connections = j.GetInt("active_connections");
   stats.queries_started = j.GetInt("queries_started");
   stats.queries_ok = j.GetInt("queries_ok");
   stats.queries_error = j.GetInt("queries_error");
   stats.queries_rejected = j.GetInt("queries_rejected");
   stats.responses_unsent = j.GetInt("responses_unsent");
+  stats.partials_started = j.GetInt("partials_started");
+  stats.partials_ok = j.GetInt("partials_ok");
+  stats.partials_error = j.GetInt("partials_error");
   stats.in_flight = j.GetInt("in_flight");
   stats.queued = j.GetInt("queued");
   stats.total_wall_ms = j.GetNumber("total_wall_ms");
@@ -311,14 +460,19 @@ std::string ServerStats::ToString() const {
     out += buf;
   };
   line("uptime_ms", uptime_ms);
+  line("uptime_s", uptime_s);
   line("draining", draining ? 1 : 0);
   line("connections_accepted", connections_accepted);
   line("connections_active", connections_active);
+  line("active_connections", active_connections);
   line("queries_started", queries_started);
   line("queries_ok", queries_ok);
   line("queries_error", queries_error);
   line("queries_rejected", queries_rejected);
   line("responses_unsent", responses_unsent);
+  line("partials_started", partials_started);
+  line("partials_ok", partials_ok);
+  line("partials_error", partials_error);
   line("in_flight", in_flight);
   line("queued", queued);
   dline("queries_per_sec", queries_per_sec);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/database.h"
 #include "common/json.h"
@@ -54,6 +55,64 @@ Result<QueryRequest> QueryRequestFromJson(const Json& j);
 Json QueryResultToJson(const QueryResult& result);
 Result<QueryResult> QueryResultFromJson(const Json& j);
 
+/// One shard of a scatter-gathered query (FrameType::kPartialQuery):
+/// the coordinator asks a node to materialise exactly one LLM table of
+/// the query, optionally restricted to a contiguous key-range slice.
+///
+/// The node re-plans `sql` against its own (identical) catalog and
+/// validates that the shard it finds under `alias` matches `table`,
+/// `columns` and `descriptor` byte-for-byte — a mismatch means the
+/// coordinator and node disagree about the catalog or planner version,
+/// which is a deterministic error, never retried. The descriptor is the
+/// table's canonical PredicateDescriptor::Encode() bytes (hex-encoded on
+/// the wire so arbitrary predicate values survive the JSON layer).
+struct PartialQueryRequest {
+  std::string sql;
+  std::string table;
+  std::string alias;
+  /// Needed column names in definition order (the key column is implied
+  /// and always first in the response relation).
+  std::vector<std::string> columns;
+  /// Canonical PredicateDescriptor::Encode() bytes (raw; the codec
+  /// hex-encodes them on the wire).
+  std::string descriptor;
+  /// Key-range slice [slice_index, slice_count): the node runs the full
+  /// key scan, keeps the slice_index-th contiguous slice of the scanned
+  /// key list, and runs the per-key phases on that slice only.
+  /// slice_count == 1 means the whole table.
+  int64_t slice_index = 0;
+  int64_t slice_count = 1;
+  int64_t deadline_ms = 0;
+};
+
+Json PartialQueryRequestToJson(const PartialQueryRequest& request);
+Result<PartialQueryRequest> PartialQueryRequestFromJson(const Json& j);
+
+/// A node's answer to a partial query (FrameType::kPartialResult): the
+/// shard's materialised relation (alias-qualified key + needed columns)
+/// plus the per-shard CostMeter slice and cache/prefetch counters the
+/// coordinator aggregates into the merged QueryResult.
+struct PartialQueryResponse {
+  std::string table;
+  std::string alias;
+  int64_t slice_index = 0;
+  int64_t slice_count = 1;
+  Relation relation;
+  /// Exactly this shard's spend (per-query CostTap, by-model slices
+  /// included) — summing the shards' meters reproduces the facade's.
+  llm::CostMeter cost;
+  int64_t table_cache_lookups = 0;
+  int64_t table_cache_hits = 0;
+  int64_t table_cache_exact_hits = 0;
+  int64_t table_cache_subsumption_hits = 0;
+  int64_t table_cache_store_hits = 0;
+  int64_t scan_pages_prefetched = 0;
+  int64_t scan_pages_overfetched = 0;
+};
+
+Json PartialQueryResponseToJson(const PartialQueryResponse& response);
+Result<PartialQueryResponse> PartialQueryResponseFromJson(const Json& j);
+
 /// Failed-query payload (FrameType::kError): the Status round-trips with
 /// its code and message (classification markers like the retryable
 /// suffix ride along in the message), plus an explicit retryable flag
@@ -70,10 +129,18 @@ Status StatusFromJson(const Json& j);
 /// every completed query's QueryResult.
 struct ServerStats {
   int64_t uptime_ms = 0;
+  /// Whole seconds of uptime_ms — the scrape-friendly rendering cluster
+  /// health checks grep for ("a node with uptime_s below the burst
+  /// window just restarted").
+  int64_t uptime_s = 0;
   bool draining = false;
 
   int64_t connections_accepted = 0;
   int64_t connections_active = 0;
+  /// Alias of connections_active under the conventional scrape name, so
+  /// cluster tooling reading `active_connections` keys off one spelling
+  /// across daemon versions.
+  int64_t active_connections = 0;
 
   int64_t queries_started = 0;
   int64_t queries_ok = 0;
@@ -83,6 +150,11 @@ struct ServerStats {
   /// Responses that could not be written because the client had already
   /// disconnected (the query still ran and billed).
   int64_t responses_unsent = 0;
+
+  /// Scatter-gather shard executions served (FrameType::kPartialQuery).
+  int64_t partials_started = 0;
+  int64_t partials_ok = 0;
+  int64_t partials_error = 0;
 
   int64_t in_flight = 0;
   int64_t queued = 0;

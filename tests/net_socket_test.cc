@@ -13,9 +13,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <random>
+
 #include "gtest/gtest.h"
 #include "net/frame.h"
 #include "net/http.h"
+#include "net/protocol.h"
 #include "net/socket.h"
 
 namespace galois::net {
@@ -428,6 +431,186 @@ TEST(ListenerTest, ConnectAndExchange) {
   ASSERT_TRUE(
       RecvExactly(server_side.value().get(), 13, &got, Soon()).ok());
   EXPECT_EQ("over loopback", got);
+}
+
+// ---------------------------------------------------------------------------
+// Partial-query codec (the cluster scatter frames).
+
+PartialQueryRequest SamplePartialRequest() {
+  PartialQueryRequest request;
+  request.sql = "SELECT c.name FROM LLM.country c WHERE c.GDP > 1000";
+  request.table = "country";
+  request.alias = "c";
+  request.columns = {"name", "GDP"};
+  // Descriptor bytes are binary (PredicateDescriptor::Encode output);
+  // exercise the hex layer with every awkward byte class.
+  request.descriptor = std::string("\x00\x01\x7f\x80\xff\"\\\n", 8);
+  request.slice_index = 1;
+  request.slice_count = 3;
+  request.deadline_ms = 2500;
+  return request;
+}
+
+TEST(PartialQueryCodecTest, RequestRoundTrip) {
+  PartialQueryRequest request = SamplePartialRequest();
+  auto parsed = Json::Parse(PartialQueryRequestToJson(request).Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto decoded = PartialQueryRequestFromJson(parsed.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(request.sql, decoded.value().sql);
+  EXPECT_EQ(request.table, decoded.value().table);
+  EXPECT_EQ(request.alias, decoded.value().alias);
+  EXPECT_EQ(request.columns, decoded.value().columns);
+  EXPECT_EQ(request.descriptor, decoded.value().descriptor);
+  EXPECT_EQ(request.slice_index, decoded.value().slice_index);
+  EXPECT_EQ(request.slice_count, decoded.value().slice_count);
+  EXPECT_EQ(request.deadline_ms, decoded.value().deadline_ms);
+}
+
+TEST(PartialQueryCodecTest, RequestRejectsSliceOutOfRange) {
+  for (auto [index, count] : {std::pair<int64_t, int64_t>{3, 3},
+                              {0, 0},
+                              {-1, 2},
+                              {5, 2}}) {
+    PartialQueryRequest request = SamplePartialRequest();
+    Json j = PartialQueryRequestToJson(request);
+    j.Set("slice_index", Json::Number(index));
+    j.Set("slice_count", Json::Number(count));
+    EXPECT_EQ(StatusCode::kParseError,
+              PartialQueryRequestFromJson(j).status().code())
+        << index << "/" << count;
+  }
+}
+
+TEST(PartialQueryCodecTest, RequestRejectsBadDescriptorHex) {
+  PartialQueryRequest request = SamplePartialRequest();
+  Json j = PartialQueryRequestToJson(request);
+  j.Set("descriptor", Json::String("abc"));  // odd length
+  EXPECT_EQ(StatusCode::kParseError,
+            PartialQueryRequestFromJson(j).status().code());
+  j.Set("descriptor", Json::String("zz"));  // not hex
+  EXPECT_EQ(StatusCode::kParseError,
+            PartialQueryRequestFromJson(j).status().code());
+}
+
+TEST(PartialQueryCodecTest, ResponseRoundTrip) {
+  PartialQueryResponse response;
+  response.table = "country";
+  response.alias = "c";
+  response.slice_index = 0;
+  response.slice_count = 2;
+  Schema schema({Column("key", DataType::kString, "c"),
+                 Column("GDP", DataType::kInt64, "c")});
+  Relation rel(schema);
+  rel.AddRowUnchecked({Value::String("France"), Value::Int(2780)});
+  rel.AddRowUnchecked({Value::String("Japan"), Value::Int(4231)});
+  response.relation = rel;
+  response.cost.num_prompts = 7;
+  response.cost.prompt_tokens = 120;
+  response.cost.completion_tokens = 60;
+  response.cost.simulated_latency_ms = 41.25;
+  response.cost.by_model["gpt"].num_prompts = 7;
+  response.cost.by_model["gpt"].prompt_tokens = 120;
+  response.table_cache_lookups = 1;
+  response.table_cache_hits = 1;
+  response.table_cache_exact_hits = 1;
+  response.scan_pages_prefetched = 2;
+  response.scan_pages_overfetched = 1;
+  auto parsed = Json::Parse(PartialQueryResponseToJson(response).Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto decoded = PartialQueryResponseFromJson(parsed.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(response.table, decoded.value().table);
+  EXPECT_EQ(response.alias, decoded.value().alias);
+  EXPECT_EQ(response.slice_count, decoded.value().slice_count);
+  EXPECT_TRUE(response.relation.SameContents(decoded.value().relation));
+  EXPECT_EQ(response.relation.ToCsv(), decoded.value().relation.ToCsv());
+  EXPECT_EQ(response.cost.num_prompts, decoded.value().cost.num_prompts);
+  EXPECT_EQ(response.cost.prompt_tokens, decoded.value().cost.prompt_tokens);
+  EXPECT_EQ(response.cost.completion_tokens,
+            decoded.value().cost.completion_tokens);
+  EXPECT_DOUBLE_EQ(response.cost.simulated_latency_ms,
+                   decoded.value().cost.simulated_latency_ms);
+  ASSERT_EQ(1u, decoded.value().cost.by_model.size());
+  EXPECT_TRUE(response.cost.by_model.at("gpt") ==
+              decoded.value().cost.by_model.at("gpt"));
+  EXPECT_EQ(response.table_cache_lookups, decoded.value().table_cache_lookups);
+  EXPECT_EQ(response.table_cache_exact_hits,
+            decoded.value().table_cache_exact_hits);
+  EXPECT_EQ(response.scan_pages_prefetched,
+            decoded.value().scan_pages_prefetched);
+  EXPECT_EQ(response.scan_pages_overfetched,
+            decoded.value().scan_pages_overfetched);
+}
+
+TEST(PartialQueryCodecTest, TruncatedPartialFrameIsIoError) {
+  SocketPair pair;
+  std::string payload =
+      PartialQueryRequestToJson(SamplePartialRequest()).Dump();
+  std::string header =
+      EncodeFrameHeader(FrameType::kPartialQuery,
+                        static_cast<int64_t>(payload.size()));
+  // Only half the payload arrives, then the peer dies.
+  ASSERT_TRUE(
+      SendAll(pair.a.get(), header + payload.substr(0, payload.size() / 2),
+              Soon())
+          .ok());
+  pair.a.reset();
+  auto frame = ReadFrame(pair.b.get(), Soon());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(StatusCode::kIoError, frame.status().code());
+}
+
+TEST(PartialQueryCodecTest, OversizePartialFrameIsRejected) {
+  // A hostile kPartialQuery length field is rejected at the header, before
+  // any payload allocation.
+  std::string header = EncodeFrameHeader(FrameType::kPartialQuery, 0);
+  header[8] = '\x01';
+  header[9] = '\x00';
+  header[10] = '\x00';
+  header[11] = '\x04';  // 0x04000001 = 64MiB + 1
+  int64_t n = 0;
+  EXPECT_EQ(StatusCode::kParseError,
+            DecodeFrameHeader(header, &n).status().code());
+}
+
+TEST(PartialQueryCodecTest, FuzzedPayloadsNeverCrashTheCodec) {
+  // Deterministic mutation fuzz: flip/truncate/extend valid payloads and
+  // feed the result through parse + decode. The codec must return an
+  // error or a value — never crash — whatever arrives.
+  std::mt19937 rng(0xC0FFEE);
+  const std::string req_seed =
+      PartialQueryRequestToJson(SamplePartialRequest()).Dump();
+  PartialQueryResponse seed_response;
+  seed_response.table = "t";
+  seed_response.alias = "a";
+  const std::string resp_seed =
+      PartialQueryResponseToJson(seed_response).Dump();
+  for (int round = 0; round < 400; ++round) {
+    std::string payload = (round % 2 == 0) ? req_seed : resp_seed;
+    std::uniform_int_distribution<size_t> pos(0, payload.size() - 1);
+    switch (rng() % 3) {
+      case 0:  // byte flip(s)
+        for (int k = 0; k <= static_cast<int>(rng() % 4); ++k) {
+          payload[pos(rng)] = static_cast<char>(rng() % 256);
+        }
+        break;
+      case 1:  // truncate
+        payload.resize(pos(rng));
+        break;
+      default:  // splice garbage into the middle
+        payload.insert(pos(rng), std::string(1 + rng() % 16,
+                                             static_cast<char>(rng() % 256)));
+        break;
+    }
+    auto parsed = Json::Parse(payload);
+    if (!parsed.ok()) continue;  // parse rejection is a fine outcome
+    if (round % 2 == 0) {
+      PartialQueryRequestFromJson(parsed.value()).status();
+    } else {
+      PartialQueryResponseFromJson(parsed.value()).status();
+    }
+  }
 }
 
 TEST(ListenerTest, ConnectToDeadPortFails) {

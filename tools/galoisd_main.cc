@@ -39,6 +39,8 @@ void PrintUsage(const char* argv0) {
       "  --max-in-flight N      concurrent queries (default 8)\n"
       "  --queue-capacity N     waiting queries before rejection (default 64)\n"
       "  --deadline-ms MS       server-side per-query deadline cap (default none)\n"
+      "  --seed N               simulated-backend seed (default 7); every node\n"
+      "                         of a cluster must share it\n"
       "  --llm-host HOST        HTTP LLM backend host (default: simulated backend)\n"
       "  --llm-port PORT        HTTP LLM backend port\n"
       "  --no-cache             disable the cross-query materialisation cache\n"
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
   int64_t max_in_flight = 8;
   int64_t queue_capacity = 64;
   int64_t deadline_ms = 0;
+  int64_t seed = 7;
   std::string llm_host;
   int64_t llm_port = 0;
   bool cache = true;
@@ -92,6 +95,8 @@ int main(int argc, char** argv) {
       next(&queue_capacity);
     } else if (arg == "--deadline-ms") {
       next(&deadline_ms);
+    } else if (arg == "--seed") {
+      next(&seed);
     } else if (arg == "--llm-host" && i + 1 < argc) {
       llm_host = argv[++i];
     } else if (arg == "--llm-port") {
@@ -108,6 +113,7 @@ int main(int argc, char** argv) {
   }
 
   galois::DatabaseOptions db_options;
+  db_options.llm_seed = static_cast<uint64_t>(seed);
   db_options.enable_materialisation_cache = cache;
   if (!store_dir.empty()) db_options.store.path = store_dir;
   if (!llm_host.empty()) {
